@@ -1,0 +1,84 @@
+//! Figure 5: the number of additional votes ReCraft requires during the
+//! intermediate steps of a membership change, compared to the best and
+//! worst cases of the joint consensus, over cluster sizes 2..=9.
+//!
+//! Run with: `cargo bench -p recraft-bench --bench fig5_votes`
+
+use recraft_core::votes::{
+    ar_rpc_steps, fig5_matrix, jc_best_votes, jc_steps, jc_worst_votes, Plan,
+};
+
+const LO: usize = 2;
+const HI: usize = 9;
+
+fn print_matrix(title: &str, m: &[Vec<i64>]) {
+    println!("{title}");
+    print!("  Cold\\Cnew |");
+    for n_new in LO..=HI {
+        print!("{n_new:>4}");
+    }
+    println!();
+    println!("  ----------+{}", "----".repeat(HI - LO + 1));
+    for (i, row) in m.iter().enumerate() {
+        print!("  {:>9} |", LO + i);
+        for v in row {
+            print!("{v:>4}");
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    println!("=== Figure 5: ReCraft extra votes vs joint consensus ===\n");
+    println!("cell = (ReCraft max intermediate quorum) - (JC votes); diagonal = no change\n");
+    print_matrix(
+        "Compared to JC BEST cases (votes of shared members arrive first):",
+        &fig5_matrix(LO, HI, false),
+    );
+    print_matrix(
+        "Compared to JC WORST cases (votes of new-only members arrive first):",
+        &fig5_matrix(LO, HI, true),
+    );
+
+    println!("Reference vote counts and consensus steps:");
+    println!(
+        "  {:>5} {:>5} | {:>8} {:>8} {:>8} | {:>9} {:>9} {:>9}",
+        "Cold", "Cnew", "RC-votes", "JC-best", "JC-worst", "RC-steps", "JC-steps", "AR-steps"
+    );
+    for n_old in LO..=HI {
+        for n_new in LO..=HI {
+            if n_old == n_new {
+                continue;
+            }
+            let plan = Plan::new(n_old, n_new);
+            println!(
+                "  {:>5} {:>5} | {:>8} {:>8} {:>8} | {:>9} {:>9} {:>9}",
+                n_old,
+                n_new,
+                plan.max_intermediate_votes(),
+                jc_best_votes(n_old, n_new),
+                jc_worst_votes(n_old, n_new),
+                plan.consensus_steps(),
+                jc_steps(n_old, n_new),
+                ar_rpc_steps(n_old, n_new),
+            );
+        }
+    }
+
+    // The paper's headline claims, asserted.
+    assert!(
+        (LO..HI).all(|n| Plan::new(n, n + 1).consensus_steps() == 1),
+        "one-node additions are single-step"
+    );
+    assert_eq!(Plan::new(5, 2).consensus_steps(), 3, "5->2 costs one extra step");
+    for n_old in LO..=HI {
+        for n_new in LO..=HI {
+            if n_old != n_new {
+                let rc = Plan::new(n_old, n_new).max_intermediate_votes() as i64;
+                assert!(rc <= jc_worst_votes(n_old, n_new) as i64);
+            }
+        }
+    }
+    println!("\nchecks: ReCraft <= JC worst case everywhere; 5->2 needs one extra step  [OK]");
+}

@@ -1,0 +1,151 @@
+//! Figure 7: split performance.
+//!
+//! (a) Throughput timeline of a 6-node cluster splitting into two 3-node
+//!     subclusters and a 9-node cluster splitting into three, under heavy
+//!     uniform-random puts; the split fires at the 15-second mark (the paper
+//!     uses 30 s — halved to keep the bench snappy; the shape is identical).
+//! (b) Split latency of ReCraft (two consensus steps, no data migration)
+//!     against the TC baseline (member removes + snapshot + restart) for
+//!     {2,3}-way splits over stores holding 100 / 1K / 10K KV pairs.
+//!
+//! Run with: `cargo bench -p recraft-bench --bench fig7_split`
+
+use recraft_bench::{
+    bench_sim, boot_preloaded, cluster_throughput_series, even_split_spec, node_ids,
+    preloaded_store, put_workload, SEC,
+};
+use recraft_core::NodeEvent;
+use recraft_net::AdminCmd;
+use recraft_tc::{tc_split, CmFailure, TcSubcluster};
+use recraft_types::{ClusterId, RangeSet};
+
+const KEYS: u64 = 10_000;
+const SPLIT_AT: u64 = 15 * SEC;
+const END: u64 = 30 * SEC;
+
+fn throughput_timeline(ways: usize) {
+    let nodes = 3 * ways as u64;
+    println!("--- Fig 7a: {nodes}-node cluster splitting {ways}-way (split at t=15s) ---");
+    let mut sim = bench_sim(0x7A + ways as u64);
+    let src = ClusterId(1);
+    sim.boot_cluster(src, &node_ids(nodes), RangeSet::full());
+    sim.run_until_leader(src);
+    sim.add_clients(128, put_workload(KEYS));
+
+    // Schedule the split at the mark.
+    sim.run_until(SPLIT_AT);
+    let leader = sim.leader_of(src).expect("leader");
+    let base = sim.node(leader).unwrap().config().clone();
+    let spec = even_split_spec(&base, ways, KEYS, 10);
+    sim.admin(src, AdminCmd::Split(spec));
+    sim.run_until(END);
+
+    let series = cluster_throughput_series(&sim, SEC, END);
+    print!("{:>5}", "t(s)");
+    let clusters: Vec<ClusterId> = series.keys().copied().collect();
+    for c in &clusters {
+        print!("{:>9}", format!("{c}"));
+    }
+    println!("{:>9}", "total");
+    for bucket in 0..(END / SEC) as usize {
+        print!("{bucket:>5}");
+        let mut total = 0;
+        for c in &clusters {
+            let v = series[c].get(bucket).copied().unwrap_or(0);
+            total += v;
+            print!("{v:>9}");
+        }
+        println!("{total:>9}");
+    }
+    // Shape check: aggregate throughput after the split exceeds before.
+    let before: u64 = (10..14)
+        .map(|b| series.values().map(|s| s.get(b).copied().unwrap_or(0)).sum::<u64>())
+        .sum();
+    let after: u64 = (25..29)
+        .map(|b| series.values().map(|s| s.get(b).copied().unwrap_or(0)).sum::<u64>())
+        .sum();
+    println!(
+        "aggregate 4s window: before={before} after={after} ({:.2}x)\n",
+        after as f64 / before.max(1) as f64
+    );
+    sim.check_invariants();
+}
+
+fn rc_split_latency(ways: usize, pairs: u64) -> f64 {
+    let nodes = 3 * ways as u64;
+    let mut sim = bench_sim(0x75C + ways as u64 * 100 + pairs);
+    let src = ClusterId(1);
+    let store = preloaded_store(pairs, KEYS);
+    boot_preloaded(&mut sim, src, &node_ids(nodes), &store);
+    sim.run_until_leader(src);
+    sim.run_for(SEC);
+    let leader = sim.leader_of(src).expect("leader");
+    let base = sim.node(leader).unwrap().config().clone();
+    let spec = even_split_spec(&base, ways, KEYS, 10);
+    let t0 = sim.time();
+    sim.admin(src, AdminCmd::Split(spec));
+    sim.run_until_pred(60 * SEC, |s| {
+        (0..ways as u64).all(|w| s.leader_of(ClusterId(10 + w)).is_some())
+    });
+    let done = sim
+        .last_event(|e| matches!(e, NodeEvent::SplitCompleted { .. }))
+        .expect("split completed");
+    sim.check_invariants();
+    (done - t0) as f64 / 1000.0 // ms
+}
+
+fn tc_split_latency(ways: usize, pairs: u64) -> recraft_tc::TcSplitReport {
+    let nodes = 3 * ways as u64;
+    let mut sim = bench_sim(0x7C + ways as u64 * 100 + pairs);
+    let src = ClusterId(1);
+    let store = preloaded_store(pairs, KEYS);
+    boot_preloaded(&mut sim, src, &node_ids(nodes), &store);
+    sim.run_until_leader(src);
+    sim.run_for(SEC);
+    let base = sim
+        .node(sim.leader_of(src).unwrap())
+        .unwrap()
+        .config()
+        .clone();
+    // The source keeps the first slice; the outgoing subclusters take the
+    // rest (same geometry as the ReCraft split).
+    let spec = even_split_spec(&base, ways, KEYS, 10);
+    let retained = spec.subclusters()[0].ranges().clone();
+    let outgoing: Vec<TcSubcluster> = spec.subclusters()[1..]
+        .iter()
+        .map(|c| TcSubcluster {
+            cluster: c.id(),
+            members: c.members().iter().copied().collect(),
+            ranges: c.ranges().clone(),
+        })
+        .collect();
+    tc_split(&mut sim, src, retained, &outgoing, CmFailure::None)
+}
+
+fn main() {
+    throughput_timeline(2);
+    throughput_timeline(3);
+
+    println!("--- Fig 7b: split latency (ms), ReCraft vs TC emulation ---");
+    println!(
+        "{:>8} | {:>9} | {:>10} {:>12} {:>11} {:>9} | {:>6}",
+        "config", "RC-split", "TC-remove", "TC-snapshot", "TC-restart", "TC-total", "TC/RC"
+    );
+    for ways in [2usize, 3] {
+        for pairs in [100u64, 1_000, 10_000] {
+            let rc = rc_split_latency(ways, pairs);
+            let tc = tc_split_latency(ways, pairs);
+            println!(
+                "{:>8} | {:>9.1} | {:>10.1} {:>12.1} {:>11.1} {:>9.1} | {:>6.1}",
+                format!("{}-{}", ways, pairs),
+                rc,
+                tc.remove_us as f64 / 1000.0,
+                tc.snapshot_us as f64 / 1000.0,
+                tc.restart_us as f64 / 1000.0,
+                tc.total_us() as f64 / 1000.0,
+                tc.total_us() as f64 / 1000.0 / rc,
+            );
+        }
+    }
+    println!("\npaper shape: RC is near-constant (two commits); TC grows with data size");
+}

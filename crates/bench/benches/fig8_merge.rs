@@ -1,0 +1,181 @@
+//! Figure 8: merge performance.
+//!
+//! (a) Throughput timeline of two (and three) 3-node clusters merging into
+//!     one under light load (2 clients — merging is for underutilized
+//!     clusters), merge at the 15-second mark.
+//! (b) Merge latency of ReCraft (2PC + snapshot exchange) against the TC
+//!     baseline (stop + copy + rejoin) for {2,3} clusters × {100,1K,10K}
+//!     KV pairs, with phase breakdown (RC-TX / RC-snapshot vs TC-snapshot /
+//!     TC-rejoin).
+//!
+//! Run with: `cargo bench -p recraft-bench --bench fig8_merge`
+
+use recraft_bench::{bench_sim, preloaded_store, put_workload, SEC};
+use recraft_core::NodeEvent;
+use recraft_core::StateMachine;
+use recraft_net::AdminCmd;
+use recraft_tc::{tc_merge, CmFailure};
+use recraft_types::{
+    ClusterConfig, ClusterId, KeyRange, MergeParticipant, MergeTx, NodeId, RangeSet, TxId,
+};
+
+const KEYS: u64 = 10_000;
+
+/// Boots `n` disjoint 3-node clusters partitioning the keyspace, each
+/// preloaded with its share of `pairs` KV pairs.
+fn boot_disjoint_clusters(
+    sim: &mut recraft_sim::Sim,
+    n: u64,
+    pairs: u64,
+) -> Vec<(ClusterId, Vec<NodeId>)> {
+    let full = preloaded_store(pairs, KEYS);
+    let mut out = Vec::new();
+    let mut cursor = KeyRange::full();
+    for w in 0..n {
+        let range = if w + 1 == n {
+            cursor.clone()
+        } else {
+            let boundary = format!("k{:08}", (w + 1) * KEYS / n);
+            let (lo, hi) = cursor.split_at(boundary.as_bytes()).expect("in range");
+            cursor = hi;
+            lo
+        };
+        let cluster = ClusterId(10 + w);
+        let ids: Vec<NodeId> = (w * 3 + 1..=w * 3 + 3).map(NodeId).collect();
+        let ranges = RangeSet::from(range);
+        let mut store = recraft_kv::KvStore::new();
+        store
+            .restore(&full.snapshot(&ranges))
+            .expect("slice decodes");
+        let config = ClusterConfig::new(cluster, ids.iter().copied(), ranges).unwrap();
+        for id in &ids {
+            sim.boot_node_with_store(*id, config.clone(), store.clone());
+        }
+        out.push((cluster, ids));
+    }
+    out
+}
+
+fn merge_tx(clusters: &[(ClusterId, Vec<NodeId>)]) -> MergeTx {
+    MergeTx {
+        id: TxId(77),
+        coordinator: clusters[0].0,
+        participants: clusters
+            .iter()
+            .map(|(c, ids)| MergeParticipant {
+                cluster: *c,
+                members: ids.iter().copied().collect(),
+            })
+            .collect(),
+        new_cluster: ClusterId(20),
+        resume_members: None,
+    }
+}
+
+fn throughput_timeline(n: u64) {
+    println!("--- Fig 8a: {n} x 3-node clusters merging into one (merge at t=15s) ---");
+    let mut sim = bench_sim(0x8A + n);
+    let clusters = boot_disjoint_clusters(&mut sim, n, 1_000);
+    for (c, _) in &clusters {
+        sim.run_until_leader(*c);
+    }
+    sim.add_clients(2, put_workload(KEYS));
+    sim.run_until(15 * SEC);
+    sim.admin(clusters[0].0, AdminCmd::Merge(merge_tx(&clusters)));
+    sim.run_until(30 * SEC);
+
+    let series = recraft_bench::cluster_throughput_series(&sim, SEC, 30 * SEC);
+    print!("{:>5}", "t(s)");
+    let ids: Vec<ClusterId> = series.keys().copied().collect();
+    for c in &ids {
+        print!("{:>9}", format!("{c}"));
+    }
+    println!("{:>9}", "total");
+    for bucket in 0..30 {
+        print!("{bucket:>5}");
+        let mut total = 0;
+        for c in &ids {
+            let v = series[c].get(bucket).copied().unwrap_or(0);
+            total += v;
+            print!("{v:>9}");
+        }
+        println!("{total:>9}");
+    }
+    // Shape check: the merged cluster serves all traffic at the end.
+    assert!(
+        sim.leader_of(ClusterId(20)).is_some(),
+        "merged cluster has a leader"
+    );
+    sim.check_invariants();
+    println!();
+}
+
+struct RcMergeLatency {
+    tx_ms: f64,
+    snapshot_ms: f64,
+}
+
+fn rc_merge_latency(n: u64, pairs: u64) -> RcMergeLatency {
+    let mut sim = bench_sim(0x8C + n * 100 + pairs);
+    let clusters = boot_disjoint_clusters(&mut sim, n, pairs);
+    for (c, _) in &clusters {
+        sim.run_until_leader(*c);
+    }
+    sim.run_for(SEC);
+    let t0 = sim.time();
+    sim.admin(clusters[0].0, AdminCmd::Merge(merge_tx(&clusters)));
+    sim.run_until_pred(120 * SEC, |s| s.leader_of(ClusterId(20)).is_some());
+    let outcome = sim
+        .first_event(|e| matches!(e, NodeEvent::MergeOutcomeCommitted { .. }))
+        .expect("outcome committed");
+    let resumed = sim
+        .last_event(|e| matches!(e, NodeEvent::MergeResumed { .. }))
+        .expect("resumed");
+    sim.check_invariants();
+    RcMergeLatency {
+        tx_ms: (outcome - t0) as f64 / 1000.0,
+        snapshot_ms: (resumed - outcome) as f64 / 1000.0,
+    }
+}
+
+fn tc_merge_latency(n: u64, pairs: u64) -> recraft_tc::TcMergeReport {
+    let mut sim = bench_sim(0x8D + n * 100 + pairs);
+    let clusters = boot_disjoint_clusters(&mut sim, n, pairs);
+    for (c, _) in &clusters {
+        sim.run_until_leader(*c);
+    }
+    sim.run_for(SEC);
+    let dst = clusters[0].0;
+    let sources: Vec<ClusterId> = clusters[1..].iter().map(|(c, _)| *c).collect();
+    tc_merge(&mut sim, dst, &sources, CmFailure::None)
+}
+
+fn main() {
+    throughput_timeline(2);
+    throughput_timeline(3);
+
+    println!("--- Fig 8b: merge latency (ms), ReCraft vs TC emulation ---");
+    println!(
+        "{:>8} | {:>8} {:>11} {:>9} | {:>11} {:>10} {:>9} | {:>6}",
+        "config", "RC-TX", "RC-snapshot", "RC-total", "TC-snapshot", "TC-rejoin", "TC-total", "TC/RC"
+    );
+    for n in [2u64, 3] {
+        for pairs in [100u64, 1_000, 10_000] {
+            let rc = rc_merge_latency(n, pairs);
+            let tc = tc_merge_latency(n, pairs);
+            let rc_total = rc.tx_ms + rc.snapshot_ms;
+            println!(
+                "{:>8} | {:>8.1} {:>11.1} {:>9.1} | {:>11.1} {:>10.1} {:>9.1} | {:>6.1}",
+                format!("{}-{}", n, pairs),
+                rc.tx_ms,
+                rc.snapshot_ms,
+                rc_total,
+                tc.snapshot_us as f64 / 1000.0,
+                tc.rejoin_us as f64 / 1000.0,
+                tc.total_us() as f64 / 1000.0,
+                tc.total_us() as f64 / 1000.0 / rc_total,
+            );
+        }
+    }
+    println!("\npaper shape: RC-TX is near-constant; data movement dominates both, TC blocks more");
+}

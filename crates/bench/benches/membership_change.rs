@@ -1,0 +1,149 @@
+//! §VII-E: membership change — consensus steps and end-to-end latency of
+//! ReCraft's Add/RemoveAndResize against the AR-RPC and joint-consensus
+//! baselines, for all transitions between the practical cluster sizes
+//! 2..=5 (the paper: "ReCraft performs equal to or better ... except when
+//! reducing from 5 to 2, which requires one extra consensus step than JC").
+//!
+//! Run with: `cargo bench -p recraft-bench --bench membership_change`
+
+use recraft_bench::{bench_sim, node_ids, SEC};
+use recraft_core::votes::{ar_rpc_steps, jc_steps, Plan};
+use recraft_net::AdminCmd;
+use recraft_sim::Sim;
+use recraft_types::{ClusterId, NodeId, RangeSet};
+use std::collections::BTreeSet;
+
+const CLUSTER: ClusterId = ClusterId(1);
+
+/// Boots a sim with `n_old` active members and configuration-less joiners
+/// that wait to be contacted.
+fn setup(n_old: u64, n_new: u64, seed: u64) -> Sim {
+    let mut sim = bench_sim(seed);
+    sim.boot_cluster(CLUSTER, &node_ids(n_old), RangeSet::full());
+    for id in n_old + 1..=n_new {
+        sim.boot_joiner(NodeId(id));
+    }
+    sim.run_until_leader(CLUSTER);
+    // Pin leadership on node 1 (never removed by the transitions below):
+    // operators do not remove the acting leader — etcd transfers leadership
+    // first — and a self-removal election would pollute the latency numbers.
+    for _ in 0..10 {
+        if sim.leader_of(CLUSTER) == Some(NodeId(1)) {
+            break;
+        }
+        sim.campaign(NodeId(1));
+        sim.run_for(SEC);
+    }
+    sim.run_for(SEC);
+    sim
+}
+
+fn settled(sim: &Sim, members: u64) -> bool {
+    sim.leader_of(CLUSTER).is_some_and(|l| {
+        let n = sim.node(l).unwrap();
+        n.config().members().len() == members as usize
+            && n.config().quorum_size()
+                == recraft_types::config::majority(members as usize)
+    })
+}
+
+/// ReCraft: one AddAndResize / staged RemoveAndResize (follow-up
+/// ResizeQuorum steps are automatic).
+fn recraft_latency(n_old: u64, n_new: u64) -> f64 {
+    let mut sim = setup(n_old, n_new, 0xE0 + n_old * 10 + n_new);
+    let t0 = sim.time();
+    if n_new > n_old {
+        let add: BTreeSet<NodeId> = (n_old + 1..=n_new).map(NodeId).collect();
+        sim.admin(CLUSTER, AdminCmd::AddAndResize(add));
+    } else {
+        // Stage removals as the plan prescribes (r < Q_old per step).
+        let mut current = n_old;
+        while current > n_new {
+            let q_old = recraft_types::config::majority(current as usize) as u64;
+            let r = (q_old - 1).min(current - n_new);
+            let remove: BTreeSet<NodeId> = (current - r + 1..=current).map(NodeId).collect();
+            sim.admin(CLUSTER, AdminCmd::RemoveAndResize(remove));
+            current -= r;
+            let c = current;
+            sim.run_until_pred(30 * SEC, |s| settled(s, c));
+        }
+    }
+    sim.run_until_pred(30 * SEC, |s| settled(s, n_new));
+    (sim.time() - t0) as f64 / 1000.0
+}
+
+/// Baseline AR-RPC: one node per consensus step.
+fn ar_rpc_latency(n_old: u64, n_new: u64) -> f64 {
+    let mut sim = setup(n_old, n_new, 0xA0 + n_old * 10 + n_new);
+    let t0 = sim.time();
+    let mut current: BTreeSet<NodeId> = node_ids(n_old).into_iter().collect();
+    if n_new > n_old {
+        for id in n_old + 1..=n_new {
+            current.insert(NodeId(id));
+            sim.admin(CLUSTER, AdminCmd::SimpleChange(current.clone()));
+            let want = current.clone();
+            sim.run_until_pred(30 * SEC, |s| {
+                s.leader_of(CLUSTER)
+                    .is_some_and(|l| s.node(l).unwrap().config().members() == &want)
+            });
+        }
+    } else {
+        for id in (n_new + 1..=n_old).rev() {
+            current.remove(&NodeId(id));
+            sim.admin(CLUSTER, AdminCmd::SimpleChange(current.clone()));
+            let want = current.clone();
+            sim.run_until_pred(30 * SEC, |s| {
+                s.leader_of(CLUSTER)
+                    .is_some_and(|l| s.node(l).unwrap().config().members() == &want)
+            });
+        }
+    }
+    (sim.time() - t0) as f64 / 1000.0
+}
+
+/// Baseline joint consensus: two steps regardless of delta.
+fn jc_latency(n_old: u64, n_new: u64) -> f64 {
+    let mut sim = setup(n_old, n_new, 0x1C + n_old * 10 + n_new);
+    let t0 = sim.time();
+    let target: BTreeSet<NodeId> = node_ids(n_new).into_iter().collect();
+    sim.admin(CLUSTER, AdminCmd::JointChange(target));
+    sim.run_until_pred(30 * SEC, |s| settled(s, n_new));
+    (sim.time() - t0) as f64 / 1000.0
+}
+
+fn main() {
+    println!("=== §VII-E: membership change steps and latency (sizes 2..=5) ===\n");
+    println!(
+        "{:>5} {:>5} | {:>9} {:>9} {:>9} | {:>10} {:>10} {:>10}",
+        "Cold", "Cnew", "RC-steps", "JC-steps", "AR-steps", "RC ms", "JC ms", "AR ms"
+    );
+    let mut step_time_samples: Vec<f64> = Vec::new();
+    for n_old in 2u64..=5 {
+        for n_new in 2u64..=5 {
+            if n_old == n_new {
+                continue;
+            }
+            let rc_steps = Plan::new(n_old as usize, n_new as usize).consensus_steps();
+            let rc = recraft_latency(n_old, n_new);
+            let jc = jc_latency(n_old, n_new);
+            let ar = ar_rpc_latency(n_old, n_new);
+            println!(
+                "{:>5} {:>5} | {:>9} {:>9} {:>9} | {:>10.1} {:>10.1} {:>10.1}",
+                n_old,
+                n_new,
+                rc_steps,
+                jc_steps(n_old as usize, n_new as usize),
+                ar_rpc_steps(n_old as usize, n_new as usize),
+                rc,
+                jc,
+                ar,
+            );
+            step_time_samples.push(rc / rc_steps as f64);
+        }
+    }
+    let mean_step = step_time_samples.iter().sum::<f64>() / step_time_samples.len() as f64;
+    println!(
+        "\nmean time per consensus step: {mean_step:.1} ms (paper: 11.4 ms on their cloud)"
+    );
+    println!("paper shape: ReCraft <= JC and AR for 2..=5 except 5->2 (one extra step)");
+}

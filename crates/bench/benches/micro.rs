@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks of the protocol building blocks: log appends,
+//! epoch-term packing, quorum evaluation, configuration derivation, and
+//! snapshot encode/merge.
+//!
+//! Run with: `cargo bench -p recraft-bench --bench micro`
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use recraft_core::quorum::QuorumSpec;
+use recraft_core::stack::ConfigStack;
+use recraft_core::StateMachine;
+use recraft_kv::{KvCmd, KvStore};
+use recraft_storage::{LogEntry, MemLog};
+use recraft_types::{
+    ClusterConfig, ClusterId, ConfigChange, EpochTerm, KeyRange, LogIndex, NodeId, RangeSet,
+    SplitSpec,
+};
+use std::collections::BTreeSet;
+
+fn nodes(n: u64) -> BTreeSet<NodeId> {
+    (1..=n).map(NodeId).collect()
+}
+
+fn bench_log_append(c: &mut Criterion) {
+    c.bench_function("memlog_append_compact_4k", |b| {
+        b.iter(|| {
+            let mut log = MemLog::new();
+            for i in 1..=4096u64 {
+                log.append(LogEntry::command(
+                    LogIndex(i),
+                    EpochTerm::new(0, 1),
+                    Bytes::from_static(b"0123456789abcdef"),
+                ));
+            }
+            log.compact_to(LogIndex(4096), EpochTerm::new(0, 1))
+                .unwrap();
+            black_box(log.last_index())
+        });
+    });
+}
+
+fn bench_eterm(c: &mut Criterion) {
+    c.bench_function("eterm_pack_compare", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for e in 0..64u32 {
+                for t in 0..64u32 {
+                    let et = EpochTerm::new(e, t);
+                    if et > black_box(EpochTerm::new(31, 31)) {
+                        acc ^= et.packed();
+                    }
+                }
+            }
+            acc
+        });
+    });
+}
+
+fn bench_quorum(c: &mut Criterion) {
+    let joint = QuorumSpec::joint_majorities([nodes(3), nodes(5)].iter());
+    let votes = nodes(5);
+    c.bench_function("quorum_joint_satisfied", |b| {
+        b.iter(|| black_box(joint.satisfied(black_box(&votes))));
+    });
+}
+
+fn bench_derive(c: &mut Criterion) {
+    let base = ClusterConfig::new(ClusterId(1), nodes(9), RangeSet::full()).unwrap();
+    let (lo, hi) = KeyRange::full().split_at(b"m").unwrap();
+    let spec = SplitSpec::new(
+        vec![
+            ClusterConfig::new(ClusterId(10), (1..=4).map(NodeId), RangeSet::from(lo)).unwrap(),
+            ClusterConfig::new(ClusterId(11), (5..=9).map(NodeId), RangeSet::from(hi)).unwrap(),
+        ],
+        base.members(),
+        base.ranges(),
+    )
+    .unwrap();
+    let mut stack = ConfigStack::new(base, LogIndex::ZERO);
+    stack.push(LogIndex(5), ConfigChange::SplitJoint(spec.clone()));
+    stack.push(LogIndex(9), ConfigChange::SplitNew(spec));
+    c.bench_function("config_stack_derive_mid_split", |b| {
+        b.iter(|| black_box(stack.derive(NodeId(3))));
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut store = KvStore::new();
+    for i in 0..1000u64 {
+        let mut v = vec![b'v'; 512];
+        v[0] = (i % 255) as u8;
+        store.apply(
+            LogIndex(i + 1),
+            &KvCmd::Put {
+                key: format!("k{i:08}").into_bytes(),
+                value: Bytes::from(v),
+            }
+            .encode(),
+        );
+    }
+    c.bench_function("kv_snapshot_1k_pairs", |b| {
+        b.iter(|| black_box(store.snapshot(&RangeSet::full())));
+    });
+    let (lo, hi) = KeyRange::full().split_at(b"k00000500").unwrap();
+    let parts = [
+        store.snapshot(&RangeSet::from(lo)),
+        store.snapshot(&RangeSet::from(hi)),
+    ];
+    c.bench_function("kv_restore_merged_1k_pairs", |b| {
+        b.iter(|| {
+            let mut merged = KvStore::new();
+            merged.restore_merged(black_box(&parts)).unwrap();
+            black_box(merged.len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_log_append,
+    bench_eterm,
+    bench_quorum,
+    bench_derive,
+    bench_snapshot
+);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Table I: the minimum number of node failures that completely stop a
+//! split or merge, for ReCraft's three phases and for the TC baseline with
+//! a non-replicated / replicated cluster manager.
+//!
+//! The analytic table reproduces the paper's formulas; the empirical section
+//! injects exactly-`f` and `f+1` crashes into live operations and reports
+//! whether they complete.
+//!
+//! Run with: `cargo bench -p recraft-bench --bench table1_fault_tolerance`
+
+use recraft_bench::{bench_sim, even_split_spec, node_ids, put_workload, SEC};
+use recraft_net::AdminCmd;
+use recraft_sim::Action;
+use recraft_types::{
+    ClusterConfig, ClusterId, KeyRange, MergeParticipant, MergeTx, NodeId, RangeSet, TxId,
+};
+
+const KEYS: u64 = 10_000;
+
+fn analytic() {
+    println!("--- Table I (analytic): minimum failures to stop the operation ---");
+    println!("(uniform subcluster size 3 => f_sub = 1; N-way from a 3N-node cluster)\n");
+    println!(
+        "{:>6} {:>6} | {:>10} {:>12} {:>10} | {:>6} {:>9}",
+        "op", "N-way", "RC-phase1", "RC-phase2", "RC-phase3", "TC-CM", "TC-CMrepl"
+    );
+    for n in [2u64, 3] {
+        let n_old = 3 * n;
+        let f_old = n_old as usize - recraft_types::config::majority(n_old as usize); // f of C_old
+        let f_sub = 1; // 3-node subclusters
+        let f_cm = 1; // 3-node replicated CM
+        println!(
+            "{:>6} {:>6} | {:>10} {:>12} {:>10} | {:>6} {:>9}",
+            "split",
+            n,
+            f_old + 1,
+            n * (f_sub + 1), // all N subclusters must fail
+            "-".to_string(),
+            1,
+            f_cm + 1,
+        );
+        println!(
+            "{:>6} {:>6} | {:>10} {:>12} {:>10} | {:>6} {:>9}",
+            "merge",
+            n,
+            f_sub + 1,
+            f_sub + 1,
+            f_sub + 1,
+            1,
+            f_cm + 1,
+        );
+    }
+    println!();
+}
+
+/// Runs a 2-way split of a 6-node cluster with `kill` follower crashes
+/// injected *before* the operation begins (the paper's phase-1 analysis).
+/// Returns whether the split completed within the deadline.
+fn split_with_crashes(kill: usize) -> bool {
+    let mut sim = bench_sim(0x7A81 + kill as u64);
+    let src = ClusterId(1);
+    sim.boot_cluster(src, &node_ids(6), RangeSet::full());
+    sim.run_until_leader(src);
+    sim.add_clients(4, put_workload(KEYS));
+    sim.run_for(2 * SEC);
+    let leader = sim.leader_of(src).unwrap();
+    // Kill followers (killing the leader is also tolerated via re-election;
+    // followers make `f` exact for the phase-1 count).
+    let victims: Vec<NodeId> = node_ids(6)
+        .into_iter()
+        .filter(|n| *n != leader)
+        .take(kill)
+        .collect();
+    let now = sim.time();
+    for v in &victims {
+        sim.schedule_action(now, Action::Crash(*v));
+    }
+    sim.run_for(SEC);
+    let base = sim.node(leader).unwrap().config().clone();
+    let spec = even_split_spec(&base, 2, KEYS, 10);
+    sim.admin(src, AdminCmd::Split(spec));
+    sim.run_for(30 * SEC);
+    let done = (0..2).all(|w| {
+        sim.nodes()
+            .any(|n| n.cluster() == ClusterId(10 + w) && n.current_eterm().epoch() >= 1)
+    });
+    sim.check_invariants();
+    done
+}
+
+/// Runs a 2-cluster merge while crashing `kill_per_sub` nodes in one
+/// participant subcluster. Returns whether the merge completed.
+fn merge_with_crashes(kill_in_one_sub: usize) -> bool {
+    let mut sim = bench_sim(0x8A81 + kill_in_one_sub as u64);
+    let (lo, hi) = KeyRange::full().split_at(b"k00005000").unwrap();
+    let c10 = ClusterConfig::new(ClusterId(10), node_ids(3), RangeSet::from(lo)).unwrap();
+    let ids_b: Vec<NodeId> = (4..=6).map(NodeId).collect();
+    let c11 = ClusterConfig::new(ClusterId(11), ids_b.iter().copied(), RangeSet::from(hi)).unwrap();
+    for id in node_ids(3) {
+        sim.boot_node_with_store(id, c10.clone(), recraft_kv::KvStore::new());
+    }
+    for id in &ids_b {
+        sim.boot_node_with_store(*id, c11.clone(), recraft_kv::KvStore::new());
+    }
+    sim.run_until_leader(ClusterId(10));
+    sim.run_until_leader(ClusterId(11));
+    sim.run_for(SEC);
+    let tx = MergeTx {
+        id: TxId(5),
+        coordinator: ClusterId(10),
+        participants: vec![
+            MergeParticipant {
+                cluster: ClusterId(10),
+                members: node_ids(3).into_iter().collect(),
+            },
+            MergeParticipant {
+                cluster: ClusterId(11),
+                members: ids_b.iter().copied().collect(),
+            },
+        ],
+        new_cluster: ClusterId(20),
+        resume_members: None,
+    };
+    // Crash nodes of the non-coordinating subcluster before the 2PC starts
+    // (the paper's per-phase analysis: any 2PC phase needs every subcluster
+    // quorum alive).
+    let now = sim.time();
+    for id in ids_b.iter().take(kill_in_one_sub) {
+        sim.schedule_action(now, Action::Crash(*id));
+    }
+    sim.run_for(SEC);
+    sim.admin(ClusterId(10), AdminCmd::Merge(tx));
+    sim.run_for(40 * SEC);
+    let done = sim.nodes().any(|n| n.cluster() == ClusterId(20));
+    sim.check_invariants();
+    done
+}
+
+fn main() {
+    analytic();
+
+    println!("--- Empirical fault injection (6-node 2-way split, f_old = 2) ---");
+    for kill in [1usize, 2, 3] {
+        let ok = split_with_crashes(kill);
+        println!(
+            "  split with {kill} crashed node(s): {}",
+            if ok { "COMPLETED" } else { "stalled" }
+        );
+    }
+    println!("  (paper: the split tolerates f_old = 2 failures; f_old + 1 = 3 stop phase 1)\n");
+
+    println!("--- Empirical fault injection (2 x 3-node merge, f_sub = 1) ---");
+    for kill in [1usize, 2] {
+        let ok = merge_with_crashes(kill);
+        println!(
+            "  merge with {kill} crashed node(s) in one subcluster: {}",
+            if ok { "COMPLETED" } else { "stalled" }
+        );
+    }
+    println!("  (paper: the merge tolerates f_sub = 1 per subcluster; f_sub + 1 = 2 stop it)\n");
+
+    println!("--- TC baseline: the cluster manager is a single point of failure ---");
+    {
+        use recraft_tc::{tc_split, CmFailure, TcSubcluster};
+        let mut sim = bench_sim(0xDEAD);
+        let src = ClusterId(1);
+        sim.boot_cluster(src, &node_ids(6), RangeSet::full());
+        sim.run_until_leader(src);
+        sim.run_for(SEC);
+        let base = sim.node(sim.leader_of(src).unwrap()).unwrap().config().clone();
+        let spec = even_split_spec(&base, 2, KEYS, 10);
+        let retained = spec.subclusters()[0].ranges().clone();
+        let outgoing: Vec<TcSubcluster> = spec.subclusters()[1..]
+            .iter()
+            .map(|c| TcSubcluster {
+                cluster: c.id(),
+                members: c.members().iter().copied().collect(),
+                ranges: c.ranges().clone(),
+            })
+            .collect();
+        let report = tc_split(&mut sim, src, retained, &outgoing, CmFailure::AfterPhase1);
+        println!(
+            "  TC split with CM crash after phase 1: completed = {} (nodes stranded outside any cluster)",
+            report.completed
+        );
+        println!("  (a single CM failure stops TC; ReCraft has no such component)");
+    }
+}

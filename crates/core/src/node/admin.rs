@@ -1,0 +1,271 @@
+//! Client proposals and administrative reconfiguration commands.
+//!
+//! All reconfigurations check the paper's preconditions:
+//!
+//! * **P1** — every prior reconfiguration in the log is committed (and
+//!   resolved: no open merge transaction, no in-flight split);
+//! * **P2'** — the proposed configuration maintains quorum overlap with the
+//!   current one (validated per scheme);
+//! * **P3** — the leader has committed an entry in its own term (the no-op
+//!   appended at election time).
+
+use super::{Node, Role};
+use crate::sm::StateMachine;
+use bytes::Bytes;
+use recraft_net::{AdminCmd, Message};
+use recraft_storage::EntryPayload;
+use recraft_types::config::{majority, resize_quorum};
+use recraft_types::{ConfigChange, Error, MergeTx, NodeId, Result, SplitSpec};
+use std::collections::BTreeSet;
+
+impl<SM: StateMachine> Node<SM> {
+    /// Handles a client command: leaders append it; everyone else redirects.
+    pub(crate) fn handle_client_req(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        req_id: u64,
+        key: Vec<u8>,
+        cmd: Bytes,
+    ) {
+        let result = self.try_accept_client(now, from, req_id, &key, cmd);
+        if let Err(err) = result {
+            self.send(
+                from,
+                Message::ClientResp {
+                    req_id,
+                    result: Err(err),
+                },
+            );
+        }
+    }
+
+    fn try_accept_client(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        req_id: u64,
+        key: &[u8],
+        cmd: Bytes,
+    ) -> Result<()> {
+        if self.role != Role::Leader {
+            return Err(Error::NotLeader(self.leader_hint));
+        }
+        if self.exchange.is_some() {
+            return Err(Error::MergeBlocked);
+        }
+        let derived = self.derived_cached();
+        if derived.proposals_gated() {
+            // Split leave phase or merge outcome pending: a one-round-trip
+            // window where the log tail belongs to the reconfiguration.
+            return Err(Error::MergeBlocked);
+        }
+        if !self.cfg.ranges().contains(key) {
+            return Err(Error::WrongRange(None));
+        }
+        let index = self.propose_entry(now, EntryPayload::Command(cmd));
+        self.pending_clients.insert(index, (from, req_id));
+        Ok(())
+    }
+
+    /// Handles an administrative command, answering with acceptance or a
+    /// precondition error.
+    pub(crate) fn handle_admin_req(&mut self, now: u64, from: NodeId, req_id: u64, cmd: AdminCmd) {
+        let result = self.try_admin(now, cmd);
+        self.send(
+            from,
+            Message::AdminResp {
+                req_id,
+                result,
+            },
+        );
+    }
+
+    fn try_admin(&mut self, now: u64, cmd: AdminCmd) -> Result<()> {
+        match cmd {
+            AdminCmd::Campaign => {
+                self.campaign(now);
+                Ok(())
+            }
+            AdminCmd::ProposeNoop => {
+                self.require_leader()?;
+                self.propose_entry(now, EntryPayload::Noop);
+                Ok(())
+            }
+            AdminCmd::Split(spec) => self.admin_split(now, spec),
+            AdminCmd::Merge(tx) => self.admin_merge(now, tx),
+            AdminCmd::AddAndResize(add) => self.admin_add_and_resize(now, &add),
+            AdminCmd::RemoveAndResize(remove) => self.admin_remove_and_resize(now, &remove),
+            AdminCmd::ResizeQuorum => self.admin_resize_quorum(now),
+            AdminCmd::SimpleChange(members) => self.admin_simple_change(now, members),
+            AdminCmd::JointChange(members) => self.admin_joint_change(now, members),
+            AdminCmd::SetRanges(ranges) => {
+                self.check_reconfig_preconditions()?;
+                self.propose_config(now, ConfigChange::SetRanges(ranges));
+                Ok(())
+            }
+        }
+    }
+
+    fn require_leader(&self) -> Result<()> {
+        if self.role == Role::Leader {
+            Ok(())
+        } else {
+            Err(Error::NotLeader(self.leader_hint))
+        }
+    }
+
+    /// P1 and P3 checks shared by every reconfiguration proposal.
+    fn check_reconfig_preconditions(&self) -> Result<()> {
+        self.require_leader()?;
+        if self.exchange.is_some() {
+            return Err(Error::MergeBlocked);
+        }
+        self.cfg.check_p1()?;
+        if !self.committed_in_term {
+            return Err(Error::PreconditionP3);
+        }
+        Ok(())
+    }
+
+    /// `SplitEnterJoint` (Fig. 2): validate and append `Cjoint`.
+    fn admin_split(&mut self, now: u64, spec: SplitSpec) -> Result<()> {
+        self.check_reconfig_preconditions()?;
+        // P2': the joint election quorum (majority of every subcluster)
+        // overlaps every C_old majority only if the base quorum is the plain
+        // majority; require a preceding ResizeQuorum otherwise.
+        if self.cfg.base().quorum_rule() != recraft_types::QuorumRule::Majority {
+            return Err(Error::PreconditionP2(
+                "split requires a majority-quorum base configuration".into(),
+            ));
+        }
+        // Re-validate the plan against the *current* configuration.
+        let spec = SplitSpec::new(
+            spec.subclusters().to_vec(),
+            self.cfg.base().members(),
+            self.cfg.base().ranges(),
+        )
+        .map_err(|e| Error::PreconditionP2(e.to_string()))?;
+        self.propose_config(now, ConfigChange::SplitJoint(spec));
+        Ok(())
+    }
+
+    /// `MergePrepare` (Fig. 4): this cluster becomes the 2PC coordinator.
+    fn admin_merge(&mut self, now: u64, tx: MergeTx) -> Result<()> {
+        self.check_reconfig_preconditions()?;
+        tx.validate()?;
+        if tx.coordinator != self.cluster {
+            return Err(Error::InvalidState(format!(
+                "merge coordinator {} is not this cluster {}",
+                tx.coordinator, self.cluster
+            )));
+        }
+        let ours = tx
+            .participant(self.cluster)
+            .expect("validated: coordinator participates");
+        if &ours.members != self.cfg.base().members() {
+            return Err(Error::InvalidConfig(
+                "coordinator participant member list is stale".into(),
+            ));
+        }
+        self.start_merge_coordinator(now, tx);
+        Ok(())
+    }
+
+    /// `AddAndResize` (§IV-A): add any number of nodes in one consensus step
+    /// at quorum `Q_new-q`; the follow-up `ResizeQuorum` is automatic.
+    fn admin_add_and_resize(&mut self, now: u64, add: &BTreeSet<NodeId>) -> Result<()> {
+        self.check_reconfig_preconditions()?;
+        if add.is_empty() {
+            return Err(Error::InvalidConfig("no nodes to add".into()));
+        }
+        let current = self.cfg.base().members();
+        if let Some(n) = add.iter().find(|n| current.contains(n)) {
+            return Err(Error::InvalidConfig(format!("{n} is already a member")));
+        }
+        let n_old = current.len();
+        let q_old = self.cfg.base().quorum_size();
+        let members: BTreeSet<NodeId> = current.union(add).copied().collect();
+        let quorum = resize_quorum(n_old, q_old, members.len());
+        self.propose_config(now, ConfigChange::Resize { members, quorum });
+        Ok(())
+    }
+
+    /// `RemoveAndResize` (§IV-A): remove up to `Q_old − 1` nodes in one step.
+    fn admin_remove_and_resize(&mut self, now: u64, remove: &BTreeSet<NodeId>) -> Result<()> {
+        self.check_reconfig_preconditions()?;
+        if remove.is_empty() {
+            return Err(Error::InvalidConfig("no nodes to remove".into()));
+        }
+        let current = self.cfg.base().members();
+        if let Some(n) = remove.iter().find(|n| !current.contains(n)) {
+            return Err(Error::InvalidConfig(format!("{n} is not a member")));
+        }
+        let n_old = current.len();
+        let q_old = self.cfg.base().quorum_size();
+        if remove.len() >= q_old {
+            // The cap r < Q_old (§IV-A): beyond it C_old and C_new-q quorums
+            // cannot overlap. Stage the removal instead.
+            return Err(Error::PreconditionP2(format!(
+                "removing {} nodes from {n_old} breaks quorum overlap (r < {q_old} required); \
+                 stage the removal",
+                remove.len()
+            )));
+        }
+        let members: BTreeSet<NodeId> = current.difference(remove).copied().collect();
+        let quorum = resize_quorum(n_old, q_old, members.len());
+        self.propose_config(now, ConfigChange::Resize { members, quorum });
+        Ok(())
+    }
+
+    /// Explicit `ResizeQuorum` back to the majority (normally automatic).
+    fn admin_resize_quorum(&mut self, now: u64) -> Result<()> {
+        self.check_reconfig_preconditions()?;
+        let members = self.cfg.base().members().clone();
+        let quorum = majority(members.len());
+        if self.cfg.base().quorum_size() == quorum {
+            return Ok(()); // already at the majority
+        }
+        self.propose_config(now, ConfigChange::Resize { members, quorum });
+        Ok(())
+    }
+
+    /// Baseline vanilla Add/RemoveServer: exactly one node of difference
+    /// (precondition P2 of the original RPC).
+    fn admin_simple_change(&mut self, now: u64, members: BTreeSet<NodeId>) -> Result<()> {
+        self.check_reconfig_preconditions()?;
+        if members.is_empty() {
+            return Err(Error::InvalidConfig("empty member set".into()));
+        }
+        let current = self.cfg.base().members();
+        let delta = current.symmetric_difference(&members).count();
+        if delta != 1 {
+            return Err(Error::PreconditionP2(format!(
+                "Add/RemoveServer changes exactly one node, got {delta}"
+            )));
+        }
+        self.propose_config(now, ConfigChange::Simple { members });
+        Ok(())
+    }
+
+    /// Baseline vanilla joint consensus: two automatic steps through
+    /// `C_old,new`.
+    fn admin_joint_change(&mut self, now: u64, members: BTreeSet<NodeId>) -> Result<()> {
+        self.check_reconfig_preconditions()?;
+        if members.is_empty() {
+            return Err(Error::InvalidConfig("empty member set".into()));
+        }
+        let old = self.cfg.base().members().clone();
+        if old == members {
+            return Ok(());
+        }
+        self.propose_config(
+            now,
+            ConfigChange::JointEnter {
+                old,
+                new: members,
+            },
+        );
+        Ok(())
+    }
+}

@@ -1,0 +1,170 @@
+//! Leader election with epoch-prefixed terms and ReCraft's pull hints.
+//!
+//! Elections follow Raft with two ReCraft twists (§III-B):
+//!
+//! * the election quorum is derived from the config stack — under a split it
+//!   is the *joint* quorum (a majority of every subcluster) until `Cnew`
+//!   commits;
+//! * a voter whose **epoch** is newer than the candidate's answers with a
+//!   pull hint instead of a vote (`HandleVote`, Fig. 2 line 51-56), steering
+//!   the missed-out node into pull-based recovery rather than letting its
+//!   large term disturb an up-to-date subcluster.
+
+use super::{Node, Progress, Role};
+use crate::events::NodeEvent;
+use crate::sm::StateMachine;
+use recraft_net::{Message, PullHint};
+use recraft_types::{EpochTerm, LogIndex, NodeId};
+
+impl<SM: StateMachine> Node<SM> {
+    /// Starts an election for the next term of the current epoch.
+    pub(crate) fn campaign(&mut self, now: u64) {
+        if self.role == Role::Removed {
+            return;
+        }
+        if !self.bootstrapped {
+            // A joiner without a real configuration stays quiet until a
+            // leader contacts it.
+            self.reset_election_timer(now);
+            return;
+        }
+        let derived = self.derived_cached();
+        let voters = derived.elect.voters();
+        if !voters.contains(&self.id) {
+            // Not an eligible voter under the effective configuration (e.g.
+            // pending removal): stay quiet.
+            self.reset_election_timer(now);
+            return;
+        }
+        self.advance_eterm(self.hard.eterm.next_term());
+        self.hard.vote(self.id);
+        self.role = Role::Candidate;
+        self.leader_hint = None;
+        self.votes.clear();
+        self.votes.insert(self.id);
+        self.reset_election_timer(now);
+        let (last_index, last_eterm) = (self.log.last_index(), self.log.last_eterm());
+        for peer in voters {
+            if peer != self.id {
+                self.send(
+                    peer,
+                    Message::RequestVote {
+                        cluster: self.cluster,
+                        eterm: self.hard.eterm,
+                        last_index,
+                        last_eterm,
+                    },
+                );
+            }
+        }
+        if derived.elect.satisfied(&self.votes) {
+            self.become_leader(now);
+        }
+    }
+
+    /// Responds to a vote solicitation.
+    pub(crate) fn handle_request_vote(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        eterm: EpochTerm,
+        last_index: LogIndex,
+        last_eterm: EpochTerm,
+    ) {
+        // A candidate from an older epoch missed a split/merge completion:
+        // tell it to pull committed entries instead of voting (Fig. 2,
+        // respondPull).
+        if eterm.epoch() < self.hard.eterm.epoch() {
+            self.send(
+                from,
+                Message::VoteResp {
+                    cluster: self.cluster,
+                    eterm: self.hard.eterm,
+                    granted: false,
+                    pull: Some(PullHint {
+                        commit_index: self.commit_index,
+                        epoch: self.hard.eterm.epoch(),
+                    }),
+                },
+            );
+            return;
+        }
+        if eterm > self.hard.eterm {
+            self.become_follower(now, eterm, None);
+        }
+        let log_ok = (last_eterm, last_index) >= (self.log.last_eterm(), self.log.last_index());
+        let granted = eterm == self.hard.eterm && log_ok && self.hard.can_vote(from);
+        if granted {
+            self.hard.vote(from);
+            self.reset_election_timer(now);
+        }
+        self.send(
+            from,
+            Message::VoteResp {
+                cluster: self.cluster,
+                eterm: self.hard.eterm,
+                granted,
+                pull: None,
+            },
+        );
+    }
+
+    /// Processes a vote response (or a pull hint).
+    pub(crate) fn handle_vote_resp(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        eterm: EpochTerm,
+        granted: bool,
+        pull: Option<PullHint>,
+    ) {
+        if let Some(hint) = pull {
+            if hint.epoch > self.hard.eterm.epoch() {
+                self.start_pull(now, from, hint);
+            }
+            return;
+        }
+        if eterm > self.hard.eterm {
+            self.become_follower(now, eterm, None);
+            return;
+        }
+        if self.role != Role::Candidate || eterm != self.hard.eterm || !granted {
+            return;
+        }
+        self.votes.insert(from);
+        if self.derived_cached().elect.satisfied(&self.votes) {
+            self.become_leader(now);
+        }
+    }
+
+    /// Transitions to leader: initialize peer progress, commit a no-op of the
+    /// new term (precondition P3), and resume any interrupted
+    /// reconfiguration.
+    pub(crate) fn become_leader(&mut self, now: u64) {
+        debug_assert_ne!(self.role, Role::Removed);
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.emit(NodeEvent::BecameLeader {
+            cluster: self.cluster,
+            eterm: self.hard.eterm,
+        });
+        let last = self.log.last_index();
+        self.progress.clear();
+        for peer in self.derived_cached().members.clone() {
+            if peer != self.id {
+                self.progress.insert(
+                    peer,
+                    Progress {
+                        next: last.next(),
+                        matched: LogIndex::ZERO,
+                    },
+                );
+            }
+        }
+        self.heartbeat_due = now + self.timing.heartbeat_interval;
+        // The no-op gives P3 its committed own-term entry; continuations of
+        // interrupted reconfigurations re-arm once it commits (see
+        // resume_reconfig_drivers, called from leader_advance_commit).
+        self.propose_entry(now, recraft_storage::EntryPayload::Noop);
+    }
+}

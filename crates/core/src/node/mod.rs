@@ -1,0 +1,951 @@
+//! The ReCraft node: a sans-io replica state machine.
+//!
+//! A [`Node`] owns its hard state, log, snapshot, state machine, and the
+//! [`ConfigStack`](crate::stack) that tracks in-flight
+//! reconfigurations. It is driven entirely by [`Node::step`] (a message
+//! arrived) and [`Node::tick`] (time passed); outbound messages and trace
+//! events accumulate in an outbox drained with [`Node::take_outputs`].
+//!
+//! The submodules implement the protocol planes:
+//!
+//! * [`election`](self) / replication — vanilla Raft with epoch-prefixed
+//!   terms and segmented commit rules,
+//! * split — §III-B including `NotifyCommit` and completion,
+//! * merge — §III-C including the 2PC driver and snapshot exchange,
+//! * pull — the split/merge recovery path,
+//! * admin — client proposals and reconfiguration commands.
+
+mod admin;
+mod election;
+mod merge;
+mod pull;
+mod replication;
+mod split;
+
+use crate::events::NodeEvent;
+use crate::sm::StateMachine;
+use crate::stack::{ConfigStack, Derived};
+use crate::timing::Timing;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recraft_net::{Envelope, Message};
+use recraft_storage::{EntryPayload, HardState, LogEntry, MemLog, Snapshot};
+use recraft_types::{
+    ClusterConfig, ClusterId, ConfigChange, EpochTerm, Error, LogIndex, MergeOutcome, MergeTx,
+    NodeId, RangeSet, TxId,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The role a node currently plays in its cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica following a leader.
+    Follower,
+    /// Soliciting votes for leadership.
+    Candidate,
+    /// The (unique per epoch-term per cluster) leader.
+    Leader,
+    /// Retired: left out of a split plan or a merge resumption subset. The
+    /// node still answers pull and snapshot-fetch requests so peers can
+    /// recover history through it.
+    Removed,
+}
+
+/// Per-peer replication progress kept by leaders.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Progress {
+    pub(crate) next: LogIndex,
+    pub(crate) matched: LogIndex,
+}
+
+/// Pull-based recovery state (§III-B).
+#[derive(Debug, Clone)]
+pub(crate) struct PullState {
+    /// Candidate source nodes, rotated on retry.
+    pub(crate) targets: Vec<NodeId>,
+    pub(crate) cursor: usize,
+    pub(crate) next_retry: u64,
+}
+
+/// Snapshot-exchange state after a merge outcome commits (§III-C2).
+#[derive(Debug, Clone)]
+pub(crate) struct Exchange {
+    pub(crate) tx: MergeTx,
+    pub(crate) outcome: MergeOutcome,
+    pub(crate) ranges: RangeSet,
+    pub(crate) new_epoch: u32,
+    /// Collected snapshot parts, keyed by source cluster.
+    pub(crate) parts: BTreeMap<ClusterId, Snapshot>,
+    /// Per-peer-cluster rotation cursor for fetch retries.
+    pub(crate) cursors: BTreeMap<ClusterId, usize>,
+    pub(crate) next_retry: u64,
+}
+
+/// Stage of the cluster-level 2PC as seen by the coordinator's leader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum DriverStage {
+    /// Waiting for the local `MergePrepare` entry to commit.
+    LocalPrepare,
+    /// Broadcasting prepares, collecting decisions.
+    AwaitPrepare,
+    /// Broadcasting the outcome, collecting acknowledgements.
+    SpreadOutcome,
+}
+
+/// The merge coordinator driver (leader of the coordinating cluster).
+#[derive(Debug, Clone)]
+pub(crate) struct MergeDriver {
+    pub(crate) tx: MergeTx,
+    pub(crate) stage: DriverStage,
+    /// Collected prepare responses: decision, epoch, ranges.
+    pub(crate) responses: BTreeMap<ClusterId, (bool, u32, RangeSet)>,
+    pub(crate) outcome: Option<MergeOutcome>,
+    pub(crate) acks: BTreeSet<ClusterId>,
+    /// Per-cluster member rotation for retries.
+    pub(crate) cursors: BTreeMap<ClusterId, usize>,
+    pub(crate) next_retry: u64,
+}
+
+/// A record of one completed reconfiguration, kept for long-term recovery
+/// (§V: "ReCraft requires all clusters to maintain the reconfiguration
+/// history even after garbage collecting the log").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigRecord {
+    /// What happened.
+    pub kind: &'static str,
+    /// The cluster before.
+    pub old_cluster: ClusterId,
+    /// The cluster after.
+    pub new_cluster: ClusterId,
+    /// Members before.
+    pub members_before: BTreeSet<NodeId>,
+    /// Members after.
+    pub members_after: BTreeSet<NodeId>,
+    /// The node's epoch-term when the record was made.
+    pub at: EpochTerm,
+    /// The merge transaction involved, if any.
+    pub tx: Option<TxId>,
+}
+
+/// A ReCraft replica.
+///
+/// See the [crate documentation](crate) for a quickstart.
+#[derive(Debug)]
+pub struct Node<SM> {
+    // Identity.
+    pub(crate) id: NodeId,
+    pub(crate) cluster: ClusterId,
+
+    // Persistent state (survives crash/restart).
+    pub(crate) hard: HardState,
+    pub(crate) log: MemLog,
+    pub(crate) snapshot: Snapshot,
+    pub(crate) snap_config: ClusterConfig,
+    pub(crate) cfg: ConfigStack,
+    pub(crate) history: Vec<ReconfigRecord>,
+
+    // The application state machine (rebuilt from the snapshot on restart).
+    pub(crate) sm: SM,
+
+    // Volatile state.
+    pub(crate) role: Role,
+    pub(crate) leader_hint: Option<NodeId>,
+    pub(crate) commit_index: LogIndex,
+    pub(crate) applied_index: LogIndex,
+    pub(crate) committed_in_term: bool,
+    pub(crate) votes: BTreeSet<NodeId>,
+    pub(crate) progress: BTreeMap<NodeId, Progress>,
+    pub(crate) pending_clients: BTreeMap<LogIndex, (NodeId, u64)>,
+    pub(crate) pull: Option<PullState>,
+    pub(crate) exchange: Option<Exchange>,
+    pub(crate) driver: Option<MergeDriver>,
+    /// Pending 2PC replies: once the entry at the index commits, answer the
+    /// requester.
+    pub(crate) pending_2pc: HashMap<TxId, NodeId>,
+    /// Snapshot parts retained for peers still exchanging (also after this
+    /// node resumed or retired).
+    pub(crate) merge_parts: HashMap<TxId, Snapshot>,
+
+    // Timers.
+    pub(crate) timing: Timing,
+    pub(crate) rng: StdRng,
+    pub(crate) election_deadline: u64,
+    pub(crate) heartbeat_due: u64,
+
+    // Cached derived quorum state, keyed by the config stack's version.
+    pub(crate) derived_cache: Option<(u64, std::sync::Arc<Derived>)>,
+
+    /// Whether this node has a real configuration. Joiners (created with
+    /// [`Node::new_joiner`]) boot without one and never campaign until a
+    /// leader contacts them — etcd's `initial-cluster-state=existing`
+    /// semantics, which prevents fresh nodes from electing each other into a
+    /// split brain.
+    pub(crate) bootstrapped: bool,
+
+    // Outbox.
+    pub(crate) outbox: Vec<Envelope>,
+    pub(crate) events: Vec<NodeEvent>,
+}
+
+impl<SM: StateMachine> Node<SM> {
+    /// Boots a node with an initial configuration. Every member of a new
+    /// cluster must boot with the same `config`.
+    #[must_use]
+    pub fn new(id: NodeId, config: ClusterConfig, sm: SM, timing: Timing, seed: u64) -> Self {
+        timing.validate();
+        let snapshot = Snapshot {
+            last_index: LogIndex::ZERO,
+            last_eterm: EpochTerm::ZERO,
+            cluster: config.id(),
+            ranges: config.ranges().clone(),
+            data: sm.snapshot(config.ranges()),
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let election_deadline = Self::random_timeout(&mut rng, &timing, 0);
+        Node {
+            id,
+            cluster: config.id(),
+            hard: HardState::default(),
+            log: MemLog::new(),
+            snapshot,
+            snap_config: config.clone(),
+            cfg: ConfigStack::new(config, LogIndex::ZERO),
+            history: Vec::new(),
+            sm,
+            role: Role::Follower,
+            leader_hint: None,
+            commit_index: LogIndex::ZERO,
+            applied_index: LogIndex::ZERO,
+            committed_in_term: false,
+            votes: BTreeSet::new(),
+            progress: BTreeMap::new(),
+            pending_clients: BTreeMap::new(),
+            pull: None,
+            exchange: None,
+            driver: None,
+            pending_2pc: HashMap::new(),
+            merge_parts: HashMap::new(),
+            timing,
+            rng,
+            election_deadline,
+            heartbeat_due: 0,
+            derived_cache: None,
+            bootstrapped: true,
+            outbox: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Boots a node that will *join* an existing cluster (via
+    /// `AddAndResize`, a vanilla membership change, or a TC rejoin). It
+    /// holds no real configuration, never starts elections, and adopts the
+    /// cluster's identity from the first leader that contacts it.
+    #[must_use]
+    pub fn new_joiner(id: NodeId, sm: SM, timing: Timing, seed: u64) -> Self {
+        let placeholder = ClusterConfig::new(ClusterId(0), [id], RangeSet::empty())
+            .expect("placeholder config");
+        let mut node = Node::new(id, placeholder, sm, timing, seed);
+        node.bootstrapped = false;
+        node
+    }
+
+    // ---- Accessors -------------------------------------------------------
+
+    /// This node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The cluster this node currently belongs to.
+    #[must_use]
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// The node's role.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Whether this node currently leads its cluster.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// The believed leader, if any.
+    #[must_use]
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
+
+    /// The node's current epoch-prefixed term.
+    #[must_use]
+    pub fn current_eterm(&self) -> EpochTerm {
+        self.hard.eterm
+    }
+
+    /// The highest committed log index.
+    #[must_use]
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// The highest applied log index.
+    #[must_use]
+    pub fn applied_index(&self) -> LogIndex {
+        self.applied_index
+    }
+
+    /// The folded base configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        self.cfg.base()
+    }
+
+    /// The effective quorum state right now.
+    #[must_use]
+    pub fn derived(&self) -> Derived {
+        self.cfg.derive(self.id)
+    }
+
+    /// Cached variant of [`Node::derived`], recomputed only when the config
+    /// stack changed (this sits on the per-message hot path).
+    pub(crate) fn derived_cached(&mut self) -> std::sync::Arc<Derived> {
+        let version = self.cfg.version();
+        if let Some((v, d)) = &self.derived_cache {
+            if *v == version {
+                return d.clone();
+            }
+        }
+        let d = std::sync::Arc::new(self.cfg.derive(self.id));
+        self.derived_cache = Some((version, d.clone()));
+        d
+    }
+
+    /// The application state machine.
+    #[must_use]
+    pub fn state_machine(&self) -> &SM {
+        &self.sm
+    }
+
+    /// The replicated log (read-only).
+    #[must_use]
+    pub fn log(&self) -> &MemLog {
+        &self.log
+    }
+
+    /// Completed reconfigurations this node witnessed (§V recovery history).
+    #[must_use]
+    pub fn history(&self) -> &[ReconfigRecord] {
+        &self.history
+    }
+
+    /// Whether the node is blocked in the merge data-exchange phase.
+    #[must_use]
+    pub fn is_exchanging(&self) -> bool {
+        self.exchange.is_some()
+    }
+
+    /// Drains accumulated outbound messages and trace events.
+    pub fn take_outputs(&mut self) -> (Vec<Envelope>, Vec<NodeEvent>) {
+        (
+            std::mem::take(&mut self.outbox),
+            std::mem::take(&mut self.events),
+        )
+    }
+
+    // ---- Lifecycle -------------------------------------------------------
+
+    /// Simulates a crash-restart: volatile state is rebuilt from the
+    /// persistent state (hard state, log, snapshot, folded configuration,
+    /// history), exactly matching Raft's durability contract.
+    pub fn restart(&mut self, now: u64) {
+        self.role = if self.role == Role::Removed {
+            Role::Removed
+        } else {
+            Role::Follower
+        };
+        self.leader_hint = None;
+        self.votes.clear();
+        self.progress.clear();
+        self.pending_clients.clear();
+        self.pull = None;
+        self.exchange = None;
+        self.driver = None;
+        self.pending_2pc.clear();
+        self.committed_in_term = false;
+        self.commit_index = self.log.base_index();
+        self.applied_index = self.log.base_index();
+        // The state machine restarts from the last snapshot; committed
+        // entries above it are re-applied once a leader re-confirms them.
+        self.sm
+            .restore(&self.snapshot.data)
+            .expect("own snapshot must decode");
+        self.sm.retain_ranges(self.cfg.base().ranges());
+        // Rebuild the unfolded config stack from the log.
+        let base_from = self.cfg.base_from();
+        let base = self.cfg.base().clone();
+        self.cfg.reset(base, base_from);
+        let configs: Vec<(LogIndex, ConfigChange)> = self
+            .log
+            .iter()
+            .filter(|e| e.index > base_from)
+            .filter_map(|e| e.as_config().map(|c| (e.index, c.clone())))
+            .collect();
+        for (index, change) in configs {
+            self.cfg.push(index, change);
+        }
+        self.reset_election_timer(now);
+        self.outbox.clear();
+        self.events.clear();
+    }
+
+    // ---- Time ------------------------------------------------------------
+
+    fn random_timeout(rng: &mut StdRng, timing: &Timing, now: u64) -> u64 {
+        now + rng.gen_range(timing.election_timeout_min..=timing.election_timeout_max)
+    }
+
+    pub(crate) fn reset_election_timer(&mut self, now: u64) {
+        self.election_deadline = Self::random_timeout(&mut self.rng, &self.timing, now);
+    }
+
+    /// Advances the node's timers to `now`.
+    pub fn tick(&mut self, now: u64) {
+        match self.role {
+            Role::Removed => {}
+            Role::Leader => {
+                if now >= self.heartbeat_due {
+                    self.heartbeat_due = now + self.timing.heartbeat_interval;
+                    self.broadcast_append(now);
+                }
+                self.driver_tick(now);
+            }
+            Role::Follower | Role::Candidate => {
+                if now >= self.election_deadline {
+                    self.campaign(now);
+                }
+                self.pull_tick(now);
+            }
+        }
+        self.exchange_tick(now);
+    }
+
+    /// Feeds one inbound message to the node.
+    pub fn step(&mut self, now: u64, from: NodeId, msg: Message) {
+        // Retired nodes keep serving history (pull/fetch) but nothing else.
+        if self.role == Role::Removed
+            && !matches!(
+                msg,
+                Message::PullReq { .. } | Message::FetchSnapshotReq { .. }
+            )
+        {
+            return;
+        }
+        match msg {
+            Message::AppendEntries {
+                cluster,
+                eterm,
+                prev_index,
+                prev_eterm,
+                entries,
+                leader_commit,
+            } => self.handle_append(
+                now,
+                from,
+                cluster,
+                eterm,
+                prev_index,
+                prev_eterm,
+                entries,
+                leader_commit,
+            ),
+            Message::AppendResp {
+                eterm,
+                success,
+                match_index,
+                conflict,
+                ..
+            } => self.handle_append_resp(now, from, eterm, success, match_index, conflict),
+            Message::RequestVote {
+                eterm,
+                last_index,
+                last_eterm,
+                ..
+            } => self.handle_request_vote(now, from, eterm, last_index, last_eterm),
+            Message::VoteResp {
+                eterm,
+                granted,
+                pull,
+                ..
+            } => self.handle_vote_resp(now, from, eterm, granted, pull),
+            Message::NotifyCommit {
+                cnew_index,
+                cnew_eterm,
+                ..
+            } => self.handle_notify_commit(now, from, cnew_index, cnew_eterm),
+            Message::PullReq { commit_index } => self.handle_pull_req(from, commit_index),
+            Message::PullResp {
+                epoch,
+                entries,
+                commit_index,
+                snapshot,
+                snapshot_config,
+            } => self.handle_pull_resp(
+                now,
+                from,
+                epoch,
+                entries,
+                commit_index,
+                snapshot,
+                snapshot_config,
+            ),
+            Message::InstallSnapshot {
+                eterm,
+                snapshot,
+                config,
+                ..
+            } => self.handle_install_snapshot(now, from, eterm, *snapshot, config),
+            Message::InstallSnapshotResp { eterm, last_index } => {
+                self.handle_install_snapshot_resp(now, from, eterm, last_index);
+            }
+            Message::MergePrepareReq { tx } => self.handle_merge_prepare_req(now, from, tx),
+            Message::MergePrepareResp {
+                tx_id,
+                cluster,
+                decision,
+                epoch,
+                ranges,
+            } => self.handle_merge_prepare_resp(now, from, tx_id, cluster, decision, epoch, ranges),
+            Message::MergeCommitReq { outcome } => {
+                self.handle_merge_commit_req(now, from, outcome);
+            }
+            Message::MergeCommitResp { tx_id, cluster } => {
+                self.handle_merge_commit_resp(now, tx_id, cluster);
+            }
+            Message::MergeRedirect { tx_id, leader } => {
+                self.handle_merge_redirect(now, tx_id, leader);
+            }
+            Message::FetchSnapshotReq { tx_id } => self.handle_fetch_snapshot_req(from, tx_id),
+            Message::FetchSnapshotResp { tx_id, part } => {
+                self.handle_fetch_snapshot_resp(now, tx_id, part.map(|b| *b));
+            }
+            Message::ClientReq { req_id, key, cmd } => {
+                self.handle_client_req(now, from, req_id, key, cmd);
+            }
+            Message::AdminReq { req_id, cmd } => self.handle_admin_req(now, from, req_id, cmd),
+            // Responses addressed to clients/admins are not consumed by
+            // nodes.
+            Message::ClientResp { .. } | Message::AdminResp { .. } => {}
+        }
+    }
+
+    // ---- Outbox helpers --------------------------------------------------
+
+    pub(crate) fn send(&mut self, to: NodeId, msg: Message) {
+        self.outbox.push(Envelope::new(self.id, to, msg));
+    }
+
+    pub(crate) fn emit(&mut self, event: NodeEvent) {
+        self.events.push(event);
+    }
+
+    // ---- Shared state transitions ----------------------------------------
+
+    /// Advances the hard epoch-term if `eterm` is newer, resetting the
+    /// per-term bookkeeping.
+    pub(crate) fn advance_eterm(&mut self, eterm: EpochTerm) {
+        if eterm > self.hard.eterm {
+            self.hard.advance(eterm);
+            self.committed_in_term = false;
+        }
+    }
+
+    /// Converts to follower at `eterm` (stepping down if leading).
+    pub(crate) fn become_follower(&mut self, now: u64, eterm: EpochTerm, hint: Option<NodeId>) {
+        self.advance_eterm(eterm);
+        if self.role == Role::Leader {
+            self.emit(NodeEvent::SteppedDown {
+                cluster: self.cluster,
+            });
+            // Pending proposals will be resolved by the new leader; tell the
+            // clients to retry there.
+            let pending: Vec<(LogIndex, (NodeId, u64))> =
+                std::mem::take(&mut self.pending_clients).into_iter().collect();
+            for (_, (client, req_id)) in pending {
+                self.send(
+                    client,
+                    Message::ClientResp {
+                        req_id,
+                        result: Err(Error::NotLeader(hint)),
+                    },
+                );
+            }
+            self.driver = None;
+        }
+        if self.role != Role::Removed {
+            self.role = Role::Follower;
+        }
+        self.votes.clear();
+        if hint.is_some() {
+            self.leader_hint = hint;
+        }
+        self.reset_election_timer(now);
+    }
+
+    /// Appends an entry to the log, keeping the config stack in sync.
+    pub(crate) fn log_append(&mut self, entry: LogEntry) {
+        if let Some(change) = entry.as_config() {
+            self.cfg.push(entry.index, change.clone());
+            self.emit(NodeEvent::ConfigAppended {
+                kind: change.kind(),
+                index: entry.index,
+            });
+        }
+        self.log.append(entry);
+    }
+
+    /// Truncates the log from `index`, rolling back config entries and
+    /// failing any client proposals that lived there.
+    pub(crate) fn log_truncate(&mut self, index: LogIndex) {
+        assert!(
+            index > self.commit_index,
+            "attempted to truncate committed entries at {index} (commit {})",
+            self.commit_index
+        );
+        self.log
+            .truncate_from(index)
+            .expect("truncation point above base");
+        self.cfg.truncate_from(index);
+        let dropped: Vec<(LogIndex, (NodeId, u64))> =
+            self.pending_clients.split_off(&index).into_iter().collect();
+        for (_, (client, req_id)) in dropped {
+            self.send(
+                client,
+                Message::ClientResp {
+                    req_id,
+                    result: Err(Error::ProposalDropped),
+                },
+            );
+        }
+    }
+
+    /// Raises the commit index (monotonic) and applies what became
+    /// committed.
+    pub(crate) fn set_commit(&mut self, now: u64, index: LogIndex) {
+        let mut index = index.min(self.log.last_index());
+        // A pending merge outcome caps the commit: entries after it (e.g. a
+        // fresh leader's no-op) are discarded by the exchange ("log entries
+        // that come after the Cnew entry are discarded", §III-C2), so they
+        // must never commit.
+        if let Some(cap) = self.derived_cached().merge_outcome_index {
+            index = index.min(cap);
+        }
+        if index <= self.commit_index {
+            return;
+        }
+        self.commit_index = index;
+        if !self.committed_in_term {
+            // Precondition P3 bookkeeping: did an entry of our own epoch-term
+            // just commit?
+            let mut i = self.applied_index.next();
+            while i <= self.commit_index {
+                if self.log.eterm_at(i) == Some(self.hard.eterm) {
+                    self.committed_in_term = true;
+                    break;
+                }
+                i = i.next();
+            }
+        }
+        self.advance_apply(now);
+    }
+
+    /// Applies committed entries in order, processing configuration commits
+    /// (folds, split completion, merge phases).
+    pub(crate) fn advance_apply(&mut self, now: u64) {
+        while self.applied_index < self.commit_index {
+            let index = self.applied_index.next();
+            let entry = self
+                .log
+                .entry(index)
+                .expect("committed entry missing from log")
+                .clone();
+            self.applied_index = index;
+            match &entry.payload {
+                EntryPayload::Noop => {}
+                EntryPayload::Command(cmd) => {
+                    let resp = self.sm.apply(index, cmd);
+                    let digest = crate::events::fingerprint(cmd);
+                    self.emit(NodeEvent::AppliedCommand {
+                        cluster: self.cluster,
+                        index,
+                        digest,
+                    });
+                    if let Some((client, req_id)) = self.pending_clients.remove(&index) {
+                        self.send(
+                            client,
+                            Message::ClientResp {
+                                req_id,
+                                result: Ok(resp),
+                            },
+                        );
+                    }
+                }
+                EntryPayload::Config(change) => {
+                    if index > self.cfg.base_from() {
+                        let reset = self.on_config_committed(now, index, &entry, &change.clone());
+                        if reset {
+                            // The log was renumbered (merge resumption) or
+                            // the node retired; stop this apply pass.
+                            return;
+                        }
+                    }
+                }
+            }
+            if index == self.cfg.base_from() {
+                // Crossing a fold point during replay after restart: re-prune
+                // state outside the folded configuration's ranges.
+                let ranges = self.cfg.base().ranges().clone();
+                self.sm.retain_ranges(&ranges);
+            }
+        }
+        self.maybe_compact();
+    }
+
+    /// Handles a configuration entry whose commit just became known. Returns
+    /// `true` when the node's log was reset (further applying must stop).
+    fn on_config_committed(
+        &mut self,
+        now: u64,
+        index: LogIndex,
+        entry: &LogEntry,
+        change: &ConfigChange,
+    ) -> bool {
+        match change {
+            ConfigChange::Simple { members } => {
+                self.fold_membership(now, index, "simple", members, None);
+                false
+            }
+            ConfigChange::Resize { members, quorum } => {
+                self.fold_membership(now, index, "resize", members, Some(*quorum));
+                // Auto-issue the ResizeQuorum step when the intermediate
+                // quorum is above the majority (§IV-A).
+                if self.role == Role::Leader && self.committed_in_term {
+                    let n = members.len();
+                    let maj = recraft_types::config::majority(n);
+                    if *quorum != maj {
+                        self.propose_config(
+                            now,
+                            ConfigChange::Resize {
+                                members: members.clone(),
+                                quorum: maj,
+                            },
+                        );
+                    }
+                }
+                false
+            }
+            ConfigChange::JointEnter { new, .. } => {
+                if self.role == Role::Leader && self.committed_in_term {
+                    self.propose_config(now, ConfigChange::JointLeave { new: new.clone() });
+                }
+                false
+            }
+            ConfigChange::JointLeave { new } => {
+                self.fold_membership(now, index, "joint", new, None);
+                false
+            }
+            ConfigChange::SplitJoint(spec) => {
+                self.emit(NodeEvent::SplitJointCommitted { index });
+                if self.role == Role::Leader && self.committed_in_term {
+                    self.propose_config(now, ConfigChange::SplitNew(spec.clone()));
+                }
+                false
+            }
+            ConfigChange::SplitNew(spec) => self.complete_split(now, index, entry, spec),
+            ConfigChange::MergePrepare { tx, decision } => {
+                self.on_merge_prepare_committed(now, tx, *decision);
+                false
+            }
+            ConfigChange::MergeCommit(outcome) => {
+                self.on_merge_outcome_committed(now, index, entry, &outcome.clone())
+            }
+            ConfigChange::SetRanges(ranges) => {
+                let members = self.cfg.base().members().clone();
+                let base = ClusterConfig::new(self.cluster, members, ranges.clone())
+                    .expect("member set unchanged");
+                self.cfg.fold(base, index);
+                self.sm.retain_ranges(ranges);
+                self.emit(NodeEvent::RangesChanged {
+                    index,
+                    ranges: ranges.clone(),
+                });
+                false
+            }
+        }
+    }
+
+    /// Folds a committed single-cluster membership change into the base
+    /// configuration.
+    fn fold_membership(
+        &mut self,
+        now: u64,
+        index: LogIndex,
+        kind: &'static str,
+        members: &BTreeSet<NodeId>,
+        quorum: Option<usize>,
+    ) {
+        let ranges = self.cfg.base().ranges().clone();
+        let base = match quorum {
+            Some(q) => ClusterConfig::with_quorum(self.cluster, members.clone(), ranges, q),
+            None => ClusterConfig::new(self.cluster, members.clone(), ranges),
+        }
+        .expect("validated at proposal time");
+        let members_before = self.cfg.base().members().clone();
+        let quorum_size = base.quorum_size();
+        self.cfg.fold(base, index);
+        self.history.push(ReconfigRecord {
+            kind,
+            old_cluster: self.cluster,
+            new_cluster: self.cluster,
+            members_before,
+            members_after: members.clone(),
+            at: self.hard.eterm,
+            tx: None,
+        });
+        self.emit(NodeEvent::MembershipCommitted {
+            kind,
+            members: members.clone(),
+            quorum: quorum_size,
+            index,
+        });
+        if !members.contains(&self.id) {
+            // Removed from the cluster: retire once the removal commits.
+            self.role = Role::Removed;
+            self.emit(NodeEvent::Removed {
+                cluster: self.cluster,
+            });
+            return;
+        }
+        if self.role == Role::Leader {
+            // Best-effort: tell peers leaving the configuration about the
+            // commit that removes them so they can retire instead of
+            // campaigning forever.
+            let leaving: Vec<NodeId> = self
+                .progress
+                .keys()
+                .copied()
+                .filter(|n| !members.contains(n))
+                .collect();
+            for peer in leaving {
+                self.send_append(now, peer);
+            }
+            // broadcast_append resyncs the progress map to the new members.
+            self.broadcast_append(now);
+        }
+    }
+
+    /// Re-arms reconfiguration continuations after winning an election or
+    /// satisfying P3: a committed `Cjoint` without `Cnew`, a committed
+    /// `JointEnter` without `JointLeave`, an intermediate fixed quorum
+    /// without its `ResizeQuorum`, or an unresolved merge transaction this
+    /// cluster coordinates.
+    pub(crate) fn resume_reconfig_drivers(&mut self, now: u64) {
+        if self.role != Role::Leader || !self.committed_in_term {
+            return;
+        }
+        let derived = self.derived_cached();
+        // Split: joint committed, leave not yet proposed.
+        if let Some(crate::stack::SplitPhase::Joint { spec, joint_index }) = &derived.split {
+            if *joint_index <= self.commit_index {
+                self.propose_config(now, ConfigChange::SplitNew(spec.clone()));
+                return;
+            }
+        }
+        // Vanilla JC: enter committed, leave missing.
+        let mut propose: Option<ConfigChange> = None;
+        for (index, change) in self.cfg.entries() {
+            if *index > self.commit_index {
+                continue;
+            }
+            if let ConfigChange::JointEnter { new, .. } = change {
+                propose = Some(ConfigChange::JointLeave { new: new.clone() });
+            }
+            if let ConfigChange::JointLeave { .. } = change {
+                propose = None;
+            }
+        }
+        if let Some(change) = propose {
+            self.propose_config(now, change);
+            return;
+        }
+        // ReCraft resize: base left at a fixed quorum.
+        if self.cfg.is_quiescent() {
+            let base = self.cfg.base();
+            if let recraft_types::QuorumRule::Fixed(_) = base.quorum_rule() {
+                let members = base.members().clone();
+                let maj = recraft_types::config::majority(members.len());
+                self.propose_config(now, ConfigChange::Resize { members, quorum: maj });
+                return;
+            }
+        }
+        // Merge: this cluster coordinates an unresolved transaction.
+        self.rebuild_merge_driver(now);
+    }
+
+    /// Takes a snapshot and compacts the log when it grows beyond the
+    /// threshold and no multi-cluster reconfiguration is in flight.
+    pub(crate) fn maybe_compact(&mut self) {
+        if self.log.len() <= self.timing.compaction_threshold {
+            return;
+        }
+        if !self.cfg.is_quiescent() || self.exchange.is_some() {
+            // Never compact away in-flight reconfiguration entries; pull
+            // recovery and 2PC failover need them.
+            return;
+        }
+        let to = self.applied_index;
+        if to <= self.log.base_index() {
+            return;
+        }
+        let eterm = self.log.eterm_at(to).expect("applied entry present");
+        let ranges = self.cfg.base().ranges().clone();
+        self.snapshot = Snapshot {
+            last_index: to,
+            last_eterm: eterm,
+            cluster: self.cluster,
+            ranges: ranges.clone(),
+            data: self.sm.snapshot(&ranges),
+        };
+        self.snap_config = self.cfg.base().clone();
+        self.log.compact_to(to, eterm).expect("compaction bounds");
+    }
+
+    /// Appends a proposal to the leader's log and replicates it.
+    pub(crate) fn propose_entry(&mut self, now: u64, payload: EntryPayload) -> LogIndex {
+        debug_assert_eq!(self.role, Role::Leader);
+        let index = self.log.last_index().next();
+        self.log_append(LogEntry {
+            index,
+            eterm: self.hard.eterm,
+            payload,
+        });
+        self.heartbeat_due = now + self.timing.heartbeat_interval;
+        self.broadcast_append(now);
+        // A single-node cluster commits immediately.
+        self.leader_advance_commit(now);
+        index
+    }
+
+    /// Appends a configuration change (leader only, preconditions already
+    /// checked by the caller).
+    pub(crate) fn propose_config(&mut self, now: u64, change: ConfigChange) -> LogIndex {
+        self.propose_entry(now, EntryPayload::Config(change))
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,158 @@
+//! Pull-based recovery (§III-B).
+//!
+//! A node (or an entire subcluster) that missed a split completion cannot
+//! elect a leader under `Cjoint` — peers that moved on have higher epochs and
+//! answer vote requests with pull hints instead of votes. The missed-out node
+//! then *pulls committed entries* from the hinting peer. Because only
+//! committed entries travel, safety is preserved even when the source is
+//! itself outdated ("The puller can contact different nodes for the latest
+//! data or wait for the outdated node to be updated").
+
+use super::{Node, PullState, Role};
+use crate::events::NodeEvent;
+use crate::sm::StateMachine;
+use recraft_net::{Message, PullHint};
+use recraft_storage::{LogEntry, Snapshot};
+use recraft_types::{ClusterConfig, LogIndex, NodeId};
+
+impl<SM: StateMachine> Node<SM> {
+    /// Begins (or refocuses) pull-based recovery toward `hint_node`.
+    pub(crate) fn start_pull(&mut self, now: u64, hint_node: NodeId, hint: PullHint) {
+        let _ = hint;
+        let mut targets = vec![hint_node];
+        for peer in self.derived_cached().members.clone() {
+            if peer != self.id && peer != hint_node {
+                targets.push(peer);
+            }
+        }
+        self.pull = Some(PullState {
+            targets,
+            cursor: 0,
+            next_retry: now + self.timing.pull_retry,
+        });
+        self.send(
+            hint_node,
+            Message::PullReq {
+                commit_index: self.commit_index,
+            },
+        );
+    }
+
+    /// Retries the pull against the next candidate source.
+    pub(crate) fn pull_tick(&mut self, now: u64) {
+        let Some(pull) = &mut self.pull else {
+            return;
+        };
+        if now < pull.next_retry {
+            return;
+        }
+        pull.cursor = (pull.cursor + 1) % pull.targets.len();
+        pull.next_retry = now + self.timing.pull_retry;
+        let target = pull.targets[pull.cursor];
+        let commit_index = self.commit_index;
+        self.send(target, Message::PullReq { commit_index });
+    }
+
+    /// Serves a pull request: committed entries after the puller's commit
+    /// index, or our snapshot when the log no longer retains that far back.
+    pub(crate) fn handle_pull_req(&mut self, from: NodeId, their_commit: LogIndex) {
+        let removed = self.history.iter().any(|r| {
+            r.members_before.contains(&from) && !r.members_after.contains(&from)
+        });
+        let mut entries: Vec<LogEntry> = Vec::new();
+        let mut snapshot: Option<Box<Snapshot>> = None;
+        let mut snapshot_config: Option<ClusterConfig> = None;
+        if removed {
+            // §V: the reconfiguration history tells the puller it is no
+            // longer a member anywhere.
+        } else if their_commit >= self.log.base_index() {
+            // Serve committed entries only (uncommitted ones may be
+            // overwritten and must never travel through pulls).
+            entries = self.log.slice(their_commit.next(), self.commit_index);
+        } else if self.snap_config.contains(from) {
+            // The puller is behind our compaction point but belongs to our
+            // configuration: a snapshot restores it.
+            snapshot = Some(Box::new(self.snapshot.clone()));
+            snapshot_config = Some(self.snap_config.clone());
+            entries = self.log.slice(self.log.first_index(), self.commit_index);
+        }
+        self.send(
+            from,
+            Message::PullResp {
+                epoch: self.hard.eterm.epoch(),
+                entries,
+                commit_index: if removed { LogIndex::ZERO } else { self.commit_index },
+                snapshot,
+                snapshot_config,
+            },
+        );
+    }
+
+    /// Integrates pulled committed entries (and possibly a snapshot).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_pull_resp(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        epoch: u32,
+        entries: Vec<LogEntry>,
+        commit_index: LogIndex,
+        snapshot: Option<Box<Snapshot>>,
+        snapshot_config: Option<ClusterConfig>,
+    ) {
+        if self.role == Role::Leader || self.role == Role::Removed {
+            return;
+        }
+        if let (Some(snap), Some(config)) = (snapshot, snapshot_config) {
+            if snap.last_index > self.commit_index && config.contains(self.id) {
+                self.install_snapshot_state(*snap, config);
+                self.emit(NodeEvent::SnapshotInstalled {
+                    from,
+                    index: self.log.base_index(),
+                });
+            }
+        }
+        let mut count = 0usize;
+        for entry in entries {
+            if entry.index <= self.log.base_index() {
+                continue;
+            }
+            match self.log.eterm_at(entry.index) {
+                Some(t) if t == entry.eterm => {}
+                Some(_) => {
+                    // The received entry is committed; ours conflicts and is
+                    // therefore uncommitted. Replace it.
+                    assert!(
+                        entry.index > self.commit_index,
+                        "pulled entry conflicts below commit index"
+                    );
+                    self.log_truncate(entry.index);
+                    self.log_append(entry);
+                    count += 1;
+                }
+                None => {
+                    if entry.index == self.log.last_index().next() {
+                        self.log_append(entry);
+                        count += 1;
+                    } else {
+                        break; // gap: responder was itself behind, retry later
+                    }
+                }
+            }
+        }
+        if count > 0 {
+            self.emit(NodeEvent::PulledEntries { from, count });
+        }
+        // Everything the responder reported committed and we now hold is
+        // committed for us too.
+        let reachable = commit_index.min(self.log.last_index());
+        self.set_commit(now, reachable);
+        // If applying brought us into the new epoch (split completed, merge
+        // resumed), recovery is done.
+        if self.hard.eterm.epoch() >= epoch {
+            self.pull = None;
+        } else if let Some(pull) = &mut self.pull {
+            pull.next_retry = now.min(pull.next_retry);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Log replication with segmented commit rules.
+//!
+//! Replication is Raft's, with three ReCraft refinements:
+//!
+//! * the quorum that commits index `i` depends on `i`'s position relative to
+//!   the configuration entries in the log ([`Derived::commit_rule`]);
+//! * during a split's leave phase, peers in *other* subclusters never
+//!   receive entries past `Cnew` (the replication cap);
+//! * the `Cnew` and merge-outcome entries may be committed by direct
+//!   acknowledgement counting even when created in an earlier term — their
+//!   content is fixed by the reconfiguration in progress, and the paper's
+//!   re-execution semantics ("FAILURE ... requires a re-execution, e.g. a
+//!   leader committing log entries from past terms") depends on it.
+//!
+//! [`Derived::commit_rule`]: crate::stack::Derived::commit_rule
+
+use super::{Node, Role};
+use crate::events::NodeEvent;
+use crate::sm::StateMachine;
+use recraft_net::Message;
+use recraft_storage::{EntryPayload, LogEntry, Snapshot};
+use recraft_types::{ClusterConfig, ConfigChange, EpochTerm, LogIndex, NodeId};
+use std::collections::BTreeSet;
+
+impl<SM: StateMachine> Node<SM> {
+    /// Aligns the progress map with the effective member set: wait-free
+    /// configuration entries add replication targets the moment they are
+    /// appended.
+    pub(crate) fn sync_progress(&mut self) {
+        let members = self.derived_cached().members.clone();
+        let last = self.log.last_index();
+        self.progress.retain(|peer, _| members.contains(peer));
+        for peer in members {
+            if peer != self.id {
+                self.progress.entry(peer).or_insert(super::Progress {
+                    next: last.next(),
+                    matched: LogIndex::ZERO,
+                });
+            }
+        }
+    }
+
+    /// Sends AppendEntries (or a snapshot) to every peer.
+    pub(crate) fn broadcast_append(&mut self, now: u64) {
+        self.sync_progress();
+        let peers: Vec<NodeId> = self.progress.keys().copied().collect();
+        for peer in peers {
+            self.send_append(now, peer);
+        }
+    }
+
+    /// Sends the next batch (or a heartbeat, or a snapshot) to one peer.
+    pub(crate) fn send_append(&mut self, _now: u64, peer: NodeId) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let Some(pr) = self.progress.get(&peer).copied() else {
+            return;
+        };
+        if pr.next <= self.log.base_index() {
+            // The peer needs entries we compacted away (or it comes from a
+            // different log lineage, e.g. a merge straggler): install our
+            // snapshot together with the configuration at that point.
+            self.send(
+                peer,
+                Message::InstallSnapshot {
+                    cluster: self.cluster,
+                    eterm: self.hard.eterm,
+                    snapshot: Box::new(self.snapshot.clone()),
+                    config: self.snap_config.clone(),
+                },
+            );
+            return;
+        }
+        let derived = self.derived_cached();
+        let cap = derived.replication_cap(self.id, peer);
+        let mut last = self.log.last_index();
+        if let Some(cap) = cap {
+            last = last.min(cap);
+        }
+        let prev_index = pr.next.prev();
+        let prev_eterm = self
+            .log
+            .eterm_at(prev_index)
+            .expect("prev entry within retained log");
+        let to = last.min(LogIndex(pr.next.0 + self.timing.max_batch as u64 - 1));
+        let entries = self.log.slice(pr.next, to);
+        // Pipeline: optimistically advance `next` past what we just sent so
+        // back-to-back proposals do not re-send the same suffix. A lost
+        // message self-heals through the consistency check (the follower's
+        // conflict hint rolls `next` back).
+        if let Some(last_sent) = entries.last().map(|e| e.index) {
+            if let Some(pr) = self.progress.get_mut(&peer) {
+                pr.next = last_sent.next();
+            }
+        }
+        self.send(
+            peer,
+            Message::AppendEntries {
+                cluster: self.cluster,
+                eterm: self.hard.eterm,
+                prev_index,
+                prev_eterm,
+                entries,
+                leader_commit: self.commit_index,
+            },
+        );
+    }
+
+    /// Follower-side AppendEntries.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_append(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        cluster: recraft_types::ClusterId,
+        eterm: EpochTerm,
+        prev_index: LogIndex,
+        prev_eterm: EpochTerm,
+        entries: Vec<LogEntry>,
+        leader_commit: LogIndex,
+    ) {
+        if !self.bootstrapped {
+            // A joiner adopts the identity of the first cluster whose leader
+            // contacts it.
+            self.cluster = cluster;
+            self.bootstrapped = true;
+        }
+        if eterm < self.hard.eterm {
+            self.send(
+                from,
+                Message::AppendResp {
+                    cluster: self.cluster,
+                    eterm: self.hard.eterm,
+                    success: false,
+                    match_index: LogIndex::ZERO,
+                    conflict: None,
+                },
+            );
+            return;
+        }
+        self.become_follower(now, eterm, Some(from));
+        if !self.log.matches(prev_index, prev_eterm) {
+            // Consistency check failed: hint where to back up. A mismatch at
+            // or below our base means we are on a different log lineage (or
+            // hopelessly behind): ask for a snapshot via conflict = 0.
+            let conflict = if prev_index <= self.log.base_index() {
+                LogIndex::ZERO
+            } else {
+                prev_index.min(self.log.last_index().next())
+            };
+            self.send(
+                from,
+                Message::AppendResp {
+                    cluster: self.cluster,
+                    eterm: self.hard.eterm,
+                    success: false,
+                    match_index: LogIndex::ZERO,
+                    conflict: Some(conflict),
+                },
+            );
+            return;
+        }
+        let mut match_index = prev_index;
+        for entry in entries {
+            match_index = entry.index;
+            if entry.index <= self.log.base_index() {
+                continue; // already folded into our snapshot
+            }
+            match self.log.eterm_at(entry.index) {
+                Some(t) if t == entry.eterm => {} // already have it
+                Some(_) => {
+                    // Conflicting uncommitted suffix: replace it.
+                    self.log_truncate(entry.index);
+                    self.log_append(entry);
+                }
+                None => {
+                    debug_assert_eq!(entry.index, self.log.last_index().next());
+                    self.log_append(entry);
+                }
+            }
+        }
+        self.send(
+            from,
+            Message::AppendResp {
+                cluster: self.cluster,
+                eterm: self.hard.eterm,
+                success: true,
+                match_index,
+                conflict: None,
+            },
+        );
+        self.set_commit(now, leader_commit.min(match_index.max(self.commit_index)));
+    }
+
+    /// Leader-side AppendEntries response.
+    pub(crate) fn handle_append_resp(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        eterm: EpochTerm,
+        success: bool,
+        match_index: LogIndex,
+        conflict: Option<LogIndex>,
+    ) {
+        if eterm > self.hard.eterm {
+            self.become_follower(now, eterm, None);
+            return;
+        }
+        if self.role != Role::Leader || eterm < self.hard.eterm {
+            return;
+        }
+        let Some(pr) = self.progress.get_mut(&from) else {
+            return;
+        };
+        if success {
+            if match_index > pr.matched {
+                pr.matched = match_index;
+            }
+            // Never roll back below pipelined in-flight sends.
+            pr.next = pr.next.max(pr.matched.next());
+            let next = pr.next;
+            // Continue streaming only while there is something this peer may
+            // actually receive (the split replication cap bounds cross-
+            // subcluster peers at the Cnew entry — without honouring it here
+            // the leader and the peer ping-pong empty appends forever).
+            let derived = self.derived_cached();
+            let mut last = self.log.last_index();
+            if let Some(cap) = derived.replication_cap(self.id, from) {
+                last = last.min(cap);
+            }
+            let more = next <= last;
+            self.leader_advance_commit(now);
+            if more {
+                self.send_append(now, from);
+            }
+        } else {
+            let hint = conflict.unwrap_or(pr.next.saturating_prev());
+            pr.next = hint.min(pr.next.saturating_prev()).max(LogIndex::ZERO);
+            self.send_append(now, from);
+        }
+    }
+
+    /// Advances the leader's commit index under the segmented quorum rules.
+    pub(crate) fn leader_advance_commit(&mut self, now: u64) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let derived = self.derived_cached();
+        let last = self.log.last_index();
+        let mut candidate = last;
+        let mut new_commit = None;
+        while candidate > self.commit_index {
+            let mut acks: BTreeSet<NodeId> = BTreeSet::new();
+            acks.insert(self.id);
+            for (peer, pr) in &self.progress {
+                if pr.matched >= candidate {
+                    acks.insert(*peer);
+                }
+            }
+            if derived.commit_rule(candidate).satisfied(&acks) {
+                let entry = self.log.entry(candidate).expect("entry in range");
+                // Raft's own-term restriction, relaxed for the two
+                // reconfiguration entries whose content is fixed by the
+                // protocol (see module docs).
+                let direct_ok = entry.eterm == self.hard.eterm
+                    || matches!(
+                        entry.payload,
+                        EntryPayload::Config(ConfigChange::SplitNew(_))
+                            | EntryPayload::Config(ConfigChange::MergeCommit(_))
+                    );
+                if direct_ok {
+                    new_commit = Some(candidate);
+                    break;
+                }
+            }
+            candidate = candidate.prev();
+        }
+        if let Some(idx) = new_commit {
+            let had_p3 = self.committed_in_term;
+            self.set_commit(now, idx);
+            if !had_p3 && self.committed_in_term {
+                // P3 just became true: continuations deferred on it can run.
+                self.resume_reconfig_drivers(now);
+            }
+        }
+    }
+
+    /// Installs a leader-provided snapshot, adopting its configuration (this
+    /// is also how merge stragglers from other subclusters are restored,
+    /// §III-C2).
+    pub(crate) fn handle_install_snapshot(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        eterm: EpochTerm,
+        snapshot: Snapshot,
+        config: ClusterConfig,
+    ) {
+        if eterm < self.hard.eterm {
+            self.send(
+                from,
+                Message::InstallSnapshotResp {
+                    eterm: self.hard.eterm,
+                    last_index: self.log.last_index(),
+                },
+            );
+            return;
+        }
+        self.become_follower(now, eterm, Some(from));
+        if snapshot.last_index <= self.commit_index && snapshot.cluster == self.cluster {
+            // Nothing newer here.
+            self.send(
+                from,
+                Message::InstallSnapshotResp {
+                    eterm: self.hard.eterm,
+                    last_index: self.log.last_index(),
+                },
+            );
+            return;
+        }
+        self.install_snapshot_state(snapshot, config);
+        self.emit(NodeEvent::SnapshotInstalled {
+            from,
+            index: self.log.base_index(),
+        });
+        self.send(
+            from,
+            Message::InstallSnapshotResp {
+                eterm: self.hard.eterm,
+                last_index: self.log.last_index(),
+            },
+        );
+    }
+
+    /// Replaces log, state machine, and configuration with a snapshot.
+    pub(crate) fn install_snapshot_state(&mut self, snapshot: Snapshot, config: ClusterConfig) {
+        self.bootstrapped = true;
+        self.sm
+            .restore(&snapshot.data)
+            .expect("leader snapshot must decode");
+        self.log.reset(snapshot.last_index, snapshot.last_eterm);
+        self.commit_index = snapshot.last_index;
+        self.applied_index = snapshot.last_index;
+        self.cluster = config.id();
+        self.cfg.reset(config.clone(), snapshot.last_index);
+        self.pending_clients.clear();
+        // A pending exchange is superseded: the snapshot describes the world
+        // after the reconfiguration.
+        self.exchange = None;
+        self.pull = None;
+        self.snapshot = snapshot;
+        self.snap_config = config;
+    }
+
+    /// Leader-side snapshot acknowledgement.
+    pub(crate) fn handle_install_snapshot_resp(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        eterm: EpochTerm,
+        last_index: LogIndex,
+    ) {
+        if eterm > self.hard.eterm {
+            self.become_follower(now, eterm, None);
+            return;
+        }
+        if self.role != Role::Leader {
+            return;
+        }
+        if let Some(pr) = self.progress.get_mut(&from) {
+            if last_index > pr.matched {
+                pr.matched = last_index;
+            }
+            pr.next = pr.matched.next();
+            let more = pr.next <= self.log.last_index();
+            self.leader_advance_commit(now);
+            if more {
+                self.send_append(now, from);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Quorum specifications (Definition 5 of the paper).
+//!
+//! ReCraft decisions are taken under one of three consensuses: *normal* (a
+//! majority of one cluster), *joint* (a majority of **each** of a set of
+//! subclusters — used by the split's election rule and by vanilla joint
+//! consensus), and *constituent* (a majority of **one** of the subclusters —
+//! how the `Cnew` split entry commits). [`QuorumSpec`] expresses the first
+//! two directly; constituent consensus appears as a `Single` spec over the
+//! leader's own subcluster.
+
+use recraft_types::config::majority;
+use recraft_types::{ClusterConfig, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A concrete rule for deciding whether a set of acknowledging nodes is
+/// sufficient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuorumSpec {
+    /// `quorum` acknowledgements out of `members` (normal consensus, or the
+    /// fixed `Q_new-q` of a resize step).
+    Single {
+        /// The voting member set.
+        members: BTreeSet<NodeId>,
+        /// Required acknowledgement count.
+        quorum: usize,
+    },
+    /// A majority of each group (joint consensus: the split's election rule
+    /// over every subcluster, or vanilla Raft's `C_old,new`).
+    Joint(Vec<(BTreeSet<NodeId>, usize)>),
+}
+
+impl QuorumSpec {
+    /// A majority-quorum spec over a member set.
+    #[must_use]
+    pub fn simple_majority(members: BTreeSet<NodeId>) -> Self {
+        let quorum = majority(members.len());
+        QuorumSpec::Single { members, quorum }
+    }
+
+    /// The spec corresponding to a [`ClusterConfig`] (honours fixed quorums).
+    #[must_use]
+    pub fn from_config(config: &ClusterConfig) -> Self {
+        QuorumSpec::Single {
+            members: config.members().clone(),
+            quorum: config.quorum_size(),
+        }
+    }
+
+    /// A joint spec requiring a majority of every group.
+    #[must_use]
+    pub fn joint_majorities<'a>(groups: impl IntoIterator<Item = &'a BTreeSet<NodeId>>) -> Self {
+        QuorumSpec::Joint(
+            groups
+                .into_iter()
+                .map(|g| (g.clone(), majority(g.len())))
+                .collect(),
+        )
+    }
+
+    /// Whether `votes` satisfies the rule (non-member votes are ignored).
+    #[must_use]
+    pub fn satisfied(&self, votes: &BTreeSet<NodeId>) -> bool {
+        match self {
+            QuorumSpec::Single { members, quorum } => {
+                votes.intersection(members).count() >= *quorum
+            }
+            QuorumSpec::Joint(groups) => groups
+                .iter()
+                .all(|(members, quorum)| votes.intersection(members).count() >= *quorum),
+        }
+    }
+
+    /// Every node whose vote can count.
+    #[must_use]
+    pub fn voters(&self) -> BTreeSet<NodeId> {
+        match self {
+            QuorumSpec::Single { members, .. } => members.clone(),
+            QuorumSpec::Joint(groups) => groups
+                .iter()
+                .flat_map(|(members, _)| members.iter().copied())
+                .collect(),
+        }
+    }
+
+    /// The minimum number of acknowledgements that can ever satisfy the rule
+    /// (for joint rules, the sum of the group quorums since groups are
+    /// disjoint in ReCraft splits; vanilla JC groups overlap, making this an
+    /// upper bound there).
+    #[must_use]
+    pub fn min_votes(&self) -> usize {
+        match self {
+            QuorumSpec::Single { quorum, .. } => *quorum,
+            QuorumSpec::Joint(groups) => groups.iter().map(|(_, q)| q).sum(),
+        }
+    }
+}
+
+impl fmt::Display for QuorumSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumSpec::Single { members, quorum } => {
+                write!(f, "{quorum}-of-{}", members.len())
+            }
+            QuorumSpec::Joint(groups) => {
+                write!(f, "joint[")?;
+                for (i, (members, quorum)) in groups.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{quorum}-of-{}", members.len())?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recraft_types::RangeSet;
+
+    fn nodes(ids: &[u64]) -> BTreeSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn single_majority() {
+        let q = QuorumSpec::simple_majority(nodes(&[1, 2, 3]));
+        assert!(q.satisfied(&nodes(&[1, 2])));
+        assert!(!q.satisfied(&nodes(&[1])));
+        assert!(!q.satisfied(&nodes(&[1, 9]))); // outsider ignored
+        assert_eq!(q.min_votes(), 2);
+    }
+
+    #[test]
+    fn fixed_quorum_from_config() {
+        let c = ClusterConfig::with_quorum(
+            recraft_types::ClusterId(1),
+            nodes(&[1, 2, 3, 4, 5]),
+            RangeSet::full(),
+            4,
+        )
+        .unwrap();
+        let q = QuorumSpec::from_config(&c);
+        assert!(!q.satisfied(&nodes(&[1, 2, 3])));
+        assert!(q.satisfied(&nodes(&[1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn joint_requires_every_group() {
+        // The split election rule: a majority of each subcluster.
+        let subs = [nodes(&[1, 2, 3]), nodes(&[4, 5, 6])];
+        let q = QuorumSpec::joint_majorities(subs.iter());
+        assert!(q.satisfied(&nodes(&[1, 2, 4, 5])));
+        assert!(!q.satisfied(&nodes(&[1, 2, 3]))); // only one group
+        assert!(!q.satisfied(&nodes(&[1, 4]))); // neither majority
+        assert_eq!(q.min_votes(), 4);
+        assert_eq!(q.voters(), nodes(&[1, 2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn vanilla_jc_overlapping_groups() {
+        // C_old = {1,2}, C_new = {1,2,3,4,5}: overlap nodes count for both.
+        let q = QuorumSpec::Joint(vec![(nodes(&[1, 2]), 2), (nodes(&[1, 2, 3, 4, 5]), 3)]);
+        // Best case from the paper: votes of 1 and 2 arrive first — one more
+        // suffices.
+        assert!(q.satisfied(&nodes(&[1, 2, 3])));
+        // Worst case: 3,4,5 arrive first — still need both of {1,2}.
+        assert!(!q.satisfied(&nodes(&[3, 4, 5])));
+        assert!(!q.satisfied(&nodes(&[1, 3, 4, 5])));
+        assert!(q.satisfied(&nodes(&[1, 2, 4, 5])));
+    }
+
+    #[test]
+    fn display_forms() {
+        let q = QuorumSpec::simple_majority(nodes(&[1, 2, 3]));
+        assert_eq!(q.to_string(), "2-of-3");
+        let j = QuorumSpec::joint_majorities([nodes(&[1, 2, 3]), nodes(&[4, 5])].iter());
+        assert_eq!(j.to_string(), "joint[2-of-3, 2-of-2]");
+    }
+}

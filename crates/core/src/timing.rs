@@ -1,0 +1,78 @@
+//! Protocol timing parameters.
+//!
+//! All times are virtual microseconds. Defaults follow etcd's shape:
+//! heartbeats an order of magnitude below election timeouts, election
+//! timeouts randomized over a 2× band (the paper's liveness assumption
+//! `broadcastTime << electionTimeout << MTBF`, §VI-B).
+
+/// Timer configuration for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Minimum randomized election timeout (µs).
+    pub election_timeout_min: u64,
+    /// Maximum randomized election timeout (µs).
+    pub election_timeout_max: u64,
+    /// Leader heartbeat interval (µs).
+    pub heartbeat_interval: u64,
+    /// Retry interval for pull-based recovery (µs).
+    pub pull_retry: u64,
+    /// Retry interval for cluster-to-cluster merge RPCs (µs).
+    pub rpc_retry: u64,
+    /// Log length that triggers snapshotting and compaction.
+    pub compaction_threshold: usize,
+    /// Maximum entries per AppendEntries batch.
+    pub max_batch: usize,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            election_timeout_min: 150_000,
+            election_timeout_max: 300_000,
+            heartbeat_interval: 50_000,
+            pull_retry: 100_000,
+            rpc_retry: 150_000,
+            compaction_threshold: 4096,
+            max_batch: 128,
+        }
+    }
+}
+
+impl Timing {
+    /// Validates the invariants the liveness argument needs.
+    ///
+    /// # Panics
+    /// Panics if the heartbeat interval is not strictly below the minimum
+    /// election timeout or the timeout band is empty.
+    pub fn validate(&self) {
+        assert!(
+            self.heartbeat_interval < self.election_timeout_min,
+            "heartbeat must be below the election timeout"
+        );
+        assert!(
+            self.election_timeout_min <= self.election_timeout_max,
+            "empty election timeout band"
+        );
+        assert!(self.max_batch > 0, "batch size must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        Timing::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat")]
+    fn inverted_timers_rejected() {
+        let t = Timing {
+            heartbeat_interval: 400_000,
+            ..Timing::default()
+        };
+        t.validate();
+    }
+}

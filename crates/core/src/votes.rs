@@ -1,0 +1,309 @@
+//! Analytic vote-count and consensus-step model for membership changes
+//! (§IV-B, Figure 5, and the §VII-E step counts).
+//!
+//! ReCraft's intermediate configuration `C_new-q` needs
+//! `Q_new-q = max(N_old, N_new) − Q_old + 1` acknowledgements; the joint
+//! consensus needs between `V_best = max(Q_new, Q_old)` and
+//! `V_worst = |N_new − N_old| + min(Q_new, Q_old)` depending on vote arrival
+//! order. This module reproduces the matrices of Figure 5 and the consensus
+//! step counts used in §VII-E.
+
+use recraft_types::config::{majority, resize_quorum};
+
+/// One consensus step of a ReCraft membership plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// Member count after this step.
+    pub members: usize,
+    /// Quorum size in force after this step.
+    pub quorum: usize,
+    /// Whether this step is a `ResizeQuorum` (membership unchanged).
+    pub resize_only: bool,
+}
+
+/// A full ReCraft membership-change plan from `n_old` to `n_new` members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// The consensus steps, in order.
+    pub stages: Vec<Stage>,
+}
+
+impl Plan {
+    /// Builds the plan. Additions always fit one `AddAndResize`; removals are
+    /// staged when `r ≥ Q_old` (reductions by more than about half, §IV-B).
+    ///
+    /// # Panics
+    /// Panics if either size is zero.
+    #[must_use]
+    pub fn new(n_old: usize, n_new: usize) -> Plan {
+        assert!(n_old > 0 && n_new > 0, "cluster sizes must be positive");
+        let mut stages = Vec::new();
+        let mut n = n_old;
+        let mut q = majority(n_old);
+        while n != n_new {
+            let target = if n_new > n {
+                n_new // any number of additions in one step
+            } else {
+                // remove at most q-1 nodes per step to keep Q_new-q feasible
+                n_new.max(n - (q - 1))
+            };
+            let nq = resize_quorum(n, q, target);
+            stages.push(Stage {
+                members: target,
+                quorum: nq,
+                resize_only: false,
+            });
+            n = target;
+            q = nq;
+            if q != majority(n) {
+                // ResizeQuorum back to the majority before the next step (or
+                // to finish).
+                q = majority(n);
+                stages.push(Stage {
+                    members: n,
+                    quorum: q,
+                    resize_only: true,
+                });
+            }
+        }
+        Plan { stages }
+    }
+
+    /// Total consensus steps.
+    #[must_use]
+    pub fn consensus_steps(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The largest quorum any intermediate step requires — the "necessary
+    /// votes" Figure 5 compares.
+    #[must_use]
+    pub fn max_intermediate_votes(&self) -> usize {
+        self.stages.iter().map(|s| s.quorum).max().unwrap_or(0)
+    }
+}
+
+/// Best-case joint-consensus votes: `max(Q_new, Q_old)` (§IV-B).
+#[must_use]
+pub fn jc_best_votes(n_old: usize, n_new: usize) -> usize {
+    majority(n_old).max(majority(n_new))
+}
+
+/// Worst-case joint-consensus votes:
+/// `|N_new − N_old| + min(Q_new, Q_old)` (§IV-B).
+#[must_use]
+pub fn jc_worst_votes(n_old: usize, n_new: usize) -> usize {
+    n_old.abs_diff(n_new) + majority(n_old).min(majority(n_new))
+}
+
+/// Consensus steps for the vanilla joint consensus: always two.
+#[must_use]
+pub fn jc_steps(n_old: usize, n_new: usize) -> usize {
+    let _ = (n_old, n_new);
+    2
+}
+
+/// Consensus steps for repeated Add/RemoveServer RPCs: one per node changed.
+#[must_use]
+pub fn ar_rpc_steps(n_old: usize, n_new: usize) -> usize {
+    n_old.abs_diff(n_new)
+}
+
+/// One cell of the Figure 5 matrices: ReCraft's extra votes relative to the
+/// JC baseline (`positive` = JC needs fewer, `negative` = ReCraft needs
+/// fewer).
+#[must_use]
+pub fn fig5_cell(n_old: usize, n_new: usize, against_worst: bool) -> i64 {
+    let recraft = Plan::new(n_old, n_new).max_intermediate_votes() as i64;
+    let jc = if against_worst {
+        jc_worst_votes(n_old, n_new)
+    } else {
+        jc_best_votes(n_old, n_new)
+    } as i64;
+    recraft - jc
+}
+
+/// The full Figure 5 matrix over sizes `lo..=hi` (rows = `N_old`, columns =
+/// `N_new`, diagonal zeroed).
+#[must_use]
+pub fn fig5_matrix(lo: usize, hi: usize, against_worst: bool) -> Vec<Vec<i64>> {
+    (lo..=hi)
+        .map(|n_old| {
+            (lo..=hi)
+                .map(|n_new| {
+                    if n_old == n_new {
+                        0
+                    } else {
+                        fig5_cell(n_old, n_new, against_worst)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_node_changes_are_single_step() {
+        // §IV-B: "ReCraft works the same as the AR-RPC as one node difference
+        // makes Q_new-q and Q_new to be equal".
+        for n in 2..=9 {
+            assert_eq!(Plan::new(n, n + 1).consensus_steps(), 1, "{n}->{}", n + 1);
+            if n > 1 {
+                assert_eq!(Plan::new(n, n - 1).consensus_steps(), 1, "{n}->{}", n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn adding_two_to_even_cluster_is_single_step() {
+        // §IV-B: "ReCraft can handle adding two nodes in a single step when
+        // Cold has an even number of nodes".
+        assert_eq!(Plan::new(2, 4).consensus_steps(), 1);
+        assert_eq!(Plan::new(4, 6).consensus_steps(), 1);
+        // Odd clusters need the extra ResizeQuorum.
+        assert_eq!(Plan::new(3, 5).consensus_steps(), 2);
+        assert_eq!(Plan::new(5, 7).consensus_steps(), 2);
+    }
+
+    #[test]
+    fn figure1c_example() {
+        // 2-node cluster to 5 nodes: one AddAndResize with Q_new-q = 4, then
+        // ResizeQuorum to 3.
+        let plan = Plan::new(2, 5);
+        assert_eq!(
+            plan.stages,
+            vec![
+                Stage {
+                    members: 5,
+                    quorum: 4,
+                    resize_only: false
+                },
+                Stage {
+                    members: 5,
+                    quorum: 3,
+                    resize_only: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn five_to_two_needs_one_extra_step_vs_jc() {
+        // §VII-E: "except for when reducing the cluster size from 5 to 2,
+        // which requires one extra consensus step than JC".
+        let plan = Plan::new(5, 2);
+        assert_eq!(plan.consensus_steps(), jc_steps(5, 2) + 1);
+        // Stage shape: remove 2 at quorum 3, resize to 2, remove 1.
+        assert_eq!(plan.stages[0].members, 3);
+        assert_eq!(plan.stages[0].quorum, 3);
+        assert!(plan.stages[1].resize_only);
+        assert_eq!(plan.stages[2].members, 2);
+    }
+
+    #[test]
+    fn practical_sizes_meet_or_beat_jc_steps() {
+        // §VII-E: equal or better for sizes 2..=5 except 5->2.
+        for n_old in 2..=5 {
+            for n_new in 2..=5 {
+                if n_old == n_new {
+                    continue;
+                }
+                let rc = Plan::new(n_old, n_new).consensus_steps();
+                if (n_old, n_new) == (5, 2) {
+                    assert_eq!(rc, 3);
+                } else {
+                    assert!(rc <= jc_steps(n_old, n_new), "{n_old}->{n_new}: {rc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recraft_never_exceeds_jc_worst_case_votes() {
+        // Figure 5 right: "Compared to the worst cases for the JC, ReCraft
+        // always requires the same or fewer votes."
+        for n_old in 2..=9 {
+            for n_new in 2..=9 {
+                if n_old == n_new {
+                    continue;
+                }
+                assert!(
+                    fig5_cell(n_old, n_new, true) <= 0,
+                    "{n_old}->{n_new}: {}",
+                    fig5_cell(n_old, n_new, true)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_or_two_node_changes_are_close_to_jc_best() {
+        // Figure 5 left: "ReCraft requires the same number of votes for
+        // altering one node and the same or one more votes for altering two."
+        for n_old in 2..=9usize {
+            for n_new in 2..=9usize {
+                let delta = n_old.abs_diff(n_new);
+                if delta == 1 {
+                    // Adding one matches AR-RPC exactly; removing one from an
+                    // even-sized cluster needs one vote fewer than JC's best
+                    // (2-of-3 vs the joint's 3).
+                    let c = fig5_cell(n_old, n_new, false);
+                    assert!((-1..=0).contains(&c), "{n_old}->{n_new}: {c}");
+                } else if delta == 2 {
+                    // Adding two: same or one more vote. Removing two can
+                    // even need one *fewer* (e.g. 4->2: quorum 2 vs JC's 3).
+                    let c = fig5_cell(n_old, n_new, false);
+                    assert!((-1..=1).contains(&c), "{n_old}->{n_new}: {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_overlap_invariant_along_every_plan() {
+        // Consecutive stages always maintain quorum overlap (P2').
+        for n_old in 1..=12 {
+            for n_new in 1..=12 {
+                let plan = Plan::new(n_old, n_new);
+                let mut n = n_old;
+                let mut q = majority(n_old);
+                for s in &plan.stages {
+                    // Overlap between (n, q) and (s.members, s.quorum): with
+                    // one member set containing the other, quorums can be
+                    // disjoint only if q + s.quorum <= max(n, s.members).
+                    assert!(
+                        q + s.quorum > n.max(s.members),
+                        "overlap broken {n_old}->{n_new} at {s:?}"
+                    );
+                    assert!(s.quorum >= majority(s.members));
+                    assert!(s.quorum <= s.members);
+                    n = s.members;
+                    q = s.quorum;
+                }
+                assert_eq!(n, n_new);
+                assert_eq!(q, majority(n_new));
+            }
+        }
+    }
+
+    #[test]
+    fn ar_rpc_step_counts() {
+        assert_eq!(ar_rpc_steps(3, 5), 2);
+        assert_eq!(ar_rpc_steps(5, 3), 2);
+        assert_eq!(ar_rpc_steps(3, 3), 0);
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let m = fig5_matrix(2, 9, false);
+        assert_eq!(m.len(), 8);
+        assert!(m.iter().all(|row| row.len() == 8));
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0);
+        }
+    }
+}

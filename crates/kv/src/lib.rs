@@ -1,0 +1,41 @@
+//! The etcd-like key-value layer on top of the ReCraft consensus core.
+//!
+//! Production systems running consensus-based SMR implement key-value
+//! interfaces, and "independent access to keys naturally lends the system to
+//! sharding" (§III). This crate provides:
+//!
+//! * [`KvCmd`] / [`KvResp`] — the typed command set (put/get/delete/ingest)
+//!   with a compact binary encoding,
+//! * [`KvStore`] — a revisioned key-value [`StateMachine`] with range-scoped
+//!   snapshots (what split retains and merge exchanges),
+//! * [`lin`] — a linearizability witness checker used by the simulator and
+//!   the integration tests.
+//!
+//! [`StateMachine`]: recraft_core::StateMachine
+//!
+//! # Example
+//! ```
+//! use bytes::Bytes;
+//! use recraft_core::StateMachine;
+//! use recraft_kv::{KvCmd, KvResp, KvStore};
+//! use recraft_types::LogIndex;
+//!
+//! let mut store = KvStore::new();
+//! let cmd = KvCmd::Put {
+//!     key: b"color".to_vec(),
+//!     value: Bytes::from_static(b"teal"),
+//! };
+//! let raw = store.apply(LogIndex(1), &cmd.encode());
+//! assert!(matches!(KvResp::decode(&raw).unwrap(), KvResp::Ok { .. }));
+//! let get = KvCmd::Get { key: b"color".to_vec(), nonce: 1 };
+//! let got = store.apply(LogIndex(2), &get.encode());
+//! assert_eq!(
+//!     KvResp::decode(&got).unwrap(),
+//!     KvResp::Value { revision: 2, value: Some(Bytes::from_static(b"teal")) }
+//! );
+//! ```
+
+pub mod lin;
+mod store;
+
+pub use store::{KvCmd, KvResp, KvStore};

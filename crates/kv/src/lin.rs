@@ -1,0 +1,307 @@
+//! Linearizability witness checking.
+//!
+//! The simulator records a client *history* (invocation and response times
+//! for every operation) and, independently, the *witness order* in which
+//! commands were applied to the replicated state machine (the log order).
+//! [`check_history`] verifies that the witness order is a valid
+//! linearization of the history:
+//!
+//! 1. **Real-time order** — if operation A responded before operation B was
+//!    invoked, A must precede B in the witness order.
+//! 2. **Read semantics** — every read returns the value of the latest
+//!    preceding write to its key in the witness order (or `None`).
+//!
+//! Verifying a supplied witness avoids the NP-hardness of general
+//! linearizability checking while remaining a complete proof for the runs we
+//! produce. Operations that never completed (client never got a response)
+//! are allowed to appear or be absent — if present they must still respect
+//! their invocation time.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A unique operation id: `(client id, request id)`.
+pub type OpId = (u64, u64);
+
+/// What the operation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// Wrote `value`.
+    Write {
+        /// Value written.
+        value: Bytes,
+    },
+    /// Read and observed `value` (`None` = key absent).
+    Read {
+        /// Value observed.
+        value: Option<Bytes>,
+    },
+    /// Deleted the key.
+    Delete,
+}
+
+/// One client operation with its real-time bounds.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// Unique id.
+    pub id: OpId,
+    /// Key touched.
+    pub key: Vec<u8>,
+    /// What happened.
+    pub kind: OpKind,
+    /// Invocation time (µs).
+    pub invoked_at: u64,
+    /// Response time (µs); `None` if the client never heard back.
+    pub responded_at: Option<u64>,
+}
+
+/// A violation found by the checker.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// The witness order contradicts real time: `first` responded before
+    /// `second` was invoked, yet `second` precedes it.
+    RealTimeOrder {
+        /// The earlier (by response) operation.
+        first: OpId,
+        /// The later (by invocation) operation.
+        second: OpId,
+    },
+    /// A read observed a value inconsistent with the witness order.
+    StaleRead {
+        /// The read operation.
+        read: OpId,
+        /// What the witness order says it should have seen.
+        expected: Option<Bytes>,
+        /// What it actually returned.
+        actual: Option<Bytes>,
+    },
+    /// An operation appears in the witness order but not in the history (or
+    /// the other way around for completed operations).
+    MissingOp {
+        /// The missing operation.
+        op: OpId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::RealTimeOrder { first, second } => write!(
+                f,
+                "real-time order violated: {first:?} responded before {second:?} was invoked \
+                 but follows it in the witness order"
+            ),
+            Violation::StaleRead {
+                read,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "stale read {read:?}: expected {expected:?}, observed {actual:?}"
+            ),
+            Violation::MissingOp { op } => write!(f, "operation {op:?} missing"),
+        }
+    }
+}
+
+/// Checks that `witness` (the apply order of operation ids) linearizes
+/// `history`. Returns all violations found (empty = linearizable).
+#[must_use]
+pub fn check_history(history: &[Op], witness: &[OpId]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let by_id: BTreeMap<OpId, &Op> = history.iter().map(|op| (op.id, op)).collect();
+    let mut position: BTreeMap<OpId, usize> = BTreeMap::new();
+    for (i, id) in witness.iter().enumerate() {
+        position.insert(*id, i);
+    }
+
+    // 1. Completed operations must appear in the witness order.
+    for op in history {
+        if op.responded_at.is_some() && !position.contains_key(&op.id) {
+            violations.push(Violation::MissingOp { op: op.id });
+        }
+    }
+
+    // 2. Real-time order: sort completed ops by response time and verify
+    //    witness positions are consistent with non-overlapping pairs.
+    let mut completed: Vec<&Op> = history.iter().filter(|o| o.responded_at.is_some()).collect();
+    completed.sort_by_key(|o| o.responded_at.unwrap());
+    // For efficiency, track the maximum witness position among all ops that
+    // responded before each invocation time.
+    let mut events: Vec<(u64, bool, &Op)> = Vec::new(); // (time, is_response, op)
+    for op in history {
+        events.push((op.invoked_at, false, op));
+        if let Some(t) = op.responded_at {
+            events.push((t, true, op));
+        }
+    }
+    events.sort_by_key(|(t, is_resp, op)| (*t, !is_resp, op.id));
+    let mut max_finished_pos: Option<(usize, OpId)> = None;
+    for (_, is_response, op) in events {
+        if is_response {
+            if let Some(pos) = position.get(&op.id) {
+                if max_finished_pos.is_none_or(|(p, _)| *pos > p) {
+                    max_finished_pos = Some((*pos, op.id));
+                }
+            }
+        } else if let (Some((max_pos, max_id)), Some(pos)) =
+            (max_finished_pos, position.get(&op.id))
+        {
+            if *pos < max_pos {
+                violations.push(Violation::RealTimeOrder {
+                    first: max_id,
+                    second: op.id,
+                });
+            }
+        }
+    }
+
+    // 3. Read semantics along the witness order.
+    let mut state: BTreeMap<Vec<u8>, Bytes> = BTreeMap::new();
+    for id in witness {
+        let Some(op) = by_id.get(id) else {
+            violations.push(Violation::MissingOp { op: *id });
+            continue;
+        };
+        match &op.kind {
+            OpKind::Write { value } => {
+                state.insert(op.key.clone(), value.clone());
+            }
+            OpKind::Delete => {
+                state.remove(&op.key);
+            }
+            OpKind::Read { value } => {
+                // A read whose response never reached the client recorded no
+                // observation; it constrains nothing.
+                if op.responded_at.is_some() {
+                    let expected = state.get(&op.key).cloned();
+                    if &expected != value {
+                        violations.push(Violation::StaleRead {
+                            read: op.id,
+                            expected,
+                            actual: value.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(id: OpId, key: &str, value: &str, invoked: u64, responded: u64) -> Op {
+        Op {
+            id,
+            key: key.as_bytes().to_vec(),
+            kind: OpKind::Write {
+                value: Bytes::from(value.to_string()),
+            },
+            invoked_at: invoked,
+            responded_at: Some(responded),
+        }
+    }
+
+    fn read(id: OpId, key: &str, value: Option<&str>, invoked: u64, responded: u64) -> Op {
+        Op {
+            id,
+            key: key.as_bytes().to_vec(),
+            kind: OpKind::Read {
+                value: value.map(|v| Bytes::from(v.to_string())),
+            },
+            invoked_at: invoked,
+            responded_at: Some(responded),
+        }
+    }
+
+    #[test]
+    fn accepts_sequential_history() {
+        let history = vec![
+            write((1, 1), "k", "a", 0, 10),
+            read((2, 1), "k", Some("a"), 20, 30),
+            write((1, 2), "k", "b", 40, 50),
+            read((2, 2), "k", Some("b"), 60, 70),
+        ];
+        let witness = vec![(1, 1), (2, 1), (1, 2), (2, 2)];
+        assert!(check_history(&history, &witness).is_empty());
+    }
+
+    #[test]
+    fn rejects_time_travel() {
+        // (1,1) responded at 10; (2,1) invoked at 20 — the witness must not
+        // order (2,1) first.
+        let history = vec![
+            write((1, 1), "k", "a", 0, 10),
+            write((2, 1), "k", "b", 20, 30),
+        ];
+        let witness = vec![(2, 1), (1, 1)];
+        let v = check_history(&history, &witness);
+        assert!(matches!(v.as_slice(), [Violation::RealTimeOrder { .. }]));
+    }
+
+    #[test]
+    fn accepts_concurrent_reordering() {
+        // Overlapping in real time: either order is fine.
+        let history = vec![
+            write((1, 1), "k", "a", 0, 100),
+            write((2, 1), "k", "b", 0, 100),
+        ];
+        assert!(check_history(&history, &[(1, 1), (2, 1)]).is_empty());
+        assert!(check_history(&history, &[(2, 1), (1, 1)]).is_empty());
+    }
+
+    #[test]
+    fn rejects_stale_read() {
+        let history = vec![
+            write((1, 1), "k", "a", 0, 10),
+            write((1, 2), "k", "b", 20, 30),
+            read((2, 1), "k", Some("a"), 40, 50), // should see "b"
+        ];
+        let witness = vec![(1, 1), (1, 2), (2, 1)];
+        let v = check_history(&history, &witness);
+        assert!(matches!(v.as_slice(), [Violation::StaleRead { .. }]));
+    }
+
+    #[test]
+    fn rejects_phantom_read() {
+        let history = vec![read((2, 1), "k", Some("ghost"), 0, 10)];
+        let witness = vec![(2, 1)];
+        let v = check_history(&history, &witness);
+        assert!(matches!(v.as_slice(), [Violation::StaleRead { .. }]));
+    }
+
+    #[test]
+    fn completed_op_must_appear() {
+        let history = vec![write((1, 1), "k", "a", 0, 10)];
+        let v = check_history(&history, &[]);
+        assert!(matches!(v.as_slice(), [Violation::MissingOp { .. }]));
+    }
+
+    #[test]
+    fn incomplete_op_may_be_absent() {
+        let mut op = write((1, 1), "k", "a", 0, 10);
+        op.responded_at = None;
+        assert!(check_history(&[op], &[]).is_empty());
+    }
+
+    #[test]
+    fn delete_clears_value() {
+        let history = vec![
+            write((1, 1), "k", "a", 0, 10),
+            Op {
+                id: (1, 2),
+                key: b"k".to_vec(),
+                kind: OpKind::Delete,
+                invoked_at: 20,
+                responded_at: Some(30),
+            },
+            read((2, 1), "k", None, 40, 50),
+        ];
+        let witness = vec![(1, 1), (1, 2), (2, 1)];
+        assert!(check_history(&history, &witness).is_empty());
+    }
+}

@@ -1,0 +1,477 @@
+//! The key-value state machine.
+
+use bytes::{Bytes, BytesMut};
+use recraft_core::StateMachine;
+use recraft_types::codec::{Decode, Encode};
+use recraft_types::{Error, LogIndex, RangeSet, Result};
+use std::collections::BTreeMap;
+
+/// A command addressed to the key-value store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCmd {
+    /// Store `value` under `key`.
+    Put {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Bytes,
+    },
+    /// Read `key` (linearizable: gets travel through the log like writes).
+    Get {
+        /// The key.
+        key: Vec<u8>,
+        /// A client-unique nonce making the encoded command unique, so the
+        /// linearizability checker can identify this exact operation in the
+        /// apply order.
+        nonce: u64,
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key.
+        key: Vec<u8>,
+        /// A client-unique nonce (see [`KvCmd::Get::nonce`]).
+        nonce: u64,
+    },
+    /// Bulk-load an encoded map (the TC baseline's data migration path).
+    Ingest {
+        /// An encoded `BTreeMap<Vec<u8>, Vec<u8>>` snapshot payload.
+        data: Bytes,
+    },
+}
+
+impl KvCmd {
+    /// The key this command is routed by.
+    #[must_use]
+    pub fn key(&self) -> &[u8] {
+        match self {
+            KvCmd::Put { key, .. } | KvCmd::Get { key, .. } | KvCmd::Delete { key, .. } => key,
+            KvCmd::Ingest { .. } => b"",
+        }
+    }
+
+    /// Encodes the command for transport through the log.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            KvCmd::Put { key, value } => {
+                buf.extend_from_slice(&[0]);
+                key.encode(&mut buf);
+                value.encode(&mut buf);
+            }
+            KvCmd::Get { key, nonce } => {
+                buf.extend_from_slice(&[1]);
+                key.encode(&mut buf);
+                nonce.encode(&mut buf);
+            }
+            KvCmd::Delete { key, nonce } => {
+                buf.extend_from_slice(&[2]);
+                key.encode(&mut buf);
+                nonce.encode(&mut buf);
+            }
+            KvCmd::Ingest { data } => {
+                buf.extend_from_slice(&[3]);
+                data.encode(&mut buf);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a command.
+    ///
+    /// # Errors
+    /// Returns [`Error::Codec`] on malformed input.
+    pub fn decode(raw: &Bytes) -> Result<KvCmd> {
+        let mut buf = raw.clone();
+        let tag = u8::decode(&mut buf)?;
+        match tag {
+            0 => Ok(KvCmd::Put {
+                key: Vec::<u8>::decode(&mut buf)?,
+                value: Bytes::decode(&mut buf)?,
+            }),
+            1 => Ok(KvCmd::Get {
+                key: Vec::<u8>::decode(&mut buf)?,
+                nonce: u64::decode(&mut buf)?,
+            }),
+            2 => Ok(KvCmd::Delete {
+                key: Vec::<u8>::decode(&mut buf)?,
+                nonce: u64::decode(&mut buf)?,
+            }),
+            3 => Ok(KvCmd::Ingest {
+                data: Bytes::decode(&mut buf)?,
+            }),
+            t => Err(Error::Codec(format!("unknown KvCmd tag {t}"))),
+        }
+    }
+}
+
+/// The store's reply to a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResp {
+    /// A write succeeded at `revision`.
+    Ok {
+        /// The store revision after the write.
+        revision: u64,
+    },
+    /// A read result (`None` when the key is absent).
+    Value {
+        /// The store revision at the read.
+        revision: u64,
+        /// The value, if present.
+        value: Option<Bytes>,
+    },
+}
+
+impl KvResp {
+    /// Encodes the response.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            KvResp::Ok { revision } => {
+                buf.extend_from_slice(&[0]);
+                revision.encode(&mut buf);
+            }
+            KvResp::Value { revision, value } => {
+                buf.extend_from_slice(&[1]);
+                revision.encode(&mut buf);
+                value.clone().encode(&mut buf);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a response.
+    ///
+    /// # Errors
+    /// Returns [`Error::Codec`] on malformed input.
+    pub fn decode(raw: &Bytes) -> Result<KvResp> {
+        let mut buf = raw.clone();
+        let tag = u8::decode(&mut buf)?;
+        match tag {
+            0 => Ok(KvResp::Ok {
+                revision: u64::decode(&mut buf)?,
+            }),
+            1 => Ok(KvResp::Value {
+                revision: u64::decode(&mut buf)?,
+                value: Option::<Bytes>::decode(&mut buf)?,
+            }),
+            t => Err(Error::Codec(format!("unknown KvResp tag {t}"))),
+        }
+    }
+}
+
+/// A revisioned key-value store (the etcd layer's data model): every applied
+/// command bumps the revision; snapshots are range-scoped encodings of the
+/// map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    entries: BTreeMap<Vec<u8>, Bytes>,
+    revision: u64,
+}
+
+impl KvStore {
+    /// An empty store at revision 0.
+    #[must_use]
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// The number of stored pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current revision (count of applied commands).
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Direct read access (for tests and the router; linearizable reads go
+    /// through the log as [`KvCmd::Get`]).
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<&Bytes> {
+        self.entries.get(key)
+    }
+
+    /// Approximate data size in bytes (keys + values) — what a snapshot
+    /// transfer moves.
+    #[must_use]
+    pub fn data_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, v)| k.len() + v.len())
+            .sum()
+    }
+
+    fn encode_map(map: &BTreeMap<Vec<u8>, Bytes>) -> Bytes {
+        let plain: BTreeMap<Vec<u8>, Vec<u8>> = map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_vec()))
+            .collect();
+        let mut buf = BytesMut::new();
+        plain.encode(&mut buf);
+        buf.freeze()
+    }
+
+    fn decode_map(data: &Bytes) -> Result<BTreeMap<Vec<u8>, Bytes>> {
+        let mut buf = data.clone();
+        let plain = BTreeMap::<Vec<u8>, Vec<u8>>::decode(&mut buf)?;
+        Ok(plain
+            .into_iter()
+            .map(|(k, v)| (k, Bytes::from(v)))
+            .collect())
+    }
+}
+
+impl StateMachine for KvStore {
+    fn apply(&mut self, _index: LogIndex, cmd: &Bytes) -> Bytes {
+        self.revision += 1;
+        let resp = match KvCmd::decode(cmd) {
+            Ok(KvCmd::Put { key, value }) => {
+                self.entries.insert(key, value);
+                KvResp::Ok {
+                    revision: self.revision,
+                }
+            }
+            Ok(KvCmd::Get { key, .. }) => KvResp::Value {
+                revision: self.revision,
+                value: self.entries.get(&key).cloned(),
+            },
+            Ok(KvCmd::Delete { key, .. }) => {
+                self.entries.remove(&key);
+                KvResp::Ok {
+                    revision: self.revision,
+                }
+            }
+            Ok(KvCmd::Ingest { data }) => {
+                // The payload is a snapshot: a revision prefix followed by
+                // the encoded map (exactly what `snapshot()` produces).
+                let mut buf = data.clone();
+                if u64::decode(&mut buf).is_ok() {
+                    if let Ok(map) = Self::decode_map(&buf) {
+                        self.entries.extend(map);
+                    }
+                }
+                KvResp::Ok {
+                    revision: self.revision,
+                }
+            }
+            // Malformed commands still consume a revision (deterministic
+            // across replicas) and answer Ok.
+            Err(_) => KvResp::Ok {
+                revision: self.revision,
+            },
+        };
+        resp.encode()
+    }
+
+    fn snapshot(&self, ranges: &RangeSet) -> Bytes {
+        let filtered: BTreeMap<Vec<u8>, Bytes> = self
+            .entries
+            .iter()
+            .filter(|(k, _)| ranges.contains(k))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let mut buf = BytesMut::new();
+        self.revision.encode(&mut buf);
+        buf.extend_from_slice(&Self::encode_map(&filtered));
+        buf.freeze()
+    }
+
+    fn restore(&mut self, data: &Bytes) -> Result<()> {
+        let mut buf = data.clone();
+        let revision = u64::decode(&mut buf)?;
+        let plain = BTreeMap::<Vec<u8>, Vec<u8>>::decode(&mut buf)?;
+        self.revision = revision;
+        self.entries = plain
+            .into_iter()
+            .map(|(k, v)| (k, Bytes::from(v)))
+            .collect();
+        Ok(())
+    }
+
+    fn restore_merged(&mut self, parts: &[Bytes]) -> Result<()> {
+        let mut combined: BTreeMap<Vec<u8>, Bytes> = BTreeMap::new();
+        let mut revision = 0u64;
+        for part in parts {
+            let mut buf = part.clone();
+            let part_rev = u64::decode(&mut buf)?;
+            revision = revision.max(part_rev);
+            let map = Self::decode_map(&buf)?;
+            for (k, v) in map {
+                if combined.insert(k, v).is_some() {
+                    return Err(Error::InvalidRange(
+                        "merge parts overlap on a key".into(),
+                    ));
+                }
+            }
+        }
+        self.entries = combined;
+        self.revision = revision;
+        Ok(())
+    }
+
+    fn retain_ranges(&mut self, ranges: &RangeSet) {
+        self.entries.retain(|k, _| ranges.contains(k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recraft_types::KeyRange;
+
+    fn put(store: &mut KvStore, i: LogIndex, key: &str, value: &str) -> KvResp {
+        let raw = store.apply(
+            i,
+            &KvCmd::Put {
+                key: key.as_bytes().to_vec(),
+                value: Bytes::from(value.to_string()),
+            }
+            .encode(),
+        );
+        KvResp::decode(&raw).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut store = KvStore::new();
+        assert_eq!(put(&mut store, LogIndex(1), "a", "1"), KvResp::Ok { revision: 1 });
+        let got = store.apply(LogIndex(2), &KvCmd::Get { key: b"a".to_vec(), nonce: 0 }.encode());
+        assert_eq!(
+            KvResp::decode(&got).unwrap(),
+            KvResp::Value {
+                revision: 2,
+                value: Some(Bytes::from_static(b"1"))
+            }
+        );
+        store.apply(LogIndex(3), &KvCmd::Delete { key: b"a".to_vec(), nonce: 0 }.encode());
+        let got = store.apply(LogIndex(4), &KvCmd::Get { key: b"a".to_vec(), nonce: 0 }.encode());
+        assert_eq!(
+            KvResp::decode(&got).unwrap(),
+            KvResp::Value {
+                revision: 4,
+                value: None
+            }
+        );
+        assert_eq!(store.revision(), 4);
+    }
+
+    #[test]
+    fn cmd_codec_roundtrip() {
+        let cmds = [
+            KvCmd::Put {
+                key: b"k".to_vec(),
+                value: Bytes::from_static(b"v"),
+            },
+            KvCmd::Get { key: b"k".to_vec(), nonce: 1 },
+            KvCmd::Delete { key: b"k".to_vec(), nonce: 2 },
+            KvCmd::Ingest {
+                data: Bytes::from_static(b"\x00\x00\x00\x00"),
+            },
+        ];
+        for cmd in cmds {
+            assert_eq!(KvCmd::decode(&cmd.encode()).unwrap(), cmd);
+        }
+        assert!(KvCmd::decode(&Bytes::from_static(b"\x09")).is_err());
+    }
+
+    #[test]
+    fn resp_codec_roundtrip() {
+        let resps = [
+            KvResp::Ok { revision: 7 },
+            KvResp::Value {
+                revision: 9,
+                value: Some(Bytes::from_static(b"x")),
+            },
+            KvResp::Value {
+                revision: 9,
+                value: None,
+            },
+        ];
+        for r in resps {
+            assert_eq!(KvResp::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_respects_ranges() {
+        let mut store = KvStore::new();
+        put(&mut store, LogIndex(1), "apple", "red");
+        put(&mut store, LogIndex(2), "zebra", "striped");
+        let (lo, hi) = KeyRange::full().split_at(b"m").unwrap();
+        let lo_snap = store.snapshot(&RangeSet::from(lo));
+        let hi_snap = store.snapshot(&RangeSet::from(hi));
+
+        let mut restored = KvStore::new();
+        restored.restore(&lo_snap).unwrap();
+        assert_eq!(restored.len(), 1);
+        assert!(restored.get(b"apple").is_some());
+        assert_eq!(restored.revision(), 2);
+
+        let mut merged = KvStore::new();
+        merged.restore_merged(&[lo_snap, hi_snap]).unwrap();
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn restore_merged_rejects_overlap() {
+        let mut store = KvStore::new();
+        put(&mut store, LogIndex(1), "k", "v");
+        let snap = store.snapshot(&RangeSet::full());
+        let mut merged = KvStore::new();
+        assert!(merged.restore_merged(&[snap.clone(), snap]).is_err());
+    }
+
+    #[test]
+    fn ingest_bulk_loads_snapshot_payload() {
+        let mut src = KvStore::new();
+        put(&mut src, LogIndex(1), "a", "1");
+        put(&mut src, LogIndex(2), "b", "2");
+        let snap = src.snapshot(&RangeSet::full());
+        let mut dst = KvStore::new();
+        put(&mut dst, LogIndex(1), "z", "9");
+        dst.apply(LogIndex(2), &KvCmd::Ingest { data: snap }.encode());
+        assert_eq!(dst.len(), 3, "ingest adds the snapshot's pairs");
+        assert_eq!(dst.get(b"a"), Some(&Bytes::from_static(b"1")));
+        assert_eq!(dst.get(b"z"), Some(&Bytes::from_static(b"9")));
+    }
+
+    #[test]
+    fn retain_ranges_prunes() {
+        let mut store = KvStore::new();
+        put(&mut store, LogIndex(1), "apple", "red");
+        put(&mut store, LogIndex(2), "zebra", "striped");
+        let (lo, _) = KeyRange::full().split_at(b"m").unwrap();
+        store.retain_ranges(&RangeSet::from(lo));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(b"zebra").is_none());
+    }
+
+    #[test]
+    fn data_size_counts_bytes() {
+        let mut store = KvStore::new();
+        put(&mut store, LogIndex(1), "abc", "wxyz");
+        assert_eq!(store.data_size(), 7);
+    }
+
+    #[test]
+    fn malformed_command_is_deterministic() {
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        let junk = Bytes::from_static(b"\xFF\xFF");
+        let ra = a.apply(LogIndex(1), &junk);
+        let rb = b.apply(LogIndex(1), &junk);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,14 @@
+//! Protocol messages for ReCraft.
+//!
+//! Every interaction — Raft replication and elections, the split protocol's
+//! commit notification and pull recovery (§III-B), the merge protocol's
+//! cluster-level 2PC and snapshot exchange (§III-C), client traffic, and
+//! administrative reconfiguration requests — is an enum variant of
+//! [`Message`] wrapped in an [`Envelope`]. The core node is sans-io: it
+//! consumes envelopes and emits envelopes, and any transport (the
+//! deterministic simulator in `recraft-sim`, or a real network) can carry
+//! them.
+
+mod message;
+
+pub use message::{AdminCmd, Envelope, Message, PullHint};

@@ -1,0 +1,429 @@
+//! The message vocabulary.
+
+use bytes::Bytes;
+use recraft_storage::{LogEntry, Snapshot};
+use recraft_types::{
+    ClusterConfig, ClusterId, EpochTerm, Error, LogIndex, MergeDecision, MergeOutcome, MergeTx,
+    NodeId, RangeSet, SplitSpec, TxId,
+};
+use std::collections::BTreeSet;
+
+/// A message in flight from one node (or client/admin endpoint) to another.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: Message,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    #[must_use]
+    pub fn new(from: NodeId, to: NodeId, msg: Message) -> Self {
+        Envelope { from, to, msg }
+    }
+
+    /// Approximate wire size in bytes, used by the simulator to model
+    /// transfer time for bulk payloads (snapshots dominate).
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        self.msg.wire_size()
+    }
+}
+
+/// The hint a higher-epoch node returns instead of a vote, telling the
+/// requester to pull committed log entries (Fig. 2, `respondPull`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PullHint {
+    /// The responder's commit index: everything up to here can be pulled.
+    pub commit_index: LogIndex,
+    /// The responder's epoch, proving it has moved on.
+    pub epoch: u32,
+}
+
+/// Administrative reconfiguration commands, addressed to a cluster leader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminCmd {
+    /// ReCraft split: enter the joint mode for this plan; the leader leaves
+    /// automatically once `Cjoint` commits (§III-B).
+    Split(SplitSpec),
+    /// ReCraft merge: this cluster becomes the 2PC coordinator (§III-C).
+    Merge(MergeTx),
+    /// ReCraft membership change: add the given nodes in one step at quorum
+    /// `Q_new-q`, then auto-`ResizeQuorum` if needed (§IV-A).
+    AddAndResize(BTreeSet<NodeId>),
+    /// ReCraft membership change: remove the given nodes (must be fewer than
+    /// `Q_old`), then auto-`ResizeQuorum` if needed.
+    RemoveAndResize(BTreeSet<NodeId>),
+    /// Explicitly reset the quorum to the majority (normally automatic).
+    ResizeQuorum,
+    /// Baseline: vanilla Raft Add/RemoveServer RPC (one-node delta).
+    SimpleChange(BTreeSet<NodeId>),
+    /// Baseline: vanilla Raft joint consensus toward this member set (two
+    /// automatic steps).
+    JointChange(BTreeSet<NodeId>),
+    /// Ask the node to start an election now (test/ops aid).
+    Campaign,
+    /// Ask the leader to commit a no-op (fulfils precondition P3).
+    ProposeNoop,
+    /// Replace the served key ranges (the TC baseline's "subrange command";
+    /// not used by ReCraft's own reconfigurations).
+    SetRanges(recraft_types::RangeSet),
+}
+
+impl AdminCmd {
+    /// A short tag for traces.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdminCmd::Split(_) => "split",
+            AdminCmd::Merge(_) => "merge",
+            AdminCmd::AddAndResize(_) => "add-and-resize",
+            AdminCmd::RemoveAndResize(_) => "remove-and-resize",
+            AdminCmd::ResizeQuorum => "resize-quorum",
+            AdminCmd::SimpleChange(_) => "simple-change",
+            AdminCmd::JointChange(_) => "joint-change",
+            AdminCmd::Campaign => "campaign",
+            AdminCmd::ProposeNoop => "noop",
+            AdminCmd::SetRanges(_) => "set-ranges",
+        }
+    }
+}
+
+/// Every protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    // ---- Raft core ----
+    /// Leader → follower log replication / heartbeat.
+    AppendEntries {
+        /// Sender's cluster.
+        cluster: ClusterId,
+        /// Leader's epoch-term.
+        eterm: EpochTerm,
+        /// Index of the entry preceding `entries`.
+        prev_index: LogIndex,
+        /// Epoch-term of that entry.
+        prev_eterm: EpochTerm,
+        /// Entries to append (empty for heartbeats).
+        entries: Vec<LogEntry>,
+        /// Leader's commit index.
+        leader_commit: LogIndex,
+    },
+    /// Follower → leader replication result.
+    AppendResp {
+        /// Responder's cluster.
+        cluster: ClusterId,
+        /// Responder's epoch-term.
+        eterm: EpochTerm,
+        /// Whether the entries were appended.
+        success: bool,
+        /// Highest index known replicated on the responder (on success).
+        match_index: LogIndex,
+        /// On failure, a hint for the leader to back up `next_index` to.
+        conflict: Option<LogIndex>,
+    },
+    /// Candidate → all members vote solicitation.
+    RequestVote {
+        /// Candidate's cluster.
+        cluster: ClusterId,
+        /// Candidate's epoch-term.
+        eterm: EpochTerm,
+        /// Index of the candidate's last log entry.
+        last_index: LogIndex,
+        /// Epoch-term of the candidate's last log entry.
+        last_eterm: EpochTerm,
+    },
+    /// Vote response; `pull` is set instead of a grant when the responder's
+    /// epoch is newer (split recovery, Fig. 2 line 55).
+    VoteResp {
+        /// Responder's cluster.
+        cluster: ClusterId,
+        /// Responder's epoch-term.
+        eterm: EpochTerm,
+        /// Whether the vote was granted.
+        granted: bool,
+        /// Pull hint for a lower-epoch requester.
+        pull: Option<PullHint>,
+    },
+
+    // ---- Split (§III-B) ----
+    /// Completing leader → all `C_old` members: `Cnew` at `cnew_index` is
+    /// committed ("notifyCommit", Fig. 2 line 30).
+    NotifyCommit {
+        /// Sender's (pre-completion) cluster.
+        cluster: ClusterId,
+        /// The committed `Cnew` entry's position.
+        cnew_index: LogIndex,
+        /// The committed `Cnew` entry's epoch-term.
+        cnew_eterm: EpochTerm,
+    },
+    /// Missed-out node → higher-epoch peer: send me committed entries after
+    /// my commit index (Fig. 2 line 43, `pullLog`).
+    PullReq {
+        /// The puller's commit index (entries at or below are immutable).
+        commit_index: LogIndex,
+    },
+    /// Committed entries (or a snapshot when the responder compacted past the
+    /// puller's position).
+    PullResp {
+        /// Responder's epoch.
+        epoch: u32,
+        /// Committed entries after the puller's commit index.
+        entries: Vec<LogEntry>,
+        /// Responder's commit index.
+        commit_index: LogIndex,
+        /// Set when the responder's log no longer retains the needed prefix.
+        snapshot: Option<Box<Snapshot>>,
+        /// The configuration in effect at the snapshot, if one is included.
+        snapshot_config: Option<ClusterConfig>,
+    },
+
+    // ---- Snapshot installation (leader → laggard) ----
+    /// Raft InstallSnapshot extended with the configuration at the snapshot
+    /// point (also used to restore nodes coming from other subclusters after
+    /// a merge, §III-C2).
+    InstallSnapshot {
+        /// Leader's cluster.
+        cluster: ClusterId,
+        /// Leader's epoch-term.
+        eterm: EpochTerm,
+        /// The snapshot.
+        snapshot: Box<Snapshot>,
+        /// Configuration in effect at the snapshot point.
+        config: ClusterConfig,
+    },
+    /// Acknowledgement of snapshot installation.
+    InstallSnapshotResp {
+        /// Responder's epoch-term.
+        eterm: EpochTerm,
+        /// The responder's new last index.
+        last_index: LogIndex,
+    },
+
+    // ---- Merge 2PC (cluster ↔ cluster, §III-C1) ----
+    /// Coordinator leader → participant cluster: 2PC prepare.
+    MergePrepareReq {
+        /// The transaction intent `C_TX`.
+        tx: MergeTx,
+    },
+    /// Participant leader → coordinator: recorded (committed) local decision.
+    MergePrepareResp {
+        /// The transaction.
+        tx_id: TxId,
+        /// Responding cluster.
+        cluster: ClusterId,
+        /// The committed local decision.
+        decision: MergeDecision,
+        /// Responder's current epoch (for `E_new = max + 1`).
+        epoch: u32,
+        /// Responder's key ranges (for the combined range).
+        ranges: RangeSet,
+    },
+    /// Coordinator leader → participant cluster: 2PC commit/abort.
+    MergeCommitReq {
+        /// The finalized outcome (`Cnew` or `Cabort`).
+        outcome: MergeOutcome,
+    },
+    /// Participant leader → coordinator: outcome recorded (committed).
+    MergeCommitResp {
+        /// The transaction.
+        tx_id: TxId,
+        /// Responding cluster.
+        cluster: ClusterId,
+    },
+    /// Not-the-leader bounce for cluster-level merge RPCs, with a hint.
+    MergeRedirect {
+        /// The transaction the request belonged to.
+        tx_id: TxId,
+        /// Believed leader of the contacted cluster, if known.
+        leader: Option<NodeId>,
+    },
+
+    // ---- Merge data exchange (§III-C2) ----
+    /// Node of one subcluster → node of a peer subcluster: send me your
+    /// subcluster's pre-merge snapshot for transaction `tx_id`.
+    FetchSnapshotReq {
+        /// The merge transaction.
+        tx_id: TxId,
+    },
+    /// The peer subcluster's snapshot part (or `None` if the responder has
+    /// not reached the exchange phase yet).
+    FetchSnapshotResp {
+        /// The merge transaction.
+        tx_id: TxId,
+        /// The responder's subcluster snapshot, when available.
+        part: Option<Box<Snapshot>>,
+    },
+
+    // ---- Clients ----
+    /// Client → node: apply `cmd` (which concerns `key`, used for routing
+    /// and range checks).
+    ClientReq {
+        /// Client-chosen request id for matching responses.
+        req_id: u64,
+        /// The key the command touches.
+        key: Vec<u8>,
+        /// Opaque state-machine command.
+        cmd: Bytes,
+    },
+    /// Node → client: result, or a routing error
+    /// ([`Error::NotLeader`] / [`Error::WrongRange`] / [`Error::MergeBlocked`]).
+    ClientResp {
+        /// Echoed request id.
+        req_id: u64,
+        /// Command result or routing error.
+        result: Result<Bytes, Error>,
+    },
+
+    // ---- Administration ----
+    /// Admin → leader: a reconfiguration command.
+    AdminReq {
+        /// Request id for matching responses.
+        req_id: u64,
+        /// The command.
+        cmd: AdminCmd,
+    },
+    /// Node → admin: whether the reconfiguration was accepted (acceptance,
+    /// not completion — completion is observable through trace events).
+    AdminResp {
+        /// Echoed request id.
+        req_id: u64,
+        /// Acceptance or the precondition/routing error.
+        result: Result<(), Error>,
+    },
+}
+
+impl Message {
+    /// A short tag for traces and metrics.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::AppendEntries { .. } => "append",
+            Message::AppendResp { .. } => "append-resp",
+            Message::RequestVote { .. } => "vote-req",
+            Message::VoteResp { .. } => "vote-resp",
+            Message::NotifyCommit { .. } => "notify-commit",
+            Message::PullReq { .. } => "pull-req",
+            Message::PullResp { .. } => "pull-resp",
+            Message::InstallSnapshot { .. } => "install-snapshot",
+            Message::InstallSnapshotResp { .. } => "install-snapshot-resp",
+            Message::MergePrepareReq { .. } => "merge-prepare-req",
+            Message::MergePrepareResp { .. } => "merge-prepare-resp",
+            Message::MergeCommitReq { .. } => "merge-commit-req",
+            Message::MergeCommitResp { .. } => "merge-commit-resp",
+            Message::MergeRedirect { .. } => "merge-redirect",
+            Message::FetchSnapshotReq { .. } => "fetch-snapshot-req",
+            Message::FetchSnapshotResp { .. } => "fetch-snapshot-resp",
+            Message::ClientReq { .. } => "client-req",
+            Message::ClientResp { .. } => "client-resp",
+            Message::AdminReq { .. } => "admin-req",
+            Message::AdminResp { .. } => "admin-resp",
+        }
+    }
+
+    /// Approximate wire size in bytes. Control messages count a small fixed
+    /// overhead; bulk payloads (entries, snapshots, commands) count their
+    /// data so the simulator can model transfer time.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        const HDR: usize = 48;
+        match self {
+            Message::AppendEntries { entries, .. } => {
+                HDR + entries
+                    .iter()
+                    .map(|e| {
+                        16 + match &e.payload {
+                            recraft_storage::EntryPayload::Command(c) => c.len(),
+                            recraft_storage::EntryPayload::Noop => 0,
+                            recraft_storage::EntryPayload::Config(_) => 128,
+                        }
+                    })
+                    .sum::<usize>()
+            }
+            Message::PullResp {
+                entries, snapshot, ..
+            } => {
+                HDR + entries.len() * 64
+                    + snapshot.as_ref().map_or(0, |s| s.size_bytes())
+            }
+            Message::InstallSnapshot { snapshot, .. } => HDR + snapshot.size_bytes(),
+            Message::FetchSnapshotResp { part, .. } => {
+                HDR + part.as_ref().map_or(0, |s| s.size_bytes())
+            }
+            Message::ClientReq { cmd, .. } => HDR + cmd.len(),
+            Message::ClientResp { result, .. } => {
+                HDR + result.as_ref().map(Bytes::len).unwrap_or(0)
+            }
+            _ => HDR,
+        }
+    }
+
+    /// Whether this is a client- or admin-plane message (as opposed to
+    /// node-to-node protocol traffic).
+    #[must_use]
+    pub fn is_external(&self) -> bool {
+        matches!(
+            self,
+            Message::ClientReq { .. }
+                | Message::ClientResp { .. }
+                | Message::AdminReq { .. }
+                | Message::AdminResp { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_counts_bulk_payloads() {
+        let small = Message::RequestVote {
+            cluster: ClusterId(1),
+            eterm: EpochTerm::new(0, 1),
+            last_index: LogIndex(1),
+            last_eterm: EpochTerm::new(0, 1),
+        };
+        let big = Message::ClientReq {
+            req_id: 1,
+            key: b"k".to_vec(),
+            cmd: Bytes::from(vec![0u8; 4096]),
+        };
+        assert!(big.wire_size() > small.wire_size() + 4000);
+    }
+
+    #[test]
+    fn kinds_are_distinct_for_planes() {
+        let m = Message::ClientResp {
+            req_id: 1,
+            result: Ok(Bytes::new()),
+        };
+        assert!(m.is_external());
+        assert_eq!(m.kind(), "client-resp");
+        let n = Message::PullReq {
+            commit_index: LogIndex(4),
+        };
+        assert!(!n.is_external());
+    }
+
+    #[test]
+    fn envelope_wire_size_delegates() {
+        let env = Envelope::new(
+            NodeId(1),
+            NodeId(2),
+            Message::PullReq {
+                commit_index: LogIndex(0),
+            },
+        );
+        assert_eq!(env.wire_size(), env.msg.wire_size());
+    }
+
+    #[test]
+    fn admin_kinds() {
+        assert_eq!(AdminCmd::ResizeQuorum.kind(), "resize-quorum");
+        assert_eq!(AdminCmd::Campaign.kind(), "campaign");
+    }
+}

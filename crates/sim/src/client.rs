@@ -1,0 +1,89 @@
+//! Closed-loop simulated clients.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::Rng;
+use recraft_kv::lin::OpKind;
+use recraft_kv::KvCmd;
+use recraft_types::{ClusterId, NodeId};
+use std::collections::BTreeMap;
+
+/// What a client does: uniform-random keys, fixed-size values, an optional
+/// fraction of linearizable reads. The paper's evaluation uses 512-byte
+/// uniform random puts (§VII).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Number of distinct keys (`k00000000` ... ).
+    pub key_count: u64,
+    /// Value payload size in bytes.
+    pub value_size: usize,
+    /// Fraction of operations that are reads (0.0 = put-only).
+    pub get_ratio: f64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            key_count: 10_000,
+            value_size: 512,
+            get_ratio: 0.0,
+        }
+    }
+}
+
+/// An in-flight client operation.
+#[derive(Debug, Clone)]
+pub(crate) struct Outstanding {
+    pub req_id: u64,
+    pub key: Vec<u8>,
+    pub cmd: Bytes,
+    pub kind: OpKind,
+    pub cluster: Option<ClusterId>,
+    pub invoked_at: u64,
+}
+
+/// One closed-loop client.
+#[derive(Debug)]
+pub(crate) struct Client {
+    pub id: u64,
+    pub addr: NodeId,
+    pub rng: StdRng,
+    pub workload: Workload,
+    pub next_req: u64,
+    pub outstanding: Option<Outstanding>,
+    pub leader_cache: BTreeMap<ClusterId, NodeId>,
+    pub active: bool,
+}
+
+impl Client {
+    /// Builds the next operation (key, command, history kind).
+    pub(crate) fn next_op(&mut self) -> (Vec<u8>, KvCmd, OpKind) {
+        let key = format!("k{:08}", self.rng.gen_range(0..self.workload.key_count)).into_bytes();
+        let is_get = self.workload.get_ratio > 0.0 && self.rng.gen_bool(self.workload.get_ratio);
+        if is_get {
+            // The nonce makes the encoded command (and hence its digest)
+            // unique to this operation.
+            let nonce = (self.id << 32) | self.next_req;
+            (
+                key.clone(),
+                KvCmd::Get { key, nonce },
+                OpKind::Read { value: None },
+            )
+        } else {
+            // Unique values make duplicate detection and linearizability
+            // checking exact.
+            let tag = format!("c{}-r{}-", self.id, self.next_req);
+            let mut value = tag.into_bytes();
+            value.resize(self.workload.value_size.max(value.len()), b'x');
+            let value = Bytes::from(value);
+            (
+                key.clone(),
+                KvCmd::Put {
+                    key,
+                    value: value.clone(),
+                },
+                OpKind::Write { value },
+            )
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Simulation parameters.
+
+use recraft_core::Timing;
+
+/// Parameters of a simulation run. All times are virtual microseconds.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; every run with the same seed and schedule is identical.
+    pub seed: u64,
+    /// Minimum one-way message latency.
+    pub latency_min: u64,
+    /// Maximum one-way message latency.
+    pub latency_max: u64,
+    /// Link bandwidth in bytes per microsecond (bulk payloads add
+    /// `size / bandwidth` to their delivery time). 100 B/µs ≈ 100 MB/s.
+    pub bandwidth: u64,
+    /// Probability of dropping any node-to-node message.
+    pub drop_prob: f64,
+    /// Serial per-message processing time at a receiving node (µs): models
+    /// the single-core server bottleneck that makes a leader saturate — the
+    /// effect behind the paper's throughput/latency curves (Fig. 6) and the
+    /// post-split aggregate speedup (Fig. 7a).
+    pub proc_time: u64,
+    /// Node timer configuration.
+    pub timing: Timing,
+    /// How often node timers are evaluated.
+    pub tick_interval: u64,
+    /// Client retry timeout for requests that got no answer.
+    pub client_timeout: u64,
+    /// Delay before a completed reconfiguration is visible in the naming
+    /// service (the paper's loosely-consistent DNS-like directory, §V).
+    pub directory_delay: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0FFEE,
+            latency_min: 200,
+            latency_max: 800,
+            bandwidth: 100,
+            drop_prob: 0.0,
+            proc_time: 20,
+            timing: Timing::default(),
+            tick_interval: 5_000,
+            client_timeout: 5_000_000,
+            directory_delay: 20_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A convenience constructor varying only the seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}

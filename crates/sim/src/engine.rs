@@ -1,0 +1,1002 @@
+//! The discrete-event engine.
+
+use crate::client::{Client, Outstanding, Workload};
+use crate::config::SimConfig;
+use crate::directory::Directory;
+use crate::metrics::Metrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recraft_core::events::fingerprint;
+use recraft_core::{Node, NodeEvent, Role};
+use recraft_kv::lin::{self, Op, OpId, OpKind};
+use recraft_kv::{KvResp, KvStore};
+use recraft_net::{AdminCmd, Envelope, Message};
+use recraft_types::{ClusterConfig, ClusterId, EpochTerm, Error, NodeId, RangeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+
+/// Client endpoints live at ids `CLIENT_BASE + client_id`.
+pub const CLIENT_BASE: u64 = 1_000_000;
+/// The administrative endpoint's address.
+pub const ADMIN_ADDR: NodeId = NodeId(2_000_000);
+
+/// A scheduled fault or administrative action.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Crash a node (loses volatile state; keeps log/hard state/snapshot).
+    Crash(NodeId),
+    /// Restart a crashed node.
+    Restart(NodeId),
+    /// Partition the network into groups; links across groups are cut.
+    Partition(Vec<Vec<NodeId>>),
+    /// Remove all partitions and link cuts.
+    Heal,
+    /// Cut specific links (both directions).
+    CutLinks(Vec<(NodeId, NodeId)>),
+    /// Issue an administrative command to a cluster's leader (retried until
+    /// acknowledged or permanently rejected).
+    Admin {
+        /// Target cluster.
+        cluster: ClusterId,
+        /// The command.
+        cmd: AdminCmd,
+        /// Identifier for tracking completion.
+        req_id: u64,
+    },
+    /// Stop all clients issuing new operations.
+    StopClients,
+    /// Resume client traffic.
+    StartClients,
+}
+
+#[derive(Debug)]
+enum EvKind {
+    Deliver(Envelope),
+    NodeTick(NodeId),
+    ClientRetry { client: u64, req_id: u64 },
+    ClientKick(u64),
+    Act(Action),
+    AdminCheck(u64),
+    DirectoryRefresh,
+}
+
+#[derive(Debug)]
+struct Ev {
+    at: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct SimNode {
+    node: Node<KvStore>,
+    up: bool,
+}
+
+/// The deterministic simulator. See the [crate documentation](crate).
+pub struct Sim {
+    cfg: SimConfig,
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Ev>>,
+    nodes: BTreeMap<NodeId, SimNode>,
+    clients: BTreeMap<u64, Client>,
+    cut: HashSet<(NodeId, NodeId)>,
+    /// Per-link FIFO clock: links model TCP connections, so a message never
+    /// overtakes an earlier one on the same link.
+    link_clock: HashMap<(NodeId, NodeId), u64>,
+    /// Per-node serial-processing clock (the server CPU bottleneck).
+    node_busy: HashMap<NodeId, u64>,
+    rng: StdRng,
+    trace: Vec<(u64, NodeId, NodeEvent)>,
+    metrics: Metrics,
+    directory: Directory,
+    history: Vec<Op>,
+    /// First-apply order of unique command digests (the linearization
+    /// witness).
+    applies: Vec<u64>,
+    applied_digests: HashSet<u64>,
+    digest_ops: HashMap<u64, OpId>,
+    admin_pending: HashMap<u64, (ClusterId, AdminCmd)>,
+    admin_done: BTreeMap<u64, u64>,
+    admin_failed: BTreeMap<u64, Error>,
+    next_admin_req: u64,
+    // Safety trackers (Theorem 1 and Election Safety), checked online.
+    applied_at: HashMap<(ClusterId, u64), u64>,
+    leaders_at: HashMap<(ClusterId, EpochTerm), NodeId>,
+}
+
+impl Sim {
+    /// Creates an empty simulation.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Sim {
+            cfg,
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            nodes: BTreeMap::new(),
+            clients: BTreeMap::new(),
+            cut: HashSet::new(),
+            link_clock: HashMap::new(),
+            node_busy: HashMap::new(),
+            rng,
+            trace: Vec::new(),
+            metrics: Metrics::default(),
+            directory: Directory::default(),
+            history: Vec::new(),
+            applies: Vec::new(),
+            applied_digests: HashSet::new(),
+            digest_ops: HashMap::new(),
+            admin_pending: HashMap::new(),
+            admin_done: BTreeMap::new(),
+            admin_failed: BTreeMap::new(),
+            next_admin_req: 1,
+            applied_at: HashMap::new(),
+            leaders_at: HashMap::new(),
+        }
+    }
+
+    // ---- Topology ---------------------------------------------------------
+
+    /// Boots a fresh cluster of nodes sharing `ranges`.
+    pub fn boot_cluster(&mut self, cluster: ClusterId, ids: &[NodeId], ranges: RangeSet) {
+        let config = ClusterConfig::new(cluster, ids.iter().copied(), ranges)
+            .expect("valid cluster config");
+        for id in ids {
+            self.boot_node_with_store(*id, config.clone(), KvStore::new());
+        }
+        self.schedule(self.cfg.directory_delay, EvKind::DirectoryRefresh);
+    }
+
+    /// Boots one node with a preloaded store (the TC baseline's restart-as-
+    /// subcluster path).
+    pub fn boot_node_with_store(&mut self, id: NodeId, config: ClusterConfig, store: KvStore) {
+        let seed = self.cfg.seed ^ id.0.wrapping_mul(0x517C_C1B7_2722_0A95);
+        let node = Node::new(id, config, store, self.cfg.timing, seed);
+        self.nodes.insert(id, SimNode { node, up: true });
+        self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
+        self.schedule(self.cfg.directory_delay, EvKind::DirectoryRefresh);
+    }
+
+    /// Boots a node that will join an existing cluster: it has no
+    /// configuration, never campaigns, and adopts identity from the first
+    /// leader that contacts it (after an `AddAndResize` or a vanilla member
+    /// add names it).
+    pub fn boot_joiner(&mut self, id: NodeId) {
+        let seed = self.cfg.seed ^ id.0.wrapping_mul(0x517C_C1B7_2722_0A95);
+        let node = Node::new_joiner(id, KvStore::new(), self.cfg.timing, seed);
+        self.nodes.insert(id, SimNode { node, up: true });
+        self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
+    }
+
+    /// Permanently removes a node from the simulation (TC terminates and
+    /// re-purposes nodes).
+    pub fn decommission(&mut self, id: NodeId) {
+        self.nodes.remove(&id);
+    }
+
+    /// Adds `n` closed-loop clients running `workload`.
+    pub fn add_clients(&mut self, n: u64, workload: Workload) {
+        let start = self.clients.len() as u64;
+        for i in start..start + n {
+            let addr = NodeId(CLIENT_BASE + i);
+            let seed = self.cfg.seed ^ (i + 1).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            self.clients.insert(
+                i,
+                Client {
+                    id: i,
+                    addr,
+                    rng: StdRng::seed_from_u64(seed),
+                    workload: workload.clone(),
+                    next_req: 1,
+                    outstanding: None,
+                    leader_cache: BTreeMap::new(),
+                    active: true,
+                },
+            );
+            self.schedule(1, EvKind::ClientKick(i));
+        }
+    }
+
+    // ---- Scheduling --------------------------------------------------------
+
+    fn schedule(&mut self, delay: u64, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Ev {
+            at: self.now + delay,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Schedules a fault/admin action at an absolute virtual time.
+    pub fn schedule_action(&mut self, at: u64, action: Action) {
+        let delay = at.saturating_sub(self.now);
+        self.schedule(delay, EvKind::Act(action));
+    }
+
+    /// Issues an administrative command now (retried until acknowledged).
+    /// Returns the request id to correlate with [`Sim::admin_completed_at`].
+    pub fn admin(&mut self, cluster: ClusterId, cmd: AdminCmd) -> u64 {
+        let req_id = self.next_admin_req;
+        self.next_admin_req += 1;
+        self.schedule(
+            0,
+            EvKind::Act(Action::Admin {
+                cluster,
+                cmd,
+                req_id,
+            }),
+        );
+        req_id
+    }
+
+    /// Builds an admin action with a fresh request id (for
+    /// [`Sim::schedule_action`]).
+    pub fn admin_action(&mut self, cluster: ClusterId, cmd: AdminCmd) -> (u64, Action) {
+        let req_id = self.next_admin_req;
+        self.next_admin_req += 1;
+        (
+            req_id,
+            Action::Admin {
+                cluster,
+                cmd,
+                req_id,
+            },
+        )
+    }
+
+    // ---- Run loop ----------------------------------------------------------
+
+    /// Advances virtual time to `t`, processing every event before it.
+    pub fn run_until(&mut self, t: u64) {
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if ev.at > t {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+        }
+        self.now = t;
+    }
+
+    /// Advances virtual time by `dt`.
+    pub fn run_for(&mut self, dt: u64) {
+        let t = self.now + dt;
+        self.run_until(t);
+    }
+
+    /// Runs until `pred` holds, checking every millisecond of virtual time.
+    ///
+    /// # Panics
+    /// Panics if the predicate does not hold within `max` µs.
+    pub fn run_until_pred<F: Fn(&Sim) -> bool>(&mut self, max: u64, pred: F) {
+        let deadline = self.now + max;
+        while self.now < deadline {
+            if pred(self) {
+                return;
+            }
+            self.run_for(1_000);
+        }
+        assert!(pred(self), "predicate not reached after {max}us");
+    }
+
+    /// Runs until `cluster` has a leader.
+    pub fn run_until_leader(&mut self, cluster: ClusterId) {
+        self.run_until_pred(10_000_000, |sim| sim.leader_of(cluster).is_some());
+    }
+
+    fn dispatch(&mut self, kind: EvKind) {
+        match kind {
+            EvKind::Deliver(env) => {
+                let to = env.to;
+                if to.0 >= CLIENT_BASE && to != ADMIN_ADDR {
+                    if let Message::ClientResp { req_id, result } = env.msg {
+                        self.handle_client_resp(to.0 - CLIENT_BASE, env.from, req_id, result);
+                    }
+                    return;
+                }
+                let size = env.wire_size() as u64;
+                let mut stepped = false;
+                if let Some(sn) = self.nodes.get_mut(&to) {
+                    if sn.up {
+                        let now = self.now;
+                        sn.node.step(now, env.from, env.msg);
+                        stepped = true;
+                    }
+                }
+                if stepped {
+                    self.metrics.messages_delivered += 1;
+                    self.metrics.bytes_delivered += size;
+                    self.collect(to);
+                }
+            }
+            EvKind::NodeTick(id) => {
+                let mut alive = false;
+                if let Some(sn) = self.nodes.get_mut(&id) {
+                    alive = true;
+                    if sn.up {
+                        let now = self.now;
+                        sn.node.tick(now);
+                    }
+                }
+                if alive {
+                    self.collect(id);
+                    self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
+                }
+            }
+            EvKind::ClientKick(id) => self.client_issue(id),
+            EvKind::ClientRetry { client, req_id } => self.client_timeout(client, req_id),
+            EvKind::AdminCheck(req_id) => {
+                if let Some((cluster, cmd)) = self.admin_pending.remove(&req_id) {
+                    // No acknowledgement: retry against the (possibly new)
+                    // leader.
+                    self.schedule(
+                        0,
+                        EvKind::Act(Action::Admin {
+                            cluster,
+                            cmd,
+                            req_id,
+                        }),
+                    );
+                }
+            }
+            EvKind::Act(action) => self.apply_action(action),
+            EvKind::DirectoryRefresh => self.refresh_directory(),
+        }
+    }
+
+    // ---- Faults and admin ---------------------------------------------------
+
+    fn apply_action(&mut self, action: Action) {
+        match action {
+            Action::Crash(id) => {
+                if let Some(sn) = self.nodes.get_mut(&id) {
+                    sn.up = false;
+                    // Volatile outputs die with the process.
+                    let _ = sn.node.take_outputs();
+                }
+            }
+            Action::Restart(id) => {
+                if let Some(sn) = self.nodes.get_mut(&id) {
+                    if !sn.up {
+                        sn.up = true;
+                        let now = self.now;
+                        sn.node.restart(now);
+                    }
+                }
+            }
+            Action::Partition(groups) => {
+                self.cut.clear();
+                for (i, a) in groups.iter().enumerate() {
+                    for (j, b) in groups.iter().enumerate() {
+                        if i == j {
+                            continue;
+                        }
+                        for x in a {
+                            for y in b {
+                                self.cut.insert((*x, *y));
+                            }
+                        }
+                    }
+                }
+            }
+            Action::Heal => self.cut.clear(),
+            Action::CutLinks(links) => {
+                for (a, b) in links {
+                    self.cut.insert((a, b));
+                    self.cut.insert((b, a));
+                }
+            }
+            Action::StopClients => {
+                for c in self.clients.values_mut() {
+                    c.active = false;
+                }
+            }
+            Action::StartClients => {
+                let ids: Vec<u64> = self.clients.keys().copied().collect();
+                for id in &ids {
+                    self.clients.get_mut(id).unwrap().active = true;
+                }
+                for id in ids {
+                    self.schedule(1, EvKind::ClientKick(id));
+                }
+            }
+            Action::Admin {
+                cluster,
+                cmd,
+                req_id,
+            } => {
+                if self.admin_done.contains_key(&req_id) || self.admin_failed.contains_key(&req_id)
+                {
+                    return;
+                }
+                let target = self
+                    .leader_of(cluster)
+                    .or_else(|| self.any_member_of(cluster));
+                let Some(target) = target else {
+                    // The cluster does not exist (yet); retry later.
+                    self.admin_pending.insert(req_id, (cluster, cmd));
+                    self.schedule(200_000, EvKind::AdminCheck(req_id));
+                    return;
+                };
+                self.admin_pending.insert(req_id, (cluster, cmd.clone()));
+                let env = Envelope::new(ADMIN_ADDR, target, Message::AdminReq { req_id, cmd });
+                self.transmit(env);
+                self.schedule(500_000, EvKind::AdminCheck(req_id));
+            }
+        }
+    }
+
+    fn handle_admin_resp(&mut self, req_id: u64, result: Result<(), Error>) {
+        let Some((cluster, cmd)) = self.admin_pending.remove(&req_id) else {
+            return;
+        };
+        match result {
+            Ok(()) => {
+                self.admin_done.insert(req_id, self.now);
+            }
+            Err(
+                Error::NotLeader(_)
+                | Error::PreconditionP1
+                | Error::PreconditionP3
+                | Error::MergeBlocked,
+            ) => {
+                // Transient: retry shortly.
+                self.admin_pending.insert(req_id, (cluster, cmd));
+                self.schedule(100_000, EvKind::AdminCheck(req_id));
+            }
+            Err(e) => {
+                self.admin_failed.insert(req_id, e);
+            }
+        }
+    }
+
+    // ---- Message plumbing ----------------------------------------------------
+
+    /// Sends an envelope through the simulated network.
+    fn transmit(&mut self, env: Envelope) {
+        if self.cut.contains(&(env.from, env.to)) {
+            self.metrics.messages_dropped += 1;
+            return;
+        }
+        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+            self.metrics.messages_dropped += 1;
+            return;
+        }
+        let latency = self
+            .rng
+            .gen_range(self.cfg.latency_min..=self.cfg.latency_max);
+        let transfer = env.wire_size() as u64 / self.cfg.bandwidth.max(1);
+        let mut at = self.now + latency + transfer;
+        // FIFO per link (TCP semantics): no overtaking.
+        let clock = self.link_clock.entry((env.from, env.to)).or_insert(0);
+        at = at.max(*clock);
+        *clock = at;
+        // Serial processing at the receiving node: a busy server queues
+        // incoming messages (the saturation bottleneck).
+        if env.to.0 < CLIENT_BASE {
+            let busy = self.node_busy.entry(env.to).or_insert(0);
+            at = at.max(*busy);
+            *busy = at + self.cfg.proc_time;
+        }
+        let delay = at - self.now;
+        self.schedule(delay, EvKind::Deliver(env));
+    }
+
+    /// Drains a node's outbox and trace events.
+    fn collect(&mut self, id: NodeId) {
+        let Some(sn) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let (msgs, events) = sn.node.take_outputs();
+        for ev in events {
+            self.observe(id, ev);
+        }
+        for env in msgs {
+            if env.to.0 >= CLIENT_BASE && env.to != ADMIN_ADDR {
+                // Client-bound: deliver with latency but without faults (the
+                // client plane models an external LAN).
+                let latency = self
+                    .rng
+                    .gen_range(self.cfg.latency_min..=self.cfg.latency_max);
+                self.schedule(latency, EvKind::Deliver(env));
+            } else if env.to == ADMIN_ADDR {
+                if let Message::AdminResp { req_id, result } = env.msg {
+                    self.handle_admin_resp(req_id, result);
+                }
+            } else {
+                self.transmit(env);
+            }
+        }
+    }
+
+    /// Records a node event: trace, safety checks, witness, directory
+    /// refreshes.
+    fn observe(&mut self, id: NodeId, ev: NodeEvent) {
+        match &ev {
+            NodeEvent::AppliedCommand {
+                cluster,
+                index,
+                digest,
+            } => {
+                // Theorem 1 (state machine safety), checked online.
+                if let Some(prev) = self.applied_at.insert((*cluster, index.0), *digest) {
+                    assert_eq!(
+                        prev, *digest,
+                        "STATE MACHINE SAFETY VIOLATED at {cluster}/{index} by {id}"
+                    );
+                }
+                if self.applied_digests.insert(*digest) {
+                    self.applies.push(*digest);
+                }
+            }
+            NodeEvent::BecameLeader { cluster, eterm } => {
+                // Definition 2 (election safety): one leader per cluster,
+                // epoch and term.
+                if let Some(prev) = self.leaders_at.insert((*cluster, *eterm), id) {
+                    assert_eq!(
+                        prev, id,
+                        "ELECTION SAFETY VIOLATED: two leaders for {cluster} at {eterm}"
+                    );
+                }
+            }
+            NodeEvent::SplitCompleted { .. }
+            | NodeEvent::MergeResumed { .. }
+            | NodeEvent::MembershipCommitted { .. }
+            | NodeEvent::RangesChanged { .. }
+            | NodeEvent::Removed { .. } => {
+                self.schedule(self.cfg.directory_delay, EvKind::DirectoryRefresh);
+            }
+            _ => {}
+        }
+        self.trace.push((self.now, id, ev));
+    }
+
+    /// Rebuilds the naming service from the live nodes' views (taking the
+    /// most-applied node's word per cluster).
+    fn refresh_directory(&mut self) {
+        let mut best: BTreeMap<ClusterId, (u64, RangeSet, BTreeSet<NodeId>)> = BTreeMap::new();
+        for sn in self.nodes.values() {
+            if !sn.up || sn.node.role() == Role::Removed {
+                continue;
+            }
+            let cluster = sn.node.cluster();
+            let applied = sn.node.applied_index().0;
+            let entry = best.entry(cluster);
+            let cfg = sn.node.config();
+            match entry {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert((applied, cfg.ranges().clone(), cfg.members().clone()));
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if applied > o.get().0 {
+                        o.insert((applied, cfg.ranges().clone(), cfg.members().clone()));
+                    }
+                }
+            }
+        }
+        self.directory.clear();
+        for (cluster, (_, ranges, members)) in best {
+            self.directory.upsert(cluster, ranges, members);
+        }
+    }
+
+    // ---- Clients --------------------------------------------------------------
+
+    fn client_issue(&mut self, id: u64) {
+        let Some(c) = self.clients.get_mut(&id) else {
+            return;
+        };
+        if !c.active || c.outstanding.is_some() {
+            return;
+        }
+        let (key, cmd, kind) = c.next_op();
+        let req_id = c.next_req;
+        c.next_req += 1;
+        let raw = cmd.encode();
+        let digest = fingerprint(&raw);
+        self.digest_ops.insert(digest, (id, req_id));
+        // Route: directory by key, then the cached leader for that cluster.
+        let (cluster, target) = match self.directory.lookup(&key) {
+            Some((cluster, members)) => {
+                let target = self.clients[&id]
+                    .leader_cache
+                    .get(&cluster)
+                    .copied()
+                    .filter(|t| members.contains(t) || self.nodes.contains_key(t))
+                    .or_else(|| members.iter().next().copied());
+                (Some(cluster), target)
+            }
+            None => {
+                // Directory still empty: try any live node.
+                let t = self
+                    .nodes
+                    .iter()
+                    .find(|(_, sn)| sn.up)
+                    .map(|(id, _)| *id);
+                (None, t)
+            }
+        };
+        let c = self.clients.get_mut(&id).unwrap();
+        c.outstanding = Some(Outstanding {
+            req_id,
+            key: key.clone(),
+            cmd: raw.clone(),
+            kind,
+            cluster,
+            invoked_at: self.now,
+        });
+        let Some(target) = target else {
+            // Nobody to talk to; retry shortly.
+            let timeout = self.cfg.client_timeout;
+            self.schedule(timeout, EvKind::ClientRetry { client: id, req_id });
+            return;
+        };
+        let env = Envelope::new(
+            self.clients[&id].addr,
+            target,
+            Message::ClientReq {
+                req_id,
+                key,
+                cmd: raw,
+            },
+        );
+        // Client-to-node traffic shares the network model.
+        self.transmit(env);
+        let timeout = self.cfg.client_timeout;
+        self.schedule(timeout, EvKind::ClientRetry { client: id, req_id });
+    }
+
+    fn client_timeout(&mut self, id: u64, req_id: u64) {
+        let Some(c) = self.clients.get_mut(&id) else {
+            return;
+        };
+        let Some(o) = &c.outstanding else {
+            return;
+        };
+        if o.req_id != req_id {
+            return;
+        }
+        // The request may or may not have been appended: abandon it (its
+        // value is unique and never reused, so at-most-once semantics hold)
+        // and move on.
+        let o = c.outstanding.take().expect("checked");
+        self.history.push(Op {
+            id: (id, o.req_id),
+            key: o.key,
+            kind: o.kind,
+            invoked_at: o.invoked_at,
+            responded_at: None,
+        });
+        self.client_issue(id);
+    }
+
+    fn handle_client_resp(&mut self, client: u64, from: NodeId, req_id: u64, result: Result<bytes::Bytes, Error>) {
+        let Some(c) = self.clients.get_mut(&client) else {
+            return;
+        };
+        let Some(o) = &c.outstanding else {
+            return;
+        };
+        if o.req_id != req_id {
+            return; // stale response for an abandoned request
+        }
+        match result {
+            Ok(raw) => {
+                let mut o = c.outstanding.take().expect("checked");
+                if let OpKind::Read { value } = &mut o.kind {
+                    if let Ok(KvResp::Value { value: v, .. }) = KvResp::decode(&raw) {
+                        *value = v;
+                    }
+                }
+                if let Some(cluster) = o.cluster {
+                    c.leader_cache.insert(cluster, from);
+                }
+                self.history.push(Op {
+                    id: (client, req_id),
+                    key: o.key,
+                    kind: o.kind,
+                    invoked_at: o.invoked_at,
+                    responded_at: Some(self.now),
+                });
+                self.metrics
+                    .completions
+                    .push((self.now, self.now - o.invoked_at));
+                self.client_issue(client);
+            }
+            Err(Error::NotLeader(hint)) => {
+                // Retry the same request (it was not appended) against the
+                // hinted leader or another member.
+                let key = o.key.clone();
+                let cmd = o.cmd.clone();
+                let cluster = o.cluster;
+                if let (Some(cluster), Some(h)) = (cluster, hint) {
+                    c.leader_cache.insert(cluster, h);
+                }
+                let target = hint.or_else(|| {
+                    self.directory
+                        .lookup(&key)
+                        .and_then(|(_, members)| {
+                            let members: Vec<NodeId> = members.iter().copied().collect();
+                            if members.is_empty() {
+                                None
+                            } else {
+                                Some(members[(self.now as usize / 1000) % members.len()])
+                            }
+                        })
+                });
+                if let Some(target) = target {
+                    let env = Envelope::new(
+                        self.clients[&client].addr,
+                        target,
+                        Message::ClientReq { req_id, key, cmd },
+                    );
+                    self.transmit(env);
+                }
+            }
+            Err(Error::WrongRange(_) | Error::MergeBlocked | Error::PreconditionP3) => {
+                // The topology is changing under us: re-resolve via the
+                // directory after a short backoff by re-sending on timeout
+                // path.
+                let key = o.key.clone();
+                let cmd = o.cmd.clone();
+                if let Some((cluster, members)) = self.directory.lookup(&key) {
+                    let target = self.clients[&client]
+                        .leader_cache
+                        .get(&cluster)
+                        .copied()
+                        .or_else(|| members.iter().next().copied());
+                    if let Some(target) = target {
+                        let env = Envelope::new(
+                            self.clients[&client].addr,
+                            target,
+                            Message::ClientReq { req_id, key, cmd },
+                        );
+                        // Back off a little: the reconfiguration window is
+                        // about one commit round-trip.
+                        let latency = self
+                            .rng
+                            .gen_range(self.cfg.latency_min..=self.cfg.latency_max);
+                        self.schedule(latency + 10_000, EvKind::Deliver(env));
+                    }
+                }
+            }
+            Err(_) => {
+                // ProposalDropped and friends: outcome unknown; abandon.
+                let o = c.outstanding.take().expect("checked");
+                self.history.push(Op {
+                    id: (client, req_id),
+                    key: o.key,
+                    kind: o.kind,
+                    invoked_at: o.invoked_at,
+                    responded_at: None,
+                });
+                self.client_issue(client);
+            }
+        }
+    }
+
+    // ---- Inspection -------------------------------------------------------------
+
+    /// Current virtual time (µs).
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.now
+    }
+
+    /// The simulation parameters.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Asks a specific node to start an election now (leadership placement
+    /// in tests and benches — operators use leadership transfer similarly).
+    pub fn campaign(&mut self, node: NodeId) {
+        let req_id = 0xFFFF_0000_0000 + self.seq;
+        let env = Envelope::new(
+            ADMIN_ADDR,
+            node,
+            Message::AdminReq {
+                req_id,
+                cmd: AdminCmd::Campaign,
+            },
+        );
+        self.transmit(env);
+    }
+
+    /// Injects an externally-originated client request (the TC cluster
+    /// manager's data path). The response is discarded.
+    pub fn inject_client_req(&mut self, target: NodeId, key: Vec<u8>, cmd: bytes::Bytes) {
+        let req_id = 0xFFFF_0000_0000 + self.seq;
+        let env = Envelope::new(
+            ADMIN_ADDR,
+            target,
+            Message::ClientReq { req_id, key, cmd },
+        );
+        self.transmit(env);
+    }
+
+    /// The current leader of `cluster`, if any.
+    #[must_use]
+    pub fn leader_of(&self, cluster: ClusterId) -> Option<NodeId> {
+        self.nodes
+            .values()
+            .find(|sn| sn.up && sn.node.is_leader() && sn.node.cluster() == cluster)
+            .map(|sn| sn.node.id())
+    }
+
+    fn any_member_of(&self, cluster: ClusterId) -> Option<NodeId> {
+        self.nodes
+            .values()
+            .find(|sn| sn.up && sn.node.cluster() == cluster && sn.node.role() != Role::Removed)
+            .map(|sn| sn.node.id())
+    }
+
+    /// Read access to a node.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&Node<KvStore>> {
+        self.nodes.get(&id).map(|sn| &sn.node)
+    }
+
+    /// Whether the node is currently up.
+    #[must_use]
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.nodes.get(&id).is_some_and(|sn| sn.up)
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node<KvStore>> {
+        self.nodes.values().map(|sn| &sn.node)
+    }
+
+    /// The ids of every node currently part of `cluster`.
+    #[must_use]
+    pub fn members_of(&self, cluster: ClusterId) -> Vec<NodeId> {
+        self.nodes
+            .values()
+            .filter(|sn| sn.node.cluster() == cluster && sn.node.role() != Role::Removed)
+            .map(|sn| sn.node.id())
+            .collect()
+    }
+
+    /// The run's metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The recorded trace of node events.
+    #[must_use]
+    pub fn trace(&self) -> &[(u64, NodeId, NodeEvent)] {
+        &self.trace
+    }
+
+    /// Time of the first trace event matching `pred`, if any.
+    #[must_use]
+    pub fn first_event<F: Fn(&NodeEvent) -> bool>(&self, pred: F) -> Option<u64> {
+        self.trace
+            .iter()
+            .find(|(_, _, e)| pred(e))
+            .map(|(t, _, _)| *t)
+    }
+
+    /// Time of the last trace event matching `pred`, if any.
+    #[must_use]
+    pub fn last_event<F: Fn(&NodeEvent) -> bool>(&self, pred: F) -> Option<u64> {
+        self.trace
+            .iter()
+            .rev()
+            .find(|(_, _, e)| pred(e))
+            .map(|(t, _, _)| *t)
+    }
+
+    /// When the admin request completed, if it has.
+    #[must_use]
+    pub fn admin_completed_at(&self, req_id: u64) -> Option<u64> {
+        self.admin_done.get(&req_id).copied()
+    }
+
+    /// The permanent failure recorded for an admin request, if any.
+    #[must_use]
+    pub fn admin_failure(&self, req_id: u64) -> Option<&Error> {
+        self.admin_failed.get(&req_id)
+    }
+
+    /// The naming service contents.
+    #[must_use]
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    // ---- Verification -------------------------------------------------------------
+
+    /// Asserts the paper's safety definitions over everything observed so
+    /// far. (They are also asserted online while running; this pass
+    /// re-derives both maps from the trace.)
+    pub fn check_invariants(&self) {
+        let mut applied: HashMap<(ClusterId, u64), u64> = HashMap::new();
+        let mut leaders: HashMap<(ClusterId, EpochTerm), NodeId> = HashMap::new();
+        for (_, node, ev) in &self.trace {
+            match ev {
+                // Theorem 1: no two nodes apply different entries at the
+                // same (cluster, index). Replays after restart re-apply the
+                // same digests, which the equality admits.
+                NodeEvent::AppliedCommand {
+                    cluster,
+                    index,
+                    digest,
+                } => {
+                    if let Some(prev) = applied.insert((*cluster, index.0), *digest) {
+                        assert_eq!(prev, *digest, "state machine safety at {cluster}/{index}");
+                    }
+                }
+                // Definition 2: at most one leader per (cluster, epoch,
+                // term).
+                NodeEvent::BecameLeader { cluster, eterm } => {
+                    if let Some(prev) = leaders.insert((*cluster, *eterm), *node) {
+                        assert_eq!(prev, *node, "election safety at {cluster}/{eterm}");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Verifies client-visible linearizability of the run.
+    ///
+    /// # Panics
+    /// Panics with the violations when the history is not linearizable.
+    pub fn check_linearizability(&self) {
+        let mut history = self.history.clone();
+        // Outstanding requests count as incomplete operations.
+        for c in self.clients.values() {
+            if let Some(o) = &c.outstanding {
+                history.push(Op {
+                    id: (c.id, o.req_id),
+                    key: o.key.clone(),
+                    kind: o.kind.clone(),
+                    invoked_at: o.invoked_at,
+                    responded_at: None,
+                });
+            }
+        }
+        let witness: Vec<OpId> = self
+            .applies
+            .iter()
+            .filter_map(|digest| self.digest_ops.get(digest).copied())
+            .collect();
+        let violations = lin::check_history(&history, &witness);
+        assert!(
+            violations.is_empty(),
+            "linearizability violated: {:?}",
+            violations
+        );
+    }
+
+    /// The number of completed client operations.
+    #[must_use]
+    pub fn completed_ops(&self) -> usize {
+        self.metrics.completions.len()
+    }
+}

@@ -1,0 +1,120 @@
+//! Log entries.
+
+use bytes::Bytes;
+use recraft_types::{ConfigChange, EpochTerm, LogIndex};
+use std::fmt;
+
+/// The payload of one log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryPayload {
+    /// The no-op a fresh leader commits to satisfy precondition P3.
+    Noop,
+    /// An application command (opaque to the consensus layer).
+    Command(Bytes),
+    /// A configuration change (membership, split, or merge step).
+    Config(ConfigChange),
+}
+
+impl EntryPayload {
+    /// Whether this payload reconfigures the cluster.
+    #[must_use]
+    pub fn is_config(&self) -> bool {
+        matches!(self, EntryPayload::Config(_))
+    }
+}
+
+/// One entry of the replicated log: its index, the epoch-prefixed term it was
+/// created in, and the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Position in the log (1-based; 0 is the sentinel).
+    pub index: LogIndex,
+    /// Epoch-term of the leader that created the entry.
+    pub eterm: EpochTerm,
+    /// The replicated payload.
+    pub payload: EntryPayload,
+}
+
+impl LogEntry {
+    /// A no-op entry.
+    #[must_use]
+    pub fn noop(index: LogIndex, eterm: EpochTerm) -> Self {
+        LogEntry {
+            index,
+            eterm,
+            payload: EntryPayload::Noop,
+        }
+    }
+
+    /// A command entry.
+    #[must_use]
+    pub fn command(index: LogIndex, eterm: EpochTerm, cmd: Bytes) -> Self {
+        LogEntry {
+            index,
+            eterm,
+            payload: EntryPayload::Command(cmd),
+        }
+    }
+
+    /// A configuration-change entry.
+    #[must_use]
+    pub fn config(index: LogIndex, eterm: EpochTerm, change: ConfigChange) -> Self {
+        LogEntry {
+            index,
+            eterm,
+            payload: EntryPayload::Config(change),
+        }
+    }
+
+    /// The config change carried by this entry, if any.
+    #[must_use]
+    pub fn as_config(&self) -> Option<&ConfigChange> {
+        match &self.payload {
+            EntryPayload::Config(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.payload {
+            EntryPayload::Noop => "noop".to_string(),
+            EntryPayload::Command(c) => format!("cmd[{}B]", c.len()),
+            EntryPayload::Config(c) => format!("cfg[{}]", c.kind()),
+        };
+        write!(f, "{}@{} {}", self.index, self.eterm, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recraft_types::config::ConfigChange;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let e = LogEntry::noop(LogIndex(1), EpochTerm::new(0, 1));
+        assert!(!e.payload.is_config());
+        assert!(e.as_config().is_none());
+
+        let c = LogEntry::command(LogIndex(2), EpochTerm::new(0, 1), Bytes::from_static(b"x"));
+        assert!(matches!(c.payload, EntryPayload::Command(_)));
+
+        let change = ConfigChange::Simple {
+            members: BTreeSet::new(),
+        };
+        let cfg = LogEntry::config(LogIndex(3), EpochTerm::new(0, 1), change.clone());
+        assert!(cfg.payload.is_config());
+        assert_eq!(cfg.as_config(), Some(&change));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = LogEntry::command(LogIndex(2), EpochTerm::new(1, 4), Bytes::from_static(b"ab"));
+        let s = e.to_string();
+        assert!(s.contains("e1.t4"));
+        assert!(s.contains("cmd[2B]"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Storage substrate for ReCraft: the replicated log, the persisted hard
+//! state, and snapshots.
+//!
+//! The log model matches Raft's: a compacted prefix summarized by a snapshot
+//! base `(base_index, base_eterm)` followed by in-memory entries. The merge
+//! protocol additionally *renumbers* logs (the merged cluster "starts fresh
+//! with the log that begins with the Cnew entry", §III-C2), which
+//! [`MemLog::reset`] supports.
+//!
+//! # Example
+//! ```
+//! use recraft_storage::{EntryPayload, LogEntry, MemLog};
+//! use recraft_types::{EpochTerm, LogIndex};
+//!
+//! let mut log = MemLog::new();
+//! log.append(LogEntry::noop(LogIndex(1), EpochTerm::new(0, 1)));
+//! assert_eq!(log.last_index(), LogIndex(1));
+//! assert_eq!(log.eterm_at(LogIndex(1)), Some(EpochTerm::new(0, 1)));
+//! ```
+
+mod entry;
+mod memlog;
+#[cfg(test)]
+mod proptests;
+mod snapshot;
+mod state;
+
+pub use entry::{EntryPayload, LogEntry};
+pub use memlog::MemLog;
+pub use snapshot::Snapshot;
+pub use state::HardState;

@@ -1,0 +1,334 @@
+//! The in-memory replicated log with snapshot-based compaction.
+
+use crate::entry::LogEntry;
+use recraft_types::{EpochTerm, Error, LogIndex, Result};
+use std::collections::VecDeque;
+
+/// An in-memory Raft log.
+///
+/// Entries before and at the *base* have been compacted into a snapshot; the
+/// base epoch-term is retained so consistency checks for the first real entry
+/// still work. Indices are global (they do not restart after compaction)
+/// except across a [`MemLog::reset`], which merge resumption uses to renumber
+/// the log from scratch.
+#[derive(Debug, Clone)]
+pub struct MemLog {
+    base_index: LogIndex,
+    base_eterm: EpochTerm,
+    entries: VecDeque<LogEntry>,
+}
+
+impl Default for MemLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemLog {
+    /// An empty log with base `(0, e0.t0)`.
+    #[must_use]
+    pub fn new() -> Self {
+        MemLog {
+            base_index: LogIndex::ZERO,
+            base_eterm: EpochTerm::ZERO,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// The compaction base index (entries at or below it are gone).
+    #[must_use]
+    pub fn base_index(&self) -> LogIndex {
+        self.base_index
+    }
+
+    /// The epoch-term recorded at the base index.
+    #[must_use]
+    pub fn base_eterm(&self) -> EpochTerm {
+        self.base_eterm
+    }
+
+    /// Index of the first retained entry.
+    #[must_use]
+    pub fn first_index(&self) -> LogIndex {
+        self.base_index.next()
+    }
+
+    /// Index of the last entry (the base index if the log is empty).
+    #[must_use]
+    pub fn last_index(&self) -> LogIndex {
+        match self.entries.back() {
+            Some(e) => e.index,
+            None => self.base_index,
+        }
+    }
+
+    /// Epoch-term of the last entry (the base epoch-term if empty).
+    #[must_use]
+    pub fn last_eterm(&self) -> EpochTerm {
+        match self.entries.back() {
+            Some(e) => e.eterm,
+            None => self.base_eterm,
+        }
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at `index`, if retained.
+    #[must_use]
+    pub fn entry(&self, index: LogIndex) -> Option<&LogEntry> {
+        if index <= self.base_index || index > self.last_index() {
+            return None;
+        }
+        let off = (index.0 - self.base_index.0 - 1) as usize;
+        self.entries.get(off)
+    }
+
+    /// The epoch-term at `index`: the base epoch-term for the base index,
+    /// otherwise the retained entry's. `None` if compacted away or past the
+    /// end.
+    #[must_use]
+    pub fn eterm_at(&self, index: LogIndex) -> Option<EpochTerm> {
+        if index == self.base_index {
+            return Some(self.base_eterm);
+        }
+        self.entry(index).map(|e| e.eterm)
+    }
+
+    /// Whether the log matches `(index, eterm)` — the AppendEntries
+    /// consistency check. The base position counts as matching.
+    #[must_use]
+    pub fn matches(&self, index: LogIndex, eterm: EpochTerm) -> bool {
+        self.eterm_at(index) == Some(eterm)
+    }
+
+    /// Appends one entry to the tail.
+    ///
+    /// # Panics
+    /// Panics if `entry.index` is not exactly `last_index + 1` — appends are
+    /// contiguous by construction (leaders assign indices; followers truncate
+    /// before appending).
+    pub fn append(&mut self, entry: LogEntry) {
+        assert_eq!(
+            entry.index,
+            self.last_index().next(),
+            "non-contiguous append"
+        );
+        self.entries.push_back(entry);
+    }
+
+    /// Removes every entry at or after `index` (follower conflict
+    /// resolution). Returns the number of entries removed.
+    ///
+    /// # Errors
+    /// Returns [`Error::IndexOutOfRange`] if `index` is at or below the base
+    /// (committed, compacted entries can never be truncated — Leader
+    /// Append-Only and commit immutability).
+    pub fn truncate_from(&mut self, index: LogIndex) -> Result<usize> {
+        if index <= self.base_index {
+            return Err(Error::IndexOutOfRange(index));
+        }
+        if index > self.last_index() {
+            return Ok(0);
+        }
+        let keep = (index.0 - self.base_index.0 - 1) as usize;
+        let removed = self.entries.len() - keep;
+        self.entries.truncate(keep);
+        Ok(removed)
+    }
+
+    /// Entries in `[from, to]`, clamped to what is retained.
+    #[must_use]
+    pub fn slice(&self, from: LogIndex, to: LogIndex) -> Vec<LogEntry> {
+        if from > to {
+            return Vec::new();
+        }
+        let from = from.max(self.first_index());
+        let to = to.min(self.last_index());
+        if from > to {
+            return Vec::new();
+        }
+        let start = (from.0 - self.base_index.0 - 1) as usize;
+        let end = (to.0 - self.base_index.0) as usize;
+        self.entries.range(start..end).cloned().collect()
+    }
+
+    /// Entries from `from` through the end of the log.
+    #[must_use]
+    pub fn tail(&self, from: LogIndex) -> Vec<LogEntry> {
+        self.slice(from, self.last_index())
+    }
+
+    /// Iterates over the retained entries in order.
+    pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Compacts the log: drops entries at or below `index` and records
+    /// `(index, eterm)` as the new base. Used after taking a snapshot.
+    ///
+    /// # Errors
+    /// Returns [`Error::IndexOutOfRange`] if `index` is below the current
+    /// base or beyond the last entry.
+    pub fn compact_to(&mut self, index: LogIndex, eterm: EpochTerm) -> Result<()> {
+        if index < self.base_index || index > self.last_index() {
+            return Err(Error::IndexOutOfRange(index));
+        }
+        let drop = (index.0 - self.base_index.0) as usize;
+        self.entries.drain(..drop);
+        self.base_index = index;
+        self.base_eterm = eterm;
+        Ok(())
+    }
+
+    /// Discards everything and installs a fresh base — used when installing a
+    /// snapshot from the leader, and by merge resumption to renumber the log.
+    pub fn reset(&mut self, base_index: LogIndex, base_eterm: EpochTerm) {
+        self.entries.clear();
+        self.base_index = base_index;
+        self.base_eterm = base_eterm;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::LogEntry;
+    use bytes::Bytes;
+
+    fn et(term: u32) -> EpochTerm {
+        EpochTerm::new(0, term)
+    }
+
+    fn filled(n: u64, term: u32) -> MemLog {
+        let mut log = MemLog::new();
+        for i in 1..=n {
+            log.append(LogEntry::command(
+                LogIndex(i),
+                et(term),
+                Bytes::from(i.to_string()),
+            ));
+        }
+        log
+    }
+
+    #[test]
+    fn empty_log_shape() {
+        let log = MemLog::new();
+        assert_eq!(log.base_index(), LogIndex::ZERO);
+        assert_eq!(log.first_index(), LogIndex(1));
+        assert_eq!(log.last_index(), LogIndex::ZERO);
+        assert_eq!(log.last_eterm(), EpochTerm::ZERO);
+        assert!(log.is_empty());
+        assert!(log.matches(LogIndex::ZERO, EpochTerm::ZERO));
+    }
+
+    #[test]
+    fn append_and_lookup() {
+        let log = filled(5, 1);
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.last_index(), LogIndex(5));
+        assert_eq!(log.entry(LogIndex(3)).unwrap().index, LogIndex(3));
+        assert!(log.entry(LogIndex(0)).is_none());
+        assert!(log.entry(LogIndex(6)).is_none());
+        assert_eq!(log.eterm_at(LogIndex(5)), Some(et(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn non_contiguous_append_panics() {
+        let mut log = filled(2, 1);
+        log.append(LogEntry::noop(LogIndex(9), et(1)));
+    }
+
+    #[test]
+    fn truncate_from_tail() {
+        let mut log = filled(5, 1);
+        assert_eq!(log.truncate_from(LogIndex(4)).unwrap(), 2);
+        assert_eq!(log.last_index(), LogIndex(3));
+        // Truncating past the end is a no-op.
+        assert_eq!(log.truncate_from(LogIndex(9)).unwrap(), 0);
+    }
+
+    #[test]
+    fn truncate_below_base_fails() {
+        let mut log = filled(5, 1);
+        log.compact_to(LogIndex(3), et(1)).unwrap();
+        assert!(log.truncate_from(LogIndex(3)).is_err());
+        assert_eq!(log.truncate_from(LogIndex(4)).unwrap(), 2);
+    }
+
+    #[test]
+    fn slice_and_tail() {
+        let log = filled(5, 1);
+        let s = log.slice(LogIndex(2), LogIndex(4));
+        assert_eq!(
+            s.iter().map(|e| e.index.0).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert!(log.slice(LogIndex(4), LogIndex(2)).is_empty());
+        let t = log.tail(LogIndex(4));
+        assert_eq!(t.len(), 2);
+        // Clamped to retained range.
+        assert_eq!(log.slice(LogIndex(0), LogIndex(99)).len(), 5);
+    }
+
+    #[test]
+    fn compaction_preserves_suffix() {
+        let mut log = filled(5, 1);
+        log.compact_to(LogIndex(3), et(1)).unwrap();
+        assert_eq!(log.base_index(), LogIndex(3));
+        assert_eq!(log.first_index(), LogIndex(4));
+        assert_eq!(log.len(), 2);
+        assert!(log.entry(LogIndex(3)).is_none());
+        assert_eq!(log.eterm_at(LogIndex(3)), Some(et(1))); // base eterm
+        assert_eq!(log.entry(LogIndex(4)).unwrap().index, LogIndex(4));
+        assert!(log.matches(LogIndex(3), et(1)));
+    }
+
+    #[test]
+    fn compact_bounds_checked() {
+        let mut log = filled(3, 1);
+        assert!(log.compact_to(LogIndex(9), et(1)).is_err());
+        log.compact_to(LogIndex(2), et(1)).unwrap();
+        assert!(log.compact_to(LogIndex(1), et(1)).is_err());
+        // Compacting to the same base is allowed (idempotent).
+        log.compact_to(LogIndex(2), et(1)).unwrap();
+    }
+
+    #[test]
+    fn reset_renumbers() {
+        let mut log = filled(5, 1);
+        log.reset(LogIndex::ZERO, EpochTerm::new(3, 0));
+        assert!(log.is_empty());
+        assert_eq!(log.base_eterm(), EpochTerm::new(3, 0));
+        log.append(LogEntry::noop(LogIndex(1), EpochTerm::new(3, 0)));
+        assert_eq!(log.last_index(), LogIndex(1));
+    }
+
+    #[test]
+    fn matches_checks_eterm() {
+        let mut log = MemLog::new();
+        log.append(LogEntry::noop(LogIndex(1), et(1)));
+        log.append(LogEntry::noop(LogIndex(2), et(2)));
+        assert!(log.matches(LogIndex(2), et(2)));
+        assert!(!log.matches(LogIndex(2), et(1)));
+        assert!(!log.matches(LogIndex(3), et(2)));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let log = filled(4, 2);
+        let idx: Vec<u64> = log.iter().map(|e| e.index.0).collect();
+        assert_eq!(idx, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: the log's shape invariants hold under arbitrary
+//! append / truncate / compact interleavings.
+
+use crate::entry::LogEntry;
+use crate::memlog::MemLog;
+use bytes::Bytes;
+use proptest::prelude::*;
+use recraft_types::{EpochTerm, LogIndex};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append(u32),
+    TruncateFrom(u64),
+    CompactTo(u64),
+    Reset(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u32..8).prop_map(Op::Append),
+        2 => (0u64..64).prop_map(Op::TruncateFrom),
+        2 => (0u64..64).prop_map(Op::CompactTo),
+        1 => (0u32..4).prop_map(Op::Reset),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn log_shape_invariants(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        let mut log = MemLog::new();
+        // A model of what must be retained: (index, term) pairs.
+        let mut model: Vec<(u64, u32)> = Vec::new();
+        let mut base = 0u64;
+        for op in ops {
+            match op {
+                Op::Append(term) => {
+                    let index = log.last_index().next();
+                    log.append(LogEntry::command(
+                        index,
+                        EpochTerm::new(0, term),
+                        Bytes::from_static(b"x"),
+                    ));
+                    model.push((index.0, term));
+                }
+                Op::TruncateFrom(i) => {
+                    let res = log.truncate_from(LogIndex(i));
+                    if i <= base {
+                        prop_assert!(res.is_err());
+                    } else {
+                        model.retain(|(idx, _)| *idx < i);
+                    }
+                }
+                Op::CompactTo(i) => {
+                    let eterm = log.eterm_at(LogIndex(i));
+                    let res = log.compact_to(LogIndex(i), eterm.unwrap_or(EpochTerm::ZERO));
+                    if i >= base && i <= log.last_index().0.max(base) && eterm.is_some() {
+                        prop_assert!(res.is_ok());
+                        base = i;
+                        model.retain(|(idx, _)| *idx > i);
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                Op::Reset(epoch) => {
+                    log.reset(LogIndex::ZERO, EpochTerm::new(epoch, 0));
+                    model.clear();
+                    base = 0;
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(log.len(), model.len());
+            prop_assert_eq!(log.first_index(), log.base_index().next());
+            prop_assert!(log.last_index() >= log.base_index());
+            for (idx, term) in &model {
+                let e = log.entry(LogIndex(*idx)).expect("retained entry");
+                prop_assert_eq!(e.index.0, *idx);
+                prop_assert_eq!(e.eterm.term(), *term);
+            }
+            // Contiguity: entries are dense from first to last.
+            let mut expect = log.first_index();
+            for e in log.iter() {
+                prop_assert_eq!(e.index, expect);
+                expect = expect.next();
+            }
+        }
+    }
+
+    #[test]
+    fn slices_agree_with_entries(
+        n in 1u64..40,
+        from in 0u64..50,
+        to in 0u64..50,
+    ) {
+        let mut log = MemLog::new();
+        for i in 1..=n {
+            log.append(LogEntry::noop(LogIndex(i), EpochTerm::new(0, 1)));
+        }
+        let slice = log.slice(LogIndex(from), LogIndex(to));
+        let expected: Vec<u64> = (from.max(1)..=to.min(n)).collect();
+        prop_assert_eq!(
+            slice.iter().map(|e| e.index.0).collect::<Vec<_>>(),
+            expected
+        );
+    }
+
+    #[test]
+    fn matches_iff_entry_present_with_eterm(
+        n in 1u64..20,
+        probe in 0u64..25,
+        term in 1u32..4,
+    ) {
+        let mut log = MemLog::new();
+        for i in 1..=n {
+            log.append(LogEntry::noop(LogIndex(i), EpochTerm::new(0, (i % 3) as u32 + 1)));
+        }
+        let m = log.matches(LogIndex(probe), EpochTerm::new(0, term));
+        let expected = if probe == 0 {
+            term == 0 // base matches only (0, ZERO); term >= 1 here, so false
+        } else {
+            probe <= n && (probe % 3) as u32 + 1 == term
+        };
+        prop_assert_eq!(m, expected);
+    }
+}

@@ -1,0 +1,58 @@
+//! Snapshots of the applied state machine.
+
+use bytes::Bytes;
+use recraft_types::{ClusterId, EpochTerm, LogIndex, RangeSet};
+
+/// A snapshot of the applied state up to (and including) `last_index`.
+///
+/// The payload is opaque to the consensus layer; `recraft-kv` encodes its
+/// key-value map into it. Split and merge exchange snapshots tagged with the
+/// key ranges they cover so the merge can combine disjoint chunks
+/// ("exchange them, and use the combined snapshot as the base state",
+/// §III-C2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The last applied log index folded into this snapshot.
+    pub last_index: LogIndex,
+    /// The epoch-term of that entry.
+    pub last_eterm: EpochTerm,
+    /// The cluster that produced the snapshot.
+    pub cluster: ClusterId,
+    /// The key ranges the payload covers.
+    pub ranges: RangeSet,
+    /// Opaque encoded state-machine payload.
+    pub data: Bytes,
+}
+
+impl Snapshot {
+    /// An empty snapshot at the log origin for `cluster`.
+    #[must_use]
+    pub fn empty(cluster: ClusterId, ranges: RangeSet) -> Self {
+        Snapshot {
+            last_index: LogIndex::ZERO,
+            last_eterm: EpochTerm::ZERO,
+            cluster,
+            ranges,
+            data: Bytes::new(),
+        }
+    }
+
+    /// The payload size in bytes (what data exchange actually transfers).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Snapshot::empty(ClusterId(1), RangeSet::full());
+        assert_eq!(s.last_index, LogIndex::ZERO);
+        assert_eq!(s.size_bytes(), 0);
+        assert_eq!(s.cluster, ClusterId(1));
+    }
+}

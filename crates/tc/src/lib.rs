@@ -1,0 +1,269 @@
+//! The **TC baseline**: split and merge driven by an external cluster
+//! manager, emulating TiKV/CockroachDB on an etcd-like substrate exactly as
+//! the paper's evaluation does (§VII-B, §VII-C).
+//!
+//! > "TC removes nodes that need to split through a membership change, takes
+//! > a snapshot of the existing data inside removed nodes, installs snapshot
+//! > and the subcluster configuration to the nodes, and restarts them as
+//! > subclusters." (§VII-B)
+//!
+//! > "TC coalesces all subcluster data in one of the subclusters, terminates
+//! > all subclusters but the one with the coalesced data, and adds all nodes
+//! > from terminated subclusters to the live one." (§VII-C)
+//!
+//! The cluster manager (CM) is an external sequential driver: every step is
+//! an administrative command or a timed bulk data transfer. Because the CM
+//! is outside the consensus protocol it is a single point of failure —
+//! [`CmFailure`] lets experiments kill it between phases (Table I).
+//!
+//! Phase timings are reported per the paper's Figure 7b (`TC-remove`,
+//! `TC-snapshot`, `TC-restart`) and Figure 8b (`TC-snapshot`, `TC-rejoin`).
+
+use bytes::Bytes;
+use recraft_core::StateMachine;
+use recraft_kv::{KvCmd, KvStore};
+use recraft_net::AdminCmd;
+use recraft_sim::Sim;
+use recraft_types::{ClusterConfig, ClusterId, NodeId, RangeSet};
+use std::collections::BTreeSet;
+
+const ADMIN_WAIT: u64 = 60_000_000;
+
+/// Where the (non-replicated) cluster manager dies, for fault-injection
+/// experiments. The operation halts at that point, exactly like a CM crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmFailure {
+    /// The CM survives the whole operation.
+    None,
+    /// Dies after the membership-change phase (split) / stop phase (merge).
+    AfterPhase1,
+    /// Dies after the data-copy phase.
+    AfterPhase2,
+}
+
+/// Phase timings of a TC split (Figure 7b's stacked bars), in µs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcSplitReport {
+    /// Membership changes removing the splitting nodes (`TC-remove`).
+    pub remove_us: u64,
+    /// Snapshotting and transferring the moved data (`TC-snapshot`).
+    pub snapshot_us: u64,
+    /// Restarting the removed nodes as subclusters and shrinking the source
+    /// range (`TC-restart`).
+    pub restart_us: u64,
+    /// Whether the operation ran to completion (false when the CM died).
+    pub completed: bool,
+}
+
+impl TcSplitReport {
+    /// Total operation latency.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.remove_us + self.snapshot_us + self.restart_us
+    }
+}
+
+/// Phase timings of a TC merge (Figure 8b's stacked bars), in µs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcMergeReport {
+    /// Stopping sources, copying and ingesting their data, extending the
+    /// destination range (`TC-snapshot`).
+    pub snapshot_us: u64,
+    /// Adding the terminated clusters' nodes to the survivor one at a time
+    /// (`TC-rejoin`).
+    pub rejoin_us: u64,
+    /// Whether the operation ran to completion.
+    pub completed: bool,
+}
+
+impl TcMergeReport {
+    /// Total operation latency.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.snapshot_us + self.rejoin_us
+    }
+}
+
+/// A planned TC subcluster: identity, the nodes that will run it, and the
+/// range it takes over.
+#[derive(Debug, Clone)]
+pub struct TcSubcluster {
+    /// New cluster id.
+    pub cluster: ClusterId,
+    /// Nodes moved out of the source cluster.
+    pub members: Vec<NodeId>,
+    /// Range carved out of the source.
+    pub ranges: RangeSet,
+}
+
+fn wait_admin(sim: &mut Sim, req: u64) -> bool {
+    sim.run_until_pred(ADMIN_WAIT, |s| {
+        s.admin_completed_at(req).is_some() || s.admin_failure(req).is_some()
+    });
+    sim.admin_completed_at(req).is_some()
+}
+
+/// Transfer time of `bytes` through the CM (one fetch plus one parallel
+/// install), matching the simulator's bandwidth model.
+fn transfer_time(sim: &Sim, bytes: usize) -> u64 {
+    let bw = sim.config().bandwidth.max(1);
+    2 * (bytes as u64 / bw) + sim.config().latency_max
+}
+
+/// Runs a TC split: the source keeps `retained` (its new range), each entry
+/// of `outgoing` becomes a fresh cluster on the removed nodes.
+///
+/// # Panics
+/// Panics if the source cluster has no leader within the admin timeout.
+pub fn tc_split(
+    sim: &mut Sim,
+    src: ClusterId,
+    retained: RangeSet,
+    outgoing: &[TcSubcluster],
+    failure: CmFailure,
+) -> TcSplitReport {
+    let mut report = TcSplitReport::default();
+    let t0 = sim.time();
+
+    // Phase 1 (TC-remove): etcd member-remove, one node at a time, for every
+    // node that will host a new subcluster.
+    for sub in outgoing {
+        for node in &sub.members {
+            let leader = sim.leader_of(src).expect("source leader");
+            let mut members: BTreeSet<NodeId> = sim
+                .node(leader)
+                .expect("leader node")
+                .config()
+                .members()
+                .clone();
+            members.remove(node);
+            let req = sim.admin(src, AdminCmd::SimpleChange(members));
+            assert!(wait_admin(sim, req), "member remove accepted");
+            sim.run_until_pred(ADMIN_WAIT, |s| {
+                s.leader_of(src)
+                    .is_some_and(|l| !s.node(l).unwrap().config().members().contains(node))
+            });
+        }
+    }
+    report.remove_us = sim.time() - t0;
+    if failure == CmFailure::AfterPhase1 {
+        return report;
+    }
+
+    // Phase 2 (TC-snapshot): the CM reads the moved ranges from the source
+    // and ships them to the removed nodes.
+    let t1 = sim.time();
+    let mut payloads: Vec<(TcSubcluster, Bytes)> = Vec::new();
+    let leader = sim.leader_of(src).expect("source leader");
+    for sub in outgoing {
+        let data = sim
+            .node(leader)
+            .expect("leader node")
+            .state_machine()
+            .snapshot(&sub.ranges);
+        let dt = transfer_time(sim, data.len());
+        sim.run_for(dt);
+        payloads.push((sub.clone(), data));
+    }
+    report.snapshot_us = sim.time() - t1;
+    if failure == CmFailure::AfterPhase2 {
+        return report;
+    }
+
+    // Phase 3 (TC-restart): shrink the source's range, then restart the
+    // removed nodes as fresh subclusters preloaded with their data.
+    let t2 = sim.time();
+    let req = sim.admin(src, AdminCmd::SetRanges(retained));
+    assert!(wait_admin(sim, req), "source range shrink accepted");
+    for (sub, data) in payloads {
+        let config = ClusterConfig::new(sub.cluster, sub.members.iter().copied(), sub.ranges)
+            .expect("valid subcluster");
+        for node in &sub.members {
+            let mut store = KvStore::new();
+            store.restore(&data).expect("snapshot decodes");
+            sim.decommission(*node);
+            sim.boot_node_with_store(*node, config.clone(), store);
+        }
+        let cluster = sub.cluster;
+        sim.run_until_pred(ADMIN_WAIT, |s| s.leader_of(cluster).is_some());
+    }
+    report.restart_us = sim.time() - t2;
+    report.completed = true;
+    report
+}
+
+/// Runs a TC merge: every `sources` cluster is stopped and drained into
+/// `dst`, then its nodes rejoin `dst` one membership change at a time.
+///
+/// # Panics
+/// Panics if a required leader never appears within the admin timeout.
+pub fn tc_merge(
+    sim: &mut Sim,
+    dst: ClusterId,
+    sources: &[ClusterId],
+    failure: CmFailure,
+) -> TcMergeReport {
+    let mut report = TcMergeReport::default();
+    let t0 = sim.time();
+
+    // Phase TC-snapshot: stop each source, copy its data into dst, extend
+    // dst's range.
+    let mut moved_nodes: Vec<NodeId> = Vec::new();
+    let mut dst_ranges = {
+        let leader = sim.leader_of(dst).expect("dst leader");
+        sim.node(leader).unwrap().config().ranges().clone()
+    };
+    for src in sources {
+        // "The CM stops Csrc by committing a special command."
+        let src_leader = sim.leader_of(*src).expect("source leader");
+        let src_ranges = sim.node(src_leader).unwrap().config().ranges().clone();
+        let data = sim
+            .node(src_leader)
+            .unwrap()
+            .state_machine()
+            .snapshot(&src_ranges);
+        moved_nodes.extend(sim.members_of(*src));
+        let req = sim.admin(*src, AdminCmd::SetRanges(RangeSet::empty()));
+        assert!(wait_admin(sim, req), "source stop accepted");
+        if failure == CmFailure::AfterPhase1 {
+            return report;
+        }
+        // Copy to dst (CM fetch + install) and ingest through dst's log.
+        let dt = transfer_time(sim, data.len());
+        sim.run_for(dt);
+        let dst_leader = sim.leader_of(dst).expect("dst leader");
+        let route_key = sim.node(dst_leader).unwrap().config().ranges().ranges()[0]
+            .start()
+            .to_vec();
+        sim.inject_client_req(dst_leader, route_key, KvCmd::Ingest { data }.encode());
+        sim.run_for(200_000);
+        dst_ranges = dst_ranges.union(&src_ranges).expect("disjoint ranges");
+        let req = sim.admin(dst, AdminCmd::SetRanges(dst_ranges.clone()));
+        assert!(wait_admin(sim, req), "dst range extension accepted");
+    }
+    report.snapshot_us = sim.time() - t0;
+    if failure == CmFailure::AfterPhase2 {
+        return report;
+    }
+
+    // Phase TC-rejoin: terminated clusters' nodes join dst one at a time;
+    // each catches up through a leader snapshot.
+    let t1 = sim.time();
+    for node in moved_nodes {
+        let dst_leader = sim.leader_of(dst).expect("dst leader");
+        let mut members: BTreeSet<NodeId> =
+            sim.node(dst_leader).unwrap().config().members().clone();
+        members.insert(node);
+        sim.decommission(node);
+        sim.boot_joiner(node);
+        let req = sim.admin(dst, AdminCmd::SimpleChange(members.clone()));
+        assert!(wait_admin(sim, req), "member add accepted");
+        sim.run_until_pred(ADMIN_WAIT, |s| {
+            s.leader_of(dst)
+                .is_some_and(|l| s.node(l).unwrap().config().members().contains(&node))
+        });
+    }
+    report.rejoin_us = sim.time() - t1;
+    report.completed = true;
+    report
+}

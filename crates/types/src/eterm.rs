@@ -1,0 +1,166 @@
+//! Epoch-prefixed term numbers (§III-A of the paper).
+//!
+//! ReCraft orders configurations produced by splits and merges with a
+//! monotonically increasing *epoch* placed in the upper bits of the regular
+//! Raft term: "the first 4 bytes as the epoch number and the remainder as the
+//! regular term number for an 8-byte integer". Comparisons on the packed
+//! value therefore let an updated epoch dominate any stale term, which is
+//! what prevents commands from old configurations from interfering with the
+//! new one, and what lets missed-out nodes detect that their peers have moved
+//! on (triggering pull-based recovery).
+
+use std::fmt;
+
+/// An epoch-prefixed Raft term: `epoch` in the high 32 bits, `term` in the
+/// low 32 bits of a `u64`.
+///
+/// Epochs are bumped only when a split *completes* or a merge resumes; they
+/// are **not** updated for single-cluster membership changes (§III-A).
+///
+/// # Example
+/// ```
+/// use recraft_types::EpochTerm;
+/// let a = EpochTerm::new(0, u32::MAX); // huge term, old epoch
+/// let b = EpochTerm::new(1, 0);        // new epoch
+/// assert!(b > a);
+/// assert_eq!(b.packed(), 1u64 << 32);
+/// assert_eq!(EpochTerm::from_packed(a.packed()), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EpochTerm {
+    epoch: u32,
+    term: u32,
+}
+
+impl EpochTerm {
+    /// The zero epoch-term (epoch 0, term 0) — the state of a freshly booted
+    /// node.
+    pub const ZERO: EpochTerm = EpochTerm { epoch: 0, term: 0 };
+
+    /// Creates a new epoch-term.
+    #[must_use]
+    pub fn new(epoch: u32, term: u32) -> Self {
+        EpochTerm { epoch, term }
+    }
+
+    /// The epoch component (upper 32 bits).
+    #[must_use]
+    pub fn epoch(self) -> u32 {
+        self.epoch
+    }
+
+    /// The regular Raft term component (lower 32 bits).
+    #[must_use]
+    pub fn term(self) -> u32 {
+        self.term
+    }
+
+    /// Packs the epoch-term into the 8-byte integer representation used on
+    /// the wire and in persisted state.
+    #[must_use]
+    pub fn packed(self) -> u64 {
+        (u64::from(self.epoch) << 32) | u64::from(self.term)
+    }
+
+    /// Reconstructs an epoch-term from its packed representation.
+    #[must_use]
+    pub fn from_packed(v: u64) -> Self {
+        EpochTerm {
+            epoch: (v >> 32) as u32,
+            term: (v & 0xFFFF_FFFF) as u32,
+        }
+    }
+
+    /// The next term within the same epoch (candidate stepping forward).
+    ///
+    /// # Panics
+    /// Panics on term overflow (2^32 terms within one epoch).
+    #[must_use]
+    pub fn next_term(self) -> Self {
+        EpochTerm {
+            epoch: self.epoch,
+            term: self.term.checked_add(1).expect("term overflow"),
+        }
+    }
+
+    /// Enters the next epoch, resetting the term to `term`.
+    ///
+    /// Split completion uses `with_term = current term` (the completing
+    /// leader carries its leadership into the subcluster); merge resumption
+    /// uses `with_term = 0` (the `Cnew` entry is "treated as committed at
+    /// term 0 of epoch Enew", §III-C2).
+    ///
+    /// # Panics
+    /// Panics on epoch overflow.
+    #[must_use]
+    pub fn next_epoch(self, with_term: u32) -> Self {
+        EpochTerm {
+            epoch: self.epoch.checked_add(1).expect("epoch overflow"),
+            term: with_term,
+        }
+    }
+}
+
+impl fmt::Display for EpochTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}.t{}", self.epoch, self.term)
+    }
+}
+
+impl From<EpochTerm> for u64 {
+    fn from(et: EpochTerm) -> u64 {
+        et.packed()
+    }
+}
+
+impl From<u64> for EpochTerm {
+    fn from(v: u64) -> EpochTerm {
+        EpochTerm::from_packed(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn packing_layout_matches_paper() {
+        // "the first 4 bytes as the epoch number and the remainder as the
+        // regular term number for an 8-byte integer"
+        let et = EpochTerm::new(0xDEAD_BEEF, 0x1234_5678);
+        assert_eq!(et.packed(), 0xDEAD_BEEF_1234_5678);
+    }
+
+    #[test]
+    fn epoch_dominates_term() {
+        assert!(EpochTerm::new(1, 0) > EpochTerm::new(0, u32::MAX));
+        assert!(EpochTerm::new(3, 5) > EpochTerm::new(3, 4));
+    }
+
+    #[test]
+    fn next_term_and_epoch() {
+        let et = EpochTerm::new(2, 7);
+        assert_eq!(et.next_term(), EpochTerm::new(2, 8));
+        assert_eq!(et.next_epoch(0), EpochTerm::new(3, 0));
+        assert_eq!(et.next_epoch(7), EpochTerm::new(3, 7));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EpochTerm::new(1, 2).to_string(), "e1.t2");
+    }
+
+    proptest! {
+        #[test]
+        fn packed_roundtrip(v: u64) {
+            prop_assert_eq!(EpochTerm::from_packed(v).packed(), v);
+        }
+
+        #[test]
+        fn order_isomorphic_to_packed(a: u64, b: u64) {
+            let (ea, eb) = (EpochTerm::from_packed(a), EpochTerm::from_packed(b));
+            prop_assert_eq!(ea.cmp(&eb), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Strongly-typed identifiers.
+//!
+//! Newtypes ([`NodeId`], [`ClusterId`], [`LogIndex`], [`TxId`]) keep the many
+//! `u64`s flowing through the protocol from being confused with one another
+//! (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a single ReCraft node (a replica process).
+///
+/// # Example
+/// ```
+/// use recraft_types::NodeId;
+/// let n = NodeId(3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a (sub)cluster — one logical Raft instance.
+///
+/// Splits mint fresh `ClusterId`s for every subcluster; merges mint a fresh
+/// id for the combined cluster. Messages are tagged with the sender's cluster
+/// id so independent subclusters never confuse each other's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClusterId(pub u64);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u64> for ClusterId {
+    fn from(v: u64) -> Self {
+        ClusterId(v)
+    }
+}
+
+/// Index of an entry in the replicated log. Index 0 is reserved for the
+/// "before the log" sentinel; real entries start at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogIndex(pub u64);
+
+impl LogIndex {
+    /// The sentinel index that precedes every real entry.
+    pub const ZERO: LogIndex = LogIndex(0);
+
+    /// Returns the next index.
+    #[must_use]
+    pub fn next(self) -> LogIndex {
+        LogIndex(self.0 + 1)
+    }
+
+    /// Returns the previous index.
+    ///
+    /// # Panics
+    /// Panics if called on [`LogIndex::ZERO`].
+    #[must_use]
+    pub fn prev(self) -> LogIndex {
+        assert!(self.0 > 0, "LogIndex::prev on index 0");
+        LogIndex(self.0 - 1)
+    }
+
+    /// Saturating predecessor (0 stays 0).
+    #[must_use]
+    pub fn saturating_prev(self) -> LogIndex {
+        LogIndex(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for LogIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for LogIndex {
+    fn from(v: u64) -> Self {
+        LogIndex(v)
+    }
+}
+
+/// Identifier of a merge transaction (2PC). Unique per merge attempt so the
+/// protocol stays idempotent across coordinator failovers (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxId(pub u64);
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+impl From<u64> for TxId {
+    fn from(v: u64) -> Self {
+        TxId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(1).to_string(), "n1");
+        assert_eq!(ClusterId(2).to_string(), "c2");
+        assert_eq!(LogIndex(3).to_string(), "3");
+        assert_eq!(TxId(4).to_string(), "tx4");
+    }
+
+    #[test]
+    fn log_index_navigation() {
+        let i = LogIndex(5);
+        assert_eq!(i.next(), LogIndex(6));
+        assert_eq!(i.prev(), LogIndex(4));
+        assert_eq!(LogIndex::ZERO.saturating_prev(), LogIndex::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "LogIndex::prev")]
+    fn prev_of_zero_panics() {
+        let _ = LogIndex::ZERO.prev();
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+        assert!(LogIndex(2) < LogIndex(10));
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        assert_eq!(NodeId::from(9), NodeId(9));
+        assert_eq!(ClusterId::from(9), ClusterId(9));
+        assert_eq!(LogIndex::from(9), LogIndex(9));
+        assert_eq!(TxId::from(9), TxId(9));
+    }
+}

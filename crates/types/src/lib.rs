@@ -1,0 +1,44 @@
+//! Core data types shared by every ReCraft crate.
+//!
+//! This crate defines the vocabulary of the ReCraft protocol reproduction:
+//!
+//! * [`NodeId`], [`ClusterId`], [`LogIndex`] — strongly-typed identifiers.
+//! * [`EpochTerm`] — the epoch-prefixed term number of §III-A of the paper:
+//!   the top 32 bits of a `u64` hold the reconfiguration *epoch*, the bottom
+//!   32 bits the regular Raft *term*, so an updated epoch dominates any term
+//!   from an older configuration.
+//! * [`KeyRange`] / [`RangeSet`] — the sharding algebra used by split and
+//!   merge to carve and recombine key spaces.
+//! * [`ClusterConfig`], [`QuorumRule`], [`ConfigChange`] — configurations and
+//!   the special log entries that reconfigure them.
+//! * [`codec`] — a small hand-rolled binary codec used for snapshots and
+//!   persistence (no external serialization format is required).
+//!
+//! # Example
+//!
+//! ```
+//! use recraft_types::{EpochTerm, NodeId};
+//!
+//! let old = EpochTerm::new(1, 900);
+//! let new = EpochTerm::new(2, 3);
+//! // A bumped epoch dominates any term of the previous epoch.
+//! assert!(new > old);
+//! assert_eq!(new.epoch(), 2);
+//! assert_eq!(NodeId(7).to_string(), "n7");
+//! ```
+
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod eterm;
+pub mod ids;
+pub mod range;
+
+pub use config::{
+    ClusterConfig, ConfigChange, MergeDecision, MergeOutcome, MergeParticipant, MergeTx,
+    QuorumRule, SplitSpec,
+};
+pub use error::{Error, Result};
+pub use eterm::EpochTerm;
+pub use ids::{ClusterId, LogIndex, NodeId, TxId};
+pub use range::{KeyRange, RangeSet};

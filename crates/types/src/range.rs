@@ -1,0 +1,412 @@
+//! Key-range algebra for sharding.
+//!
+//! Split carves a cluster's range into disjoint pieces; merge recombines the
+//! (possibly non-adjacent) pieces of several clusters. [`KeyRange`] is a
+//! half-open byte-string interval `[start, end)`; [`RangeSet`] is a
+//! normalized union of disjoint ranges.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A half-open key interval `[start, end)` over byte-string keys.
+///
+/// An empty `end` means "unbounded above" (`+∞`), so the full key space is
+/// `KeyRange::full() == ["", +∞)`.
+///
+/// # Example
+/// ```
+/// use recraft_types::KeyRange;
+/// let full = KeyRange::full();
+/// let (lo, hi) = full.split_at(b"m").unwrap();
+/// assert!(lo.contains(b"apple"));
+/// assert!(hi.contains(b"zebra"));
+/// assert!(!lo.contains(b"zebra"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyRange {
+    start: Vec<u8>,
+    end: Option<Vec<u8>>,
+}
+
+impl KeyRange {
+    /// The full key space `["", +∞)`.
+    #[must_use]
+    pub fn full() -> Self {
+        KeyRange {
+            start: Vec::new(),
+            end: None,
+        }
+    }
+
+    /// A bounded range `[start, end)`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidRange`] if `start >= end`.
+    pub fn new(start: impl Into<Vec<u8>>, end: impl Into<Vec<u8>>) -> Result<Self> {
+        let (start, end) = (start.into(), end.into());
+        if start >= end {
+            return Err(Error::InvalidRange(format!(
+                "start {start:?} must be < end {end:?}"
+            )));
+        }
+        Ok(KeyRange {
+            start,
+            end: Some(end),
+        })
+    }
+
+    /// A range unbounded above: `[start, +∞)`.
+    #[must_use]
+    pub fn from_start(start: impl Into<Vec<u8>>) -> Self {
+        KeyRange {
+            start: start.into(),
+            end: None,
+        }
+    }
+
+    /// Lower bound (inclusive).
+    #[must_use]
+    pub fn start(&self) -> &[u8] {
+        &self.start
+    }
+
+    /// Upper bound (exclusive); `None` means unbounded.
+    #[must_use]
+    pub fn end(&self) -> Option<&[u8]> {
+        self.end.as_deref()
+    }
+
+    /// Whether `key` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        key >= self.start.as_slice()
+            && match &self.end {
+                Some(end) => key < end.as_slice(),
+                None => true,
+            }
+    }
+
+    /// Whether two ranges share any key.
+    #[must_use]
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        let self_below = match &self.end {
+            Some(end) => end.as_slice() <= other.start.as_slice(),
+            None => false,
+        };
+        let other_below = match &other.end {
+            Some(end) => end.as_slice() <= self.start.as_slice(),
+            None => false,
+        };
+        !(self_below || other_below)
+    }
+
+    /// Whether `other` begins exactly where `self` ends (so their union is a
+    /// single contiguous range).
+    #[must_use]
+    pub fn adjacent_below(&self, other: &KeyRange) -> bool {
+        match &self.end {
+            Some(end) => end.as_slice() == other.start.as_slice(),
+            None => false,
+        }
+    }
+
+    /// Splits the range at `key`, yielding `[start, key)` and `[key, end)`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidRange`] if `key` is not strictly inside the
+    /// range (a boundary split would produce an empty piece).
+    pub fn split_at(&self, key: &[u8]) -> Result<(KeyRange, KeyRange)> {
+        if key <= self.start.as_slice() || !self.contains(key) {
+            return Err(Error::InvalidRange(format!(
+                "split key {key:?} not strictly inside range {self}"
+            )));
+        }
+        let low = KeyRange {
+            start: self.start.clone(),
+            end: Some(key.to_vec()),
+        };
+        let high = KeyRange {
+            start: key.to_vec(),
+            end: self.end.clone(),
+        };
+        Ok((low, high))
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |b: &[u8]| -> String {
+            match std::str::from_utf8(b) {
+                Ok(s) => s.to_string(),
+                Err(_) => format!("{b:02x?}"),
+            }
+        };
+        match &self.end {
+            Some(end) => write!(f, "[{}, {})", show(&self.start), show(end)),
+            None => write!(f, "[{}, +inf)", show(&self.start)),
+        }
+    }
+}
+
+/// A normalized set of pairwise-disjoint key ranges, kept sorted by start
+/// key with adjacent pieces coalesced.
+///
+/// Merged clusters own a `RangeSet` because the constituent clusters' ranges
+/// need not be adjacent (§III-C: "the current implementation only deals with
+/// disjoint data chunks").
+///
+/// # Example
+/// ```
+/// use recraft_types::{KeyRange, RangeSet};
+/// let a = RangeSet::from(KeyRange::new("a", "g").unwrap());
+/// let b = RangeSet::from(KeyRange::new("m", "z").unwrap());
+/// let merged = a.union(&b).unwrap();
+/// assert!(merged.contains(b"c"));
+/// assert!(!merged.contains(b"k"));
+/// assert!(merged.contains(b"q"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct RangeSet {
+    ranges: Vec<KeyRange>,
+}
+
+impl RangeSet {
+    /// The empty range set.
+    #[must_use]
+    pub fn empty() -> Self {
+        RangeSet { ranges: Vec::new() }
+    }
+
+    /// The full key space as a single range.
+    #[must_use]
+    pub fn full() -> Self {
+        RangeSet {
+            ranges: vec![KeyRange::full()],
+        }
+    }
+
+    /// Builds a normalized set from arbitrary ranges.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidRange`] if any two inputs overlap.
+    pub fn from_ranges(ranges: impl IntoIterator<Item = KeyRange>) -> Result<Self> {
+        let mut rs = RangeSet::empty();
+        for r in ranges {
+            rs.insert(r)?;
+        }
+        Ok(rs)
+    }
+
+    /// The constituent disjoint ranges in ascending order.
+    #[must_use]
+    pub fn ranges(&self) -> &[KeyRange] {
+        &self.ranges
+    }
+
+    /// Whether the set holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Whether `key` falls inside any constituent range.
+    #[must_use]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        // Binary search on start keys, then bound-check the candidate.
+        let idx = self.ranges.partition_point(|r| r.start() <= key);
+        idx > 0 && self.ranges[idx - 1].contains(key)
+    }
+
+    /// Inserts one more range, coalescing with adjacent neighbours.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidRange`] if the new range overlaps an existing
+    /// one.
+    pub fn insert(&mut self, range: KeyRange) -> Result<()> {
+        for existing in &self.ranges {
+            if existing.overlaps(&range) {
+                return Err(Error::InvalidRange(format!(
+                    "range {range} overlaps existing {existing}"
+                )));
+            }
+        }
+        self.ranges.push(range);
+        self.normalize();
+        Ok(())
+    }
+
+    /// Whether two sets share any key.
+    #[must_use]
+    pub fn overlaps(&self, other: &RangeSet) -> bool {
+        self.ranges
+            .iter()
+            .any(|a| other.ranges.iter().any(|b| a.overlaps(b)))
+    }
+
+    /// The union of two disjoint sets.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidRange`] if the sets overlap.
+    pub fn union(&self, other: &RangeSet) -> Result<RangeSet> {
+        let mut out = self.clone();
+        for r in &other.ranges {
+            out.insert(r.clone())?;
+        }
+        Ok(out)
+    }
+
+    fn normalize(&mut self) {
+        self.ranges.sort_by(|a, b| a.start().cmp(b.start()));
+        let mut out: Vec<KeyRange> = Vec::with_capacity(self.ranges.len());
+        for r in self.ranges.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.adjacent_below(&r) => {
+                    // Coalesce [a,b) + [b,c) into [a,c).
+                    last.end = r.end;
+                }
+                _ => out.push(r),
+            }
+        }
+        self.ranges = out;
+    }
+}
+
+impl From<KeyRange> for RangeSet {
+    fn from(r: KeyRange) -> Self {
+        RangeSet { ranges: vec![r] }
+    }
+}
+
+impl fmt::Display for RangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_contains_everything() {
+        let full = KeyRange::full();
+        assert!(full.contains(b""));
+        assert!(full.contains(b"\xff\xff"));
+    }
+
+    #[test]
+    fn bounded_range_membership() {
+        let r = KeyRange::new("b", "m").unwrap();
+        assert!(!r.contains(b"a"));
+        assert!(r.contains(b"b"));
+        assert!(r.contains(b"lzzz"));
+        assert!(!r.contains(b"m"));
+    }
+
+    #[test]
+    fn invalid_range_rejected() {
+        assert!(KeyRange::new("m", "b").is_err());
+        assert!(KeyRange::new("m", "m").is_err());
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let full = KeyRange::full();
+        let (lo, hi) = full.split_at(b"m").unwrap();
+        assert_eq!(lo, KeyRange::new("", "m").unwrap_or(lo.clone()));
+        for key in [&b"a"[..], b"m", b"z", b""] {
+            assert_eq!(lo.contains(key) ^ hi.contains(key), full.contains(key));
+        }
+    }
+
+    #[test]
+    fn split_at_boundary_fails() {
+        let r = KeyRange::new("b", "m").unwrap();
+        assert!(r.split_at(b"b").is_err());
+        assert!(r.split_at(b"m").is_err());
+        assert!(r.split_at(b"a").is_err());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = KeyRange::new("a", "m").unwrap();
+        let b = KeyRange::new("m", "z").unwrap();
+        let c = KeyRange::new("l", "n").unwrap();
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(KeyRange::full().overlaps(&a));
+    }
+
+    #[test]
+    fn adjacency() {
+        let a = KeyRange::new("a", "m").unwrap();
+        let b = KeyRange::new("m", "z").unwrap();
+        assert!(a.adjacent_below(&b));
+        assert!(!b.adjacent_below(&a));
+    }
+
+    #[test]
+    fn rangeset_coalesces_adjacent() {
+        let a = KeyRange::new("a", "m").unwrap();
+        let b = KeyRange::new("m", "z").unwrap();
+        let rs = RangeSet::from_ranges([b, a]).unwrap();
+        assert_eq!(rs.ranges().len(), 1);
+        assert_eq!(rs.ranges()[0], KeyRange::new("a", "z").unwrap());
+    }
+
+    #[test]
+    fn rangeset_rejects_overlap() {
+        let mut rs = RangeSet::from(KeyRange::new("a", "m").unwrap());
+        assert!(rs.insert(KeyRange::new("l", "z").unwrap()).is_err());
+    }
+
+    #[test]
+    fn rangeset_union_disjoint() {
+        let a = RangeSet::from(KeyRange::new("a", "c").unwrap());
+        let b = RangeSet::from(KeyRange::new("x", "z").unwrap());
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.ranges().len(), 2);
+        assert!(u.contains(b"b"));
+        assert!(u.contains(b"y"));
+        assert!(!u.contains(b"k"));
+    }
+
+    #[test]
+    fn rangeset_union_overlap_fails() {
+        let a = RangeSet::from(KeyRange::new("a", "m").unwrap());
+        let b = RangeSet::from(KeyRange::new("c", "z").unwrap());
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn split_then_union_is_identity() {
+        let full = KeyRange::full();
+        let (lo, hi) = full.split_at(b"m").unwrap();
+        let u = RangeSet::from(lo).union(&RangeSet::from(hi)).unwrap();
+        assert_eq!(u, RangeSet::full());
+    }
+
+    #[test]
+    fn contains_uses_binary_search_boundaries() {
+        let rs = RangeSet::from_ranges([
+            KeyRange::new("a", "c").unwrap(),
+            KeyRange::new("e", "g").unwrap(),
+            KeyRange::new("i", "k").unwrap(),
+        ])
+        .unwrap();
+        assert!(rs.contains(b"a"));
+        assert!(!rs.contains(b"c"));
+        assert!(rs.contains(b"f"));
+        assert!(!rs.contains(b"h"));
+        assert!(rs.contains(b"j"));
+        assert!(!rs.contains(b"z"));
+    }
+}

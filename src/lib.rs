@@ -1,0 +1,58 @@
+//! # ReCraft — self-contained split, merge, and membership change for Raft
+//!
+//! A from-scratch Rust reproduction of *"ReCraft: Self-Contained Split,
+//! Merge, and Membership Change of Raft Protocol"* (DSN 2025): a Raft core
+//! extended with
+//!
+//! * **cluster split** — one Raft cluster divides into disjoint subclusters
+//!   through a joint-consensus variant with separate election and commit
+//!   quorums, epoch-prefixed terms, and pull-based recovery for subclusters
+//!   that missed the completion;
+//! * **cluster merge** — multiple clusters consolidate through a
+//!   cluster-level two-phase commit (each cluster's own log is the durable
+//!   2PC record — no external coordinator) followed by snapshot exchange;
+//! * **multi-node membership change** — `AddAndResize` / `RemoveAndResize`
+//!   move any number of nodes in one wait-free consensus step using the
+//!   overlap-forcing quorum `Q_new-q = max(N_old, N_new) − Q_old + 1`.
+//!
+//! This crate is the umbrella: it re-exports the workspace members so a
+//! downstream user can depend on `recraft` alone.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `recraft-core` | the protocol node ([`core::Node`]) |
+//! | [`types`] | `recraft-types` | ids, epoch-terms, ranges, configs |
+//! | [`storage`] | `recraft-storage` | log, hard state, snapshots |
+//! | [`net`] | `recraft-net` | messages and envelopes |
+//! | [`kv`] | `recraft-kv` | the etcd-like KV state machine |
+//! | [`sim`] | `recraft-sim` | deterministic cluster simulator |
+//! | [`tc`] | `recraft-tc` | the TiKV/CockroachDB-style baseline |
+//!
+//! # Quickstart
+//!
+//! Run a three-node cluster in the simulator and write to it:
+//!
+//! ```
+//! use recraft::sim::{Sim, SimConfig, Workload};
+//! use recraft::types::{ClusterId, NodeId, RangeSet};
+//!
+//! let mut sim = Sim::new(SimConfig::default());
+//! sim.boot_cluster(ClusterId(1), &[NodeId(1), NodeId(2), NodeId(3)], RangeSet::full());
+//! sim.run_until_leader(ClusterId(1));
+//! sim.add_clients(4, Workload::default());
+//! sim.run_for(1_000_000); // one virtual second
+//! assert!(sim.completed_ops() > 0);
+//! sim.check_invariants();
+//! sim.check_linearizability();
+//! ```
+//!
+//! See `examples/` for split, merge, membership-change, and fault-recovery
+//! walkthroughs.
+
+pub use recraft_core as core;
+pub use recraft_kv as kv;
+pub use recraft_net as net;
+pub use recraft_sim as sim;
+pub use recraft_storage as storage;
+pub use recraft_tc as tc;
+pub use recraft_types as types;

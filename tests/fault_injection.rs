@@ -1,0 +1,205 @@
+//! Fault-injection integration tests: crashes, partitions, and coordinator
+//! failure in the middle of reconfigurations — the scenarios Table I and
+//! §III-C1 "Handling Failures" reason about.
+
+use recraft::net::AdminCmd;
+use recraft::sim::{Action, Sim, SimConfig, Workload};
+use recraft::types::{
+    ClusterConfig, ClusterId, MergeParticipant, MergeTx, NodeId, RangeSet, SplitSpec, TxId,
+};
+
+const SEC: u64 = 1_000_000;
+
+fn ids(r: std::ops::RangeInclusive<u64>) -> Vec<NodeId> {
+    r.map(NodeId).collect()
+}
+
+fn split_spec(sim: &Sim, src: ClusterId) -> SplitSpec {
+    let leader = sim.leader_of(src).unwrap();
+    let base = sim.node(leader).unwrap().config().clone();
+    let (lo, hi) = base.ranges().ranges()[0].split_at(b"k00005000").unwrap();
+    SplitSpec::new(
+        vec![
+            ClusterConfig::new(ClusterId(10), ids(1..=3), RangeSet::from(lo)).unwrap(),
+            ClusterConfig::new(ClusterId(11), ids(4..=6), RangeSet::from(hi)).unwrap(),
+        ],
+        base.members(),
+        base.ranges(),
+    )
+    .unwrap()
+}
+
+fn two_clusters(seed: u64) -> (Sim, MergeTx) {
+    let mut sim = Sim::new(SimConfig::with_seed(seed));
+    let (lo, hi) = recraft::types::KeyRange::full().split_at(b"k00005000").unwrap();
+    let c10 = ClusterConfig::new(ClusterId(10), ids(1..=3), RangeSet::from(lo)).unwrap();
+    let c11 = ClusterConfig::new(ClusterId(11), ids(4..=6), RangeSet::from(hi)).unwrap();
+    for id in ids(1..=3) {
+        sim.boot_node_with_store(id, c10.clone(), recraft::kv::KvStore::new());
+    }
+    for id in ids(4..=6) {
+        sim.boot_node_with_store(id, c11.clone(), recraft::kv::KvStore::new());
+    }
+    sim.run_until_leader(ClusterId(10));
+    sim.run_until_leader(ClusterId(11));
+    let tx = MergeTx {
+        id: TxId(1),
+        coordinator: ClusterId(10),
+        participants: vec![
+            MergeParticipant {
+                cluster: ClusterId(10),
+                members: ids(1..=3).into_iter().collect(),
+            },
+            MergeParticipant {
+                cluster: ClusterId(11),
+                members: ids(4..=6).into_iter().collect(),
+            },
+        ],
+        new_cluster: ClusterId(20),
+        resume_members: None,
+    };
+    (sim, tx)
+}
+
+#[test]
+fn split_survives_leader_crash_mid_operation() {
+    let mut sim = Sim::new(SimConfig::with_seed(0xFA17));
+    let src = ClusterId(1);
+    sim.boot_cluster(src, &ids(1..=6), RangeSet::full());
+    sim.run_until_leader(src);
+    sim.add_clients(4, Workload::default());
+    sim.run_for(2 * SEC);
+    let leader = sim.leader_of(src).unwrap();
+    let spec = split_spec(&sim, src);
+    sim.admin(src, AdminCmd::Split(spec));
+    // Kill the driving leader 30ms in — mid joint phase.
+    let t = sim.time();
+    sim.schedule_action(t + 30_000, Action::Crash(leader));
+    // A new leader is elected under the joint quorum and finishes the split
+    // (re-proposing SplitLeaveJoint per the FAILURE/re-execution semantics).
+    sim.run_until_pred(60 * SEC, |s| {
+        s.leader_of(ClusterId(10)).is_some() && s.leader_of(ClusterId(11)).is_some()
+    });
+    // The crashed node restarts later and finds its subcluster.
+    let t = sim.time();
+    sim.schedule_action(t + SEC, Action::Restart(leader));
+    sim.run_until_pred(60 * SEC, |s| {
+        s.node(leader).unwrap().current_eterm().epoch() == 1
+    });
+    sim.run_for(2 * SEC);
+    sim.check_invariants();
+    sim.check_linearizability();
+}
+
+#[test]
+fn merge_survives_coordinator_leader_crash() {
+    // §III-C1: "a complicated failure scenario is the leader node of the
+    // coordinating cluster failing ... the new leader can resume the 2PC
+    // from the last known successful state."
+    let (mut sim, tx) = two_clusters(0xC0DE);
+    sim.run_for(SEC);
+    let coord_leader = sim.leader_of(ClusterId(10)).unwrap();
+    sim.admin(ClusterId(10), AdminCmd::Merge(tx));
+    let t = sim.time();
+    // Crash after the prepare has had a chance to commit locally.
+    sim.schedule_action(t + 100_000, Action::Crash(coord_leader));
+    sim.schedule_action(t + 10 * SEC, Action::Restart(coord_leader));
+    sim.run_until_pred(120 * SEC, |s| s.leader_of(ClusterId(20)).is_some());
+    // Nodes finish their exchanges at different times; eventually all six
+    // serve the merged cluster — including the restarted ex-leader, which
+    // rejoins through pull/snapshot recovery.
+    sim.run_until_pred(120 * SEC, |s| s.members_of(ClusterId(20)).len() == 6);
+    sim.check_invariants();
+    sim.check_linearizability();
+}
+
+#[test]
+fn merge_survives_participant_follower_crashes() {
+    // Table I: merge tolerates f_sub failures per subcluster.
+    let (mut sim, tx) = two_clusters(0xFEED);
+    sim.run_for(SEC);
+    // Crash one non-leader node in each subcluster (f_sub = 1 for 3-node
+    // subclusters).
+    for cluster in [ClusterId(10), ClusterId(11)] {
+        let leader = sim.leader_of(cluster).unwrap();
+        let victim = sim
+            .members_of(cluster)
+            .into_iter()
+            .find(|n| *n != leader)
+            .unwrap();
+        let t = sim.time();
+        sim.schedule_action(t, Action::Crash(victim));
+    }
+    sim.run_for(SEC);
+    sim.admin(ClusterId(10), AdminCmd::Merge(tx));
+    sim.run_until_pred(120 * SEC, |s| s.leader_of(ClusterId(20)).is_some());
+    sim.check_invariants();
+}
+
+#[test]
+fn merge_stalls_when_a_subcluster_dies_and_aborts_cleanly_never() {
+    // Killing a full subcluster (f_sub + 1 = 2 of 3) stops the merge — and
+    // must NOT corrupt anything. After the nodes return, the merge finishes.
+    let (mut sim, tx) = two_clusters(0xDEAD);
+    sim.run_for(SEC);
+    let victims: Vec<NodeId> = sim.members_of(ClusterId(11)).into_iter().take(2).collect();
+    let t = sim.time();
+    for v in &victims {
+        sim.schedule_action(t, Action::Crash(*v));
+    }
+    sim.run_for(SEC);
+    sim.admin(ClusterId(10), AdminCmd::Merge(tx));
+    sim.run_for(20 * SEC);
+    assert!(
+        sim.leader_of(ClusterId(20)).is_none(),
+        "merge cannot complete with a dead subcluster"
+    );
+    // Revive: the merge resumes and completes (pull/retry paths).
+    let t = sim.time();
+    for v in &victims {
+        sim.schedule_action(t, Action::Restart(*v));
+    }
+    sim.run_until_pred(120 * SEC, |s| s.leader_of(ClusterId(20)).is_some());
+    sim.check_invariants();
+}
+
+#[test]
+fn random_fault_storm_preserves_safety() {
+    // A randomized storm of crashes, restarts, and partitions under client
+    // load; whatever happens, safety and linearizability must hold.
+    for seed in [1u64, 2, 3] {
+        let mut sim = Sim::new(SimConfig::with_seed(seed));
+        let cluster = ClusterId(1);
+        sim.boot_cluster(cluster, &ids(1..=5), RangeSet::full());
+        sim.run_until_leader(cluster);
+        sim.add_clients(6, Workload {
+            key_count: 50,
+            get_ratio: 0.3,
+            ..Workload::default()
+        });
+        // Storm schedule derived from the seed.
+        let all = ids(1..=5);
+        for k in 0..6u64 {
+            let t = (k + 1) * 2 * SEC;
+            let victim = all[((seed + k) % 5) as usize];
+            sim.schedule_action(t, Action::Crash(victim));
+            sim.schedule_action(t + SEC, Action::Restart(victim));
+            if k % 2 == 0 {
+                let split_at = ((seed + k) % 4 + 1) as usize;
+                sim.schedule_action(
+                    t + SEC / 2,
+                    Action::Partition(vec![all[..split_at].to_vec(), all[split_at..].to_vec()]),
+                );
+                sim.schedule_action(t + 3 * SEC / 2, Action::Heal);
+            }
+        }
+        sim.run_for(16 * SEC);
+        sim.check_invariants();
+        sim.check_linearizability();
+        // Liveness after the storm: a leader exists and serves.
+        sim.run_until_pred(30 * SEC, |s| s.leader_of(cluster).is_some());
+        let before = sim.completed_ops();
+        sim.run_for(3 * SEC);
+        assert!(sim.completed_ops() > before, "cluster serves after storm");
+    }
+}

@@ -1,0 +1,147 @@
+//! Membership-change matrix: every transition between the practical cluster
+//! sizes 2..=5 through ReCraft's Add/RemoveAndResize, checked live against
+//! the analytic plan of §IV (step counts, intermediate quorums, final
+//! majority quorums).
+
+use recraft::core::votes::Plan;
+use recraft::core::NodeEvent;
+use recraft::net::AdminCmd;
+use recraft::sim::{Sim, SimConfig};
+use recraft::types::{ClusterId, NodeId, RangeSet};
+use std::collections::BTreeSet;
+
+const SEC: u64 = 1_000_000;
+const CLUSTER: ClusterId = ClusterId(1);
+
+fn setup(n_old: u64, n_max: u64, seed: u64) -> Sim {
+    let mut sim = Sim::new(SimConfig::with_seed(seed));
+    let boot: Vec<NodeId> = (1..=n_old).map(NodeId).collect();
+    sim.boot_cluster(CLUSTER, &boot, RangeSet::full());
+    // Pre-boot potential joiners (configuration-less until contacted).
+    for id in n_old + 1..=n_max {
+        sim.boot_joiner(NodeId(id));
+    }
+    sim.run_until_leader(CLUSTER);
+    sim.run_for(SEC);
+    sim
+}
+
+fn settled(sim: &Sim, members: u64) -> bool {
+    sim.leader_of(CLUSTER).is_some_and(|l| {
+        let n = sim.node(l).unwrap();
+        n.config().members().len() == members as usize
+            && n.config().quorum_size() == recraft::types::config::majority(members as usize)
+            && n.derived().last_config_index.is_none()
+    })
+}
+
+/// Runs the transition and returns the quorum sizes of every committed
+/// resize step (observed on the leader).
+fn run_transition(n_old: u64, n_new: u64) -> Vec<usize> {
+    let mut sim = setup(n_old, n_old.max(n_new), 0x3311 + n_old * 16 + n_new);
+    if n_new > n_old {
+        let add: BTreeSet<NodeId> = (n_old + 1..=n_new).map(NodeId).collect();
+        sim.admin(CLUSTER, AdminCmd::AddAndResize(add));
+        sim.run_until_pred(30 * SEC, |s| settled(s, n_new));
+    } else {
+        let mut current = n_old;
+        while current > n_new {
+            let q_old = recraft::types::config::majority(current as usize) as u64;
+            let r = (q_old - 1).min(current - n_new);
+            let remove: BTreeSet<NodeId> = (current - r + 1..=current).map(NodeId).collect();
+            sim.admin(CLUSTER, AdminCmd::RemoveAndResize(remove));
+            current -= r;
+            let c = current;
+            sim.run_until_pred(30 * SEC, |s| settled(s, c));
+        }
+    }
+    sim.check_invariants();
+    // Collect the observed resize quorums from any node that survived to the
+    // final configuration (leaders may have changed; every survivor folds
+    // the same committed sequence).
+    let survivor = sim.leader_of(CLUSTER).unwrap();
+    sim.trace()
+        .iter()
+        .filter_map(|(_, node, ev)| match ev {
+            NodeEvent::MembershipCommitted {
+                kind: "resize",
+                quorum,
+                ..
+            } if *node == survivor => Some(*quorum),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn matrix_2_to_5_matches_analytic_plan() {
+    for n_old in 2u64..=5 {
+        for n_new in 2u64..=5 {
+            if n_old == n_new {
+                continue;
+            }
+            let plan = Plan::new(n_old as usize, n_new as usize);
+            let observed = run_transition(n_old, n_new);
+            let expected: Vec<usize> = plan.stages.iter().map(|s| s.quorum).collect();
+            assert_eq!(
+                observed, expected,
+                "{n_old}->{n_new}: observed quorums {observed:?}, plan {expected:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn grow_2_to_9_single_add() {
+    // AddAndResize accepts an unbounded number of nodes in one step.
+    let mut sim = setup(2, 9, 0x2909);
+    let add: BTreeSet<NodeId> = (3..=9).map(NodeId).collect();
+    sim.admin(CLUSTER, AdminCmd::AddAndResize(add));
+    sim.run_until_pred(40 * SEC, |s| settled(s, 9));
+    // Q_new-q = 9 - 2 + 1 = 8 must have been in force before the majority 5.
+    let survivor = sim.leader_of(CLUSTER).unwrap();
+    let quorums: Vec<usize> = sim
+        .trace()
+        .iter()
+        .filter_map(|(_, node, ev)| match ev {
+            NodeEvent::MembershipCommitted { kind: "resize", quorum, .. }
+                if *node == survivor =>
+            {
+                Some(*quorum)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(quorums, vec![8, 5]);
+    sim.check_invariants();
+}
+
+#[test]
+fn removal_beyond_cap_is_rejected_not_wedged() {
+    let mut sim = setup(5, 5, 0x5CAB);
+    let remove: BTreeSet<NodeId> = (3..=5).map(NodeId).collect(); // r = 3 = Q_old
+    let req = sim.admin(CLUSTER, AdminCmd::RemoveAndResize(remove));
+    sim.run_for(2 * SEC);
+    assert!(
+        sim.admin_failure(req).is_some(),
+        "r >= Q_old must be rejected under P2'"
+    );
+    // The cluster is still fully functional.
+    sim.add_clients(2, recraft::sim::Workload::default());
+    sim.run_for(2 * SEC);
+    assert!(sim.completed_ops() > 100);
+    sim.check_invariants();
+}
+
+#[test]
+fn baseline_joint_consensus_transition() {
+    // The JC baseline reaches the same final configurations.
+    let mut sim = setup(3, 5, 0x1C35);
+    let target: BTreeSet<NodeId> = (1..=5).map(NodeId).collect();
+    sim.admin(CLUSTER, AdminCmd::JointChange(target.clone()));
+    sim.run_until_pred(30 * SEC, |s| {
+        s.leader_of(CLUSTER)
+            .is_some_and(|l| s.node(l).unwrap().config().members() == &target)
+    });
+    sim.check_invariants();
+}

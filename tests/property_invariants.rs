@@ -1,0 +1,144 @@
+//! Cross-crate property tests: protocol invariants under randomized inputs.
+
+use proptest::prelude::*;
+use recraft::core::quorum::QuorumSpec;
+use recraft::core::votes::{jc_worst_votes, Plan};
+use recraft::types::config::{majority, resize_quorum};
+use recraft::types::{ClusterConfig, ClusterId, KeyRange, NodeId, RangeSet, SplitSpec};
+use std::collections::BTreeSet;
+
+fn node_set(n: u64) -> BTreeSet<NodeId> {
+    (1..=n).map(NodeId).collect()
+}
+
+proptest! {
+    /// P2' holds along every membership plan: consecutive configurations'
+    /// quorums always intersect.
+    #[test]
+    fn membership_plans_preserve_overlap(n_old in 1usize..16, n_new in 1usize..16) {
+        let plan = Plan::new(n_old, n_new);
+        let mut n = n_old;
+        let mut q = majority(n_old);
+        for stage in &plan.stages {
+            prop_assert!(q + stage.quorum > n.max(stage.members));
+            prop_assert!(stage.quorum >= majority(stage.members));
+            prop_assert!(stage.quorum <= stage.members);
+            n = stage.members;
+            q = stage.quorum;
+        }
+        prop_assert_eq!(n, n_new);
+        prop_assert_eq!(q, majority(n_new));
+        // And the paper's Figure-5 guarantee.
+        if n_old != n_new {
+            prop_assert!(plan.max_intermediate_votes() <= jc_worst_votes(n_old, n_new));
+        }
+    }
+
+    /// The resize quorum really is the minimal overlap-forcing quorum.
+    #[test]
+    fn resize_quorum_is_minimal(n_old in 1usize..24, n_new in 1usize..24) {
+        let q_old = majority(n_old);
+        let q = resize_quorum(n_old, q_old, n_new);
+        prop_assert!(q_old + q > n_old.max(n_new));
+        prop_assert!(q_old + (q - 1) <= n_old.max(n_new));
+    }
+
+    /// Joint quorums are satisfied exactly when every group is.
+    #[test]
+    fn joint_quorum_semantics(
+        sizes in prop::collection::vec(1u64..6, 2..4),
+        votes_mask in prop::collection::vec(any::<bool>(), 0..20)
+    ) {
+        let mut offset = 0u64;
+        let mut groups = Vec::new();
+        let mut all: Vec<NodeId> = Vec::new();
+        for s in &sizes {
+            let g: BTreeSet<NodeId> = (offset + 1..=offset + s).map(NodeId).collect();
+            all.extend(g.iter().copied());
+            groups.push(g);
+            offset += s;
+        }
+        let spec = QuorumSpec::joint_majorities(groups.iter());
+        let votes: BTreeSet<NodeId> = all
+            .iter()
+            .zip(votes_mask.iter().chain(std::iter::repeat(&false)))
+            .filter(|(_, keep)| **keep)
+            .map(|(n, _)| *n)
+            .collect();
+        let expected = groups.iter().all(|g| {
+            votes.intersection(g).count() >= majority(g.len())
+        });
+        prop_assert_eq!(spec.satisfied(&votes), expected);
+    }
+
+    /// Any two-way split at any interior key yields disjoint subclusters
+    /// whose ranges partition the key space.
+    #[test]
+    fn split_specs_partition_keyspace(
+        boundary in 1u64..9_999,
+        probe in 0u64..10_000,
+        members in 4u64..10,
+    ) {
+        let parent = node_set(members);
+        let key = format!("k{boundary:08}");
+        let (lo, hi) = KeyRange::full().split_at(key.as_bytes()).unwrap();
+        let half = members / 2;
+        let spec = SplitSpec::new(
+            vec![
+                ClusterConfig::new(ClusterId(10), (1..=half).map(NodeId), RangeSet::from(lo))
+                    .unwrap(),
+                ClusterConfig::new(
+                    ClusterId(11),
+                    (half + 1..=members).map(NodeId),
+                    RangeSet::from(hi),
+                )
+                .unwrap(),
+            ],
+            &parent,
+            &RangeSet::full(),
+        )
+        .unwrap();
+        let probe_key = format!("k{probe:08}");
+        let owners = spec
+            .subclusters()
+            .iter()
+            .filter(|c| c.ranges().contains(probe_key.as_bytes()))
+            .count();
+        prop_assert_eq!(owners, 1, "every key owned by exactly one subcluster");
+        // Member partition: every parent node in exactly one subcluster.
+        for m in &parent {
+            let in_subs = spec
+                .subclusters()
+                .iter()
+                .filter(|c| c.contains(*m))
+                .count();
+            prop_assert!(in_subs <= 1);
+        }
+    }
+
+    /// Epoch-prefixed term ordering: any reconfiguration's epoch bump
+    /// dominates any term progression within the old epoch.
+    #[test]
+    fn epoch_dominates_any_term(e in 0u32..1000, t1 in 0u32..u32::MAX, t2 in 0u32..u32::MAX) {
+        use recraft::types::EpochTerm;
+        prop_assert!(EpochTerm::new(e + 1, t2) > EpochTerm::new(e, t1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Short randomized client traffic against a real simulated cluster is
+    /// always linearizable (end-to-end, through the full stack).
+    #[test]
+    fn short_runs_are_linearizable(seed in 0u64..64) {
+        use recraft::sim::{Sim, SimConfig, Workload};
+        let mut sim = Sim::new(SimConfig::with_seed(seed));
+        sim.boot_cluster(ClusterId(1), &[NodeId(1), NodeId(2), NodeId(3)], RangeSet::full());
+        sim.run_until_leader(ClusterId(1));
+        sim.add_clients(3, Workload { key_count: 10, get_ratio: 0.4, ..Workload::default() });
+        sim.run_for(1_500_000);
+        sim.check_invariants();
+        sim.check_linearizability();
+    }
+}

@@ -1,0 +1,201 @@
+//! Cross-crate integration: the full life of a sharded deployment —
+//! boot → load → split → independent service → merge → resume — with
+//! continuous safety and linearizability verification.
+
+use recraft::net::AdminCmd;
+use recraft::sim::{Sim, SimConfig, Workload};
+use recraft::types::{
+    ClusterConfig, ClusterId, MergeParticipant, MergeTx, NodeId, RangeSet, SplitSpec, TxId,
+};
+
+const SEC: u64 = 1_000_000;
+
+fn ids(r: std::ops::RangeInclusive<u64>) -> Vec<NodeId> {
+    r.map(NodeId).collect()
+}
+
+fn two_way_spec(sim: &Sim, src: ClusterId) -> SplitSpec {
+    let leader = sim.leader_of(src).unwrap();
+    let base = sim.node(leader).unwrap().config().clone();
+    let (lo, hi) = base.ranges().ranges()[0].split_at(b"k00005000").unwrap();
+    SplitSpec::new(
+        vec![
+            ClusterConfig::new(ClusterId(10), ids(1..=3), RangeSet::from(lo)).unwrap(),
+            ClusterConfig::new(ClusterId(11), ids(4..=6), RangeSet::from(hi)).unwrap(),
+        ],
+        base.members(),
+        base.ranges(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn full_lifecycle_split_then_merge() {
+    let mut sim = Sim::new(SimConfig::with_seed(0x11FE));
+    let src = ClusterId(1);
+    sim.boot_cluster(src, &ids(1..=6), RangeSet::full());
+    sim.run_until_leader(src);
+    sim.add_clients(8, Workload::default());
+    sim.run_for(3 * SEC);
+    let ops_single = sim.completed_ops();
+    assert!(ops_single > 500, "baseline traffic flows");
+
+    // Split.
+    let spec = two_way_spec(&sim, src);
+    sim.admin(src, AdminCmd::Split(spec));
+    sim.run_until_pred(30 * SEC, |s| {
+        s.leader_of(ClusterId(10)).is_some() && s.leader_of(ClusterId(11)).is_some()
+    });
+    // Epochs bumped everywhere; cluster ids disjoint.
+    for n in sim.nodes() {
+        assert_eq!(n.current_eterm().epoch(), 1, "{} epoch", n.id());
+        assert!(
+            n.cluster() == ClusterId(10) || n.cluster() == ClusterId(11),
+            "{} cluster",
+            n.id()
+        );
+    }
+    sim.run_for(3 * SEC);
+
+    // Merge back.
+    let tx = MergeTx {
+        id: TxId(9),
+        coordinator: ClusterId(11),
+        participants: vec![
+            MergeParticipant {
+                cluster: ClusterId(10),
+                members: ids(1..=3).into_iter().collect(),
+            },
+            MergeParticipant {
+                cluster: ClusterId(11),
+                members: ids(4..=6).into_iter().collect(),
+            },
+        ],
+        new_cluster: ClusterId(20),
+        resume_members: None,
+    };
+    sim.admin(ClusterId(11), AdminCmd::Merge(tx));
+    sim.run_until_pred(60 * SEC, |s| s.leader_of(ClusterId(20)).is_some());
+    // Epoch is max + 1 = 2; all six nodes serve the merged cluster.
+    assert_eq!(sim.members_of(ClusterId(20)).len(), 6);
+    let leader = sim.leader_of(ClusterId(20)).unwrap();
+    assert_eq!(sim.node(leader).unwrap().current_eterm().epoch(), 2);
+    // The merged cluster serves the full keyspace.
+    sim.run_for(3 * SEC);
+    assert!(sim.completed_ops() > ops_single, "traffic resumed after merge");
+
+    sim.check_invariants();
+    sim.check_linearizability();
+}
+
+#[test]
+fn merge_with_resumption_resize() {
+    // §III-C2 "Resizing the Merged Cluster": resume with only one whole
+    // subcluster's members.
+    let mut sim = Sim::new(SimConfig::with_seed(0x11FF));
+    let src = ClusterId(1);
+    sim.boot_cluster(src, &ids(1..=6), RangeSet::full());
+    sim.run_until_leader(src);
+    sim.add_clients(2, Workload::default());
+    sim.run_for(2 * SEC);
+    let spec = two_way_spec(&sim, src);
+    sim.admin(src, AdminCmd::Split(spec));
+    sim.run_until_pred(30 * SEC, |s| {
+        s.leader_of(ClusterId(10)).is_some() && s.leader_of(ClusterId(11)).is_some()
+    });
+    sim.run_for(SEC);
+
+    let tx = MergeTx {
+        id: TxId(10),
+        coordinator: ClusterId(10),
+        participants: vec![
+            MergeParticipant {
+                cluster: ClusterId(10),
+                members: ids(1..=3).into_iter().collect(),
+            },
+            MergeParticipant {
+                cluster: ClusterId(11),
+                members: ids(4..=6).into_iter().collect(),
+            },
+        ],
+        new_cluster: ClusterId(20),
+        // Keep only subcluster 10's members — a valid resumption subset.
+        resume_members: Some(ids(1..=3).into_iter().collect()),
+    };
+    sim.admin(ClusterId(10), AdminCmd::Merge(tx));
+    sim.run_until_pred(60 * SEC, |s| s.leader_of(ClusterId(20)).is_some());
+    let members = sim.members_of(ClusterId(20));
+    assert_eq!(members.len(), 3, "resumed with one subcluster: {members:?}");
+    assert!(members.iter().all(|n| n.0 <= 3));
+    // Nodes 4..6 retired but the merged cluster holds ALL the data.
+    let leader = sim.leader_of(ClusterId(20)).unwrap();
+    assert_eq!(
+        sim.node(leader).unwrap().config().ranges(),
+        &RangeSet::full()
+    );
+    sim.run_for(2 * SEC);
+    sim.check_invariants();
+    sim.check_linearizability();
+}
+
+#[test]
+fn three_way_split_and_three_way_merge() {
+    // "do not allow three or more clusters split/merge" is a TC limitation
+    // the paper calls out — ReCraft does both natively.
+    let mut sim = Sim::new(SimConfig::with_seed(0x3A3));
+    let src = ClusterId(1);
+    sim.boot_cluster(src, &ids(1..=9), RangeSet::full());
+    sim.run_until_leader(src);
+    sim.add_clients(4, Workload::default());
+    sim.run_for(2 * SEC);
+
+    let leader = sim.leader_of(src).unwrap();
+    let base = sim.node(leader).unwrap().config().clone();
+    let (lo, rest) = base.ranges().ranges()[0].split_at(b"k00003333").unwrap();
+    let (mid, hi) = rest.split_at(b"k00006666").unwrap();
+    let spec = SplitSpec::new(
+        vec![
+            ClusterConfig::new(ClusterId(10), ids(1..=3), RangeSet::from(lo)).unwrap(),
+            ClusterConfig::new(ClusterId(11), ids(4..=6), RangeSet::from(mid)).unwrap(),
+            ClusterConfig::new(ClusterId(12), ids(7..=9), RangeSet::from(hi)).unwrap(),
+        ],
+        base.members(),
+        base.ranges(),
+    )
+    .unwrap();
+    sim.admin(src, AdminCmd::Split(spec));
+    sim.run_until_pred(40 * SEC, |s| {
+        [10, 11, 12]
+            .iter()
+            .all(|c| s.leader_of(ClusterId(*c)).is_some())
+    });
+    sim.run_for(2 * SEC);
+
+    // Merge all three back at once.
+    let tx = MergeTx {
+        id: TxId(30),
+        coordinator: ClusterId(11),
+        participants: vec![
+            MergeParticipant {
+                cluster: ClusterId(10),
+                members: ids(1..=3).into_iter().collect(),
+            },
+            MergeParticipant {
+                cluster: ClusterId(11),
+                members: ids(4..=6).into_iter().collect(),
+            },
+            MergeParticipant {
+                cluster: ClusterId(12),
+                members: ids(7..=9).into_iter().collect(),
+            },
+        ],
+        new_cluster: ClusterId(21),
+        resume_members: None,
+    };
+    sim.admin(ClusterId(11), AdminCmd::Merge(tx));
+    sim.run_until_pred(90 * SEC, |s| s.leader_of(ClusterId(21)).is_some());
+    assert_eq!(sim.members_of(ClusterId(21)).len(), 9);
+    sim.run_for(2 * SEC);
+    sim.check_invariants();
+    sim.check_linearizability();
+}

@@ -1,0 +1,124 @@
+//! The TC baseline reaches the same end states as ReCraft's split and merge
+//! (data placement, ranges, service), just through the external cluster
+//! manager — and unlike ReCraft it dies with the CM.
+
+use recraft::kv::KvStore;
+use recraft::sim::{Sim, SimConfig, Workload};
+use recraft::tc::{tc_merge, tc_split, CmFailure, TcSubcluster};
+use recraft::types::{ClusterConfig, ClusterId, KeyRange, NodeId, RangeSet};
+
+const SEC: u64 = 1_000_000;
+
+fn ids(r: std::ops::RangeInclusive<u64>) -> Vec<NodeId> {
+    r.map(NodeId).collect()
+}
+
+#[test]
+fn tc_split_places_data_like_recraft() {
+    let mut sim = Sim::new(SimConfig::with_seed(0x7C57));
+    let src = ClusterId(1);
+    sim.boot_cluster(src, &ids(1..=6), RangeSet::full());
+    sim.run_until_leader(src);
+    sim.add_clients(4, Workload::default());
+    sim.run_for(3 * SEC);
+    sim.schedule_action(sim.time(), recraft::sim::Action::StopClients);
+    sim.run_for(SEC);
+
+    let (lo, hi) = KeyRange::full().split_at(b"k00005000").unwrap();
+    // TC keeps nodes 1-3 as the source with the low range; nodes 4-6 restart
+    // as cluster 11 with the high range... except TC must REMOVE 4-6 first.
+    let report = tc_split(
+        &mut sim,
+        src,
+        RangeSet::from(lo.clone()),
+        &[TcSubcluster {
+            cluster: ClusterId(11),
+            members: ids(4..=6),
+            ranges: RangeSet::from(hi.clone()),
+        }],
+        CmFailure::None,
+    );
+    assert!(report.completed);
+    assert!(report.remove_us > 0 && report.restart_us > 0);
+
+    // Both clusters serve their ranges with the right data.
+    sim.run_until_pred(30 * SEC, |s| {
+        s.leader_of(src).is_some() && s.leader_of(ClusterId(11)).is_some()
+    });
+    let l_src = sim.leader_of(src).unwrap();
+    let l_new = sim.leader_of(ClusterId(11)).unwrap();
+    assert_eq!(sim.node(l_src).unwrap().config().ranges(), &RangeSet::from(lo));
+    assert_eq!(sim.node(l_new).unwrap().config().ranges(), &RangeSet::from(hi));
+    // Every key ended up on exactly one side.
+    let src_keys = sim.node(l_src).unwrap().state_machine().len();
+    let new_keys = sim.node(l_new).unwrap().state_machine().len();
+    assert!(src_keys > 0 && new_keys > 0);
+    sim.check_invariants();
+}
+
+#[test]
+fn tc_merge_consolidates_data() {
+    let mut sim = Sim::new(SimConfig::with_seed(0x7C58));
+    let (lo, hi) = KeyRange::full().split_at(b"k00005000").unwrap();
+    let c10 = ClusterConfig::new(ClusterId(10), ids(1..=3), RangeSet::from(lo)).unwrap();
+    let c11 = ClusterConfig::new(ClusterId(11), ids(4..=6), RangeSet::from(hi)).unwrap();
+    for id in ids(1..=3) {
+        sim.boot_node_with_store(id, c10.clone(), KvStore::new());
+    }
+    for id in ids(4..=6) {
+        sim.boot_node_with_store(id, c11.clone(), KvStore::new());
+    }
+    sim.run_until_leader(ClusterId(10));
+    sim.run_until_leader(ClusterId(11));
+    sim.add_clients(4, Workload::default());
+    sim.run_for(3 * SEC);
+    sim.schedule_action(sim.time(), recraft::sim::Action::StopClients);
+    sim.run_for(SEC);
+    let keys_11 = {
+        let l = sim.leader_of(ClusterId(11)).unwrap();
+        sim.node(l).unwrap().state_machine().len()
+    };
+
+    let report = tc_merge(&mut sim, ClusterId(10), &[ClusterId(11)], CmFailure::None);
+    assert!(report.completed);
+    assert!(report.snapshot_us > 0 && report.rejoin_us > 0);
+
+    // The destination now serves everything with all six nodes.
+    sim.run_until_pred(60 * SEC, |s| {
+        s.leader_of(ClusterId(10)).is_some_and(|l| {
+            s.node(l).unwrap().config().members().len() == 6
+        })
+    });
+    let l = sim.leader_of(ClusterId(10)).unwrap();
+    assert_eq!(sim.node(l).unwrap().config().ranges(), &RangeSet::full());
+    assert!(sim.node(l).unwrap().state_machine().len() >= keys_11);
+    sim.check_invariants();
+}
+
+#[test]
+fn tc_cm_death_strands_the_operation() {
+    // The paper's Table I point: one CM failure stops TC entirely.
+    let mut sim = Sim::new(SimConfig::with_seed(0x7C59));
+    let src = ClusterId(1);
+    sim.boot_cluster(src, &ids(1..=6), RangeSet::full());
+    sim.run_until_leader(src);
+    sim.run_for(SEC);
+    let (lo, hi) = KeyRange::full().split_at(b"k00005000").unwrap();
+    let report = tc_split(
+        &mut sim,
+        src,
+        RangeSet::from(lo),
+        &[TcSubcluster {
+            cluster: ClusterId(11),
+            members: ids(4..=6),
+            ranges: RangeSet::from(hi),
+        }],
+        CmFailure::AfterPhase1,
+    );
+    assert!(!report.completed);
+    // Arbitrarily later, the new cluster still does not exist: the removed
+    // nodes are stranded (retired from the source, never restarted).
+    sim.run_for(20 * SEC);
+    assert!(sim.leader_of(ClusterId(11)).is_none());
+    sim.check_invariants();
+}
