@@ -71,7 +71,11 @@ fn main() {
         (LO..HI).all(|n| Plan::new(n, n + 1).consensus_steps() == 1),
         "one-node additions are single-step"
     );
-    assert_eq!(Plan::new(5, 2).consensus_steps(), 3, "5->2 costs one extra step");
+    assert_eq!(
+        Plan::new(5, 2).consensus_steps(),
+        3,
+        "5->2 costs one extra step"
+    );
     for n_old in LO..=HI {
         for n_new in LO..=HI {
             if n_old != n_new {

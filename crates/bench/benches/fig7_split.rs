@@ -59,10 +59,20 @@ fn throughput_timeline(ways: usize) {
     }
     // Shape check: aggregate throughput after the split exceeds before.
     let before: u64 = (10..14)
-        .map(|b| series.values().map(|s| s.get(b).copied().unwrap_or(0)).sum::<u64>())
+        .map(|b| {
+            series
+                .values()
+                .map(|s| s.get(b).copied().unwrap_or(0))
+                .sum::<u64>()
+        })
         .sum();
     let after: u64 = (25..29)
-        .map(|b| series.values().map(|s| s.get(b).copied().unwrap_or(0)).sum::<u64>())
+        .map(|b| {
+            series
+                .values()
+                .map(|s| s.get(b).copied().unwrap_or(0))
+                .sum::<u64>()
+        })
         .sum();
     println!(
         "aggregate 4s window: before={before} after={after} ({:.2}x)\n",

@@ -157,7 +157,14 @@ fn main() {
     println!("--- Fig 8b: merge latency (ms), ReCraft vs TC emulation ---");
     println!(
         "{:>8} | {:>8} {:>11} {:>9} | {:>11} {:>10} {:>9} | {:>6}",
-        "config", "RC-TX", "RC-snapshot", "RC-total", "TC-snapshot", "TC-rejoin", "TC-total", "TC/RC"
+        "config",
+        "RC-TX",
+        "RC-snapshot",
+        "RC-total",
+        "TC-snapshot",
+        "TC-rejoin",
+        "TC-total",
+        "TC/RC"
     );
     for n in [2u64, 3] {
         for pairs in [100u64, 1_000, 10_000] {

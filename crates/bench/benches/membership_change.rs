@@ -42,8 +42,7 @@ fn settled(sim: &Sim, members: u64) -> bool {
     sim.leader_of(CLUSTER).is_some_and(|l| {
         let n = sim.node(l).unwrap();
         n.config().members().len() == members as usize
-            && n.config().quorum_size()
-                == recraft_types::config::majority(members as usize)
+            && n.config().quorum_size() == recraft_types::config::majority(members as usize)
     })
 }
 
@@ -142,8 +141,6 @@ fn main() {
         }
     }
     let mean_step = step_time_samples.iter().sum::<f64>() / step_time_samples.len() as f64;
-    println!(
-        "\nmean time per consensus step: {mean_step:.1} ms (paper: 11.4 ms on their cloud)"
-    );
+    println!("\nmean time per consensus step: {mean_step:.1} ms (paper: 11.4 ms on their cloud)");
     println!("paper shape: ReCraft <= JC and AR for 2..=5 except 5->2 (one extra step)");
 }

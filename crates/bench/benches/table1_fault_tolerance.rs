@@ -167,7 +167,11 @@ fn main() {
         sim.boot_cluster(src, &node_ids(6), RangeSet::full());
         sim.run_until_leader(src);
         sim.run_for(SEC);
-        let base = sim.node(sim.leader_of(src).unwrap()).unwrap().config().clone();
+        let base = sim
+            .node(sim.leader_of(src).unwrap())
+            .unwrap()
+            .config()
+            .clone();
         let spec = even_split_spec(&base, 2, KEYS, 10);
         let retained = spec.subclusters()[0].ranges().clone();
         let outgoing: Vec<TcSubcluster> = spec.subclusters()[1..]

@@ -46,8 +46,8 @@ pub fn preloaded_store(pairs: u64, key_count: u64) -> KvStore {
 
 /// Boots an `n`-node cluster whose members all hold `store`'s contents.
 pub fn boot_preloaded(sim: &mut Sim, cluster: ClusterId, ids: &[NodeId], store: &KvStore) {
-    let config = ClusterConfig::new(cluster, ids.iter().copied(), RangeSet::full())
-        .expect("valid config");
+    let config =
+        ClusterConfig::new(cluster, ids.iter().copied(), RangeSet::full()).expect("valid config");
     for id in ids {
         sim.boot_node_with_store(*id, config.clone(), store.clone());
     }

@@ -72,13 +72,7 @@ impl<SM: StateMachine> Node<SM> {
     /// precondition error.
     pub(crate) fn handle_admin_req(&mut self, now: u64, from: NodeId, req_id: u64, cmd: AdminCmd) {
         let result = self.try_admin(now, cmd);
-        self.send(
-            from,
-            Message::AdminResp {
-                req_id,
-                result,
-            },
-        );
+        self.send(from, Message::AdminResp { req_id, result });
     }
 
     fn try_admin(&mut self, now: u64, cmd: AdminCmd) -> Result<()> {
@@ -259,13 +253,7 @@ impl<SM: StateMachine> Node<SM> {
         if old == members {
             return Ok(());
         }
-        self.propose_config(
-            now,
-            ConfigChange::JointEnter {
-                old,
-                new: members,
-            },
-        );
+        self.propose_config(now, ConfigChange::JointEnter { old, new: members });
         Ok(())
     }
 }

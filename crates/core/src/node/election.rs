@@ -67,26 +67,46 @@ impl<SM: StateMachine> Node<SM> {
         &mut self,
         now: u64,
         from: NodeId,
+        cluster: recraft_types::ClusterId,
         eterm: EpochTerm,
         last_index: LogIndex,
         last_eterm: EpochTerm,
     ) {
+        if !self.bootstrapped {
+            // A joiner has no log or configuration to vote with.
+            return;
+        }
         // A candidate from an older epoch missed a split/merge completion:
         // tell it to pull committed entries instead of voting (Fig. 2,
-        // respondPull).
+        // respondPull) — but only a candidate of our own lineage (our
+        // current cluster or an ancestor recorded in the reconfiguration
+        // history). Steering an unrelated cluster's candidate into pulling
+        // our log would mix lineages.
         if eterm.epoch() < self.hard.eterm.epoch() {
-            self.send(
-                from,
-                Message::VoteResp {
-                    cluster: self.cluster,
-                    eterm: self.hard.eterm,
-                    granted: false,
-                    pull: Some(PullHint {
-                        commit_index: self.commit_index,
-                        epoch: self.hard.eterm.epoch(),
-                    }),
-                },
-            );
+            let lineage =
+                cluster == self.cluster || self.history.iter().any(|r| r.old_cluster == cluster);
+            if lineage {
+                self.send(
+                    from,
+                    Message::VoteResp {
+                        cluster: self.cluster,
+                        eterm: self.hard.eterm,
+                        granted: false,
+                        pull: Some(PullHint {
+                            commit_index: self.commit_index,
+                            epoch: self.hard.eterm.epoch(),
+                        }),
+                    },
+                );
+            }
+            return;
+        }
+        if cluster != self.cluster && eterm.epoch() <= self.cluster_epoch {
+            // A sibling or stale cluster's election is not ours to vote in,
+            // and its epoch-terms must not leak into our lineage. (A
+            // *descendant* generation's candidate falls through: we are a
+            // straggler of a completed reconfiguration and our vote is a
+            // member's vote in the new cluster.)
             return;
         }
         if eterm > self.hard.eterm {
@@ -114,18 +134,25 @@ impl<SM: StateMachine> Node<SM> {
         &mut self,
         now: u64,
         from: NodeId,
+        cluster: recraft_types::ClusterId,
         eterm: EpochTerm,
         granted: bool,
         pull: Option<PullHint>,
     ) {
         if let Some(hint) = pull {
+            // Pull hints legitimately cross cluster lineages: the responder
+            // is in a descendant configuration we missed.
             if hint.epoch > self.hard.eterm.epoch() {
                 self.start_pull(now, from, hint);
             }
             return;
         }
         if eterm > self.hard.eterm {
-            self.become_follower(now, eterm, None);
+            // Step down only within our own lineage; a foreign responder's
+            // terms must not leak into this cluster's election.
+            if cluster == self.cluster {
+                self.become_follower(now, eterm, None);
+            }
             return;
         }
         if self.role != Role::Candidate || eterm != self.hard.eterm || !granted {

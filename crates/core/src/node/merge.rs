@@ -360,7 +360,8 @@ impl<SM: StateMachine> Node<SM> {
         let busy = !self.cfg.is_quiescent()
             || self.exchange.is_some()
             || tx.validate().is_err()
-            || tx.participant(self.cluster)
+            || tx
+                .participant(self.cluster)
                 .is_none_or(|p| &p.members != self.cfg.base().members());
         if busy {
             let ranges = self.cfg.base().ranges().clone();
@@ -404,7 +405,12 @@ impl<SM: StateMachine> Node<SM> {
     }
 
     /// Phase-2 request from the coordinator (Fig. 4, HandleMergeCommit).
-    pub(crate) fn handle_merge_commit_req(&mut self, now: u64, from: NodeId, outcome: MergeOutcome) {
+    pub(crate) fn handle_merge_commit_req(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        outcome: MergeOutcome,
+    ) {
         let tx_id = outcome.tx_id();
         // Already resolved? Acknowledge from durable knowledge regardless of
         // role — the outcome is definitionally committed in these states.
@@ -498,6 +504,9 @@ impl<SM: StateMachine> Node<SM> {
         }
         match outcome {
             MergeOutcome::Abort { .. } => {
+                // No part will ever be produced for an aborted transaction;
+                // drop any fetch requests parked on it.
+                self.pending_fetches.remove(&tx_id);
                 let members = self.cfg.base().members().clone();
                 self.history.push(super::ReconfigRecord {
                     kind: "merge-abort",
@@ -562,6 +571,20 @@ impl<SM: StateMachine> Node<SM> {
             data: self.sm.snapshot(&own_ranges),
         };
         self.merge_parts.insert(tx.id, part.clone());
+        // Serve peers whose fetch arrived before our part existed: they are
+        // blocked in their own exchange until every part is in, so push
+        // rather than leaving them to their retry timer.
+        if let Some(waiters) = self.pending_fetches.remove(&tx.id) {
+            for waiter in waiters {
+                self.send(
+                    waiter,
+                    Message::FetchSnapshotResp {
+                        tx_id: tx.id,
+                        part: Some(Box::new(part.clone())),
+                    },
+                );
+            }
+        }
         let mut parts = BTreeMap::new();
         parts.insert(self.cluster, part);
         self.exchange = Some(Exchange {
@@ -576,6 +599,14 @@ impl<SM: StateMachine> Node<SM> {
         self.emit(NodeEvent::MergeExchangeStarted {
             tx: tx_id_of(&self.exchange),
         });
+        // A leader entering the exchange will resume into the merged cluster
+        // (and stop heartbeating this one) as soon as the parts are in —
+        // possibly before the next heartbeat interval. Push the commit index
+        // covering the outcome entry to the followers now, or they are
+        // stranded in the old cluster until an election timeout.
+        if self.role == Role::Leader {
+            self.broadcast_append(now);
+        }
         self.exchange_tick(now);
         self.try_finish_exchange(now);
     }
@@ -606,9 +637,14 @@ impl<SM: StateMachine> Node<SM> {
         }
     }
 
-    /// Serves a peer subcluster's snapshot request.
+    /// Serves a peer subcluster's snapshot request. When our part does not
+    /// exist yet (the outcome has not committed here), remember the requester
+    /// and push the part the moment it is produced.
     pub(crate) fn handle_fetch_snapshot_req(&mut self, from: NodeId, tx_id: TxId) {
         let part = self.merge_parts.get(&tx_id).cloned().map(Box::new);
+        if part.is_none() {
+            self.pending_fetches.entry(tx_id).or_default().insert(from);
+        }
         self.send(from, Message::FetchSnapshotResp { tx_id, part });
     }
 
@@ -690,6 +726,7 @@ impl<SM: StateMachine> Node<SM> {
         let base = ClusterConfig::new(ex.tx.new_cluster, members, ex.ranges.clone())
             .expect("merged member set nonempty");
         self.cluster = ex.tx.new_cluster;
+        self.cluster_epoch = ex.new_epoch;
         self.cfg.reset(base.clone(), LogIndex(1));
         self.advance_eterm(new_eterm);
         self.snapshot = Snapshot {

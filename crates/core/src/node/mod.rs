@@ -165,6 +165,9 @@ pub struct Node<SM> {
     /// Snapshot parts retained for peers still exchanging (also after this
     /// node resumed or retired).
     pub(crate) merge_parts: HashMap<TxId, Snapshot>,
+    /// Peers whose snapshot fetch arrived before our part existed; answered
+    /// as soon as the part is produced.
+    pub(crate) pending_fetches: HashMap<TxId, BTreeSet<NodeId>>,
 
     // Timers.
     pub(crate) timing: Timing,
@@ -181,6 +184,21 @@ pub struct Node<SM> {
     /// semantics, which prevents fresh nodes from electing each other into a
     /// split brain.
     pub(crate) bootstrapped: bool,
+
+    /// For a joiner provisioned into a specific cluster (etcd's cluster
+    /// token): only that cluster's leader may bootstrap it. `None` accepts
+    /// the first cluster that makes contact. Cleared once bootstrapped.
+    pub(crate) join_target: Option<ClusterId>,
+
+    /// The epoch at which this node's cluster identity was created (0 for a
+    /// booted cluster, bumped by split completion / merge resumption /
+    /// snapshot adoption). Scopes message acceptance: traffic from a foreign
+    /// cluster is processed only when its epoch is strictly greater — a
+    /// *descendant* reconfiguration generation reclaiming a straggler —
+    /// never from a sibling or stale cluster. Unlike `hard.eterm`'s epoch,
+    /// this only advances together with the cluster identity itself, so a
+    /// half-adopted straggler can still be rescued.
+    pub(crate) cluster_epoch: u32,
 
     // Outbox.
     pub(crate) outbox: Vec<Envelope>,
@@ -225,12 +243,15 @@ impl<SM: StateMachine> Node<SM> {
             driver: None,
             pending_2pc: HashMap::new(),
             merge_parts: HashMap::new(),
+            pending_fetches: HashMap::new(),
             timing,
             rng,
             election_deadline,
             heartbeat_due: 0,
             derived_cache: None,
             bootstrapped: true,
+            join_target: None,
+            cluster_epoch: 0,
             outbox: Vec::new(),
             events: Vec::new(),
         }
@@ -242,10 +263,27 @@ impl<SM: StateMachine> Node<SM> {
     /// cluster's identity from the first leader that contacts it.
     #[must_use]
     pub fn new_joiner(id: NodeId, sm: SM, timing: Timing, seed: u64) -> Self {
-        let placeholder = ClusterConfig::new(ClusterId(0), [id], RangeSet::empty())
-            .expect("placeholder config");
+        let placeholder =
+            ClusterConfig::new(ClusterId(0), [id], RangeSet::empty()).expect("placeholder config");
         let mut node = Node::new(id, placeholder, sm, timing, seed);
         node.bootstrapped = false;
+        node
+    }
+
+    /// Boots a joiner provisioned for one specific cluster: contact from any
+    /// other cluster is ignored (etcd's cluster-token semantics). Required
+    /// when a node is re-purposed while its former cluster is still alive
+    /// and would otherwise re-adopt it first.
+    #[must_use]
+    pub fn new_joiner_into(
+        id: NodeId,
+        target: ClusterId,
+        sm: SM,
+        timing: Timing,
+        seed: u64,
+    ) -> Self {
+        let mut node = Node::new_joiner(id, sm, timing, seed);
+        node.join_target = Some(target);
         node
     }
 
@@ -376,6 +414,7 @@ impl<SM: StateMachine> Node<SM> {
         self.exchange = None;
         self.driver = None;
         self.pending_2pc.clear();
+        self.pending_fetches.clear();
         self.committed_in_term = false;
         self.commit_index = self.log.base_index();
         self.applied_index = self.log.base_index();
@@ -464,24 +503,24 @@ impl<SM: StateMachine> Node<SM> {
                 leader_commit,
             ),
             Message::AppendResp {
+                cluster,
                 eterm,
                 success,
                 match_index,
                 conflict,
-                ..
-            } => self.handle_append_resp(now, from, eterm, success, match_index, conflict),
+            } => self.handle_append_resp(now, from, cluster, eterm, success, match_index, conflict),
             Message::RequestVote {
+                cluster,
                 eterm,
                 last_index,
                 last_eterm,
-                ..
-            } => self.handle_request_vote(now, from, eterm, last_index, last_eterm),
+            } => self.handle_request_vote(now, from, cluster, eterm, last_index, last_eterm),
             Message::VoteResp {
+                cluster,
                 eterm,
                 granted,
                 pull,
-                ..
-            } => self.handle_vote_resp(now, from, eterm, granted, pull),
+            } => self.handle_vote_resp(now, from, cluster, eterm, granted, pull),
             Message::NotifyCommit {
                 cnew_index,
                 cnew_eterm,
@@ -573,8 +612,9 @@ impl<SM: StateMachine> Node<SM> {
             });
             // Pending proposals will be resolved by the new leader; tell the
             // clients to retry there.
-            let pending: Vec<(LogIndex, (NodeId, u64))> =
-                std::mem::take(&mut self.pending_clients).into_iter().collect();
+            let pending: Vec<(LogIndex, (NodeId, u64))> = std::mem::take(&mut self.pending_clients)
+                .into_iter()
+                .collect();
             for (_, (client, req_id)) in pending {
                 self.send(
                     client,
@@ -620,6 +660,11 @@ impl<SM: StateMachine> Node<SM> {
             .truncate_from(index)
             .expect("truncation point above base");
         self.cfg.truncate_from(index);
+        // Replication cursors must not point past the shortened log, or the
+        // next send would look up a prev entry that no longer exists.
+        for pr in self.progress.values_mut() {
+            pr.next = pr.next.min(index);
+        }
         let dropped: Vec<(LogIndex, (NodeId, u64))> =
             self.pending_clients.split_off(&index).into_iter().collect();
         for (_, (client, req_id)) in dropped {
@@ -888,7 +933,13 @@ impl<SM: StateMachine> Node<SM> {
             if let recraft_types::QuorumRule::Fixed(_) = base.quorum_rule() {
                 let members = base.members().clone();
                 let maj = recraft_types::config::majority(members.len());
-                self.propose_config(now, ConfigChange::Resize { members, quorum: maj });
+                self.propose_config(
+                    now,
+                    ConfigChange::Resize {
+                        members,
+                        quorum: maj,
+                    },
+                );
                 return;
             }
         }

@@ -56,15 +56,25 @@ impl<SM: StateMachine> Node<SM> {
     /// Serves a pull request: committed entries after the puller's commit
     /// index, or our snapshot when the log no longer retains that far back.
     pub(crate) fn handle_pull_req(&mut self, from: NodeId, their_commit: LogIndex) {
-        let removed = self.history.iter().any(|r| {
-            r.members_before.contains(&from) && !r.members_after.contains(&from)
-        });
+        let removed = self
+            .history
+            .iter()
+            .any(|r| r.members_before.contains(&from) && !r.members_after.contains(&from));
+        // Only nodes of our own lineage — current members or members of a
+        // configuration we reconfigured away from — are served entries; an
+        // unrelated cluster's node pulling our log would mix lineages.
+        let lineage = self.cfg.base().contains(from)
+            || self.snap_config.contains(from)
+            || self
+                .history
+                .iter()
+                .any(|r| r.members_before.contains(&from));
         let mut entries: Vec<LogEntry> = Vec::new();
         let mut snapshot: Option<Box<Snapshot>> = None;
         let mut snapshot_config: Option<ClusterConfig> = None;
-        if removed {
+        if removed || !lineage {
             // §V: the reconfiguration history tells the puller it is no
-            // longer a member anywhere.
+            // longer a member anywhere (or it was never one of ours).
         } else if their_commit >= self.log.base_index() {
             // Serve committed entries only (uncommitted ones may be
             // overwritten and must never travel through pulls).
@@ -81,7 +91,11 @@ impl<SM: StateMachine> Node<SM> {
             Message::PullResp {
                 epoch: self.hard.eterm.epoch(),
                 entries,
-                commit_index: if removed { LogIndex::ZERO } else { self.commit_index },
+                commit_index: if removed {
+                    LogIndex::ZERO
+                } else {
+                    self.commit_index
+                },
                 snapshot,
                 snapshot_config,
             },

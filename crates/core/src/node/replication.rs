@@ -121,10 +121,28 @@ impl<SM: StateMachine> Node<SM> {
         leader_commit: LogIndex,
     ) {
         if !self.bootstrapped {
-            // A joiner adopts the identity of the first cluster whose leader
-            // contacts it.
+            if self.join_target.is_some_and(|target| target != cluster) {
+                // Provisioned for a different cluster; this one may still
+                // believe we are its member (a re-purposed node).
+                return;
+            }
+            // A joiner adopts the identity of the first eligible cluster
+            // whose leader contacts it.
             self.cluster = cluster;
+            self.cluster_epoch = eterm.epoch();
             self.bootstrapped = true;
+            self.join_target = None;
+        } else if cluster != self.cluster && eterm.epoch() <= self.cluster_epoch {
+            // Foreign cluster of the same (or an older) reconfiguration
+            // generation: a sibling subcluster, a terminated cluster that
+            // still believes we are its member, or plain stale traffic.
+            // Dropping it keeps log lineages from mixing. A *descendant*
+            // generation (strictly higher epoch — a split subcluster
+            // adopting a parent-cluster straggler, a merged cluster rescuing
+            // a subcluster straggler) falls through and is processed
+            // normally; committing its entries is what completes the
+            // reconfiguration on this node.
+            return;
         }
         if eterm < self.hard.eterm {
             self.send(
@@ -194,17 +212,24 @@ impl<SM: StateMachine> Node<SM> {
     }
 
     /// Leader-side AppendEntries response.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn handle_append_resp(
         &mut self,
         now: u64,
         from: NodeId,
+        cluster: recraft_types::ClusterId,
         eterm: EpochTerm,
         success: bool,
         match_index: LogIndex,
         conflict: Option<LogIndex>,
     ) {
         if eterm > self.hard.eterm {
-            self.become_follower(now, eterm, None);
+            // Step down only for our own lineage: a responder that reports a
+            // foreign cluster (e.g. a re-purposed member now serving
+            // elsewhere) must not leak its terms into this cluster.
+            if cluster == self.cluster {
+                self.become_follower(now, eterm, None);
+            }
             return;
         }
         if self.role != Role::Leader || eterm < self.hard.eterm {
@@ -297,7 +322,17 @@ impl<SM: StateMachine> Node<SM> {
         snapshot: Snapshot,
         config: ClusterConfig,
     ) {
-        if eterm < self.hard.eterm {
+        if !self.bootstrapped && self.join_target.is_some_and(|target| target != config.id()) {
+            return;
+        }
+        if self.bootstrapped && config.id() != self.cluster {
+            // Foreign cluster: only a descendant generation (strictly higher
+            // epoch) may install its world over ours — the split/merge
+            // straggler rescue. Anything else is a sibling or stale cluster.
+            if eterm.epoch() <= self.cluster_epoch {
+                return;
+            }
+        } else if eterm < self.hard.eterm {
             self.send(
                 from,
                 Message::InstallSnapshotResp {
@@ -336,6 +371,18 @@ impl<SM: StateMachine> Node<SM> {
     /// Replaces log, state machine, and configuration with a snapshot.
     pub(crate) fn install_snapshot_state(&mut self, snapshot: Snapshot, config: ClusterConfig) {
         self.bootstrapped = true;
+        self.join_target = None;
+        // The snapshot's tail epoch approximates the epoch its cluster was
+        // created at. It can *understate* it (a snapshot compacted exactly at
+        // a Cnew entry carries the parent epoch), so a same-cluster install
+        // must never lower the lineage epoch we already know — that would
+        // re-open the foreign-traffic gates this field scopes.
+        let floor = if config.id() == self.cluster {
+            self.cluster_epoch
+        } else {
+            0
+        };
+        self.cluster_epoch = floor.max(snapshot.last_eterm.epoch());
         self.sm
             .restore(&snapshot.data)
             .expect("leader snapshot must decode");

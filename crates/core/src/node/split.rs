@@ -79,10 +79,11 @@ impl<SM: StateMachine> Node<SM> {
         // already adopted the completed leader's bumped epoch-term must not
         // bump twice.
         self.cluster = sub.id();
+        self.cluster_epoch = entry.eterm.epoch() + 1;
         self.cfg.fold(sub.clone(), index);
         self.sm.retain_ranges(sub.ranges());
-        let new_eterm = EpochTerm::new(entry.eterm.epoch() + 1, self.hard.eterm.term())
-            .max(self.hard.eterm);
+        let new_eterm =
+            EpochTerm::new(entry.eterm.epoch() + 1, self.hard.eterm.term()).max(self.hard.eterm);
         self.advance_eterm(new_eterm);
         self.pull = None;
         self.history.push(super::ReconfigRecord {

@@ -30,8 +30,12 @@ struct Net {
 impl Net {
     fn with_nodes(ids: &[u64]) -> Net {
         let members: BTreeSet<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
-        let config = ClusterConfig::new(recraft_types::ClusterId(1), members.clone(), RangeSet::full())
-            .unwrap();
+        let config = ClusterConfig::new(
+            recraft_types::ClusterId(1),
+            members.clone(),
+            RangeSet::full(),
+        )
+        .unwrap();
         let mut nodes = BTreeMap::new();
         for (i, id) in members.iter().enumerate() {
             nodes.insert(
@@ -261,12 +265,7 @@ fn replicates_and_applies_commands() {
 fn followers_redirect_clients() {
     let mut net = Net::with_nodes(&[1, 2, 3]);
     let leader = net.elect();
-    let follower = net
-        .nodes
-        .keys()
-        .copied()
-        .find(|id| *id != leader)
-        .unwrap();
+    let follower = net.nodes.keys().copied().find(|id| *id != leader).unwrap();
     net.put(follower, 7, "k", "v");
     let resp = net
         .responses
@@ -284,9 +283,7 @@ fn leader_failover_preserves_committed_entries() {
     net.run(5);
     assert!(net.ok_response(1));
     net.crash(leader.0);
-    net.run_until(400, |net| {
-        net.any_leader().is_some_and(|l| l != leader)
-    });
+    net.run_until(400, |net| net.any_leader().is_some_and(|l| l != leader));
     let new_leader = net.any_leader().unwrap();
     net.put(new_leader, 2, "k2", "v2");
     net.run(5);
@@ -298,7 +295,10 @@ fn leader_failover_preserves_committed_entries() {
     // The crashed leader recovers and catches up.
     net.restart(leader.0);
     net.run(50);
-    assert_eq!(net.node(leader.0).state_machine().get(b"k2"), Some(&b"v2"[..]));
+    assert_eq!(
+        net.node(leader.0).state_machine().get(b"k2"),
+        Some(&b"v2"[..])
+    );
     net.assert_state_machine_safety();
 }
 
@@ -466,7 +466,9 @@ fn merge_combines_two_clusters() {
             .all(|n| n.cluster() == recraft_types::ClusterId(20))
     });
     // Epoch is max(E)+1 = 2, and a leader arises at term >= 1 of that epoch.
-    net.run_until(800, |net| net.leader_of(recraft_types::ClusterId(20)).is_some());
+    net.run_until(800, |net| {
+        net.leader_of(recraft_types::ClusterId(20)).is_some()
+    });
     let leader = net.leader_of(recraft_types::ClusterId(20)).unwrap();
     assert_eq!(net.node(leader.0).current_eterm().epoch(), 2);
     // The merged state machine holds the union of both clusters' data.
@@ -498,15 +500,25 @@ fn merge_aborts_when_participant_is_reconfiguring() {
     }
     let mut bigger = net.nodes[&l11].config().members().clone();
     bigger.insert(NodeId(99)); // a node that does not exist
-    net.admin(l11, 300, AdminCmd::AddAndResize(BTreeSet::from([NodeId(99)])));
+    net.admin(
+        l11,
+        300,
+        AdminCmd::AddAndResize(BTreeSet::from([NodeId(99)])),
+    );
     net.run(2);
     // Now the merge prepare must be answered NO by cluster 11's leader.
     let tx = merge_tx_for(&net, l10, l11);
     net.admin(l10, 301, AdminCmd::Merge(tx));
     net.run_until(1200, |net| {
-        net.events
-            .iter()
-            .any(|(_, e)| matches!(e, NodeEvent::MergeOutcomeCommitted { committed: false, .. }))
+        net.events.iter().any(|(_, e)| {
+            matches!(
+                e,
+                NodeEvent::MergeOutcomeCommitted {
+                    committed: false,
+                    ..
+                }
+            )
+        })
     });
     // Cluster 10 resumes normal service under its old identity.
     for m in &c11_members {
@@ -529,8 +541,12 @@ fn add_and_resize_2_to_5_single_intermediate_quorum() {
     // Boot three more nodes that know nothing yet (empty config joins via
     // snapshot/append from the leader). They start with the target config.
     let target: BTreeSet<NodeId> = [1, 2, 3, 4, 5].map(NodeId).into_iter().collect();
-    let config =
-        ClusterConfig::new(recraft_types::ClusterId(1), target.clone(), RangeSet::full()).unwrap();
+    let config = ClusterConfig::new(
+        recraft_types::ClusterId(1),
+        target.clone(),
+        RangeSet::full(),
+    )
+    .unwrap();
     for id in [3u64, 4, 5] {
         net.nodes.insert(
             NodeId(id),
@@ -562,13 +578,18 @@ fn add_and_resize_2_to_5_single_intermediate_quorum() {
         .events
         .iter()
         .filter_map(|(node, e)| match e {
-            NodeEvent::MembershipCommitted { kind: "resize", quorum, .. } if *node == leader => {
-                Some(*quorum)
-            }
+            NodeEvent::MembershipCommitted {
+                kind: "resize",
+                quorum,
+                ..
+            } if *node == leader => Some(*quorum),
             _ => None,
         })
         .collect();
-    assert!(resizes.contains(&4), "intermediate quorum 4 seen: {resizes:?}");
+    assert!(
+        resizes.contains(&4),
+        "intermediate quorum 4 seen: {resizes:?}"
+    );
     assert!(resizes.contains(&3), "final majority 3 seen: {resizes:?}");
     net.put(leader, 401, "k", "v");
     net.run(10);
@@ -611,8 +632,7 @@ fn add_one_node_is_single_step() {
         .events
         .iter()
         .filter(|(node, e)| {
-            *node == leader
-                && matches!(e, NodeEvent::MembershipCommitted { kind: "resize", .. })
+            *node == leader && matches!(e, NodeEvent::MembershipCommitted { kind: "resize", .. })
         })
         .count();
     assert_eq!(resizes, 1);
@@ -665,12 +685,7 @@ fn vanilla_baselines_still_work() {
     let mut net = Net::with_nodes(&[1, 2, 3]);
     let leader = net.elect();
     // AR-RPC: remove one node.
-    let victim = net
-        .nodes
-        .keys()
-        .copied()
-        .find(|id| *id != leader)
-        .unwrap();
+    let victim = net.nodes.keys().copied().find(|id| *id != leader).unwrap();
     let mut smaller = net.nodes[&leader].config().members().clone();
     smaller.remove(&victim);
     net.admin(leader, 700, AdminCmd::SimpleChange(smaller.clone()));
@@ -706,8 +721,7 @@ fn vanilla_baselines_still_work() {
         .events
         .iter()
         .filter(|(node, e)| {
-            *node == leader
-                && matches!(e, NodeEvent::MembershipCommitted { kind: "joint", .. })
+            *node == leader && matches!(e, NodeEvent::MembershipCommitted { kind: "joint", .. })
         })
         .count();
     assert_eq!(joint_folds, 1);
@@ -759,12 +773,7 @@ fn restart_mid_split_recovers() {
     net.run(1);
     // Crash a follower in the middle of the split; it restarts and catches
     // up to its subcluster.
-    let victim = net
-        .nodes
-        .keys()
-        .copied()
-        .find(|id| *id != leader)
-        .unwrap();
+    let victim = net.nodes.keys().copied().find(|id| *id != leader).unwrap();
     net.crash(victim.0);
     net.run_until(800, |net| {
         net.nodes
@@ -813,7 +822,12 @@ fn fixed_intermediate_quorum_gates_commits() {
     for id in [3u64, 4, 5] {
         net.nodes.insert(
             NodeId(id),
-            Node::new_joiner(NodeId(id), MapMachine::default(), Timing::default(), 0xE1 + id),
+            Node::new_joiner(
+                NodeId(id),
+                MapMachine::default(),
+                Timing::default(),
+                0xE1 + id,
+            ),
         );
     }
     net.admin(
@@ -847,9 +861,7 @@ fn higher_epoch_node_rejects_stale_leader_appends() {
     let leader = net.elect();
     let spec = split_spec_for(&net, leader, b"m");
     net.admin(leader, 1100, AdminCmd::Split(spec));
-    net.run_until(600, |net| {
-        net.node(leader.0).current_eterm().epoch() == 1
-    });
+    net.run_until(600, |net| net.node(leader.0).current_eterm().epoch() == 1);
     let completed = net.node(leader.0);
     let eterm_before = completed.current_eterm();
     let commit_before = completed.commit_index();
@@ -863,7 +875,8 @@ fn higher_epoch_node_rejects_stale_leader_appends() {
         entries: vec![],
         leader_commit: LogIndex(0),
     };
-    net.queue.push_back(Envelope::new(NodeId(99), leader, stale));
+    net.queue
+        .push_back(Envelope::new(NodeId(99), leader, stale));
     net.deliver();
     let after = net.node(leader.0);
     assert_eq!(after.current_eterm(), eterm_before, "epoch unchanged");

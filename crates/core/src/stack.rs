@@ -107,8 +107,7 @@ impl Derived {
     /// merge outcome pending; both windows last about one commit round-trip).
     #[must_use]
     pub fn proposals_gated(&self) -> bool {
-        matches!(self.split, Some(SplitPhase::Leaving { .. }))
-            || self.merge_outcome_index.is_some()
+        matches!(self.split, Some(SplitPhase::Leaving { .. })) || self.merge_outcome_index.is_some()
     }
 }
 
@@ -228,8 +227,7 @@ impl ConfigStack {
         for (index, change) in &self.entries {
             last_config_index = Some(*index);
             match change {
-                ConfigChange::Simple { members: m }
-                | ConfigChange::JointLeave { new: m } => {
+                ConfigChange::Simple { members: m } | ConfigChange::JointLeave { new: m } => {
                     // Replication keeps reaching leaving peers until the
                     // entry commits and folds (lame-duck replication), so
                     // they learn of their own removal instead of disrupting
@@ -239,10 +237,7 @@ impl ConfigStack {
                     elect = spec.clone();
                     commit_segments.push((*index, spec));
                 }
-                ConfigChange::Resize {
-                    members: m,
-                    quorum,
-                } => {
+                ConfigChange::Resize { members: m, quorum } => {
                     members.extend(m.iter().copied());
                     let spec = QuorumSpec::Single {
                         members: m.clone(),
@@ -379,7 +374,10 @@ mod tests {
         let stack = ConfigStack::new(base6(), LogIndex::ZERO);
         let d = stack.derive(NodeId(1));
         assert_eq!(d.members, nodes(&[1, 2, 3, 4, 5, 6]));
-        assert_eq!(d.elect, QuorumSpec::simple_majority(nodes(&[1, 2, 3, 4, 5, 6])));
+        assert_eq!(
+            d.elect,
+            QuorumSpec::simple_majority(nodes(&[1, 2, 3, 4, 5, 6]))
+        );
         assert_eq!(d.commit_rule(LogIndex(5)), &d.elect);
         assert!(d.split.is_none());
         assert!(!d.proposals_gated());
@@ -503,7 +501,10 @@ mod tests {
             },
         );
         let d = stack.derive(NodeId(1));
-        assert_eq!(d.elect, QuorumSpec::simple_majority(nodes(&[1, 2, 3, 4, 5])));
+        assert_eq!(
+            d.elect,
+            QuorumSpec::simple_majority(nodes(&[1, 2, 3, 4, 5]))
+        );
         assert_eq!(d.commit_rule(LogIndex(3)).min_votes(), 5); // joint segment
         assert_eq!(d.commit_rule(LogIndex(4)).min_votes(), 3);
     }
@@ -636,10 +637,8 @@ mod proptests {
         let (lo, hi) = KeyRange::full().split_at(b"m").unwrap();
         SplitSpec::new(
             vec![
-                ClusterConfig::new(ClusterId(100), v[..half].to_vec(), RangeSet::from(lo))
-                    .ok()?,
-                ClusterConfig::new(ClusterId(101), v[half..].to_vec(), RangeSet::from(hi))
-                    .ok()?,
+                ClusterConfig::new(ClusterId(100), v[..half].to_vec(), RangeSet::from(lo)).ok()?,
+                ClusterConfig::new(ClusterId(101), v[half..].to_vec(), RangeSet::from(hi)).ok()?,
             ],
             members,
             &RangeSet::full(),

@@ -125,7 +125,10 @@ pub fn check_history(history: &[Op], witness: &[OpId]) -> Vec<Violation> {
 
     // 2. Real-time order: sort completed ops by response time and verify
     //    witness positions are consistent with non-overlapping pairs.
-    let mut completed: Vec<&Op> = history.iter().filter(|o| o.responded_at.is_some()).collect();
+    let mut completed: Vec<&Op> = history
+        .iter()
+        .filter(|o| o.responded_at.is_some())
+        .collect();
     completed.sort_by_key(|o| o.responded_at.unwrap());
     // For efficiency, track the maximum witness position among all ops that
     // responded before each invocation time.

@@ -206,17 +206,12 @@ impl KvStore {
     /// transfer moves.
     #[must_use]
     pub fn data_size(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|(k, v)| k.len() + v.len())
-            .sum()
+        self.entries.iter().map(|(k, v)| k.len() + v.len()).sum()
     }
 
     fn encode_map(map: &BTreeMap<Vec<u8>, Bytes>) -> Bytes {
-        let plain: BTreeMap<Vec<u8>, Vec<u8>> = map
-            .iter()
-            .map(|(k, v)| (k.clone(), v.to_vec()))
-            .collect();
+        let plain: BTreeMap<Vec<u8>, Vec<u8>> =
+            map.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect();
         let mut buf = BytesMut::new();
         plain.encode(&mut buf);
         buf.freeze()
@@ -309,9 +304,7 @@ impl StateMachine for KvStore {
             let map = Self::decode_map(&buf)?;
             for (k, v) in map {
                 if combined.insert(k, v).is_some() {
-                    return Err(Error::InvalidRange(
-                        "merge parts overlap on a key".into(),
-                    ));
+                    return Err(Error::InvalidRange("merge parts overlap on a key".into()));
                 }
             }
         }
@@ -345,8 +338,18 @@ mod tests {
     #[test]
     fn put_get_delete_roundtrip() {
         let mut store = KvStore::new();
-        assert_eq!(put(&mut store, LogIndex(1), "a", "1"), KvResp::Ok { revision: 1 });
-        let got = store.apply(LogIndex(2), &KvCmd::Get { key: b"a".to_vec(), nonce: 0 }.encode());
+        assert_eq!(
+            put(&mut store, LogIndex(1), "a", "1"),
+            KvResp::Ok { revision: 1 }
+        );
+        let got = store.apply(
+            LogIndex(2),
+            &KvCmd::Get {
+                key: b"a".to_vec(),
+                nonce: 0,
+            }
+            .encode(),
+        );
         assert_eq!(
             KvResp::decode(&got).unwrap(),
             KvResp::Value {
@@ -354,8 +357,22 @@ mod tests {
                 value: Some(Bytes::from_static(b"1"))
             }
         );
-        store.apply(LogIndex(3), &KvCmd::Delete { key: b"a".to_vec(), nonce: 0 }.encode());
-        let got = store.apply(LogIndex(4), &KvCmd::Get { key: b"a".to_vec(), nonce: 0 }.encode());
+        store.apply(
+            LogIndex(3),
+            &KvCmd::Delete {
+                key: b"a".to_vec(),
+                nonce: 0,
+            }
+            .encode(),
+        );
+        let got = store.apply(
+            LogIndex(4),
+            &KvCmd::Get {
+                key: b"a".to_vec(),
+                nonce: 0,
+            }
+            .encode(),
+        );
         assert_eq!(
             KvResp::decode(&got).unwrap(),
             KvResp::Value {
@@ -373,8 +390,14 @@ mod tests {
                 key: b"k".to_vec(),
                 value: Bytes::from_static(b"v"),
             },
-            KvCmd::Get { key: b"k".to_vec(), nonce: 1 },
-            KvCmd::Delete { key: b"k".to_vec(), nonce: 2 },
+            KvCmd::Get {
+                key: b"k".to_vec(),
+                nonce: 1,
+            },
+            KvCmd::Delete {
+                key: b"k".to_vec(),
+                nonce: 2,
+            },
             KvCmd::Ingest {
                 data: Bytes::from_static(b"\x00\x00\x00\x00"),
             },

@@ -345,10 +345,7 @@ impl Message {
             }
             Message::PullResp {
                 entries, snapshot, ..
-            } => {
-                HDR + entries.len() * 64
-                    + snapshot.as_ref().map_or(0, |s| s.size_bytes())
-            }
+            } => HDR + entries.len() * 64 + snapshot.as_ref().map_or(0, |s| s.size_bytes()),
             Message::InstallSnapshot { snapshot, .. } => HDR + snapshot.size_bytes(),
             Message::FetchSnapshotResp { part, .. } => {
                 HDR + part.as_ref().map_or(0, |s| s.size_bytes())

@@ -158,8 +158,8 @@ impl Sim {
 
     /// Boots a fresh cluster of nodes sharing `ranges`.
     pub fn boot_cluster(&mut self, cluster: ClusterId, ids: &[NodeId], ranges: RangeSet) {
-        let config = ClusterConfig::new(cluster, ids.iter().copied(), ranges)
-            .expect("valid cluster config");
+        let config =
+            ClusterConfig::new(cluster, ids.iter().copied(), ranges).expect("valid cluster config");
         for id in ids {
             self.boot_node_with_store(*id, config.clone(), KvStore::new());
         }
@@ -183,6 +183,16 @@ impl Sim {
     pub fn boot_joiner(&mut self, id: NodeId) {
         let seed = self.cfg.seed ^ id.0.wrapping_mul(0x517C_C1B7_2722_0A95);
         let node = Node::new_joiner(id, KvStore::new(), self.cfg.timing, seed);
+        self.nodes.insert(id, SimNode { node, up: true });
+        self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
+    }
+
+    /// Boots a fresh joiner provisioned for one specific cluster: contact
+    /// from any other cluster is ignored. Use when re-purposing a node whose
+    /// former cluster is still alive (it would otherwise re-adopt it).
+    pub fn boot_joiner_into(&mut self, id: NodeId, target: ClusterId) {
+        let seed = self.cfg.seed ^ id.0.wrapping_mul(0x517C_C1B7_2722_0A95);
+        let node = Node::new_joiner_into(id, target, KvStore::new(), self.cfg.timing, seed);
         self.nodes.insert(id, SimNode { node, up: true });
         self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
     }
@@ -629,11 +639,7 @@ impl Sim {
             }
             None => {
                 // Directory still empty: try any live node.
-                let t = self
-                    .nodes
-                    .iter()
-                    .find(|(_, sn)| sn.up)
-                    .map(|(id, _)| *id);
+                let t = self.nodes.iter().find(|(_, sn)| sn.up).map(|(id, _)| *id);
                 (None, t)
             }
         };
@@ -691,7 +697,13 @@ impl Sim {
         self.client_issue(id);
     }
 
-    fn handle_client_resp(&mut self, client: u64, from: NodeId, req_id: u64, result: Result<bytes::Bytes, Error>) {
+    fn handle_client_resp(
+        &mut self,
+        client: u64,
+        from: NodeId,
+        req_id: u64,
+        result: Result<bytes::Bytes, Error>,
+    ) {
         let Some(c) = self.clients.get_mut(&client) else {
             return;
         };
@@ -734,16 +746,14 @@ impl Sim {
                     c.leader_cache.insert(cluster, h);
                 }
                 let target = hint.or_else(|| {
-                    self.directory
-                        .lookup(&key)
-                        .and_then(|(_, members)| {
-                            let members: Vec<NodeId> = members.iter().copied().collect();
-                            if members.is_empty() {
-                                None
-                            } else {
-                                Some(members[(self.now as usize / 1000) % members.len()])
-                            }
-                        })
+                    self.directory.lookup(&key).and_then(|(_, members)| {
+                        let members: Vec<NodeId> = members.iter().copied().collect();
+                        if members.is_empty() {
+                            None
+                        } else {
+                            Some(members[(self.now as usize / 1000) % members.len()])
+                        }
+                    })
                 });
                 if let Some(target) = target {
                     let env = Envelope::new(
@@ -829,11 +839,7 @@ impl Sim {
     /// manager's data path). The response is discarded.
     pub fn inject_client_req(&mut self, target: NodeId, key: Vec<u8>, cmd: bytes::Bytes) {
         let req_id = 0xFFFF_0000_0000 + self.seq;
-        let env = Envelope::new(
-            ADMIN_ADDR,
-            target,
-            Message::ClientReq { req_id, key, cmd },
-        );
+        let env = Envelope::new(ADMIN_ADDR, target, Message::ClientReq { req_id, key, cmd });
         self.transmit(env);
     }
 

@@ -255,7 +255,10 @@ pub fn tc_merge(
             sim.node(dst_leader).unwrap().config().members().clone();
         members.insert(node);
         sim.decommission(node);
-        sim.boot_joiner(node);
+        // The terminated source cluster may still be alive (its remaining
+        // members are moved later) and would re-adopt its old member first;
+        // provision the joiner for the destination cluster explicitly.
+        sim.boot_joiner_into(node, dst);
         let req = sim.admin(dst, AdminCmd::SimpleChange(members.clone()));
         assert!(wait_admin(sim, req), "member add accepted");
         sim.run_until_pred(ADMIN_WAIT, |s| {

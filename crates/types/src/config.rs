@@ -246,9 +246,9 @@ impl SplitSpec {
                     )));
                 }
             }
-            combined = combined.union(sub.ranges()).map_err(|_| {
-                Error::InvalidConfig("subcluster ranges overlap".into())
-            })?;
+            combined = combined
+                .union(sub.ranges())
+                .map_err(|_| Error::InvalidConfig("subcluster ranges overlap".into()))?;
         }
         for r in combined.ranges() {
             if !parent_ranges.contains(r.start()) {
@@ -505,7 +505,16 @@ mod tests {
 
     #[test]
     fn majority_values() {
-        let expected = [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (6, 4), (7, 4), (9, 5)];
+        let expected = [
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (5, 3),
+            (6, 4),
+            (7, 4),
+            (9, 5),
+        ];
         for (n, q) in expected {
             assert_eq!(majority(n), q, "majority({n})");
         }
@@ -572,7 +581,8 @@ mod tests {
 
     #[test]
     fn fixed_quorum_bounds() {
-        let ok = ClusterConfig::with_quorum(ClusterId(1), nodes(&[1, 2, 3, 4, 5]), RangeSet::full(), 4);
+        let ok =
+            ClusterConfig::with_quorum(ClusterId(1), nodes(&[1, 2, 3, 4, 5]), RangeSet::full(), 4);
         assert_eq!(ok.unwrap().quorum_size(), 4);
         // Below majority: rejected (quorums "never smaller" than majority).
         assert!(ClusterConfig::with_quorum(
@@ -583,13 +593,10 @@ mod tests {
         )
         .is_err());
         // Above cluster size: rejected.
-        assert!(ClusterConfig::with_quorum(
-            ClusterId(1),
-            nodes(&[1, 2, 3]),
-            RangeSet::full(),
-            4
-        )
-        .is_err());
+        assert!(
+            ClusterConfig::with_quorum(ClusterId(1), nodes(&[1, 2, 3]), RangeSet::full(), 4)
+                .is_err()
+        );
     }
 
     #[test]
@@ -747,10 +754,7 @@ mod tests {
     #[test]
     fn config_change_kinds() {
         let (spec, _) = two_way_spec();
-        assert_eq!(
-            ConfigChange::SplitJoint(spec.clone()).kind(),
-            "split-joint"
-        );
+        assert_eq!(ConfigChange::SplitJoint(spec.clone()).kind(), "split-joint");
         assert_eq!(ConfigChange::SplitNew(spec).kind(), "split-new");
         assert_eq!(
             ConfigChange::Simple {

@@ -52,13 +52,19 @@ impl fmt::Display for Error {
             Error::InvalidRange(m) => write!(f, "invalid key range: {m}"),
             Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             Error::PreconditionP1 => {
-                write!(f, "precondition P1 failed: prior reconfiguration not committed")
+                write!(
+                    f,
+                    "precondition P1 failed: prior reconfiguration not committed"
+                )
             }
             Error::PreconditionP2(m) => {
                 write!(f, "precondition P2' failed: quorum overlap violated ({m})")
             }
             Error::PreconditionP3 => {
-                write!(f, "precondition P3 failed: no entry committed in leader's term")
+                write!(
+                    f,
+                    "precondition P3 failed: no entry committed in leader's term"
+                )
             }
             Error::NotLeader(hint) => match hint {
                 Some(n) => write!(f, "not the leader; try {n}"),

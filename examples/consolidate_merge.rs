@@ -89,8 +89,14 @@ fn main() {
     let resumed = sim
         .first_event(|e| matches!(e, NodeEvent::MergeResumed { .. }))
         .unwrap();
-    println!("2PC prepare committed after {:.1} ms", (prepared - t0) as f64 / 1000.0);
-    println!("2PC outcome committed after {:.1} ms", (decided - t0) as f64 / 1000.0);
+    println!(
+        "2PC prepare committed after {:.1} ms",
+        (prepared - t0) as f64 / 1000.0
+    );
+    println!(
+        "2PC outcome committed after {:.1} ms",
+        (decided - t0) as f64 / 1000.0
+    );
     println!(
         "first node resumed after {:.1} ms (includes snapshot exchange)",
         (resumed - t0) as f64 / 1000.0

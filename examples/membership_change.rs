@@ -24,7 +24,11 @@ fn main() {
             i + 1,
             stage.members,
             stage.quorum,
-            if stage.resize_only { " (ResizeQuorum)" } else { "" }
+            if stage.resize_only {
+                " (ResizeQuorum)"
+            } else {
+                ""
+            }
         );
     }
     println!(
@@ -66,7 +70,13 @@ fn main() {
     // Report the two committed steps.
     let mut steps = 0;
     for (t, node, ev) in sim.trace() {
-        if let NodeEvent::MembershipCommitted { kind: "resize", quorum, members, .. } = ev {
+        if let NodeEvent::MembershipCommitted {
+            kind: "resize",
+            quorum,
+            members,
+            ..
+        } = ev
+        {
             if sim.leader_of(cluster) == Some(*node) {
                 steps += 1;
                 println!(

@@ -54,10 +54,7 @@ fn main() {
         .copied()
         .filter(|n| !other_sub.contains(n))
         .collect();
-    sim.schedule_action(
-        sim.time(),
-        Action::Partition(vec![other_sub.clone(), rest]),
-    );
+    sim.schedule_action(sim.time(), Action::Partition(vec![other_sub.clone(), rest]));
     sim.admin(src, AdminCmd::Split(spec));
     sim.run_until_pred(30 * SEC, |s| {
         s.node(leader).unwrap().current_eterm().epoch() == 1

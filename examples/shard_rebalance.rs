@@ -22,7 +22,10 @@ fn main() {
     sim.add_clients(32, Workload::default());
     sim.run_for(5 * SEC);
     let before = sim.metrics().completed_between(2 * SEC, 5 * SEC) as f64 / 3.0;
-    println!("pre-split throughput:  {:.0} req/s (6-node cluster)", before);
+    println!(
+        "pre-split throughput:  {:.0} req/s (6-node cluster)",
+        before
+    );
 
     // Split: nodes 1-3 keep [k00000000, k00005000), nodes 4-6 take the rest.
     let leader = sim.leader_of(src).unwrap();
@@ -54,7 +57,10 @@ fn main() {
     let t0 = sim.time();
     sim.run_for(5 * SEC);
     let after = sim.metrics().completed_between(t0 + SEC, t0 + 5 * SEC) as f64 / 4.0;
-    println!("post-split throughput: {:.0} req/s (two 3-node subclusters)", after);
+    println!(
+        "post-split throughput: {:.0} req/s (two 3-node subclusters)",
+        after
+    );
     println!("speedup: {:.2}x", after / before);
 
     for c in [ClusterId(10), ClusterId(11)] {

@@ -1,0 +1,39 @@
+//! Compile-and-run smoke check for every example: each one must run to
+//! completion (exit 0) and print its final safety-check line.
+//!
+//! Runs the examples in release mode through cargo — the build is shared
+//! with a previously-built target directory, so the per-example cost is the
+//! simulation itself (a few seconds each).
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "membership_change",
+    "partition_recovery",
+    "consolidate_merge",
+    "shard_rebalance",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--release", "--example", example])
+            .env("CARGO_NET_OFFLINE", "true")
+            .output()
+            .unwrap_or_else(|e| panic!("spawning cargo for example {example}: {e}"));
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            output.status.success(),
+            "example {example} failed ({}):\n--- stdout\n{stdout}\n--- stderr\n{stderr}",
+            output.status
+        );
+        assert!(
+            stdout.contains("all safety checks passed"),
+            "example {example} did not reach its safety checks:\n{stdout}"
+        );
+    }
+}

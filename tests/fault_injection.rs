@@ -31,7 +31,9 @@ fn split_spec(sim: &Sim, src: ClusterId) -> SplitSpec {
 
 fn two_clusters(seed: u64) -> (Sim, MergeTx) {
     let mut sim = Sim::new(SimConfig::with_seed(seed));
-    let (lo, hi) = recraft::types::KeyRange::full().split_at(b"k00005000").unwrap();
+    let (lo, hi) = recraft::types::KeyRange::full()
+        .split_at(b"k00005000")
+        .unwrap();
     let c10 = ClusterConfig::new(ClusterId(10), ids(1..=3), RangeSet::from(lo)).unwrap();
     let c11 = ClusterConfig::new(ClusterId(11), ids(4..=6), RangeSet::from(hi)).unwrap();
     for id in ids(1..=3) {
@@ -172,11 +174,14 @@ fn random_fault_storm_preserves_safety() {
         let cluster = ClusterId(1);
         sim.boot_cluster(cluster, &ids(1..=5), RangeSet::full());
         sim.run_until_leader(cluster);
-        sim.add_clients(6, Workload {
-            key_count: 50,
-            get_ratio: 0.3,
-            ..Workload::default()
-        });
+        sim.add_clients(
+            6,
+            Workload {
+                key_count: 50,
+                get_ratio: 0.3,
+                ..Workload::default()
+            },
+        );
         // Storm schedule derived from the seed.
         let all = ids(1..=5);
         for k in 0..6u64 {

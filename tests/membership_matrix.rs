@@ -104,11 +104,11 @@ fn grow_2_to_9_single_add() {
         .trace()
         .iter()
         .filter_map(|(_, node, ev)| match ev {
-            NodeEvent::MembershipCommitted { kind: "resize", quorum, .. }
-                if *node == survivor =>
-            {
-                Some(*quorum)
-            }
+            NodeEvent::MembershipCommitted {
+                kind: "resize",
+                quorum,
+                ..
+            } if *node == survivor => Some(*quorum),
             _ => None,
         })
         .collect();

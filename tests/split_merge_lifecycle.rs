@@ -82,7 +82,10 @@ fn full_lifecycle_split_then_merge() {
     assert_eq!(sim.node(leader).unwrap().current_eterm().epoch(), 2);
     // The merged cluster serves the full keyspace.
     sim.run_for(3 * SEC);
-    assert!(sim.completed_ops() > ops_single, "traffic resumed after merge");
+    assert!(
+        sim.completed_ops() > ops_single,
+        "traffic resumed after merge"
+    );
 
     sim.check_invariants();
     sim.check_linearizability();

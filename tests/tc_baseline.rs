@@ -47,8 +47,14 @@ fn tc_split_places_data_like_recraft() {
     });
     let l_src = sim.leader_of(src).unwrap();
     let l_new = sim.leader_of(ClusterId(11)).unwrap();
-    assert_eq!(sim.node(l_src).unwrap().config().ranges(), &RangeSet::from(lo));
-    assert_eq!(sim.node(l_new).unwrap().config().ranges(), &RangeSet::from(hi));
+    assert_eq!(
+        sim.node(l_src).unwrap().config().ranges(),
+        &RangeSet::from(lo)
+    );
+    assert_eq!(
+        sim.node(l_new).unwrap().config().ranges(),
+        &RangeSet::from(hi)
+    );
     // Every key ended up on exactly one side.
     let src_keys = sim.node(l_src).unwrap().state_machine().len();
     let new_keys = sim.node(l_new).unwrap().state_machine().len();
@@ -85,9 +91,8 @@ fn tc_merge_consolidates_data() {
 
     // The destination now serves everything with all six nodes.
     sim.run_until_pred(60 * SEC, |s| {
-        s.leader_of(ClusterId(10)).is_some_and(|l| {
-            s.node(l).unwrap().config().members().len() == 6
-        })
+        s.leader_of(ClusterId(10))
+            .is_some_and(|l| s.node(l).unwrap().config().members().len() == 6)
     });
     let l = sim.leader_of(ClusterId(10)).unwrap();
     assert_eq!(sim.node(l).unwrap().config().ranges(), &RangeSet::full());

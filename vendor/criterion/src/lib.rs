@@ -1,0 +1,118 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://docs.rs/criterion) benchmark harness, vendored
+//! because the build environment has no network access.
+//!
+//! Supports the surface this workspace uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical analysis it
+//! measures a calibrated timed loop and prints a single `time: ... ns/iter`
+//! line per benchmark, which is enough for coarse comparisons and keeps
+//! `cargo bench` runnable offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark after calibration.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+
+/// The benchmark manager: registers and runs individual benchmarks.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run `f` as the benchmark named `id`, printing its per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measured: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.measured
+                / u32::try_from(bencher.iterations.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        println!(
+            "{id:<48} time: {:>12.1} ns/iter ({} iterations)",
+            per_iter.as_nanos() as f64,
+            bencher.iterations
+        );
+        self
+    }
+}
+
+/// Times the closure handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    measured: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`: a short calibration run sizes the measured loop so
+    /// the total stays near [`MEASURE_TARGET`].
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: run until ~10ms has elapsed to estimate per-iter cost.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_nanos().max(1) / u128::from(calib_iters);
+        let iters = (MEASURE_TARGET.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = start.elapsed();
+        self.iterations = iters;
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        assert!(calls > 0, "routine never ran");
+    }
+}

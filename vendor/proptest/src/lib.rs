@@ -1,0 +1,650 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://docs.rs/proptest) crate, vendored because the build
+//! environment has no network access.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] macro (both
+//! `name in strategy` and `name: Type` argument forms, plus the
+//! `#![proptest_config(...)]` header), [`Strategy`] with `prop_map` and
+//! `boxed`, integer-range strategies, [`Just`], tuple strategies,
+//! [`prop_oneof!`], `prop::collection::vec`, [`any`] / [`Arbitrary`], and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! generated inputs but is not minimized), and the default case count is 256.
+//! Runs are deterministic: the case stream depends only on the (fixed) seed,
+//! so CI failures reproduce locally.
+
+use std::fmt;
+
+pub use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while generating one test case.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// A uniform draw from `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a single test case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion or precondition.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property over many generated cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner for `config`.
+    #[must_use]
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Run `f` once per case with a per-case RNG; panic on the first failure.
+    ///
+    /// The per-case seed is `case` mixed with a fixed constant, so a failure
+    /// message's case number is enough to reproduce it.
+    ///
+    /// # Panics
+    /// Panics (failing the enclosing `#[test]`) when a case returns `Err`.
+    pub fn run<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let seed = 0x5EED_0000_0000_0000u64 ^ u64::from(case);
+            let mut rng = TestRng::new(seed);
+            if let Err(e) = f(&mut rng) {
+                panic!("proptest case {case}/{} failed: {e}", self.config.cases);
+            }
+        }
+    }
+}
+
+/// A recipe for generating values of `Value`.
+///
+/// Unlike real proptest there is no shrinking, so a strategy is just a
+/// generation function.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A strategy producing exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// The weighted union behind [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// A union of `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick exceeded total weight");
+    }
+}
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Bias toward ASCII like real proptest's default char strategy.
+        if rng.below(4) > 0 {
+            (rng.below(0x5F) as u8 + 0x20) as char
+        } else {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = rng.below(65) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(33) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+impl<K: Arbitrary + Ord, V: Arbitrary> Arbitrary for std::collections::BTreeMap<K, V> {
+    fn arbitrary(rng: &mut TestRng) -> std::collections::BTreeMap<K, V> {
+        let len = rng.below(17) as usize;
+        (0..len)
+            .map(|_| (K::arbitrary(rng), V::arbitrary(rng)))
+            .collect()
+    }
+}
+
+impl<K: Arbitrary + Ord> Arbitrary for std::collections::BTreeSet<K> {
+    fn arbitrary(rng: &mut TestRng) -> std::collections::BTreeSet<K> {
+        let len = rng.below(17) as usize;
+        (0..len).map(|_| K::arbitrary(rng)).collect()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for any [`Arbitrary`] type.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length is drawn from `len` (e.g. `0..80`, `2..=4`, or an exact size).
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.hi_inclusive - self.len.lo) as u64;
+            let len = self.len.lo + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs, including the crate itself under
+/// the name `prop` (for `prop::collection::vec` paths).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// A weighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// Each `fn` becomes a `#[test]` that runs its body over generated inputs.
+/// Arguments may be `name in strategy` or `name: Type` (the latter uses
+/// [`any::<Type>()`]). An optional `#![proptest_config(expr)]` header sets
+/// the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { $config; $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($items)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr;) => {};
+    ($config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($config);
+            runner.run(|__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng; $($args)*);
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { $config; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::generate(&$strategy, $rng);
+    };
+    ($rng:ident; $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&$strategy, $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn byte_strategy() -> impl Strategy<Value = u8> {
+        prop_oneof![
+            3 => (0u8..10).prop_map(|v| v * 2),
+            1 => Just(255u8),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 5u64..10, b in 0u32..=3) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!(b <= 3);
+        }
+
+        #[test]
+        fn typed_args_work(v: u64, flag: bool, data: Vec<u8>) {
+            let _ = (v, flag);
+            prop_assert!(data.len() <= 64);
+        }
+
+        #[test]
+        fn oneof_and_vec(items in prop::collection::vec(byte_strategy(), 0..20)) {
+            prop_assert!(items.len() < 20);
+            for item in items {
+                prop_assert!(item == 255 || (item % 2 == 0 && item < 20));
+            }
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (1u64..4, 0usize..2).prop_map(|(a, b)| a + b as u64)) {
+            prop_assert!((1..=4).contains(&pair));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Doc comments on property fns must parse.
+        #[test]
+        fn config_header_applies(x in 0u8..=255) {
+            prop_assert_eq!(u64::from(x) * 2, u64::from(x) + u64::from(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_number() {
+        let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(3));
+        runner.run(|_| Err(TestCaseError::fail("boom")));
+    }
+}
