@@ -128,6 +128,19 @@ pub fn put_workload(key_count: u64) -> Workload {
         key_count,
         value_size: 512,
         get_ratio: 0.0,
+        ..Workload::default()
+    }
+}
+
+/// A read-heavy workload for the ReadIndex / log-read comparison benches.
+#[must_use]
+pub fn read_workload(key_count: u64, get_ratio: f64, reads_via_log: bool) -> Workload {
+    Workload {
+        key_count,
+        value_size: 512,
+        get_ratio,
+        reads_via_log,
+        ..Workload::default()
     }
 }
 

@@ -127,6 +127,18 @@ pub enum NodeEvent {
         /// FNV-1a fingerprint of the command bytes.
         digest: u64,
     },
+    /// A linearizable read was served through the leader's ReadIndex path —
+    /// quorum-confirmed, answered from the applied state, **no log entry**.
+    /// The simulator slots the digest into its apply-order witness so these
+    /// reads participate in linearizability checking.
+    ServedRead {
+        /// The serving leader's cluster.
+        cluster: ClusterId,
+        /// The confirmed commit index the read was ordered after.
+        index: LogIndex,
+        /// [`read_fingerprint`] of the read's `(session, seq)`.
+        digest: u64,
+    },
 }
 
 impl NodeEvent {
@@ -149,6 +161,7 @@ impl NodeEvent {
             NodeEvent::SnapshotInstalled { .. } => "snapshot-installed",
             NodeEvent::PulledEntries { .. } => "pulled-entries",
             NodeEvent::AppliedCommand { .. } => "applied-command",
+            NodeEvent::ServedRead { .. } => "served-read",
         }
     }
 }
@@ -162,6 +175,18 @@ pub fn fingerprint(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Fingerprint identifying a ReadIndex-served read in the apply-order
+/// witness. The leading tag byte keeps read digests out of the value space
+/// of command digests (commands start with their codec tag).
+#[must_use]
+pub fn read_fingerprint(session: recraft_types::SessionId, seq: u64) -> u64 {
+    let mut bytes = [0u8; 17];
+    bytes[0] = 0xFE;
+    bytes[1..9].copy_from_slice(&session.0.to_be_bytes());
+    bytes[9..17].copy_from_slice(&seq.to_be_bytes());
+    fingerprint(&bytes)
 }
 
 #[cfg(test)]

@@ -9,63 +9,229 @@
 //! * **P3** — the leader has committed an entry in its own term (the no-op
 //!   appended at election time).
 
-use super::{Node, Role};
+use super::{Node, PendingClient, PendingRead, Role};
+use crate::events::NodeEvent;
 use crate::sm::StateMachine;
 use bytes::Bytes;
 use recraft_net::{AdminCmd, Message};
 use recraft_storage::EntryPayload;
 use recraft_types::config::{majority, resize_quorum};
-use recraft_types::{ConfigChange, Error, MergeTx, NodeId, Result, SplitSpec};
+use recraft_types::{
+    ClientOp, ClientOutcome, ClientRequest, ConfigChange, Error, MergeTx, NodeId, Result,
+    SessionCheck, SessionId, SplitSpec,
+};
 use std::collections::BTreeSet;
 
 impl<SM: StateMachine> Node<SM> {
-    /// Handles a client command: leaders append it; everyone else redirects.
-    pub(crate) fn handle_client_req(
-        &mut self,
-        now: u64,
-        from: NodeId,
-        req_id: u64,
-        key: Vec<u8>,
-        cmd: Bytes,
-    ) {
-        let result = self.try_accept_client(now, from, req_id, &key, cmd);
-        if let Err(err) = result {
-            self.send(
-                from,
-                Message::ClientResp {
-                    req_id,
-                    result: Err(err),
-                },
-            );
+    /// Handles a typed client request: leaders append writes (deduplicated by
+    /// `(session, seq)`) and serve reads through ReadIndex; everyone else
+    /// answers with a structured redirect.
+    pub(crate) fn handle_client_req(&mut self, now: u64, from: NodeId, req: ClientRequest) {
+        let ClientRequest { session, seq, op } = req;
+        if self.role != Role::Leader {
+            let outcome = ClientOutcome::Redirect {
+                leader_hint: self.leader_hint,
+                cluster: Some(self.cluster),
+            };
+            self.reply(from, session, seq, outcome);
+            return;
+        }
+        if self.exchange.is_some() {
+            self.reject(from, session, seq, Error::MergeBlocked);
+            return;
+        }
+        match op {
+            ClientOp::Command { key, cmd } => {
+                self.accept_session_write(now, from, session, seq, &key, cmd);
+            }
+            ClientOp::Get { key } => self.accept_read(now, from, session, seq, key),
         }
     }
 
-    fn try_accept_client(
+    fn reject(&mut self, to: NodeId, session: SessionId, seq: u64, error: Error) {
+        self.reply(to, session, seq, ClientOutcome::Rejected { error });
+    }
+
+    /// Accepts (or deduplicates) an exactly-once write.
+    fn accept_session_write(
         &mut self,
         now: u64,
         from: NodeId,
-        req_id: u64,
+        session: SessionId,
+        seq: u64,
         key: &[u8],
         cmd: Bytes,
-    ) -> Result<()> {
-        if self.role != Role::Leader {
-            return Err(Error::NotLeader(self.leader_hint));
+    ) {
+        // Dedup against the applied state first: a retry of an applied
+        // request gets its recorded response without touching the log.
+        match self.sessions.check(session, seq) {
+            SessionCheck::Duplicate(recorded) => {
+                self.reply(
+                    from,
+                    session,
+                    seq,
+                    ClientOutcome::Reply { payload: recorded },
+                );
+                return;
+            }
+            SessionCheck::Stale => {
+                self.reject(from, session, seq, Error::SessionStale);
+                return;
+            }
+            SessionCheck::Fresh => {}
         }
-        if self.exchange.is_some() {
-            return Err(Error::MergeBlocked);
+        // Already appended but not yet applied (a fast retry): re-register
+        // the responder instead of appending a second entry. A linear scan
+        // is fine here — pending_clients holds only the proposals of one
+        // commit round-trip (apply-time dedup catches anything it misses).
+        let inflight = self
+            .pending_clients
+            .iter()
+            .find(|(_, p)| p.session == session && p.seq == seq)
+            .map(|(index, _)| *index);
+        if let Some(index) = inflight {
+            self.pending_clients.insert(
+                index,
+                PendingClient {
+                    client: from,
+                    session,
+                    seq,
+                },
+            );
+            return;
         }
-        let derived = self.derived_cached();
-        if derived.proposals_gated() {
+        if self.derived_cached().proposals_gated() {
             // Split leave phase or merge outcome pending: a one-round-trip
             // window where the log tail belongs to the reconfiguration.
-            return Err(Error::MergeBlocked);
+            self.reject(from, session, seq, Error::MergeBlocked);
+            return;
         }
         if !self.cfg.ranges().contains(key) {
-            return Err(Error::WrongRange(None));
+            self.reject(from, session, seq, Error::WrongRange(None));
+            return;
         }
-        let index = self.propose_entry(now, EntryPayload::Command(cmd));
-        self.pending_clients.insert(index, (from, req_id));
-        Ok(())
+        let index = self.propose_entry(now, EntryPayload::SessionCommand { session, seq, cmd });
+        self.pending_clients.insert(
+            index,
+            PendingClient {
+                client: from,
+                session,
+                seq,
+            },
+        );
+    }
+
+    /// Accepts a linearizable read: record the current commit index, confirm
+    /// leadership with a probe round, and serve from the applied state — no
+    /// log append (Raft §6.4's ReadIndex, the canonical consensus read
+    /// optimization).
+    fn accept_read(&mut self, now: u64, from: NodeId, session: SessionId, seq: u64, key: Vec<u8>) {
+        // P3: only a leader that committed an entry of its own term knows
+        // its commit index is current.
+        if !self.committed_in_term {
+            self.reject(from, session, seq, Error::PreconditionP3);
+            return;
+        }
+        // Range check. During a split's leave phase the answer must come
+        // from the subcluster that will own the key — a stale pre-completion
+        // leader must never serve another subcluster's range, or it could
+        // miss writes committed by that subcluster's completed leader.
+        let derived = self.derived_cached();
+        let in_range = match &derived.split {
+            Some(crate::stack::SplitPhase::Leaving { spec, .. }) => spec
+                .subcluster_of(self.id)
+                .is_some_and(|sub| sub.ranges().contains(&key)),
+            _ => self.cfg.ranges().contains(&key),
+        };
+        if !in_range {
+            self.reject(from, session, seq, Error::WrongRange(None));
+            return;
+        }
+        self.read_serial += 1;
+        let mut acks = BTreeSet::new();
+        acks.insert(self.id);
+        self.pending_reads.push(PendingRead {
+            client: from,
+            session,
+            seq,
+            key,
+            read_index: self.commit_index,
+            serial: self.read_serial,
+            acks,
+        });
+        // A single-voter quorum (one-node cluster) is satisfied by the
+        // leader's own ack; otherwise confirm with a probe round. Reads
+        // arriving while a round is in flight batch onto the next one.
+        if !self.flush_ready_reads(now) && self.pending_reads.len() == 1 {
+            self.broadcast_append(now);
+        }
+    }
+
+    /// Credits a leadership confirmation from `peer` to every read batch the
+    /// echoed probe `serial` covers.
+    pub(crate) fn note_read_ack(&mut self, now: u64, peer: NodeId, serial: u64) {
+        if self.pending_reads.is_empty() {
+            return;
+        }
+        for read in &mut self.pending_reads {
+            if read.serial <= serial {
+                read.acks.insert(peer);
+            }
+        }
+        self.flush_ready_reads(now);
+        // Reads that batched up while the acknowledged round was in flight
+        // need one more round; fire it now that the old round is landing.
+        if self
+            .pending_reads
+            .iter()
+            .any(|r| r.serial > self.last_probe_serial)
+        {
+            self.broadcast_append(now);
+        }
+    }
+
+    /// Serves every pending read whose quorum confirmed and whose
+    /// `read_index` is applied. Returns whether all pending reads drained.
+    ///
+    /// The quorum is the *tail* commit rule — the rule governing new log
+    /// entries. During a split's leave phase that is the leader's own
+    /// subcluster (the same cap that keeps replication from leaking across
+    /// subcluster boundaries), so a read never completes on the strength of
+    /// acknowledgements from nodes that are leaving for another subcluster.
+    pub(crate) fn flush_ready_reads(&mut self, now: u64) -> bool {
+        if self.pending_reads.is_empty() {
+            return true;
+        }
+        let derived = self.derived_cached();
+        let rule = derived
+            .commit_segments
+            .last()
+            .expect("commit segments never empty")
+            .1
+            .clone();
+        let mut served: Vec<(NodeId, SessionId, u64, Bytes, recraft_types::LogIndex)> = Vec::new();
+        let applied = self.applied_index;
+        let mut i = 0;
+        while i < self.pending_reads.len() {
+            let r = &self.pending_reads[i];
+            if r.read_index <= applied && rule.satisfied(&r.acks) {
+                let r = self.pending_reads.remove(i);
+                let payload = self.sm.query(&r.key);
+                served.push((r.client, r.session, r.seq, payload, r.read_index));
+            } else {
+                i += 1;
+            }
+        }
+        for (client, session, seq, payload, read_index) in served {
+            self.emit(NodeEvent::ServedRead {
+                cluster: self.cluster,
+                index: read_index,
+                digest: crate::events::read_fingerprint(session, seq),
+            });
+            self.reply(client, session, seq, ClientOutcome::Reply { payload });
+        }
+        let _ = now;
+        self.pending_reads.is_empty()
     }
 
     /// Handles an administrative command, answering with acceptance or a

@@ -562,6 +562,9 @@ impl<SM: StateMachine> Node<SM> {
         if self.log.last_index() > index {
             self.log_truncate(index.next());
         }
+        // The exchange blocks client service; answer pending reads with a
+        // redirect so clients re-resolve once the merged cluster is up.
+        self.fail_pending_reads(None);
         let own_ranges = self.cfg.base().ranges().clone();
         let part = Snapshot {
             last_index: index,
@@ -569,6 +572,9 @@ impl<SM: StateMachine> Node<SM> {
             cluster: self.cluster,
             ranges: own_ranges.clone(),
             data: self.sm.snapshot(&own_ranges),
+            // The session table rides in the part: the merged cluster
+            // inherits every participant's exactly-once accounting.
+            sessions: self.sessions.clone(),
         };
         self.merge_parts.insert(tx.id, part.clone());
         // Serve peers whose fetch arrived before our part existed: they are
@@ -711,6 +717,13 @@ impl<SM: StateMachine> Node<SM> {
         self.sm
             .restore_merged(&parts)
             .expect("participant parts are disjoint and well-formed");
+        // Combine the participants' exactly-once tables: for a session known
+        // to several participants, the highest applied seq wins.
+        let mut sessions = recraft_types::SessionTable::new();
+        for p in &ex.tx.participants {
+            sessions.absorb(&ex.parts[&p.cluster].sessions);
+        }
+        self.sessions = sessions;
         let new_eterm = EpochTerm::new(ex.new_epoch, 0);
         // "nodes in the merged cluster start fresh with the log that begins
         // with the Cnew entry ... treated as committed at term 0 of epoch
@@ -735,6 +748,7 @@ impl<SM: StateMachine> Node<SM> {
             cluster: self.cluster,
             ranges: ex.ranges,
             data: self.sm.snapshot(base.ranges()),
+            sessions: self.sessions.clone(),
         };
         self.snap_config = base;
         if self.role == Role::Leader {
@@ -747,6 +761,7 @@ impl<SM: StateMachine> Node<SM> {
         self.votes.clear();
         self.progress.clear();
         self.pending_clients.clear();
+        self.pending_reads.clear();
         self.driver = None;
         self.pull = None;
         self.reset_election_timer(now);

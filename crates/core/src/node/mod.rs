@@ -31,8 +31,8 @@ use rand::{Rng, SeedableRng};
 use recraft_net::{Envelope, Message};
 use recraft_storage::{EntryPayload, HardState, LogEntry, MemLog, Snapshot};
 use recraft_types::{
-    ClusterConfig, ClusterId, ConfigChange, EpochTerm, Error, LogIndex, MergeOutcome, MergeTx,
-    NodeId, RangeSet, TxId,
+    ClientOutcome, ClientResponse, ClusterConfig, ClusterId, ConfigChange, EpochTerm, Error,
+    LogIndex, MergeOutcome, MergeTx, NodeId, RangeSet, SessionCheck, SessionId, SessionTable, TxId,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -56,6 +56,32 @@ pub enum Role {
 pub(crate) struct Progress {
     pub(crate) next: LogIndex,
     pub(crate) matched: LogIndex,
+}
+
+/// A client write proposal awaiting its entry's application.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingClient {
+    pub(crate) client: NodeId,
+    pub(crate) session: SessionId,
+    pub(crate) seq: u64,
+}
+
+/// A linearizable read awaiting its ReadIndex quorum confirmation.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingRead {
+    pub(crate) client: NodeId,
+    pub(crate) session: SessionId,
+    pub(crate) seq: u64,
+    pub(crate) key: Vec<u8>,
+    /// The leader's commit index when the read arrived; serving waits until
+    /// `applied_index` covers it.
+    pub(crate) read_index: LogIndex,
+    /// The probe serial current when the read arrived: only heartbeat
+    /// responses echoing a serial at or above it confirm leadership at a
+    /// time after the read was accepted.
+    pub(crate) serial: u64,
+    /// Nodes that confirmed leadership since the read arrived.
+    pub(crate) acks: BTreeSet<NodeId>,
 }
 
 /// Pull-based recovery state (§III-B).
@@ -147,6 +173,11 @@ pub struct Node<SM> {
     // The application state machine (rebuilt from the snapshot on restart).
     pub(crate) sm: SM,
 
+    /// The exactly-once client session table. Part of the *applied state*:
+    /// it advances only when session commands apply, restarts from the
+    /// snapshot's copy, and travels through split parts and merge exchange.
+    pub(crate) sessions: SessionTable,
+
     // Volatile state.
     pub(crate) role: Role,
     pub(crate) leader_hint: Option<NodeId>,
@@ -155,7 +186,15 @@ pub struct Node<SM> {
     pub(crate) committed_in_term: bool,
     pub(crate) votes: BTreeSet<NodeId>,
     pub(crate) progress: BTreeMap<NodeId, Progress>,
-    pub(crate) pending_clients: BTreeMap<LogIndex, (NodeId, u64)>,
+    pub(crate) pending_clients: BTreeMap<LogIndex, PendingClient>,
+    /// Reads awaiting their ReadIndex quorum round (leader only).
+    pub(crate) pending_reads: Vec<PendingRead>,
+    /// Monotonic serial carried by AppendEntries probes and echoed by
+    /// responses, correlating heartbeat rounds with pending reads.
+    pub(crate) read_serial: u64,
+    /// The serial included in the most recent broadcast, so read batches
+    /// that formed since then trigger exactly one follow-up round.
+    pub(crate) last_probe_serial: u64,
     pub(crate) pull: Option<PullState>,
     pub(crate) exchange: Option<Exchange>,
     pub(crate) driver: Option<MergeDriver>,
@@ -217,6 +256,7 @@ impl<SM: StateMachine> Node<SM> {
             cluster: config.id(),
             ranges: config.ranges().clone(),
             data: sm.snapshot(config.ranges()),
+            sessions: SessionTable::new(),
         };
         let mut rng = StdRng::seed_from_u64(seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let election_deadline = Self::random_timeout(&mut rng, &timing, 0);
@@ -230,6 +270,7 @@ impl<SM: StateMachine> Node<SM> {
             cfg: ConfigStack::new(config, LogIndex::ZERO),
             history: Vec::new(),
             sm,
+            sessions: SessionTable::new(),
             role: Role::Follower,
             leader_hint: None,
             commit_index: LogIndex::ZERO,
@@ -238,6 +279,9 @@ impl<SM: StateMachine> Node<SM> {
             votes: BTreeSet::new(),
             progress: BTreeMap::new(),
             pending_clients: BTreeMap::new(),
+            pending_reads: Vec::new(),
+            read_serial: 0,
+            last_probe_serial: 0,
             pull: None,
             exchange: None,
             driver: None,
@@ -369,6 +413,12 @@ impl<SM: StateMachine> Node<SM> {
         &self.sm
     }
 
+    /// The exactly-once client session table (applied state).
+    #[must_use]
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
+    }
+
     /// The replicated log (read-only).
     #[must_use]
     pub fn log(&self) -> &MemLog {
@@ -410,6 +460,7 @@ impl<SM: StateMachine> Node<SM> {
         self.votes.clear();
         self.progress.clear();
         self.pending_clients.clear();
+        self.pending_reads.clear();
         self.pull = None;
         self.exchange = None;
         self.driver = None;
@@ -420,9 +471,12 @@ impl<SM: StateMachine> Node<SM> {
         self.applied_index = self.log.base_index();
         // The state machine restarts from the last snapshot; committed
         // entries above it are re-applied once a leader re-confirms them.
+        // The session table is part of that applied state and replays with
+        // it, so exactly-once accounting survives the crash.
         self.sm
             .restore(&self.snapshot.data)
             .expect("own snapshot must decode");
+        self.sessions = self.snapshot.sessions.clone();
         self.sm.retain_ranges(self.cfg.base().ranges());
         // Rebuild the unfolded config stack from the log.
         let base_from = self.cfg.base_from();
@@ -492,6 +546,7 @@ impl<SM: StateMachine> Node<SM> {
                 prev_eterm,
                 entries,
                 leader_commit,
+                probe,
             } => self.handle_append(
                 now,
                 from,
@@ -501,6 +556,7 @@ impl<SM: StateMachine> Node<SM> {
                 prev_eterm,
                 entries,
                 leader_commit,
+                probe,
             ),
             Message::AppendResp {
                 cluster,
@@ -508,7 +564,17 @@ impl<SM: StateMachine> Node<SM> {
                 success,
                 match_index,
                 conflict,
-            } => self.handle_append_resp(now, from, cluster, eterm, success, match_index, conflict),
+                probe,
+            } => self.handle_append_resp(
+                now,
+                from,
+                cluster,
+                eterm,
+                success,
+                match_index,
+                conflict,
+                probe,
+            ),
             Message::RequestVote {
                 cluster,
                 eterm,
@@ -572,8 +638,8 @@ impl<SM: StateMachine> Node<SM> {
             Message::FetchSnapshotResp { tx_id, part } => {
                 self.handle_fetch_snapshot_resp(now, tx_id, part.map(|b| *b));
             }
-            Message::ClientReq { req_id, key, cmd } => {
-                self.handle_client_req(now, from, req_id, key, cmd);
+            Message::ClientReq { req } => {
+                self.handle_client_req(now, from, req);
             }
             Message::AdminReq { req_id, cmd } => self.handle_admin_req(now, from, req_id, cmd),
             // Responses addressed to clients/admins are not consumed by
@@ -586,6 +652,26 @@ impl<SM: StateMachine> Node<SM> {
 
     pub(crate) fn send(&mut self, to: NodeId, msg: Message) {
         self.outbox.push(Envelope::new(self.id, to, msg));
+    }
+
+    /// Answers a client request.
+    pub(crate) fn reply(
+        &mut self,
+        to: NodeId,
+        session: SessionId,
+        seq: u64,
+        outcome: ClientOutcome,
+    ) {
+        self.send(
+            to,
+            Message::ClientResp {
+                resp: ClientResponse {
+                    session,
+                    seq,
+                    outcome,
+                },
+            },
+        );
     }
 
     pub(crate) fn emit(&mut self, event: NodeEvent) {
@@ -611,19 +697,24 @@ impl<SM: StateMachine> Node<SM> {
                 cluster: self.cluster,
             });
             // Pending proposals will be resolved by the new leader; tell the
-            // clients to retry there.
-            let pending: Vec<(LogIndex, (NodeId, u64))> = std::mem::take(&mut self.pending_clients)
+            // clients to retry there. Retried writes stay exactly-once
+            // through the session table.
+            let pending: Vec<(LogIndex, PendingClient)> = std::mem::take(&mut self.pending_clients)
                 .into_iter()
                 .collect();
-            for (_, (client, req_id)) in pending {
-                self.send(
-                    client,
-                    Message::ClientResp {
-                        req_id,
-                        result: Err(Error::NotLeader(hint)),
+            let cluster = self.cluster;
+            for (_, p) in pending {
+                self.reply(
+                    p.client,
+                    p.session,
+                    p.seq,
+                    ClientOutcome::Redirect {
+                        leader_hint: hint,
+                        cluster: Some(cluster),
                     },
                 );
             }
+            self.fail_pending_reads(hint);
             self.driver = None;
         }
         if self.role != Role::Removed {
@@ -665,14 +756,34 @@ impl<SM: StateMachine> Node<SM> {
         for pr in self.progress.values_mut() {
             pr.next = pr.next.min(index);
         }
-        let dropped: Vec<(LogIndex, (NodeId, u64))> =
+        let dropped: Vec<(LogIndex, PendingClient)> =
             self.pending_clients.split_off(&index).into_iter().collect();
-        for (_, (client, req_id)) in dropped {
-            self.send(
-                client,
-                Message::ClientResp {
-                    req_id,
-                    result: Err(Error::ProposalDropped),
+        for (_, p) in dropped {
+            self.reply(
+                p.client,
+                p.session,
+                p.seq,
+                ClientOutcome::Rejected {
+                    error: Error::ProposalDropped,
+                },
+            );
+        }
+    }
+
+    /// Fails every pending ReadIndex read with a redirect (step-down, merge
+    /// resumption, snapshot install): the client retries the idempotent read
+    /// against the hinted or re-resolved leader.
+    pub(crate) fn fail_pending_reads(&mut self, hint: Option<NodeId>) {
+        let cluster = self.cluster;
+        let reads = std::mem::take(&mut self.pending_reads);
+        for r in reads {
+            self.reply(
+                r.client,
+                r.session,
+                r.seq,
+                ClientOutcome::Redirect {
+                    leader_hint: hint,
+                    cluster: Some(cluster),
                 },
             );
         }
@@ -729,15 +840,17 @@ impl<SM: StateMachine> Node<SM> {
                         index,
                         digest,
                     });
-                    if let Some((client, req_id)) = self.pending_clients.remove(&index) {
-                        self.send(
-                            client,
-                            Message::ClientResp {
-                                req_id,
-                                result: Ok(resp),
-                            },
+                    if let Some(p) = self.pending_clients.remove(&index) {
+                        self.reply(
+                            p.client,
+                            p.session,
+                            p.seq,
+                            ClientOutcome::Reply { payload: resp },
                         );
                     }
+                }
+                EntryPayload::SessionCommand { session, seq, cmd } => {
+                    self.apply_session_command(index, *session, *seq, cmd);
                 }
                 EntryPayload::Config(change) => {
                     if index > self.cfg.base_from() {
@@ -758,6 +871,42 @@ impl<SM: StateMachine> Node<SM> {
             }
         }
         self.maybe_compact();
+        // Reads whose read_index just became covered can now be served.
+        self.flush_ready_reads(now);
+    }
+
+    /// Applies (or deduplicates) a committed session command. The check runs
+    /// at apply time on every replica, so duplicate *entries* — the same
+    /// `(session, seq)` appended twice by different leaders during a retry
+    /// storm — change the state machine exactly once everywhere.
+    fn apply_session_command(
+        &mut self,
+        index: LogIndex,
+        session: SessionId,
+        seq: u64,
+        cmd: &bytes::Bytes,
+    ) {
+        let outcome = match self.sessions.check(session, seq) {
+            SessionCheck::Fresh => {
+                let resp = self.sm.apply(index, cmd);
+                self.sessions.record(session, seq, resp.clone());
+                let digest = crate::events::fingerprint(cmd);
+                self.emit(NodeEvent::AppliedCommand {
+                    cluster: self.cluster,
+                    index,
+                    digest,
+                });
+                ClientOutcome::Reply { payload: resp }
+            }
+            // A duplicate entry: answer from the table without re-applying.
+            SessionCheck::Duplicate(recorded) => ClientOutcome::Reply { payload: recorded },
+            SessionCheck::Stale => ClientOutcome::Rejected {
+                error: Error::SessionStale,
+            },
+        };
+        if let Some(p) = self.pending_clients.remove(&index) {
+            self.reply(p.client, p.session, p.seq, outcome);
+        }
     }
 
     /// Handles a configuration entry whose commit just became known. Returns
@@ -970,6 +1119,7 @@ impl<SM: StateMachine> Node<SM> {
             cluster: self.cluster,
             ranges: ranges.clone(),
             data: self.sm.snapshot(&ranges),
+            sessions: self.sessions.clone(),
         };
         self.snap_config = self.cfg.base().clone();
         self.log.compact_to(to, eterm).expect("compaction bounds");

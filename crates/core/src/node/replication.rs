@@ -43,6 +43,9 @@ impl<SM: StateMachine> Node<SM> {
     /// Sends AppendEntries (or a snapshot) to every peer.
     pub(crate) fn broadcast_append(&mut self, now: u64) {
         self.sync_progress();
+        // Every broadcast doubles as a ReadIndex probe round: the serial it
+        // carries covers all reads accepted up to now.
+        self.last_probe_serial = self.read_serial;
         let peers: Vec<NodeId> = self.progress.keys().copied().collect();
         for peer in peers {
             self.send_append(now, peer);
@@ -103,6 +106,7 @@ impl<SM: StateMachine> Node<SM> {
                 prev_eterm,
                 entries,
                 leader_commit: self.commit_index,
+                probe: self.read_serial,
             },
         );
     }
@@ -119,6 +123,7 @@ impl<SM: StateMachine> Node<SM> {
         prev_eterm: EpochTerm,
         entries: Vec<LogEntry>,
         leader_commit: LogIndex,
+        probe: u64,
     ) {
         if !self.bootstrapped {
             if self.join_target.is_some_and(|target| target != cluster) {
@@ -153,6 +158,7 @@ impl<SM: StateMachine> Node<SM> {
                     success: false,
                     match_index: LogIndex::ZERO,
                     conflict: None,
+                    probe,
                 },
             );
             return;
@@ -175,6 +181,7 @@ impl<SM: StateMachine> Node<SM> {
                     success: false,
                     match_index: LogIndex::ZERO,
                     conflict: Some(conflict),
+                    probe,
                 },
             );
             return;
@@ -206,6 +213,7 @@ impl<SM: StateMachine> Node<SM> {
                 success: true,
                 match_index,
                 conflict: None,
+                probe,
             },
         );
         self.set_commit(now, leader_commit.min(match_index.max(self.commit_index)));
@@ -222,6 +230,7 @@ impl<SM: StateMachine> Node<SM> {
         success: bool,
         match_index: LogIndex,
         conflict: Option<LogIndex>,
+        probe: u64,
     ) {
         if eterm > self.hard.eterm {
             // Step down only for our own lineage: a responder that reports a
@@ -255,6 +264,10 @@ impl<SM: StateMachine> Node<SM> {
                 last = last.min(cap);
             }
             let more = next <= last;
+            // The successful response at our own epoch-term confirms the
+            // responder still recognizes this leadership; credit it to every
+            // read batch the echoed probe serial covers.
+            self.note_read_ack(now, from, probe);
             self.leader_advance_commit(now);
             if more {
                 self.send_append(now, from);
@@ -392,6 +405,8 @@ impl<SM: StateMachine> Node<SM> {
         self.cluster = config.id();
         self.cfg.reset(config.clone(), snapshot.last_index);
         self.pending_clients.clear();
+        self.pending_reads.clear();
+        self.sessions = snapshot.sessions.clone();
         // A pending exchange is superseded: the snapshot describes the world
         // after the reconfiguration.
         self.exchange = None;

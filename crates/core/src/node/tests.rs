@@ -8,7 +8,7 @@ use super::*;
 use crate::sm::MapMachine;
 use bytes::Bytes;
 use recraft_net::AdminCmd;
-use recraft_types::{MergeParticipant, SplitSpec, TxId};
+use recraft_types::{ClientOp, ClientRequest, MergeParticipant, SplitSpec, TxId};
 use std::collections::VecDeque;
 
 const CLIENT: NodeId = NodeId(1000);
@@ -21,8 +21,9 @@ struct Net {
     now: u64,
     /// Messages to these recipients are silently dropped.
     blackholes: BTreeSet<NodeId>,
-    /// Collected client/admin responses.
-    responses: Vec<(u64, Result<Bytes, Error>)>,
+    /// Collected client responses, keyed by the request's session id (the
+    /// harness opens one single-shot session per request).
+    responses: Vec<(u64, ClientOutcome)>,
     admin_responses: Vec<(u64, Result<(), Error>)>,
     events: Vec<(NodeId, NodeEvent)>,
 }
@@ -82,8 +83,8 @@ impl Net {
         while let Some(env) = self.queue.pop_front() {
             if env.to == CLIENT {
                 match env.msg {
-                    Message::ClientResp { req_id, result } => {
-                        self.responses.push((req_id, result));
+                    Message::ClientResp { resp } => {
+                        self.responses.push((resp.session.0, resp.outcome));
                     }
                     Message::AdminResp { req_id, result } => {
                         self.admin_responses.push((req_id, result));
@@ -146,12 +147,38 @@ impl Net {
         self.any_leader().unwrap()
     }
 
+    /// Issues a write through a fresh single-shot session (`session` is the
+    /// harness's request id, `seq` is 1).
     fn put(&mut self, to: NodeId, req_id: u64, key: &str, value: &str) {
-        let msg = Message::ClientReq {
-            req_id,
-            key: key.as_bytes().to_vec(),
-            cmd: Bytes::from(format!("{key}={value}")),
-        };
+        self.send_request(
+            to,
+            ClientRequest {
+                session: SessionId(req_id),
+                seq: 1,
+                op: ClientOp::Command {
+                    key: key.as_bytes().to_vec(),
+                    cmd: Bytes::from(format!("{key}={value}")),
+                },
+            },
+        );
+    }
+
+    /// Issues a ReadIndex read through a fresh single-shot session.
+    fn get(&mut self, to: NodeId, req_id: u64, key: &str) {
+        self.send_request(
+            to,
+            ClientRequest {
+                session: SessionId(req_id),
+                seq: 1,
+                op: ClientOp::Get {
+                    key: key.as_bytes().to_vec(),
+                },
+            },
+        );
+    }
+
+    fn send_request(&mut self, to: NodeId, req: ClientRequest) {
+        let msg = Message::ClientReq { req };
         self.queue.push_back(Envelope::new(CLIENT, to, msg));
         self.deliver();
     }
@@ -179,7 +206,18 @@ impl Net {
     fn ok_response(&self, req_id: u64) -> bool {
         self.responses
             .iter()
-            .any(|(id, r)| *id == req_id && r.is_ok())
+            .any(|(id, r)| *id == req_id && matches!(r, ClientOutcome::Reply { .. }))
+    }
+
+    /// The reply payloads recorded for a request id, in arrival order.
+    fn replies(&self, req_id: u64) -> Vec<Bytes> {
+        self.responses
+            .iter()
+            .filter_map(|(id, r)| match r {
+                ClientOutcome::Reply { payload } if *id == req_id => Some(payload.clone()),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Theorem 1 check: no two nodes applied different commands at the same
@@ -272,7 +310,14 @@ fn followers_redirect_clients() {
         .iter()
         .find(|(id, _)| *id == 7)
         .expect("follower must answer");
-    assert!(matches!(resp.1, Err(Error::NotLeader(_))));
+    // The redirect names the leader and the follower's cluster.
+    assert!(matches!(
+        resp.1,
+        ClientOutcome::Redirect {
+            leader_hint: Some(l),
+            cluster: Some(c),
+        } if l == leader && c == recraft_types::ClusterId(1)
+    ));
 }
 
 #[test]
@@ -874,6 +919,7 @@ fn higher_epoch_node_rejects_stale_leader_appends() {
         prev_eterm: eterm_before,
         entries: vec![],
         leader_commit: LogIndex(0),
+        probe: 0,
     };
     net.queue
         .push_back(Envelope::new(NodeId(99), leader, stale));
@@ -967,6 +1013,186 @@ fn joiner_never_campaigns_until_contacted() {
         net.node(9).config().members().len() == 4
             && net.node(9).cluster() == recraft_types::ClusterId(1)
     });
+    net.assert_state_machine_safety();
+}
+
+#[test]
+fn duplicate_session_write_applies_exactly_once() {
+    let mut net = Net::with_nodes(&[1, 2, 3]);
+    let leader = net.elect();
+    let req = ClientRequest {
+        session: SessionId(50),
+        seq: 1,
+        op: ClientOp::Command {
+            key: b"k".to_vec(),
+            cmd: Bytes::from_static(b"k=v1"),
+        },
+    };
+    // Two deliveries in the same instant (a duplicated packet), then a late
+    // retry after the command applied.
+    net.send_request(leader, req.clone());
+    net.send_request(leader, req.clone());
+    net.run(5);
+    assert!(net.ok_response(50));
+    net.send_request(leader, req.clone());
+    net.run(2);
+    // Every reply carries the recorded response of the single application.
+    let replies = net.replies(50);
+    assert!(replies.len() >= 2, "retry answered from the session table");
+    assert!(replies.iter().all(|r| r == &replies[0]));
+    // The command applied at exactly one (cluster, index) across all nodes.
+    let digest = crate::events::fingerprint(b"k=v1");
+    let sites: BTreeSet<(recraft_types::ClusterId, LogIndex)> = net
+        .events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            NodeEvent::AppliedCommand {
+                cluster,
+                index,
+                digest: d,
+            } if *d == digest => Some((*cluster, *index)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sites.len(), 1, "applied exactly once: {sites:?}");
+    // A *stale* seq (older than the applied one) is rejected outright.
+    net.send_request(
+        leader,
+        ClientRequest {
+            session: SessionId(50),
+            seq: 0,
+            op: ClientOp::Command {
+                key: b"k".to_vec(),
+                cmd: Bytes::from_static(b"k=old"),
+            },
+        },
+    );
+    net.run(2);
+    assert!(net.responses.iter().any(|(id, r)| *id == 50
+        && matches!(
+            r,
+            ClientOutcome::Rejected {
+                error: Error::SessionStale
+            }
+        )));
+    net.assert_state_machine_safety();
+}
+
+#[test]
+fn read_index_serves_without_log_append() {
+    let mut net = Net::with_nodes(&[1, 2, 3]);
+    let leader = net.elect();
+    net.put(leader, 1, "color", "teal");
+    net.run(5);
+    assert!(net.ok_response(1));
+    let log_len_before = net.node(leader.0).log().last_index();
+    net.get(leader, 2, "color");
+    net.run(5);
+    let replies = net.replies(2);
+    assert_eq!(replies, vec![Bytes::from_static(b"teal")]);
+    // No entry was appended for the read.
+    assert_eq!(net.node(leader.0).log().last_index(), log_len_before);
+    // The serving is observable for the linearizability witness.
+    assert!(net
+        .events
+        .iter()
+        .any(|(_, e)| matches!(e, NodeEvent::ServedRead { .. })));
+    net.assert_state_machine_safety();
+}
+
+#[test]
+fn read_index_waits_for_quorum_confirmation() {
+    let mut net = Net::with_nodes(&[1, 2, 3]);
+    let leader = net.elect();
+    net.put(leader, 1, "k", "v");
+    net.run(5);
+    // Cut the leader off from both followers: the read must not be served on
+    // the leader's own authority.
+    let followers: Vec<NodeId> = net
+        .nodes
+        .keys()
+        .copied()
+        .filter(|id| *id != leader)
+        .collect();
+    for f in &followers {
+        net.blackholes.insert(*f);
+    }
+    net.get(leader, 2, "k");
+    net.run(3);
+    assert!(
+        net.replies(2).is_empty(),
+        "read must wait for a quorum round"
+    );
+    // Heal: the next heartbeat round confirms leadership and the read lands.
+    for f in &followers {
+        net.blackholes.remove(f);
+    }
+    net.run(10);
+    assert_eq!(net.replies(2), vec![Bytes::from_static(b"v")]);
+    net.assert_state_machine_safety();
+}
+
+#[test]
+fn follower_redirects_reads_too() {
+    let mut net = Net::with_nodes(&[1, 2, 3]);
+    let leader = net.elect();
+    let follower = net.nodes.keys().copied().find(|id| *id != leader).unwrap();
+    net.get(follower, 9, "k");
+    net.run(2);
+    assert!(net.responses.iter().any(|(id, r)| *id == 9
+        && matches!(
+            r,
+            ClientOutcome::Redirect {
+                leader_hint: Some(l),
+                ..
+            } if *l == leader
+        )));
+}
+
+#[test]
+fn session_table_survives_restart() {
+    let mut net = Net::with_nodes(&[1, 2, 3]);
+    let leader = net.elect();
+    net.put(leader, 60, "a", "1");
+    net.run(5);
+    assert!(net.ok_response(60));
+    // Crash-restart every node: the table replays from snapshot + log.
+    let ids: Vec<u64> = net.nodes.keys().map(|n| n.0).collect();
+    for id in &ids {
+        net.crash(*id);
+    }
+    for id in &ids {
+        net.restart(*id);
+    }
+    let new_leader = net.elect();
+    // The retry of the pre-crash write is still deduplicated.
+    net.send_request(
+        new_leader,
+        ClientRequest {
+            session: SessionId(60),
+            seq: 1,
+            op: ClientOp::Command {
+                key: b"a".to_vec(),
+                cmd: Bytes::from_static(b"a=1"),
+            },
+        },
+    );
+    net.run(5);
+    let digest = crate::events::fingerprint(b"a=1");
+    let sites: BTreeSet<(recraft_types::ClusterId, LogIndex)> = net
+        .events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            NodeEvent::AppliedCommand {
+                cluster,
+                index,
+                digest: d,
+            } if *d == digest => Some((*cluster, *index)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sites.len(), 1, "replayed retry deduplicated: {sites:?}");
+    assert!(net.node(new_leader.0).sessions().last_seq(SessionId(60)) == Some(1));
     net.assert_state_machine_safety();
 }
 

@@ -15,6 +15,11 @@ pub trait StateMachine {
     /// back to the client.
     fn apply(&mut self, index: LogIndex, cmd: &Bytes) -> Bytes;
 
+    /// Answers a read-only query against the applied state — the leader's
+    /// ReadIndex path calls this after quorum-confirming its commit index,
+    /// so reads never touch the log.
+    fn query(&self, key: &[u8]) -> Bytes;
+
     /// Encodes the current state restricted to `ranges` (what snapshot
     /// exchange transfers).
     fn snapshot(&self, ranges: &RangeSet) -> Bytes;
@@ -74,6 +79,13 @@ impl StateMachine for MapMachine {
         };
         self.entries.insert(key, value);
         Bytes::from_static(b"ok")
+    }
+
+    fn query(&self, key: &[u8]) -> Bytes {
+        match self.entries.get(key) {
+            Some(v) => Bytes::from(v.clone()),
+            None => Bytes::new(),
+        }
     }
 
     fn snapshot(&self, ranges: &RangeSet) -> Bytes {

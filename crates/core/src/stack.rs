@@ -71,18 +71,16 @@ pub struct Derived {
 }
 
 impl Derived {
-    /// The commit rule for entries at `index`.
+    /// The commit rule for entries at `index`: the segment with the greatest
+    /// starting index at or below it. Segments are sorted ascending and the
+    /// first starts at [`LogIndex::ZERO`], so the binary search always lands
+    /// on a segment. This sits on the leader's per-acknowledgement hot path.
     #[must_use]
     pub fn commit_rule(&self, index: LogIndex) -> &QuorumSpec {
-        let mut rule = &self.commit_segments[0].1;
-        for (from, spec) in &self.commit_segments {
-            if *from <= index {
-                rule = spec;
-            } else {
-                break;
-            }
-        }
-        rule
+        let pos = self
+            .commit_segments
+            .partition_point(|(from, _)| *from <= index);
+        &self.commit_segments[pos - 1].1
     }
 
     /// The highest index the leader may send to `peer`: entries past `Cnew`
@@ -587,6 +585,39 @@ mod tests {
         assert_eq!(d.merge_outcome_index, Some(LogIndex(6)));
         assert!(d.proposals_gated());
         assert_eq!(d.last_config_index, Some(LogIndex(6)));
+    }
+
+    #[test]
+    fn commit_rule_segment_boundaries() {
+        // Segments: [0 -> 6-node majority], [5 -> resize q5], [9 -> resize q6].
+        let mut stack = ConfigStack::new(base6(), LogIndex::ZERO);
+        stack.push(
+            LogIndex(5),
+            ConfigChange::Resize {
+                members: nodes(&[1, 2, 3, 4, 5, 6]),
+                quorum: 5,
+            },
+        );
+        stack.push(
+            LogIndex(9),
+            ConfigChange::Resize {
+                members: nodes(&[1, 2, 3, 4, 5, 6]),
+                quorum: 6,
+            },
+        );
+        let d = stack.derive(NodeId(1));
+        assert_eq!(d.commit_segments.len(), 3);
+        // The sentinel index and everything below the first boundary use the
+        // base rule.
+        assert_eq!(d.commit_rule(LogIndex::ZERO).min_votes(), 4);
+        assert_eq!(d.commit_rule(LogIndex(4)).min_votes(), 4);
+        // Exactly on a boundary: the new segment's rule applies to the
+        // boundary entry itself (wait-free semantics).
+        assert_eq!(d.commit_rule(LogIndex(5)).min_votes(), 5);
+        assert_eq!(d.commit_rule(LogIndex(8)).min_votes(), 5);
+        assert_eq!(d.commit_rule(LogIndex(9)).min_votes(), 6);
+        // Far past the last boundary: the tail rule.
+        assert_eq!(d.commit_rule(LogIndex(1_000_000)).min_votes(), 6);
     }
 
     #[test]

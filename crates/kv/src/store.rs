@@ -269,6 +269,16 @@ impl StateMachine for KvStore {
         resp.encode()
     }
 
+    fn query(&self, key: &[u8]) -> Bytes {
+        // The ReadIndex fast path: answered from the applied map, no log
+        // traffic and no revision bump.
+        KvResp::Value {
+            revision: self.revision,
+            value: self.entries.get(key).cloned(),
+        }
+        .encode()
+    }
+
     fn snapshot(&self, ranges: &RangeSet) -> Bytes {
         let filtered: BTreeMap<Vec<u8>, Bytes> = self
             .entries
@@ -467,6 +477,29 @@ mod tests {
         assert_eq!(dst.len(), 3, "ingest adds the snapshot's pairs");
         assert_eq!(dst.get(b"a"), Some(&Bytes::from_static(b"1")));
         assert_eq!(dst.get(b"z"), Some(&Bytes::from_static(b"9")));
+    }
+
+    #[test]
+    fn query_reads_applied_state_without_revision_bump() {
+        let mut store = KvStore::new();
+        put(&mut store, LogIndex(1), "a", "1");
+        let raw = store.query(b"a");
+        assert_eq!(
+            KvResp::decode(&raw).unwrap(),
+            KvResp::Value {
+                revision: 1,
+                value: Some(Bytes::from_static(b"1"))
+            }
+        );
+        let missing = store.query(b"nope");
+        assert_eq!(
+            KvResp::decode(&missing).unwrap(),
+            KvResp::Value {
+                revision: 1,
+                value: None
+            }
+        );
+        assert_eq!(store.revision(), 1, "queries do not consume revisions");
     }
 
     #[test]

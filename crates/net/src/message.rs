@@ -1,10 +1,9 @@
 //! The message vocabulary.
 
-use bytes::Bytes;
 use recraft_storage::{LogEntry, Snapshot};
 use recraft_types::{
-    ClusterConfig, ClusterId, EpochTerm, Error, LogIndex, MergeDecision, MergeOutcome, MergeTx,
-    NodeId, RangeSet, SplitSpec, TxId,
+    ClientRequest, ClientResponse, ClusterConfig, ClusterId, EpochTerm, Error, LogIndex,
+    MergeDecision, MergeOutcome, MergeTx, NodeId, RangeSet, SplitSpec, TxId,
 };
 use std::collections::BTreeSet;
 
@@ -111,6 +110,10 @@ pub enum Message {
         entries: Vec<LogEntry>,
         /// Leader's commit index.
         leader_commit: LogIndex,
+        /// ReadIndex probe serial: the follower echoes it so the leader can
+        /// attribute the acknowledgement to read batches accepted before the
+        /// probe went out (Raft §6.4's leadership confirmation).
+        probe: u64,
     },
     /// Follower → leader replication result.
     AppendResp {
@@ -124,6 +127,8 @@ pub enum Message {
         match_index: LogIndex,
         /// On failure, a hint for the leader to back up `next_index` to.
         conflict: Option<LogIndex>,
+        /// Echo of the request's ReadIndex probe serial.
+        probe: u64,
     },
     /// Candidate → all members vote solicitation.
     RequestVote {
@@ -259,23 +264,19 @@ pub enum Message {
     },
 
     // ---- Clients ----
-    /// Client → node: apply `cmd` (which concerns `key`, used for routing
-    /// and range checks).
+    /// Client → node: a typed session request — an exactly-once write
+    /// ([`recraft_types::ClientOp::Command`]) or a ReadIndex-served read
+    /// ([`recraft_types::ClientOp::Get`]).
     ClientReq {
-        /// Client-chosen request id for matching responses.
-        req_id: u64,
-        /// The key the command touches.
-        key: Vec<u8>,
-        /// Opaque state-machine command.
-        cmd: Bytes,
+        /// The request: session, sequence number, and operation.
+        req: ClientRequest,
     },
-    /// Node → client: result, or a routing error
-    /// ([`Error::NotLeader`] / [`Error::WrongRange`] / [`Error::MergeBlocked`]).
+    /// Node → client: the typed outcome — a reply, a structured
+    /// [`recraft_types::ClientOutcome::Redirect`] with leader and cluster
+    /// hints, or a rejection with an [`Error`].
     ClientResp {
-        /// Echoed request id.
-        req_id: u64,
-        /// Command result or routing error.
-        result: Result<Bytes, Error>,
+        /// The response, echoing the request's `(session, seq)`.
+        resp: ClientResponse,
     },
 
     // ---- Administration ----
@@ -337,6 +338,9 @@ impl Message {
                     .map(|e| {
                         16 + match &e.payload {
                             recraft_storage::EntryPayload::Command(c) => c.len(),
+                            recraft_storage::EntryPayload::SessionCommand { cmd, .. } => {
+                                16 + cmd.len()
+                            }
                             recraft_storage::EntryPayload::Noop => 0,
                             recraft_storage::EntryPayload::Config(_) => 128,
                         }
@@ -350,10 +354,8 @@ impl Message {
             Message::FetchSnapshotResp { part, .. } => {
                 HDR + part.as_ref().map_or(0, |s| s.size_bytes())
             }
-            Message::ClientReq { cmd, .. } => HDR + cmd.len(),
-            Message::ClientResp { result, .. } => {
-                HDR + result.as_ref().map(Bytes::len).unwrap_or(0)
-            }
+            Message::ClientReq { req } => HDR + req.op.size_bytes(),
+            Message::ClientResp { resp } => HDR + resp.outcome.size_bytes(),
             _ => HDR,
         }
     }
@@ -376,6 +378,9 @@ impl Message {
 mod tests {
     use super::*;
 
+    use bytes::Bytes;
+    use recraft_types::{ClientOp, ClientOutcome, SessionId};
+
     #[test]
     fn wire_size_counts_bulk_payloads() {
         let small = Message::RequestVote {
@@ -385,9 +390,14 @@ mod tests {
             last_eterm: EpochTerm::new(0, 1),
         };
         let big = Message::ClientReq {
-            req_id: 1,
-            key: b"k".to_vec(),
-            cmd: Bytes::from(vec![0u8; 4096]),
+            req: ClientRequest {
+                session: SessionId(1),
+                seq: 1,
+                op: ClientOp::Command {
+                    key: b"k".to_vec(),
+                    cmd: Bytes::from(vec![0u8; 4096]),
+                },
+            },
         };
         assert!(big.wire_size() > small.wire_size() + 4000);
     }
@@ -395,8 +405,13 @@ mod tests {
     #[test]
     fn kinds_are_distinct_for_planes() {
         let m = Message::ClientResp {
-            req_id: 1,
-            result: Ok(Bytes::new()),
+            resp: ClientResponse {
+                session: SessionId(1),
+                seq: 1,
+                outcome: ClientOutcome::Reply {
+                    payload: Bytes::new(),
+                },
+            },
         };
         assert!(m.is_external());
         assert_eq!(m.kind(), "client-resp");

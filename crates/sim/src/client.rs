@@ -1,11 +1,18 @@
-//! Closed-loop simulated clients.
+//! Closed-loop simulated clients speaking the typed session protocol.
+//!
+//! Each client owns one [`SessionId`] and tags every operation with a
+//! monotonically increasing sequence number. Writes are retried under the
+//! *same* `(session, seq)` until answered — the server-side session table
+//! makes the retry exactly-once — while reads are idempotent and retried as
+//! fresh operations. The workload can deliberately deliver write requests
+//! twice ([`Workload::dup_prob`]) to exercise the dedup path.
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::Rng;
 use recraft_kv::lin::OpKind;
 use recraft_kv::KvCmd;
-use recraft_types::{ClusterId, NodeId};
+use recraft_types::{ClientOp, ClusterId, NodeId, SessionId};
 use std::collections::BTreeMap;
 
 /// What a client does: uniform-random keys, fixed-size values, an optional
@@ -19,6 +26,13 @@ pub struct Workload {
     pub value_size: usize,
     /// Fraction of operations that are reads (0.0 = put-only).
     pub get_ratio: f64,
+    /// Probability that a write request is transmitted twice (duplicate
+    /// delivery injection, exercising the exactly-once session table).
+    pub dup_prob: f64,
+    /// Serve reads through the replicated log (a `KvCmd::Get` command
+    /// entry) instead of the leader's ReadIndex path. Kept for the
+    /// read-throughput comparison benches; ReadIndex is the default.
+    pub reads_via_log: bool,
 }
 
 impl Default for Workload {
@@ -27,6 +41,8 @@ impl Default for Workload {
             key_count: 10_000,
             value_size: 512,
             get_ratio: 0.0,
+            dup_prob: 0.0,
+            reads_via_log: false,
         }
     }
 }
@@ -34,56 +50,72 @@ impl Default for Workload {
 /// An in-flight client operation.
 #[derive(Debug, Clone)]
 pub(crate) struct Outstanding {
-    pub req_id: u64,
+    /// The session sequence number (the retry identity for writes).
+    pub seq: u64,
     pub key: Vec<u8>,
-    pub cmd: Bytes,
+    /// The typed operation, kept for resends.
+    pub op: ClientOp,
     pub kind: OpKind,
     pub cluster: Option<ClusterId>,
     pub invoked_at: u64,
+    /// Timeout-driven retries so far.
+    pub attempts: u32,
 }
 
-/// One closed-loop client.
+/// One closed-loop client session.
 #[derive(Debug)]
 pub(crate) struct Client {
     pub id: u64,
     pub addr: NodeId,
+    pub session: SessionId,
     pub rng: StdRng,
     pub workload: Workload,
-    pub next_req: u64,
+    pub next_seq: u64,
     pub outstanding: Option<Outstanding>,
     pub leader_cache: BTreeMap<ClusterId, NodeId>,
     pub active: bool,
 }
 
 impl Client {
-    /// Builds the next operation (key, command, history kind).
-    pub(crate) fn next_op(&mut self) -> (Vec<u8>, KvCmd, OpKind) {
+    /// Builds the next operation (key, typed op, history kind), consuming
+    /// one sequence number.
+    pub(crate) fn next_op(&mut self) -> (Vec<u8>, ClientOp, OpKind) {
         let key = format!("k{:08}", self.rng.gen_range(0..self.workload.key_count)).into_bytes();
+        let seq = self.next_seq;
         let is_get = self.workload.get_ratio > 0.0 && self.rng.gen_bool(self.workload.get_ratio);
         if is_get {
-            // The nonce makes the encoded command (and hence its digest)
-            // unique to this operation.
-            let nonce = (self.id << 32) | self.next_req;
-            (
-                key.clone(),
-                KvCmd::Get { key, nonce },
-                OpKind::Read { value: None },
-            )
+            let op = if self.workload.reads_via_log {
+                // The pre-redesign read path: a Get command through the log.
+                // The nonce makes the encoded command unique to this attempt.
+                let nonce = (self.id << 32) | seq;
+                ClientOp::Command {
+                    key: key.clone(),
+                    cmd: KvCmd::Get {
+                        key: key.clone(),
+                        nonce,
+                    }
+                    .encode(),
+                }
+            } else {
+                ClientOp::Get { key: key.clone() }
+            };
+            (key, op, OpKind::Read { value: None })
         } else {
             // Unique values make duplicate detection and linearizability
             // checking exact.
-            let tag = format!("c{}-r{}-", self.id, self.next_req);
+            let tag = format!("c{}-r{}-", self.id, seq);
             let mut value = tag.into_bytes();
             value.resize(self.workload.value_size.max(value.len()), b'x');
             let value = Bytes::from(value);
-            (
-                key.clone(),
-                KvCmd::Put {
-                    key,
+            let op = ClientOp::Command {
+                key: key.clone(),
+                cmd: KvCmd::Put {
+                    key: key.clone(),
                     value: value.clone(),
-                },
-                OpKind::Write { value },
-            )
+                }
+                .encode(),
+            };
+            (key, op, OpKind::Write { value })
         }
     }
 }

@@ -6,12 +6,15 @@ use crate::directory::Directory;
 use crate::metrics::Metrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use recraft_core::events::fingerprint;
+use recraft_core::events::{fingerprint, read_fingerprint};
 use recraft_core::{Node, NodeEvent, Role};
 use recraft_kv::lin::{self, Op, OpId, OpKind};
 use recraft_kv::{KvResp, KvStore};
 use recraft_net::{AdminCmd, Envelope, Message};
-use recraft_types::{ClusterConfig, ClusterId, EpochTerm, Error, NodeId, RangeSet};
+use recraft_types::{
+    ClientOp, ClientOutcome, ClientRequest, ClientResponse, ClusterConfig, ClusterId, EpochTerm,
+    Error, NodeId, RangeSet, SessionId,
+};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 
@@ -19,6 +22,11 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 pub const CLIENT_BASE: u64 = 1_000_000;
 /// The administrative endpoint's address.
 pub const ADMIN_ADDR: NodeId = NodeId(2_000_000);
+/// The session id shared by every one-shot [`Sim::execute`] operation,
+/// far outside the closed-loop clients' session space.
+const INJECT_SESSION_BASE: u64 = 0xF_0000_0000;
+/// Timeout-driven retries before a write is abandoned as incomplete.
+const WRITE_RETRY_LIMIT: u32 = 8;
 
 /// A scheduled fault or administrative action.
 #[derive(Debug, Clone)]
@@ -53,7 +61,8 @@ pub enum Action {
 enum EvKind {
     Deliver(Envelope),
     NodeTick(NodeId),
-    ClientRetry { client: u64, req_id: u64 },
+    ClientRetry { client: u64, seq: u64 },
+    ClientResend { client: u64, seq: u64 },
     ClientKick(u64),
     Act(Action),
     AdminCheck(u64),
@@ -117,6 +126,10 @@ pub struct Sim {
     admin_done: BTreeMap<u64, u64>,
     admin_failed: BTreeMap<u64, Error>,
     next_admin_req: u64,
+    /// Responses to one-shot [`Sim::execute`] sessions, keyed by
+    /// `(session, seq)`.
+    inject_responses: HashMap<(u64, u64), ClientOutcome>,
+    next_inject_seq: u64,
     // Safety trackers (Theorem 1 and Election Safety), checked online.
     applied_at: HashMap<(ClusterId, u64), u64>,
     leaders_at: HashMap<(ClusterId, EpochTerm), NodeId>,
@@ -149,6 +162,8 @@ impl Sim {
             admin_done: BTreeMap::new(),
             admin_failed: BTreeMap::new(),
             next_admin_req: 1,
+            inject_responses: HashMap::new(),
+            next_inject_seq: 1,
             applied_at: HashMap::new(),
             leaders_at: HashMap::new(),
         }
@@ -214,9 +229,10 @@ impl Sim {
                 Client {
                     id: i,
                     addr,
+                    session: SessionId(i),
                     rng: StdRng::seed_from_u64(seed),
                     workload: workload.clone(),
-                    next_req: 1,
+                    next_seq: 1,
                     outstanding: None,
                     leader_cache: BTreeMap::new(),
                     active: true,
@@ -320,8 +336,8 @@ impl Sim {
             EvKind::Deliver(env) => {
                 let to = env.to;
                 if to.0 >= CLIENT_BASE && to != ADMIN_ADDR {
-                    if let Message::ClientResp { req_id, result } = env.msg {
-                        self.handle_client_resp(to.0 - CLIENT_BASE, env.from, req_id, result);
+                    if let Message::ClientResp { resp } = env.msg {
+                        self.handle_client_resp(to.0 - CLIENT_BASE, env.from, resp);
                     }
                     return;
                 }
@@ -355,7 +371,17 @@ impl Sim {
                 }
             }
             EvKind::ClientKick(id) => self.client_issue(id),
-            EvKind::ClientRetry { client, req_id } => self.client_timeout(client, req_id),
+            EvKind::ClientRetry { client, seq } => self.client_timeout(client, seq),
+            EvKind::ClientResend { client, seq } => {
+                let current = self
+                    .clients
+                    .get(&client)
+                    .and_then(|c| c.outstanding.as_ref())
+                    .is_some_and(|o| o.seq == seq);
+                if current {
+                    self.send_outstanding(client, None);
+                }
+            }
             EvKind::AdminCheck(req_id) => {
                 if let Some((cluster, cmd)) = self.admin_pending.remove(&req_id) {
                     // No acknowledgement: retry against the (possibly new)
@@ -531,8 +557,16 @@ impl Sim {
                     .gen_range(self.cfg.latency_min..=self.cfg.latency_max);
                 self.schedule(latency, EvKind::Deliver(env));
             } else if env.to == ADMIN_ADDR {
-                if let Message::AdminResp { req_id, result } = env.msg {
-                    self.handle_admin_resp(req_id, result);
+                match env.msg {
+                    Message::AdminResp { req_id, result } => {
+                        self.handle_admin_resp(req_id, result);
+                    }
+                    Message::ClientResp { resp } => {
+                        // A one-shot session opened by Sim::execute.
+                        self.inject_responses
+                            .insert((resp.session.0, resp.seq), resp.outcome);
+                    }
+                    _ => {}
                 }
             } else {
                 self.transmit(env);
@@ -558,6 +592,14 @@ impl Sim {
                 }
                 if self.applied_digests.insert(*digest) {
                     self.applies.push(*digest);
+                }
+            }
+            NodeEvent::ServedRead { digest, .. } => {
+                // A ReadIndex-served read takes its place in the apply-order
+                // witness without any log entry backing it.
+                let digest = *digest;
+                if self.applied_digests.insert(digest) {
+                    self.applies.push(digest);
                 }
             }
             NodeEvent::BecameLeader { cluster, eterm } => {
@@ -620,75 +662,124 @@ impl Sim {
         if !c.active || c.outstanding.is_some() {
             return;
         }
-        let (key, cmd, kind) = c.next_op();
-        let req_id = c.next_req;
-        c.next_req += 1;
-        let raw = cmd.encode();
-        let digest = fingerprint(&raw);
-        self.digest_ops.insert(digest, (id, req_id));
-        // Route: directory by key, then the cached leader for that cluster.
-        let (cluster, target) = match self.directory.lookup(&key) {
-            Some((cluster, members)) => {
-                let target = self.clients[&id]
-                    .leader_cache
-                    .get(&cluster)
-                    .copied()
-                    .filter(|t| members.contains(t) || self.nodes.contains_key(t))
-                    .or_else(|| members.iter().next().copied());
-                (Some(cluster), target)
-            }
-            None => {
-                // Directory still empty: try any live node.
-                let t = self.nodes.iter().find(|(_, sn)| sn.up).map(|(id, _)| *id);
-                (None, t)
-            }
+        let (key, op, kind) = c.next_op();
+        let seq = c.next_seq;
+        c.next_seq += 1;
+        // Register the operation's identity in the apply-order witness:
+        // commands by their bytes, ReadIndex reads by their (session, seq).
+        let digest = match &op {
+            ClientOp::Command { cmd, .. } => fingerprint(cmd),
+            ClientOp::Get { .. } => read_fingerprint(c.session, seq),
         };
+        self.digest_ops.insert(digest, (id, seq));
         let c = self.clients.get_mut(&id).unwrap();
         c.outstanding = Some(Outstanding {
-            req_id,
-            key: key.clone(),
-            cmd: raw.clone(),
+            seq,
+            key,
+            op,
             kind,
-            cluster,
+            cluster: None,
             invoked_at: self.now,
+            attempts: 0,
         });
-        let Some(target) = target else {
-            // Nobody to talk to; retry shortly.
-            let timeout = self.cfg.client_timeout;
-            self.schedule(timeout, EvKind::ClientRetry { client: id, req_id });
-            return;
-        };
-        let env = Envelope::new(
-            self.clients[&id].addr,
-            target,
-            Message::ClientReq {
-                req_id,
-                key,
-                cmd: raw,
-            },
-        );
-        // Client-to-node traffic shares the network model.
-        self.transmit(env);
+        self.send_outstanding(id, None);
         let timeout = self.cfg.client_timeout;
-        self.schedule(timeout, EvKind::ClientRetry { client: id, req_id });
+        self.schedule(timeout, EvKind::ClientRetry { client: id, seq });
     }
 
-    fn client_timeout(&mut self, id: u64, req_id: u64) {
-        let Some(c) = self.clients.get_mut(&id) else {
+    /// (Re)transmits a client's outstanding request, resolving the target
+    /// through the preferred hint, the cached leader, or the directory.
+    /// Writes may be deliberately delivered twice (`Workload::dup_prob`).
+    fn send_outstanding(&mut self, id: u64, prefer: Option<NodeId>) {
+        let Some(c) = self.clients.get(&id) else {
             return;
         };
         let Some(o) = &c.outstanding else {
             return;
         };
-        if o.req_id != req_id {
+        let key = o.key.clone();
+        let (cluster, members): (Option<ClusterId>, Vec<NodeId>) = match self.directory.lookup(&key)
+        {
+            Some((cl, m)) => (Some(cl), m.iter().copied().collect()),
+            None => (None, Vec::new()),
+        };
+        let cached = cluster
+            .and_then(|cl| c.leader_cache.get(&cl).copied())
+            .filter(|t| members.contains(t) || self.nodes.contains_key(t));
+        let target = prefer
+            .or(cached)
+            // No cached leader: rotate through members over time so a dead
+            // or ignorant first member cannot blackhole the session.
+            .or_else(|| {
+                if members.is_empty() {
+                    None
+                } else {
+                    Some(members[(self.now as usize / 1000) % members.len()])
+                }
+            })
+            // Directory still empty: try any live node.
+            .or_else(|| self.nodes.iter().find(|(_, sn)| sn.up).map(|(n, _)| *n));
+        let c = self.clients.get_mut(&id).unwrap();
+        if cluster.is_some() {
+            if let Some(o) = &mut c.outstanding {
+                o.cluster = cluster;
+            }
+        }
+        let Some(target) = target else {
+            return; // nobody to talk to; the retry timer will try again
+        };
+        let o = c.outstanding.as_ref().expect("checked");
+        let req = ClientRequest {
+            session: c.session,
+            seq: o.seq,
+            op: o.op.clone(),
+        };
+        let duplicate =
+            !o.op.is_read() && c.workload.dup_prob > 0.0 && c.rng.gen_bool(c.workload.dup_prob);
+        let addr = c.addr;
+        self.transmit(Envelope::new(
+            addr,
+            target,
+            Message::ClientReq { req: req.clone() },
+        ));
+        if duplicate {
+            // Deliver a second copy — to another member when the cluster has
+            // one (a retry racing a leader change), else to the same node (a
+            // duplicated packet). The session table must absorb both.
+            let alt = members
+                .iter()
+                .copied()
+                .find(|m| *m != target)
+                .unwrap_or(target);
+            self.transmit(Envelope::new(addr, alt, Message::ClientReq { req }));
+        }
+    }
+
+    fn client_timeout(&mut self, id: u64, seq: u64) {
+        let Some(c) = self.clients.get_mut(&id) else {
+            return;
+        };
+        let Some(o) = &mut c.outstanding else {
+            return;
+        };
+        if o.seq != seq {
             return;
         }
-        // The request may or may not have been appended: abandon it (its
-        // value is unique and never reused, so at-most-once semantics hold)
-        // and move on.
+        let is_write = !o.op.is_read();
+        if is_write && o.attempts < WRITE_RETRY_LIMIT {
+            // Retry under the same (session, seq): even if an earlier
+            // attempt was appended, the session table applies it once.
+            o.attempts += 1;
+            self.send_outstanding(id, None);
+            let timeout = self.cfg.client_timeout;
+            self.schedule(timeout, EvKind::ClientRetry { client: id, seq });
+            return;
+        }
+        // Reads are idempotent — a retry is simply a fresh operation — and
+        // writes out of retries are abandoned as incomplete.
         let o = c.outstanding.take().expect("checked");
         self.history.push(Op {
-            id: (id, o.req_id),
+            id: (id, o.seq),
             key: o.key,
             kind: o.kind,
             invoked_at: o.invoked_at,
@@ -697,27 +788,24 @@ impl Sim {
         self.client_issue(id);
     }
 
-    fn handle_client_resp(
-        &mut self,
-        client: u64,
-        from: NodeId,
-        req_id: u64,
-        result: Result<bytes::Bytes, Error>,
-    ) {
+    fn handle_client_resp(&mut self, client: u64, from: NodeId, resp: ClientResponse) {
         let Some(c) = self.clients.get_mut(&client) else {
             return;
         };
+        if resp.session != c.session {
+            return;
+        }
         let Some(o) = &c.outstanding else {
             return;
         };
-        if o.req_id != req_id {
-            return; // stale response for an abandoned request
+        if o.seq != resp.seq {
+            return; // stale response for an abandoned attempt
         }
-        match result {
-            Ok(raw) => {
+        match resp.outcome {
+            ClientOutcome::Reply { payload } => {
                 let mut o = c.outstanding.take().expect("checked");
                 if let OpKind::Read { value } = &mut o.kind {
-                    if let Ok(KvResp::Value { value: v, .. }) = KvResp::decode(&raw) {
+                    if let Ok(KvResp::Value { value: v, .. }) = KvResp::decode(&payload) {
                         *value = v;
                     }
                 }
@@ -725,7 +813,7 @@ impl Sim {
                     c.leader_cache.insert(cluster, from);
                 }
                 self.history.push(Op {
-                    id: (client, req_id),
+                    id: (client, resp.seq),
                     key: o.key,
                     kind: o.kind,
                     invoked_at: o.invoked_at,
@@ -736,72 +824,38 @@ impl Sim {
                     .push((self.now, self.now - o.invoked_at));
                 self.client_issue(client);
             }
-            Err(Error::NotLeader(hint)) => {
-                // Retry the same request (it was not appended) against the
-                // hinted leader or another member.
-                let key = o.key.clone();
-                let cmd = o.cmd.clone();
-                let cluster = o.cluster;
-                if let (Some(cluster), Some(h)) = (cluster, hint) {
-                    c.leader_cache.insert(cluster, h);
+            ClientOutcome::Redirect {
+                leader_hint,
+                cluster,
+            } => {
+                // Fix the routing table and retry immediately — against the
+                // hint when one was given, else through the directory (the
+                // responder's cluster may no longer own the key after a
+                // split or merge).
+                if let (Some(cl), Some(h)) = (cluster, leader_hint) {
+                    c.leader_cache.insert(cl, h);
                 }
-                let target = hint.or_else(|| {
-                    self.directory.lookup(&key).and_then(|(_, members)| {
-                        let members: Vec<NodeId> = members.iter().copied().collect();
-                        if members.is_empty() {
-                            None
-                        } else {
-                            Some(members[(self.now as usize / 1000) % members.len()])
-                        }
-                    })
-                });
-                if let Some(target) = target {
-                    let env = Envelope::new(
-                        self.clients[&client].addr,
-                        target,
-                        Message::ClientReq { req_id, key, cmd },
-                    );
-                    self.transmit(env);
-                }
+                self.send_outstanding(client, leader_hint);
             }
-            Err(Error::WrongRange(_) | Error::MergeBlocked | Error::PreconditionP3) => {
-                // The topology is changing under us: re-resolve via the
-                // directory after a short backoff by re-sending on timeout
-                // path.
-                let key = o.key.clone();
-                let cmd = o.cmd.clone();
-                if let Some((cluster, members)) = self.directory.lookup(&key) {
-                    let target = self.clients[&client]
-                        .leader_cache
-                        .get(&cluster)
-                        .copied()
-                        .or_else(|| members.iter().next().copied());
-                    if let Some(target) = target {
-                        let env = Envelope::new(
-                            self.clients[&client].addr,
-                            target,
-                            Message::ClientReq { req_id, key, cmd },
-                        );
-                        // Back off a little: the reconfiguration window is
-                        // about one commit round-trip.
-                        let latency = self
-                            .rng
-                            .gen_range(self.cfg.latency_min..=self.cfg.latency_max);
-                        self.schedule(latency + 10_000, EvKind::Deliver(env));
-                    }
+            ClientOutcome::Rejected { error } => {
+                if Self::retryable(&error) {
+                    // The topology is changing under us: re-resolve via the
+                    // directory after a short backoff (the reconfiguration
+                    // window is about one commit round-trip).
+                    let seq = resp.seq;
+                    self.schedule(10_000, EvKind::ClientResend { client, seq });
+                } else {
+                    // SessionStale and friends: abandon as incomplete.
+                    let o = c.outstanding.take().expect("checked");
+                    self.history.push(Op {
+                        id: (client, resp.seq),
+                        key: o.key,
+                        kind: o.kind,
+                        invoked_at: o.invoked_at,
+                        responded_at: None,
+                    });
+                    self.client_issue(client);
                 }
-            }
-            Err(_) => {
-                // ProposalDropped and friends: outcome unknown; abandon.
-                let o = c.outstanding.take().expect("checked");
-                self.history.push(Op {
-                    id: (client, req_id),
-                    key: o.key,
-                    kind: o.kind,
-                    invoked_at: o.invoked_at,
-                    responded_at: None,
-                });
-                self.client_issue(client);
             }
         }
     }
@@ -835,12 +889,125 @@ impl Sim {
         self.transmit(env);
     }
 
-    /// Injects an externally-originated client request (the TC cluster
-    /// manager's data path). The response is discarded.
-    pub fn inject_client_req(&mut self, target: NodeId, key: Vec<u8>, cmd: bytes::Bytes) {
-        let req_id = 0xFFFF_0000_0000 + self.seq;
-        let env = Envelope::new(ADMIN_ADDR, target, Message::ClientReq { req_id, key, cmd });
+    /// Sends one typed client request from the admin endpoint without
+    /// waiting for the answer (tests exercising duplicate and reordered
+    /// deliveries use this to aim the *same* `(session, seq)` at several
+    /// nodes). Any response lands in the [`Sim::execute`] response buffer.
+    pub fn post_request(&mut self, target: NodeId, req: ClientRequest) {
+        let env = Envelope::new(ADMIN_ADDR, target, Message::ClientReq { req });
         self.transmit(env);
+    }
+
+    /// Opens a one-shot session and drives an exactly-once write to
+    /// completion: the command is routed to the cluster owning `key`,
+    /// retried under the same `(session, seq)` through redirects, leader
+    /// changes, and reconfiguration windows, and applied exactly once.
+    ///
+    /// This is the typed replacement for the old raw-bytes injection entry
+    /// point (the TC baseline's cluster-manager data path uses it).
+    ///
+    /// # Errors
+    /// Returns the last rejection when the request cannot complete within
+    /// the internal deadline.
+    pub fn execute(&mut self, key: Vec<u8>, cmd: bytes::Bytes) -> Result<bytes::Bytes, Error> {
+        self.execute_request(ClientOp::Command { key, cmd })
+    }
+
+    /// Opens a one-shot session and drives a linearizable ReadIndex read to
+    /// completion, returning the value (or `None` when the key is absent).
+    ///
+    /// # Errors
+    /// Returns the last rejection when the read cannot complete within the
+    /// internal deadline.
+    pub fn execute_get(&mut self, key: Vec<u8>) -> Result<Option<bytes::Bytes>, Error> {
+        let raw = self.execute_request(ClientOp::Get { key })?;
+        match KvResp::decode(&raw) {
+            Ok(KvResp::Value { value, .. }) => Ok(value),
+            Ok(other) => Err(Error::Codec(format!(
+                "expected a read response, got {other:?}"
+            ))),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether a rejection is worth a re-resolve-and-retry (reconfiguration
+    /// windows and routing misses) — shared by the closed-loop clients and
+    /// the one-shot sessions so the two retry policies never diverge.
+    fn retryable(error: &Error) -> bool {
+        matches!(
+            error,
+            Error::MergeBlocked
+                | Error::PreconditionP3
+                | Error::WrongRange(_)
+                | Error::NotLeader(_)
+                | Error::ProposalDropped
+        )
+    }
+
+    fn execute_request(&mut self, op: ClientOp) -> Result<bytes::Bytes, Error> {
+        // All one-shot operations share one session with increasing
+        // sequence numbers (calls are serial), so the replicated session
+        // table holds a single entry for the admin endpoint instead of
+        // growing with every call.
+        let session = SessionId(INJECT_SESSION_BASE);
+        let seq = self.next_inject_seq;
+        self.next_inject_seq += 1;
+        let key = op.key().to_vec();
+        let deadline = self.now + 60_000_000;
+        let mut prefer: Option<NodeId> = None;
+        let mut last_error = Error::ProposalDropped;
+        while self.now < deadline {
+            let target = prefer
+                .or_else(|| {
+                    self.directory.lookup(&key).and_then(|(cluster, members)| {
+                        self.leader_of(cluster).or_else(|| {
+                            members
+                                .iter()
+                                .copied()
+                                .find(|m| self.nodes.get(m).is_some_and(|sn| sn.up))
+                        })
+                    })
+                })
+                .or_else(|| self.nodes.iter().find(|(_, sn)| sn.up).map(|(n, _)| *n));
+            let Some(target) = target else {
+                self.run_for(100_000);
+                continue;
+            };
+            self.post_request(
+                target,
+                ClientRequest {
+                    session,
+                    seq,
+                    op: op.clone(),
+                },
+            );
+            // Wait for this attempt's answer (or give up and retry — the
+            // session table keeps the retry exactly-once).
+            let attempt_deadline = self.now + 2_000_000;
+            while self.now < attempt_deadline
+                && !self.inject_responses.contains_key(&(session.0, seq))
+            {
+                self.run_for(1_000);
+            }
+            match self.inject_responses.remove(&(session.0, seq)) {
+                None => prefer = None,
+                Some(ClientOutcome::Reply { payload }) => return Ok(payload),
+                Some(ClientOutcome::Redirect { leader_hint, .. }) => {
+                    prefer = leader_hint;
+                    self.run_for(5_000);
+                }
+                Some(ClientOutcome::Rejected { error }) => {
+                    if Self::retryable(&error) {
+                        last_error = error;
+                        prefer = None;
+                        self.run_for(50_000);
+                    } else {
+                        return Err(error);
+                    }
+                }
+            }
+        }
+        Err(last_error)
     }
 
     /// The current leader of `cluster`, if any.
@@ -979,7 +1146,7 @@ impl Sim {
         for c in self.clients.values() {
             if let Some(o) = &c.outstanding {
                 history.push(Op {
-                    id: (c.id, o.req_id),
+                    id: (c.id, o.seq),
                     key: o.key.clone(),
                     kind: o.kind.clone(),
                     invoked_at: o.invoked_at,
@@ -1004,5 +1171,47 @@ impl Sim {
     #[must_use]
     pub fn completed_ops(&self) -> usize {
         self.metrics.completions.len()
+    }
+
+    /// Asserts the exactly-once contract: every command digest ever applied
+    /// occupies exactly one `(cluster, log index)` slot across the whole
+    /// run. Duplicate deliveries and retried `(session, seq)` pairs may
+    /// append twice, but the session dedup table must let only one entry
+    /// reach the state machine — on the original cluster or on whichever
+    /// cluster survived a split or merge.
+    ///
+    /// # Panics
+    /// Panics when a command applied at more than one position.
+    pub fn assert_exactly_once(&self) {
+        let mut sites: HashMap<u64, BTreeSet<(ClusterId, u64)>> = HashMap::new();
+        for (_, _, ev) in &self.trace {
+            if let NodeEvent::AppliedCommand {
+                cluster,
+                index,
+                digest,
+            } = ev
+            {
+                sites
+                    .entry(*digest)
+                    .or_default()
+                    .insert((*cluster, index.0));
+            }
+        }
+        for (digest, s) in sites {
+            assert_eq!(
+                s.len(),
+                1,
+                "command {digest:#x} applied at multiple positions: {s:?}"
+            );
+        }
+    }
+
+    /// How many reads were served through the ReadIndex path (no log entry).
+    #[must_use]
+    pub fn read_index_served(&self) -> usize {
+        self.trace
+            .iter()
+            .filter(|(_, _, e)| matches!(e, NodeEvent::ServedRead { .. }))
+            .count()
     }
 }

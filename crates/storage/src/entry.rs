@@ -1,7 +1,7 @@
 //! Log entries.
 
 use bytes::Bytes;
-use recraft_types::{ConfigChange, EpochTerm, LogIndex};
+use recraft_types::{ConfigChange, EpochTerm, LogIndex, SessionId};
 use std::fmt;
 
 /// The payload of one log entry.
@@ -11,6 +11,17 @@ pub enum EntryPayload {
     Noop,
     /// An application command (opaque to the consensus layer).
     Command(Bytes),
+    /// A session-tracked application command: `(session, seq)` keys the
+    /// exactly-once dedup table, so a duplicate entry (a client retry
+    /// appended twice across a leader change) applies only once.
+    SessionCommand {
+        /// The issuing session.
+        session: SessionId,
+        /// The session's sequence number for this command.
+        seq: u64,
+        /// The opaque state-machine command.
+        cmd: Bytes,
+    },
     /// A configuration change (membership, split, or merge step).
     Config(ConfigChange),
 }
@@ -56,6 +67,22 @@ impl LogEntry {
         }
     }
 
+    /// A session-tracked command entry.
+    #[must_use]
+    pub fn session_command(
+        index: LogIndex,
+        eterm: EpochTerm,
+        session: SessionId,
+        seq: u64,
+        cmd: Bytes,
+    ) -> Self {
+        LogEntry {
+            index,
+            eterm,
+            payload: EntryPayload::SessionCommand { session, seq, cmd },
+        }
+    }
+
     /// A configuration-change entry.
     #[must_use]
     pub fn config(index: LogIndex, eterm: EpochTerm, change: ConfigChange) -> Self {
@@ -81,6 +108,9 @@ impl fmt::Display for LogEntry {
         let kind = match &self.payload {
             EntryPayload::Noop => "noop".to_string(),
             EntryPayload::Command(c) => format!("cmd[{}B]", c.len()),
+            EntryPayload::SessionCommand { session, seq, cmd } => {
+                format!("cmd[{session}#{seq},{}B]", cmd.len())
+            }
             EntryPayload::Config(c) => format!("cfg[{}]", c.kind()),
         };
         write!(f, "{}@{} {}", self.index, self.eterm, kind)
@@ -101,6 +131,19 @@ mod tests {
 
         let c = LogEntry::command(LogIndex(2), EpochTerm::new(0, 1), Bytes::from_static(b"x"));
         assert!(matches!(c.payload, EntryPayload::Command(_)));
+
+        let s = LogEntry::session_command(
+            LogIndex(2),
+            EpochTerm::new(0, 1),
+            SessionId(4),
+            9,
+            Bytes::from_static(b"x"),
+        );
+        assert!(matches!(
+            s.payload,
+            EntryPayload::SessionCommand { seq: 9, .. }
+        ));
+        assert!(s.to_string().contains("s4#9"));
 
         let change = ConfigChange::Simple {
             members: BTreeSet::new(),

@@ -1,7 +1,7 @@
 //! Snapshots of the applied state machine.
 
 use bytes::Bytes;
-use recraft_types::{ClusterId, EpochTerm, LogIndex, RangeSet};
+use recraft_types::{ClusterId, EpochTerm, LogIndex, RangeSet, SessionTable};
 
 /// A snapshot of the applied state up to (and including) `last_index`.
 ///
@@ -22,6 +22,11 @@ pub struct Snapshot {
     pub ranges: RangeSet,
     /// Opaque encoded state-machine payload.
     pub data: Bytes,
+    /// The exactly-once session dedup table at the snapshot point. Part of
+    /// the applied state: restarts, snapshot installs, split parts, and
+    /// merge exchange all carry it so retried client writes stay
+    /// deduplicated across reconfigurations.
+    pub sessions: SessionTable,
 }
 
 impl Snapshot {
@@ -34,13 +39,14 @@ impl Snapshot {
             cluster,
             ranges,
             data: Bytes::new(),
+            sessions: SessionTable::new(),
         }
     }
 
     /// The payload size in bytes (what data exchange actually transfers).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.data.len()
+        self.data.len() + self.sessions.size_bytes()
     }
 }
 

@@ -235,8 +235,10 @@ pub fn tc_merge(
         let route_key = sim.node(dst_leader).unwrap().config().ranges().ranges()[0]
             .start()
             .to_vec();
-        sim.inject_client_req(dst_leader, route_key, KvCmd::Ingest { data }.encode());
-        sim.run_for(200_000);
+        // The CM ingests through the typed session API: the write is
+        // exactly-once even if the transfer races a dst leader change.
+        sim.execute(route_key, KvCmd::Ingest { data }.encode())
+            .expect("ingest into dst accepted");
         dst_ranges = dst_ranges.union(&src_ranges).expect("disjoint ranges");
         let req = sim.admin(dst, AdminCmd::SetRanges(dst_ranges.clone()));
         assert!(wait_admin(sim, req), "dst range extension accepted");

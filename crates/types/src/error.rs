@@ -41,6 +41,9 @@ pub enum Error {
     /// A proposal was dropped because the node stepped down or the entry was
     /// truncated by a new leader.
     ProposalDropped,
+    /// The request's sequence number is older than the session's last applied
+    /// one: the session has moved on and the recorded response is gone.
+    SessionStale,
     /// The requested operation conflicts with protocol state (e.g. leaving a
     /// joint mode that was never entered).
     InvalidState(String),
@@ -78,6 +81,7 @@ impl fmt::Display for Error {
             Error::IndexOutOfRange(i) => write!(f, "log index {i} out of range"),
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::ProposalDropped => write!(f, "proposal dropped"),
+            Error::SessionStale => write!(f, "request older than the session's last applied one"),
             Error::InvalidState(m) => write!(f, "invalid protocol state: {m}"),
         }
     }
@@ -105,6 +109,7 @@ mod tests {
             Error::IndexOutOfRange(LogIndex(3)),
             Error::Codec("x".into()),
             Error::ProposalDropped,
+            Error::SessionStale,
             Error::InvalidState("x".into()),
         ];
         for e in cases {

@@ -13,6 +13,9 @@
 //!   the special log entries that reconfigure them.
 //! * [`codec`] — a small hand-rolled binary codec used for snapshots and
 //!   persistence (no external serialization format is required).
+//! * [`client`] — the typed client protocol: sessions with exactly-once
+//!   write semantics ([`ClientRequest`]/[`ClientResponse`]/[`SessionTable`])
+//!   and structured redirect outcomes.
 //!
 //! # Example
 //!
@@ -27,6 +30,7 @@
 //! assert_eq!(NodeId(7).to_string(), "n7");
 //! ```
 
+pub mod client;
 pub mod codec;
 pub mod config;
 pub mod error;
@@ -34,6 +38,9 @@ pub mod eterm;
 pub mod ids;
 pub mod range;
 
+pub use client::{
+    ClientOp, ClientOutcome, ClientRequest, ClientResponse, SessionCheck, SessionId, SessionTable,
+};
 pub use config::{
     ClusterConfig, ConfigChange, MergeDecision, MergeOutcome, MergeParticipant, MergeTx,
     QuorumRule, SplitSpec,
