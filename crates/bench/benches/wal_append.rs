@@ -1,0 +1,103 @@
+//! Durable-path append throughput: `WalLog` with per-entry vs batched sync,
+//! against the in-memory baseline.
+//!
+//! The write-ahead barrier in the node syncs once per `take_outputs`, i.e.
+//! once per processed message — the batched shapes below are what the
+//! replication hot path actually pays per AppendEntries batch. Run with
+//! physical fsync off (the simulator configuration) and on (production
+//! durability) to see the knob the `WalOptions::fsync` flag controls.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use recraft_storage::{LogStore, MemLog, WalLog, WalOptions};
+use recraft_types::{EpochTerm, LogIndex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+struct BenchDir(PathBuf);
+
+impl BenchDir {
+    fn new() -> BenchDir {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("recraft-bench-wal-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        BenchDir(path)
+    }
+}
+
+impl Drop for BenchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn entry(i: u64) -> recraft_storage::LogEntry {
+    recraft_storage::LogEntry::command(
+        LogIndex(i),
+        EpochTerm::new(0, 1),
+        Bytes::from_static(&[0x42; 64]),
+    )
+}
+
+/// Appends `batch` entries then syncs once; returns entries/sec-shaped work.
+fn append_batch<L: LogStore>(log: &mut L, next: &mut u64, batch: u64) {
+    for _ in 0..batch {
+        log.append(entry(*next));
+        *next += 1;
+    }
+    log.sync();
+    // Periodic compaction keeps the retained window realistic (the node
+    // compacts at its snapshot threshold); without it the log grows without
+    // bound across bench iterations and the numbers drift.
+    if log.len() > 8192 {
+        let last = log.last_index();
+        let eterm = log.last_eterm();
+        log.compact_to(last, eterm).expect("bench compaction");
+    }
+}
+
+fn bench_backend(c: &mut Criterion, name: &str, fsync: bool) {
+    for batch in [1u64, 64] {
+        let dir = BenchDir::new();
+        let mut wal = WalLog::open_with(
+            &dir.0,
+            WalOptions {
+                fsync,
+                segment_bytes: 4 * 1024 * 1024,
+            },
+        )
+        .expect("open bench wal");
+        let mut next = 1u64;
+        c.bench_function(&format!("wal_append/{name}/batch{batch}"), |b| {
+            b.iter(|| {
+                append_batch(&mut wal, &mut next, batch);
+                black_box(wal.last_index())
+            });
+        });
+    }
+}
+
+fn wal_append(c: &mut Criterion) {
+    // The in-memory baseline: what the durable path is measured against.
+    {
+        let mut mem = MemLog::new();
+        let mut next = 1u64;
+        c.bench_function("wal_append/mem-baseline/batch64", |b| {
+            b.iter(|| {
+                append_batch(&mut mem, &mut next, 64);
+                black_box(LogStore::last_index(&mem))
+            });
+        });
+    }
+    // Simulator shape: write-through, durable watermark only.
+    bench_backend(c, "nofsync", false);
+    // Production shape: physical fdatasync per barrier. batch=1 is the
+    // per-entry-fsync worst case; batch=64 amortizes it per append batch.
+    bench_backend(c, "fsync", true);
+}
+
+criterion_group!(benches, wal_append);
+criterion_main!(benches);

@@ -58,3 +58,7 @@ pub use timing::Timing;
 
 // Re-export the message vocabulary so downstream users need only this crate.
 pub use recraft_net as net;
+// Re-export the storage boundary: node generics and `node.log()` accessors
+// are expressed in terms of these.
+pub use recraft_storage as storage;
+pub use recraft_storage::{LogStore, MemLog, NodeMeta, WalLog, WalOptions};

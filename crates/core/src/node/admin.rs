@@ -14,7 +14,7 @@ use crate::events::NodeEvent;
 use crate::sm::StateMachine;
 use bytes::Bytes;
 use recraft_net::{AdminCmd, Message};
-use recraft_storage::EntryPayload;
+use recraft_storage::{EntryPayload, LogStore};
 use recraft_types::config::{majority, resize_quorum};
 use recraft_types::{
     ClientOp, ClientOutcome, ClientRequest, ConfigChange, Error, MergeTx, NodeId, Result,
@@ -22,7 +22,7 @@ use recraft_types::{
 };
 use std::collections::BTreeSet;
 
-impl<SM: StateMachine> Node<SM> {
+impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     /// Handles a typed client request: leaders append writes (deduplicated by
     /// `(session, seq)`) and serve reads through ReadIndex; everyone else
     /// answers with a structured redirect.

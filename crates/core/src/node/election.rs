@@ -14,9 +14,10 @@ use super::{Node, Progress, Role};
 use crate::events::NodeEvent;
 use crate::sm::StateMachine;
 use recraft_net::{Message, PullHint};
+use recraft_storage::LogStore;
 use recraft_types::{EpochTerm, LogIndex, NodeId};
 
-impl<SM: StateMachine> Node<SM> {
+impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     /// Starts an election for the next term of the current epoch.
     pub(crate) fn campaign(&mut self, now: u64) {
         if self.role == Role::Removed {
@@ -38,6 +39,7 @@ impl<SM: StateMachine> Node<SM> {
         }
         self.advance_eterm(self.hard.eterm.next_term());
         self.hard.vote(self.id);
+        self.touch_meta();
         self.role = Role::Candidate;
         self.leader_hint = None;
         self.votes.clear();
@@ -116,6 +118,7 @@ impl<SM: StateMachine> Node<SM> {
         let granted = eterm == self.hard.eterm && log_ok && self.hard.can_vote(from);
         if granted {
             self.hard.vote(from);
+            self.touch_meta();
             self.reset_election_timer(now);
         }
         self.send(

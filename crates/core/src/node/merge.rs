@@ -27,14 +27,14 @@ use crate::events::NodeEvent;
 use crate::sm::StateMachine;
 use bytes::Bytes;
 use recraft_net::Message;
-use recraft_storage::{LogEntry, Snapshot};
+use recraft_storage::{LogEntry, LogStore, Snapshot};
 use recraft_types::{
     ClusterConfig, ClusterId, ConfigChange, EpochTerm, LogIndex, MergeDecision, MergeOutcome,
     MergeTx, NodeId, RangeSet, TxId,
 };
 use std::collections::BTreeMap;
 
-impl<SM: StateMachine> Node<SM> {
+impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     // ---- Coordinator side --------------------------------------------------
 
     /// Starts coordinating a merge (preconditions already validated by the
@@ -725,6 +725,27 @@ impl<SM: StateMachine> Node<SM> {
         }
         self.sessions = sessions;
         let new_eterm = EpochTerm::new(ex.new_epoch, 0);
+        let base = ClusterConfig::new(ex.tx.new_cluster, members, ex.ranges.clone())
+            .expect("merged member set nonempty");
+        // Durability order (see `persist_meta_now`): identity, then the
+        // merged snapshot (covering the renumbered log's Cnew entry), then
+        // the log renumbering — every crash window reboots into either the
+        // old world or a self-healing adoptee of the merged one, never a
+        // mixed lineage.
+        self.cluster = ex.tx.new_cluster;
+        self.cluster_epoch = ex.new_epoch;
+        self.advance_eterm(new_eterm);
+        self.persist_meta_now();
+        self.snapshot = Snapshot {
+            last_index: LogIndex(1),
+            last_eterm: new_eterm,
+            cluster: self.cluster,
+            ranges: ex.ranges,
+            data: self.sm.snapshot(base.ranges()),
+            sessions: self.sessions.clone(),
+        };
+        self.snap_config = base.clone();
+        self.persist_snapshot();
         // "nodes in the merged cluster start fresh with the log that begins
         // with the Cnew entry ... treated as committed at term 0 of epoch
         // Enew".
@@ -736,21 +757,7 @@ impl<SM: StateMachine> Node<SM> {
         ));
         self.commit_index = LogIndex(1);
         self.applied_index = LogIndex(1);
-        let base = ClusterConfig::new(ex.tx.new_cluster, members, ex.ranges.clone())
-            .expect("merged member set nonempty");
-        self.cluster = ex.tx.new_cluster;
-        self.cluster_epoch = ex.new_epoch;
-        self.cfg.reset(base.clone(), LogIndex(1));
-        self.advance_eterm(new_eterm);
-        self.snapshot = Snapshot {
-            last_index: LogIndex(1),
-            last_eterm: new_eterm,
-            cluster: self.cluster,
-            ranges: ex.ranges,
-            data: self.sm.snapshot(base.ranges()),
-            sessions: self.sessions.clone(),
-        };
-        self.snap_config = base;
+        self.cfg.reset(base, LogIndex(1));
         if self.role == Role::Leader {
             self.emit(NodeEvent::SteppedDown {
                 cluster: old_cluster,

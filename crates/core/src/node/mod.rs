@@ -29,7 +29,7 @@ use crate::timing::Timing;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use recraft_net::{Envelope, Message};
-use recraft_storage::{EntryPayload, HardState, LogEntry, MemLog, Snapshot};
+use recraft_storage::{EntryPayload, HardState, LogEntry, LogStore, MemLog, NodeMeta, Snapshot};
 use recraft_types::{
     ClientOutcome, ClientResponse, ClusterConfig, ClusterId, ConfigChange, EpochTerm, Error,
     LogIndex, MergeOutcome, MergeTx, NodeId, RangeSet, SessionCheck, SessionId, SessionTable, TxId,
@@ -153,18 +153,19 @@ pub struct ReconfigRecord {
     pub tx: Option<TxId>,
 }
 
-/// A ReCraft replica.
+/// A ReCraft replica, generic over its state machine `SM` and durable
+/// storage backend `LS` (defaulting to the in-memory [`MemLog`]).
 ///
 /// See the [crate documentation](crate) for a quickstart.
 #[derive(Debug)]
-pub struct Node<SM> {
+pub struct Node<SM, LS = MemLog> {
     // Identity.
     pub(crate) id: NodeId,
     pub(crate) cluster: ClusterId,
 
     // Persistent state (survives crash/restart).
     pub(crate) hard: HardState,
-    pub(crate) log: MemLog,
+    pub(crate) log: LS,
     pub(crate) snapshot: Snapshot,
     pub(crate) snap_config: ClusterConfig,
     pub(crate) cfg: ConfigStack,
@@ -242,13 +243,61 @@ pub struct Node<SM> {
     // Outbox.
     pub(crate) outbox: Vec<Envelope>,
     pub(crate) events: Vec<NodeEvent>,
+
+    /// Whether the durable node metadata (hard state + cluster identity)
+    /// changed since the last flush. The write-ahead barrier in
+    /// [`Node::take_outputs`] persists it before any output leaves.
+    pub(crate) meta_dirty: bool,
 }
 
-impl<SM: StateMachine> Node<SM> {
-    /// Boots a node with an initial configuration. Every member of a new
-    /// cluster must boot with the same `config`.
+impl<SM: StateMachine> Node<SM, MemLog> {
+    /// Boots a node with an initial configuration and the in-memory backend.
+    /// Every member of a new cluster must boot with the same `config`.
     #[must_use]
     pub fn new(id: NodeId, config: ClusterConfig, sm: SM, timing: Timing, seed: u64) -> Self {
+        Node::with_store(id, config, sm, MemLog::new(), timing, seed)
+    }
+
+    /// Boots an in-memory node that will *join* an existing cluster (via
+    /// `AddAndResize`, a vanilla membership change, or a TC rejoin). It
+    /// holds no real configuration, never starts elections, and adopts the
+    /// cluster's identity from the first leader that contacts it.
+    #[must_use]
+    pub fn new_joiner(id: NodeId, sm: SM, timing: Timing, seed: u64) -> Self {
+        Node::joiner_with_store(id, None, sm, MemLog::new(), timing, seed)
+    }
+
+    /// Boots an in-memory joiner provisioned for one specific cluster:
+    /// contact from any other cluster is ignored (etcd's cluster-token
+    /// semantics). Required when a node is re-purposed while its former
+    /// cluster is still alive and would otherwise re-adopt it first.
+    #[must_use]
+    pub fn new_joiner_into(
+        id: NodeId,
+        target: ClusterId,
+        sm: SM,
+        timing: Timing,
+        seed: u64,
+    ) -> Self {
+        Node::joiner_with_store(id, Some(target), sm, MemLog::new(), timing, seed)
+    }
+}
+
+impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
+    /// Boots a node with an initial configuration on an explicit storage
+    /// backend. The initial identity and snapshot are persisted immediately,
+    /// so a node that crashes before its first output still reboots with its
+    /// configuration. To *recover* an existing data dir instead, use
+    /// [`Node::reopen`].
+    #[must_use]
+    pub fn with_store(
+        id: NodeId,
+        config: ClusterConfig,
+        sm: SM,
+        store: LS,
+        timing: Timing,
+        seed: u64,
+    ) -> Self {
         timing.validate();
         let snapshot = Snapshot {
             last_index: LogIndex::ZERO,
@@ -260,11 +309,11 @@ impl<SM: StateMachine> Node<SM> {
         };
         let mut rng = StdRng::seed_from_u64(seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let election_deadline = Self::random_timeout(&mut rng, &timing, 0);
-        Node {
+        let mut node = Node {
             id,
             cluster: config.id(),
             hard: HardState::default(),
-            log: MemLog::new(),
+            log: store,
             snapshot,
             snap_config: config.clone(),
             cfg: ConfigStack::new(config, LogIndex::ZERO),
@@ -298,37 +347,177 @@ impl<SM: StateMachine> Node<SM> {
             cluster_epoch: 0,
             outbox: Vec::new(),
             events: Vec::new(),
-        }
-    }
-
-    /// Boots a node that will *join* an existing cluster (via
-    /// `AddAndResize`, a vanilla membership change, or a TC rejoin). It
-    /// holds no real configuration, never starts elections, and adopts the
-    /// cluster's identity from the first leader that contacts it.
-    #[must_use]
-    pub fn new_joiner(id: NodeId, sm: SM, timing: Timing, seed: u64) -> Self {
-        let placeholder =
-            ClusterConfig::new(ClusterId(0), [id], RangeSet::empty()).expect("placeholder config");
-        let mut node = Node::new(id, placeholder, sm, timing, seed);
-        node.bootstrapped = false;
+            meta_dirty: false,
+        };
+        // Boot state is durable before the node says anything to anyone.
+        node.log.save_snapshot(&node.snapshot, node.cfg.base());
+        node.log.save_meta(&node.node_meta());
+        node.log.sync();
         node
     }
 
-    /// Boots a joiner provisioned for one specific cluster: contact from any
-    /// other cluster is ignored (etcd's cluster-token semantics). Required
-    /// when a node is re-purposed while its former cluster is still alive
-    /// and would otherwise re-adopt it first.
+    /// Boots a joiner (optionally provisioned for `target`) on an explicit
+    /// storage backend. See [`Node::new_joiner`] / [`Node::new_joiner_into`].
     #[must_use]
-    pub fn new_joiner_into(
+    pub fn joiner_with_store(
         id: NodeId,
-        target: ClusterId,
+        target: Option<ClusterId>,
         sm: SM,
+        store: LS,
         timing: Timing,
         seed: u64,
     ) -> Self {
-        let mut node = Node::new_joiner(id, sm, timing, seed);
-        node.join_target = Some(target);
+        let placeholder =
+            ClusterConfig::new(ClusterId(0), [id], RangeSet::empty()).expect("placeholder config");
+        let mut node = Node::with_store(id, placeholder, sm, store, timing, seed);
+        node.bootstrapped = false;
+        node.join_target = target;
+        node.log.save_meta(&node.node_meta());
+        node.log.sync();
         node
+    }
+
+    /// Recovers a node from the persisted state in `store` — the real-reboot
+    /// path for durable backends: hard state, cluster identity, snapshot,
+    /// and the log's surviving prefix come back from disk; the state machine
+    /// restores from the snapshot; and committed-but-uncompacted entries are
+    /// re-applied once a leader re-confirms them (exactly Raft's durability
+    /// contract).
+    ///
+    /// # Errors
+    /// Returns [`Error::Storage`] when the store holds no node metadata
+    /// (i.e. this directory never booted a node), and a codec error when the
+    /// snapshot payload does not decode.
+    pub fn reopen(
+        id: NodeId,
+        mut store: LS,
+        mut sm: SM,
+        timing: Timing,
+        seed: u64,
+    ) -> recraft_types::Result<Self> {
+        timing.validate();
+        let meta = store
+            .load_meta()
+            .ok_or_else(|| Error::Storage("no persisted node metadata".into()))?;
+        let (snapshot, snap_config) = store
+            .load_snapshot()
+            .ok_or_else(|| Error::Storage("no persisted snapshot (boot state missing)".into()))?;
+        // The snapshot outranks an inconsistent log: if the log does not
+        // contain the snapshot's tail (crash between snapshot install and
+        // log reset), the log is superseded history. `WalLog` enforces the
+        // same rule during its own recovery; this covers any backend.
+        if !store.matches(snapshot.last_index, snapshot.last_eterm) {
+            store.reset(snapshot.last_index, snapshot.last_eterm);
+        }
+        sm.restore(&snapshot.data)?;
+        sm.retain_ranges(snap_config.ranges());
+        // Root the config stack at the snapshot and replay config entries
+        // from the surviving log; they re-fold when their commit is
+        // re-confirmed by a leader.
+        let mut cfg = ConfigStack::new(snap_config.clone(), snapshot.last_index);
+        for entry in store.tail(store.first_index()) {
+            if entry.index <= snapshot.last_index {
+                continue;
+            }
+            if let Some(change) = entry.as_config() {
+                cfg.push(entry.index, change.clone());
+            }
+        }
+        let commit_floor = snapshot.last_index.max(store.base_index());
+        let mut rng = StdRng::seed_from_u64(seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let election_deadline = Self::random_timeout(&mut rng, &timing, 0);
+        let sessions = snapshot.sessions.clone();
+        Ok(Node {
+            id,
+            cluster: meta.cluster,
+            hard: meta.hard,
+            log: store,
+            snapshot,
+            snap_config,
+            cfg,
+            history: Vec::new(),
+            sm,
+            sessions,
+            role: Role::Follower,
+            leader_hint: None,
+            commit_index: commit_floor,
+            applied_index: commit_floor,
+            committed_in_term: false,
+            votes: BTreeSet::new(),
+            progress: BTreeMap::new(),
+            pending_clients: BTreeMap::new(),
+            pending_reads: Vec::new(),
+            read_serial: 0,
+            last_probe_serial: 0,
+            pull: None,
+            exchange: None,
+            driver: None,
+            pending_2pc: HashMap::new(),
+            merge_parts: HashMap::new(),
+            pending_fetches: HashMap::new(),
+            timing,
+            rng,
+            election_deadline,
+            heartbeat_due: 0,
+            derived_cache: None,
+            bootstrapped: meta.bootstrapped,
+            join_target: meta.join_target,
+            cluster_epoch: meta.cluster_epoch,
+            outbox: Vec::new(),
+            events: Vec::new(),
+            meta_dirty: false,
+        })
+    }
+
+    /// The durable node metadata as of right now.
+    pub(crate) fn node_meta(&self) -> NodeMeta {
+        NodeMeta {
+            hard: self.hard,
+            cluster: self.cluster,
+            cluster_epoch: self.cluster_epoch,
+            bootstrapped: self.bootstrapped,
+            join_target: self.join_target,
+        }
+    }
+
+    /// Marks the durable node metadata changed; flushed at the write-ahead
+    /// barrier before any output is externalized.
+    pub(crate) fn touch_meta(&mut self) {
+        self.meta_dirty = true;
+    }
+
+    /// Persists the node metadata *now* — used at identity-changing points
+    /// (split completion, merge resumption, snapshot adoption) so a crash
+    /// between the identity change and the next output barrier cannot
+    /// reboot a node whose persisted identity lags its persisted content.
+    /// Ordering: identity first, then snapshot, then log — the surviving
+    /// crash window (new identity, old content) is self-healing, because
+    /// the new cluster's leader reinstalls its snapshot over the stale
+    /// content, whereas old identity over renumbered content would leave
+    /// `hard.eterm` below the log's base epoch-term.
+    pub(crate) fn persist_meta_now(&mut self) {
+        let meta = self.node_meta();
+        self.log.save_meta(&meta);
+        self.meta_dirty = false;
+    }
+
+    /// Persists the current snapshot and its configuration. Called *before*
+    /// any log operation (compact, reset) that depends on the snapshot being
+    /// durable.
+    pub(crate) fn persist_snapshot(&mut self) {
+        let snap = self.snapshot.clone();
+        let config = self.snap_config.clone();
+        self.log.save_snapshot(&snap, &config);
+    }
+
+    /// The write-ahead barrier: everything buffered becomes durable.
+    fn flush_storage(&mut self) {
+        if self.meta_dirty {
+            let meta = self.node_meta();
+            self.log.save_meta(&meta);
+            self.meta_dirty = false;
+        }
+        self.log.sync();
     }
 
     // ---- Accessors -------------------------------------------------------
@@ -419,10 +608,27 @@ impl<SM: StateMachine> Node<SM> {
         &self.sessions
     }
 
-    /// The replicated log (read-only).
+    /// The replicated log and durable store (read-only).
     #[must_use]
-    pub fn log(&self) -> &MemLog {
+    pub fn log(&self) -> &LS {
         &self.log
+    }
+
+    /// Crash-injection passthrough: power-cuts the storage backend (see
+    /// [`LogStore::power_cut`]) and discards unsent outputs *without* the
+    /// write-ahead flush — the process died before either happened. The node
+    /// object is dead afterwards; the caller reboots from the data dir via
+    /// [`Node::reopen`].
+    pub fn power_cut(&mut self, keep_unsynced: usize) {
+        self.log.power_cut(keep_unsynced);
+        self.discard_outputs();
+    }
+
+    /// Drops unsent outputs *without* the write-ahead flush — what a crash
+    /// does to them. ([`Node::take_outputs`] is the clean-path drain.)
+    pub fn discard_outputs(&mut self) {
+        self.outbox.clear();
+        self.events.clear();
     }
 
     /// Completed reconfigurations this node witnessed (§V recovery history).
@@ -438,7 +644,13 @@ impl<SM: StateMachine> Node<SM> {
     }
 
     /// Drains accumulated outbound messages and trace events.
+    ///
+    /// This is the *write-ahead barrier*: all storage writes (log entries,
+    /// hard state, identity) are made durable before any message leaves, so
+    /// a vote or acknowledgement is never externalized ahead of the state it
+    /// promises. A crash can then only lose writes nobody ever heard about.
     pub fn take_outputs(&mut self) -> (Vec<Envelope>, Vec<NodeEvent>) {
+        self.flush_storage();
         (
             std::mem::take(&mut self.outbox),
             std::mem::take(&mut self.events),
@@ -484,7 +696,8 @@ impl<SM: StateMachine> Node<SM> {
         self.cfg.reset(base, base_from);
         let configs: Vec<(LogIndex, ConfigChange)> = self
             .log
-            .iter()
+            .tail(self.log.first_index())
+            .into_iter()
             .filter(|e| e.index > base_from)
             .filter_map(|e| e.as_config().map(|c| (e.index, c.clone())))
             .collect();
@@ -686,6 +899,7 @@ impl<SM: StateMachine> Node<SM> {
         if eterm > self.hard.eterm {
             self.hard.advance(eterm);
             self.committed_in_term = false;
+            self.touch_meta();
         }
     }
 
@@ -1122,6 +1336,8 @@ impl<SM: StateMachine> Node<SM> {
             sessions: self.sessions.clone(),
         };
         self.snap_config = self.cfg.base().clone();
+        // The snapshot must be durable before the log drops what it covers.
+        self.persist_snapshot();
         self.log.compact_to(to, eterm).expect("compaction bounds");
     }
 

@@ -12,10 +12,10 @@ use super::{Node, PullState, Role};
 use crate::events::NodeEvent;
 use crate::sm::StateMachine;
 use recraft_net::{Message, PullHint};
-use recraft_storage::{LogEntry, Snapshot};
+use recraft_storage::{LogEntry, LogStore, Snapshot};
 use recraft_types::{ClusterConfig, LogIndex, NodeId};
 
-impl<SM: StateMachine> Node<SM> {
+impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     /// Begins (or refocuses) pull-based recovery toward `hint_node`.
     pub(crate) fn start_pull(&mut self, now: u64, hint_node: NodeId, hint: PullHint) {
         let _ = hint;

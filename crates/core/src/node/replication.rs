@@ -18,11 +18,11 @@ use super::{Node, Role};
 use crate::events::NodeEvent;
 use crate::sm::StateMachine;
 use recraft_net::Message;
-use recraft_storage::{EntryPayload, LogEntry, Snapshot};
+use recraft_storage::{EntryPayload, LogEntry, LogStore, Snapshot};
 use recraft_types::{ClusterConfig, ConfigChange, EpochTerm, LogIndex, NodeId};
 use std::collections::BTreeSet;
 
-impl<SM: StateMachine> Node<SM> {
+impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     /// Aligns the progress map with the effective member set: wait-free
     /// configuration entries add replication targets the moment they are
     /// appended.
@@ -137,6 +137,7 @@ impl<SM: StateMachine> Node<SM> {
             self.cluster_epoch = eterm.epoch();
             self.bootstrapped = true;
             self.join_target = None;
+            self.touch_meta();
         } else if cluster != self.cluster && eterm.epoch() <= self.cluster_epoch {
             // Foreign cluster of the same (or an older) reconfiguration
             // generation: a sibling subcluster, a terminated cluster that
@@ -396,13 +397,19 @@ impl<SM: StateMachine> Node<SM> {
             0
         };
         self.cluster_epoch = floor.max(snapshot.last_eterm.epoch());
+        self.cluster = config.id();
+        // Durability order (see `persist_meta_now`): the adopted identity,
+        // then the snapshot, and only then the log reset past it — a crash
+        // at any point reboots into a state the new cluster's leader can
+        // repair by reinstalling.
+        self.persist_meta_now();
         self.sm
             .restore(&snapshot.data)
             .expect("leader snapshot must decode");
+        self.log.save_snapshot(&snapshot, &config);
         self.log.reset(snapshot.last_index, snapshot.last_eterm);
         self.commit_index = snapshot.last_index;
         self.applied_index = snapshot.last_index;
-        self.cluster = config.id();
         self.cfg.reset(config.clone(), snapshot.last_index);
         self.pending_clients.clear();
         self.pending_reads.clear();

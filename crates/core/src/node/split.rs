@@ -21,10 +21,10 @@ use super::{Node, Role};
 use crate::events::NodeEvent;
 use crate::sm::StateMachine;
 use recraft_net::Message;
-use recraft_storage::LogEntry;
+use recraft_storage::{LogEntry, LogStore};
 use recraft_types::{EpochTerm, LogIndex, NodeId, SplitSpec};
 
-impl<SM: StateMachine> Node<SM> {
+impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     /// Applies a committed `Cnew`: the split completes on this node. Returns
     /// `true` when the node retired (stops the apply pass).
     pub(crate) fn complete_split(
@@ -85,6 +85,10 @@ impl<SM: StateMachine> Node<SM> {
         let new_eterm =
             EpochTerm::new(entry.eterm.epoch() + 1, self.hard.eterm.term()).max(self.hard.eterm);
         self.advance_eterm(new_eterm);
+        // The log continues (no renumbering), so a stale persisted identity
+        // would merely reboot into the self-healing straggler path — but the
+        // identity switch is rare and cheap to pin down immediately.
+        self.persist_meta_now();
         self.pull = None;
         self.history.push(super::ReconfigRecord {
             kind: "split",

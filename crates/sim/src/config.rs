@@ -2,6 +2,32 @@
 
 use recraft_core::Timing;
 
+/// Which durable-storage backend simulated nodes run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The in-memory log: crashes keep state in the process (the original
+    /// simulator model).
+    #[default]
+    Mem,
+    /// The segmented write-ahead log: every node gets a data dir under a
+    /// per-run temp root, crashes can power-cut mid-write, and reboots
+    /// recover from disk.
+    Wal,
+}
+
+impl Backend {
+    /// Reads the backend from the `RECRAFT_BACKEND` environment variable
+    /// (`mem` | `wal`, case-insensitive; anything else falls back to `Mem`).
+    /// CI runs the whole suite once per value.
+    #[must_use]
+    pub fn from_env() -> Backend {
+        match std::env::var("RECRAFT_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("wal") => Backend::Wal,
+            _ => Backend::Mem,
+        }
+    }
+}
+
 /// Parameters of a simulation run. All times are virtual microseconds.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -30,6 +56,9 @@ pub struct SimConfig {
     /// Delay before a completed reconfiguration is visible in the naming
     /// service (the paper's loosely-consistent DNS-like directory, §V).
     pub directory_delay: u64,
+    /// The storage backend nodes boot on. Defaults from `RECRAFT_BACKEND`,
+    /// so the entire test suite switches backend without edits.
+    pub backend: Backend,
 }
 
 impl Default for SimConfig {
@@ -45,6 +74,7 @@ impl Default for SimConfig {
             tick_interval: 5_000,
             client_timeout: 5_000_000,
             directory_delay: 20_000,
+            backend: Backend::from_env(),
         }
     }
 }

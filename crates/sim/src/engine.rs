@@ -1,7 +1,7 @@
 //! The discrete-event engine.
 
 use crate::client::{Client, Outstanding, Workload};
-use crate::config::SimConfig;
+use crate::config::{Backend, SimConfig};
 use crate::directory::Directory;
 use crate::metrics::Metrics;
 use rand::rngs::StdRng;
@@ -11,12 +11,15 @@ use recraft_core::{Node, NodeEvent, Role};
 use recraft_kv::lin::{self, Op, OpId, OpKind};
 use recraft_kv::{KvResp, KvStore};
 use recraft_net::{AdminCmd, Envelope, Message};
+use recraft_storage::{LogStore, MemLog, WalLog, WalOptions};
 use recraft_types::{
     ClientOp, ClientOutcome, ClientRequest, ClientResponse, ClusterConfig, ClusterId, EpochTerm,
     Error, NodeId, RangeSet, SessionId,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Client endpoints live at ids `CLIENT_BASE + client_id`.
 pub const CLIENT_BASE: u64 = 1_000_000;
@@ -55,6 +58,14 @@ pub enum Action {
     StopClients,
     /// Resume client traffic.
     StartClients,
+    /// Power-cut a node mid-write: on a durable backend the unsynced tail of
+    /// its WAL is torn at a random byte (the classic partial-write crash);
+    /// on the in-memory backend this degrades to [`Action::Crash`].
+    PowerCut(NodeId),
+    /// Reboot a node from its data dir, running full storage recovery (torn
+    /// records dropped, state machine restored from the snapshot). On the
+    /// in-memory backend this degrades to [`Action::Restart`].
+    RebootFromDisk(NodeId),
 }
 
 #[derive(Debug)]
@@ -93,10 +104,16 @@ impl Ord for Ev {
     }
 }
 
+/// The storage backend simulated nodes run behind (chosen at runtime).
+pub type SimStore = Box<dyn LogStore>;
+
 struct SimNode {
-    node: Node<KvStore>,
+    node: Node<KvStore, SimStore>,
     up: bool,
 }
+
+/// Distinguishes concurrent sims (parallel test binaries share a temp dir).
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// The deterministic simulator. See the [crate documentation](crate).
 pub struct Sim {
@@ -133,13 +150,26 @@ pub struct Sim {
     // Safety trackers (Theorem 1 and Election Safety), checked online.
     applied_at: HashMap<(ClusterId, u64), u64>,
     leaders_at: HashMap<(ClusterId, EpochTerm), NodeId>,
+    /// Per-run root of node data dirs (WAL backend only); removed on drop.
+    data_root: Option<PathBuf>,
 }
 
 impl Sim {
-    /// Creates an empty simulation.
+    /// Creates an empty simulation. On the WAL backend a per-run data root
+    /// is created under the system temp dir and removed when the sim drops.
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let data_root = (cfg.backend == Backend::Wal).then(|| {
+            let run = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+            let root = std::env::temp_dir().join(format!(
+                "recraft-sim-{}-{run}-{:x}",
+                std::process::id(),
+                cfg.seed
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            root
+        });
         Sim {
             cfg,
             now: 0,
@@ -166,7 +196,48 @@ impl Sim {
             next_inject_seq: 1,
             applied_at: HashMap::new(),
             leaders_at: HashMap::new(),
+            data_root,
         }
+    }
+
+    // ---- Storage backends --------------------------------------------------
+
+    /// The data directory of `id` (WAL backend only).
+    fn node_dir(&self, id: NodeId) -> Option<PathBuf> {
+        self.data_root
+            .as_ref()
+            .map(|r| r.join(format!("node-{id}")))
+    }
+
+    /// Opens the configured backend for `id`. `fresh` wipes any state a
+    /// previous incarnation of the id left behind (boot semantics); a reboot
+    /// passes `false` to recover it instead.
+    fn make_store(&self, id: NodeId, fresh: bool) -> SimStore {
+        match self.node_dir(id) {
+            None => Box::new(MemLog::new()),
+            Some(dir) => {
+                if fresh {
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+                Box::new(
+                    WalLog::open_with(
+                        &dir,
+                        WalOptions {
+                            // Virtual time makes physical fsyncs pure
+                            // overhead; the durable watermark (what a power
+                            // cut can tear) is tracked identically.
+                            fsync: false,
+                            segment_bytes: 32 * 1024,
+                        },
+                    )
+                    .expect("open node WAL"),
+                )
+            }
+        }
+    }
+
+    fn node_seed(&self, id: NodeId) -> u64 {
+        self.cfg.seed ^ id.0.wrapping_mul(0x517C_C1B7_2722_0A95)
     }
 
     // ---- Topology ---------------------------------------------------------
@@ -184,8 +255,15 @@ impl Sim {
     /// Boots one node with a preloaded store (the TC baseline's restart-as-
     /// subcluster path).
     pub fn boot_node_with_store(&mut self, id: NodeId, config: ClusterConfig, store: KvStore) {
-        let seed = self.cfg.seed ^ id.0.wrapping_mul(0x517C_C1B7_2722_0A95);
-        let node = Node::new(id, config, store, self.cfg.timing, seed);
+        let backend = self.make_store(id, true);
+        let node = Node::with_store(
+            id,
+            config,
+            store,
+            backend,
+            self.cfg.timing,
+            self.node_seed(id),
+        );
         self.nodes.insert(id, SimNode { node, up: true });
         self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
         self.schedule(self.cfg.directory_delay, EvKind::DirectoryRefresh);
@@ -196,8 +274,15 @@ impl Sim {
     /// leader that contacts it (after an `AddAndResize` or a vanilla member
     /// add names it).
     pub fn boot_joiner(&mut self, id: NodeId) {
-        let seed = self.cfg.seed ^ id.0.wrapping_mul(0x517C_C1B7_2722_0A95);
-        let node = Node::new_joiner(id, KvStore::new(), self.cfg.timing, seed);
+        let backend = self.make_store(id, true);
+        let node = Node::joiner_with_store(
+            id,
+            None,
+            KvStore::new(),
+            backend,
+            self.cfg.timing,
+            self.node_seed(id),
+        );
         self.nodes.insert(id, SimNode { node, up: true });
         self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
     }
@@ -206,8 +291,15 @@ impl Sim {
     /// from any other cluster is ignored. Use when re-purposing a node whose
     /// former cluster is still alive (it would otherwise re-adopt it).
     pub fn boot_joiner_into(&mut self, id: NodeId, target: ClusterId) {
-        let seed = self.cfg.seed ^ id.0.wrapping_mul(0x517C_C1B7_2722_0A95);
-        let node = Node::new_joiner_into(id, target, KvStore::new(), self.cfg.timing, seed);
+        let backend = self.make_store(id, true);
+        let node = Node::joiner_with_store(
+            id,
+            Some(target),
+            KvStore::new(),
+            backend,
+            self.cfg.timing,
+            self.node_seed(id),
+        );
         self.nodes.insert(id, SimNode { node, up: true });
         self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
     }
@@ -408,8 +500,10 @@ impl Sim {
             Action::Crash(id) => {
                 if let Some(sn) = self.nodes.get_mut(&id) {
                     sn.up = false;
-                    // Volatile outputs die with the process.
-                    let _ = sn.node.take_outputs();
+                    // Volatile outputs die with the process — without the
+                    // write-ahead flush take_outputs would run (a crash must
+                    // not promote unacknowledged writes to durable).
+                    sn.node.discard_outputs();
                 }
             }
             Action::Restart(id) => {
@@ -421,6 +515,18 @@ impl Sim {
                     }
                 }
             }
+            Action::PowerCut(id) => {
+                let tear = self.rng.gen_range(0..64);
+                if let Some(sn) = self.nodes.get_mut(&id) {
+                    sn.up = false;
+                    // The process dies mid-write: unsent outputs vanish, and
+                    // on a durable backend the WAL tail is torn at an
+                    // arbitrary byte past the last sync point. No flush: the
+                    // power was already gone.
+                    sn.node.power_cut(tear);
+                }
+            }
+            Action::RebootFromDisk(id) => self.reboot_from_disk(id),
             Action::Partition(groups) => {
                 self.cut.clear();
                 for (i, a) in groups.iter().enumerate() {
@@ -481,6 +587,48 @@ impl Sim {
                 self.schedule(500_000, EvKind::AdminCheck(req_id));
             }
         }
+    }
+
+    /// Reboots a node from its data dir: the old node object is dropped
+    /// wholesale and a fresh one is reconstructed by storage recovery. On
+    /// the in-memory backend (nothing on disk to reboot from) this is the
+    /// in-process restart, which keeps crash-recovery scenarios runnable
+    /// under both backends.
+    fn reboot_from_disk(&mut self, id: NodeId) {
+        if self.node_dir(id).is_none() {
+            // Mem backend: the process image is all there is.
+            self.apply_action(Action::Restart(id));
+            return;
+        }
+        if !self.nodes.contains_key(&id) {
+            return;
+        }
+        // Drop the crashed incarnation (closes its WAL handles), then run
+        // recovery over whatever the torn directory holds.
+        self.nodes.remove(&id);
+        let store = self.make_store(id, false);
+        let node = Node::reopen(
+            id,
+            store,
+            KvStore::new(),
+            self.cfg.timing,
+            self.node_seed(id),
+        )
+        .expect("recover node from data dir");
+        self.nodes.insert(id, SimNode { node, up: true });
+        self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
+        self.schedule(self.cfg.directory_delay, EvKind::DirectoryRefresh);
+    }
+
+    /// Immediately power-cuts `id` (see [`Action::PowerCut`]).
+    pub fn power_cut(&mut self, id: NodeId) {
+        self.apply_action(Action::PowerCut(id));
+    }
+
+    /// Immediately reboots `id` from its data dir (see
+    /// [`Action::RebootFromDisk`]).
+    pub fn reboot(&mut self, id: NodeId) {
+        self.apply_action(Action::RebootFromDisk(id));
     }
 
     fn handle_admin_resp(&mut self, req_id: u64, result: Result<(), Error>) {
@@ -1028,7 +1176,7 @@ impl Sim {
 
     /// Read access to a node.
     #[must_use]
-    pub fn node(&self, id: NodeId) -> Option<&Node<KvStore>> {
+    pub fn node(&self, id: NodeId) -> Option<&Node<KvStore, SimStore>> {
         self.nodes.get(&id).map(|sn| &sn.node)
     }
 
@@ -1039,7 +1187,7 @@ impl Sim {
     }
 
     /// Iterates over all nodes.
-    pub fn nodes(&self) -> impl Iterator<Item = &Node<KvStore>> {
+    pub fn nodes(&self) -> impl Iterator<Item = &Node<KvStore, SimStore>> {
         self.nodes.values().map(|sn| &sn.node)
     }
 
@@ -1100,6 +1248,31 @@ impl Sim {
     #[must_use]
     pub fn directory(&self) -> &Directory {
         &self.directory
+    }
+
+    /// Writes the recorded trace as text to `path` (one event per line) —
+    /// crash-recovery soak jobs upload this as a CI artifact on failure.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error if the file cannot be written.
+    pub fn dump_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            f,
+            "# recraft sim trace: seed={:#x} backend={:?} t={}us events={}",
+            self.cfg.seed,
+            self.cfg.backend,
+            self.now,
+            self.trace.len()
+        )?;
+        for (t, node, ev) in &self.trace {
+            writeln!(f, "{t:>12} {node} {ev:?}")?;
+        }
+        Ok(())
     }
 
     // ---- Verification -------------------------------------------------------------
@@ -1174,15 +1347,47 @@ impl Sim {
     }
 
     /// Asserts the exactly-once contract: every command digest ever applied
-    /// occupies exactly one `(cluster, log index)` slot across the whole
-    /// run. Duplicate deliveries and retried `(session, seq)` pairs may
-    /// append twice, but the session dedup table must let only one entry
-    /// reach the state machine — on the original cluster or on whichever
-    /// cluster survived a split or merge.
+    /// occupies exactly one log slot across the whole run. Duplicate
+    /// deliveries and retried `(session, seq)` pairs may append twice, but
+    /// the session dedup table must let only one entry reach the state
+    /// machine — on the original cluster or on whichever cluster survived a
+    /// split or merge.
+    ///
+    /// The slot is one log position in one log *lineage*. A split's
+    /// subclusters continue the parent log's numbering (the trace's
+    /// `SplitCompleted` events record exactly which clusters share a
+    /// lineage), so a node that reboots mid-split legitimately re-applies
+    /// the shared pre-`Cnew` prefix under its new cluster identity — same
+    /// slot, renamed cluster. A merge renumbers the log and starts a *new*
+    /// lineage, so a same-digest application in a merged cluster is a
+    /// violation even if the index happens to coincide.
     ///
     /// # Panics
-    /// Panics when a command applied at more than one position.
+    /// Panics when a command applied at more than one slot.
     pub fn assert_exactly_once(&self) {
+        // Union split parent/child clusters into lineage components.
+        let mut lineage: HashMap<ClusterId, ClusterId> = HashMap::new();
+        fn root(lineage: &HashMap<ClusterId, ClusterId>, mut c: ClusterId) -> ClusterId {
+            while let Some(p) = lineage.get(&c) {
+                if *p == c {
+                    break;
+                }
+                c = *p;
+            }
+            c
+        }
+        for (_, _, ev) in &self.trace {
+            if let NodeEvent::SplitCompleted {
+                old_cluster,
+                new_cluster,
+                ..
+            } = ev
+            {
+                let a = root(&lineage, *old_cluster);
+                let b = root(&lineage, *new_cluster);
+                lineage.insert(a, b);
+            }
+        }
         let mut sites: HashMap<u64, BTreeSet<(ClusterId, u64)>> = HashMap::new();
         for (_, _, ev) in &self.trace {
             if let NodeEvent::AppliedCommand {
@@ -1198,10 +1403,12 @@ impl Sim {
             }
         }
         for (digest, s) in sites {
+            let slots: BTreeSet<(ClusterId, u64)> =
+                s.iter().map(|(c, i)| (root(&lineage, *c), *i)).collect();
             assert_eq!(
-                s.len(),
+                slots.len(),
                 1,
-                "command {digest:#x} applied at multiple positions: {s:?}"
+                "command {digest:#x} applied at multiple slots: {s:?}"
             );
         }
     }
@@ -1213,5 +1420,15 @@ impl Sim {
             .iter()
             .filter(|(_, _, e)| matches!(e, NodeEvent::ServedRead { .. }))
             .count()
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Nodes hold open WAL handles into the data root; close them first.
+        self.nodes.clear();
+        if let Some(root) = &self.data_root {
+            let _ = std::fs::remove_dir_all(root);
+        }
     }
 }

@@ -32,7 +32,7 @@ mod engine;
 mod metrics;
 
 pub use client::Workload;
-pub use config::SimConfig;
+pub use config::{Backend, SimConfig};
 pub use directory::Directory;
-pub use engine::{Action, Sim, ADMIN_ADDR, CLIENT_BASE};
+pub use engine::{Action, Sim, SimStore, ADMIN_ADDR, CLIENT_BASE};
 pub use metrics::Metrics;

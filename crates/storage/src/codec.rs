@@ -1,0 +1,215 @@
+//! Binary codecs for the persisted storage types.
+//!
+//! Everything the [`WalLog`](crate::WalLog) writes — log entries, node
+//! metadata, snapshots — encodes through `recraft_types::codec`, so the
+//! on-disk format is the same hand-rolled big-endian format the rest of the
+//! workspace uses (no external serialization dependency).
+
+use crate::entry::{EntryPayload, LogEntry};
+use crate::snapshot::Snapshot;
+use crate::state::HardState;
+use crate::store::NodeMeta;
+use bytes::{Bytes, BytesMut};
+use recraft_types::codec::{Decode, Encode};
+use recraft_types::{
+    ClusterId, ConfigChange, EpochTerm, Error, LogIndex, NodeId, RangeSet, Result, SessionId,
+    SessionTable,
+};
+
+impl Encode for EntryPayload {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            EntryPayload::Noop => 0u8.encode(buf),
+            EntryPayload::Command(cmd) => {
+                1u8.encode(buf);
+                cmd.encode(buf);
+            }
+            EntryPayload::SessionCommand { session, seq, cmd } => {
+                2u8.encode(buf);
+                session.encode(buf);
+                seq.encode(buf);
+                cmd.encode(buf);
+            }
+            EntryPayload::Config(change) => {
+                3u8.encode(buf);
+                change.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for EntryPayload {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => EntryPayload::Noop,
+            1 => EntryPayload::Command(Bytes::decode(buf)?),
+            2 => EntryPayload::SessionCommand {
+                session: SessionId::decode(buf)?,
+                seq: u64::decode(buf)?,
+                cmd: Bytes::decode(buf)?,
+            },
+            3 => EntryPayload::Config(ConfigChange::decode(buf)?),
+            t => return Err(Error::Codec(format!("unknown EntryPayload tag {t}"))),
+        })
+    }
+}
+
+impl Encode for LogEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.index.encode(buf);
+        self.eterm.encode(buf);
+        self.payload.encode(buf);
+    }
+}
+
+impl Decode for LogEntry {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(LogEntry {
+            index: LogIndex::decode(buf)?,
+            eterm: EpochTerm::decode(buf)?,
+            payload: EntryPayload::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for HardState {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.eterm.encode(buf);
+        self.voted_for.encode(buf);
+    }
+}
+
+impl Decode for HardState {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(HardState {
+            eterm: EpochTerm::decode(buf)?,
+            voted_for: Option::<NodeId>::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for NodeMeta {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.hard.encode(buf);
+        self.cluster.encode(buf);
+        self.cluster_epoch.encode(buf);
+        self.bootstrapped.encode(buf);
+        self.join_target.encode(buf);
+    }
+}
+
+impl Decode for NodeMeta {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(NodeMeta {
+            hard: HardState::decode(buf)?,
+            cluster: ClusterId::decode(buf)?,
+            cluster_epoch: u32::decode(buf)?,
+            bootstrapped: bool::decode(buf)?,
+            join_target: Option::<ClusterId>::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for Snapshot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.last_index.encode(buf);
+        self.last_eterm.encode(buf);
+        self.cluster.encode(buf);
+        self.ranges.encode(buf);
+        self.data.encode(buf);
+        self.sessions.encode(buf);
+    }
+}
+
+impl Decode for Snapshot {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(Snapshot {
+            last_index: LogIndex::decode(buf)?,
+            last_eterm: EpochTerm::decode(buf)?,
+            cluster: ClusterId::decode(buf)?,
+            ranges: RangeSet::decode(buf)?,
+            data: Bytes::decode(buf)?,
+            sessions: SessionTable::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Buf;
+    use recraft_types::ClusterConfig;
+    use std::collections::BTreeSet;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let mut bytes = value.encode_to_bytes();
+        let decoded = T::decode(&mut bytes).unwrap();
+        assert_eq!(decoded, value);
+        assert_eq!(bytes.remaining(), 0, "leftover bytes");
+    }
+
+    #[test]
+    fn entry_payloads_roundtrip() {
+        roundtrip(LogEntry::noop(LogIndex(1), EpochTerm::new(0, 1)));
+        roundtrip(LogEntry::command(
+            LogIndex(2),
+            EpochTerm::new(1, 4),
+            Bytes::from_static(b"k=v"),
+        ));
+        roundtrip(LogEntry::session_command(
+            LogIndex(3),
+            EpochTerm::new(1, 4),
+            SessionId(7),
+            42,
+            Bytes::from_static(b"k=v"),
+        ));
+        roundtrip(LogEntry::config(
+            LogIndex(4),
+            EpochTerm::new(1, 4),
+            ConfigChange::Simple {
+                members: BTreeSet::from([NodeId(1), NodeId(2)]),
+            },
+        ));
+    }
+
+    #[test]
+    fn hard_state_and_meta_roundtrip() {
+        roundtrip(HardState {
+            eterm: EpochTerm::new(3, 9),
+            voted_for: Some(NodeId(2)),
+        });
+        roundtrip(NodeMeta {
+            hard: HardState::default(),
+            cluster: ClusterId(5),
+            cluster_epoch: 2,
+            bootstrapped: false,
+            join_target: Some(ClusterId(6)),
+        });
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut sessions = SessionTable::new();
+        sessions.record(SessionId(1), 3, Bytes::from_static(b"ok"));
+        let config =
+            ClusterConfig::new(ClusterId(9), [NodeId(1), NodeId(2)], RangeSet::full()).unwrap();
+        roundtrip(Snapshot {
+            last_index: LogIndex(17),
+            last_eterm: EpochTerm::new(2, 5),
+            cluster: config.id(),
+            ranges: RangeSet::full(),
+            data: Bytes::from_static(b"payload"),
+            sessions,
+        });
+    }
+
+    #[test]
+    fn truncated_snapshot_errors() {
+        let snap = Snapshot::empty(ClusterId(1), RangeSet::full());
+        let bytes = snap.encode_to_bytes();
+        for cut in 0..bytes.len() {
+            let mut short = bytes.slice(..cut);
+            assert!(Snapshot::decode(&mut short).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,11 +1,18 @@
 //! Storage substrate for ReCraft: the replicated log, the persisted hard
-//! state, and snapshots.
+//! state, and snapshots — behind the pluggable [`LogStore`] trait.
 //!
 //! The log model matches Raft's: a compacted prefix summarized by a snapshot
-//! base `(base_index, base_eterm)` followed by in-memory entries. The merge
+//! base `(base_index, base_eterm)` followed by contiguous entries. The merge
 //! protocol additionally *renumbers* logs (the merged cluster "starts fresh
 //! with the log that begins with the Cnew entry", §III-C2), which
-//! [`MemLog::reset`] supports.
+//! [`LogStore::reset`] supports.
+//!
+//! Two backends implement the trait:
+//!
+//! * [`MemLog`] — in memory; state survives the simulator's in-process
+//!   restart but not a real reboot,
+//! * [`WalLog`] — a segmented, checksummed write-ahead log with node
+//!   metadata, atomic snapshot install, and torn-tail crash recovery.
 //!
 //! # Example
 //! ```
@@ -18,14 +25,19 @@
 //! assert_eq!(log.eterm_at(LogIndex(1)), Some(EpochTerm::new(0, 1)));
 //! ```
 
+mod codec;
 mod entry;
 mod memlog;
 #[cfg(test)]
 mod proptests;
 mod snapshot;
 mod state;
+mod store;
+mod wal;
 
 pub use entry::{EntryPayload, LogEntry};
 pub use memlog::MemLog;
 pub use snapshot::Snapshot;
 pub use state::HardState;
+pub use store::{LogStore, NodeMeta};
+pub use wal::{crc32, WalLog, WalOptions};

@@ -1,7 +1,9 @@
 //! The in-memory replicated log with snapshot-based compaction.
 
 use crate::entry::LogEntry;
-use recraft_types::{EpochTerm, Error, LogIndex, Result};
+use crate::snapshot::Snapshot;
+use crate::store::{LogStore, NodeMeta};
+use recraft_types::{ClusterConfig, EpochTerm, Error, LogIndex, Result};
 use std::collections::VecDeque;
 
 /// An in-memory Raft log.
@@ -16,6 +18,11 @@ pub struct MemLog {
     base_index: LogIndex,
     base_eterm: EpochTerm,
     entries: VecDeque<LogEntry>,
+    /// "Persisted" node metadata — kept in memory: it survives the in-process
+    /// restart the simulator models, not a real reboot.
+    meta: Option<NodeMeta>,
+    /// "Persisted" snapshot and its tail configuration, same lifetime.
+    snap: Option<(Snapshot, ClusterConfig)>,
 }
 
 impl Default for MemLog {
@@ -32,6 +39,8 @@ impl MemLog {
             base_index: LogIndex::ZERO,
             base_eterm: EpochTerm::ZERO,
             entries: VecDeque::new(),
+            meta: None,
+            snap: None,
         }
     }
 
@@ -197,6 +206,58 @@ impl MemLog {
         self.base_index = base_index;
         self.base_eterm = base_eterm;
     }
+}
+
+impl LogStore for MemLog {
+    fn base_index(&self) -> LogIndex {
+        MemLog::base_index(self)
+    }
+    fn base_eterm(&self) -> EpochTerm {
+        MemLog::base_eterm(self)
+    }
+    fn last_index(&self) -> LogIndex {
+        MemLog::last_index(self)
+    }
+    fn last_eterm(&self) -> EpochTerm {
+        MemLog::last_eterm(self)
+    }
+    fn len(&self) -> usize {
+        MemLog::len(self)
+    }
+    fn entry(&self, index: LogIndex) -> Option<LogEntry> {
+        MemLog::entry(self, index).cloned()
+    }
+    fn eterm_at(&self, index: LogIndex) -> Option<EpochTerm> {
+        MemLog::eterm_at(self, index)
+    }
+    fn slice(&self, from: LogIndex, to: LogIndex) -> Vec<LogEntry> {
+        MemLog::slice(self, from, to)
+    }
+    fn append(&mut self, entry: LogEntry) {
+        MemLog::append(self, entry);
+    }
+    fn truncate_from(&mut self, index: LogIndex) -> Result<usize> {
+        MemLog::truncate_from(self, index)
+    }
+    fn compact_to(&mut self, index: LogIndex, eterm: EpochTerm) -> Result<()> {
+        MemLog::compact_to(self, index, eterm)
+    }
+    fn reset(&mut self, base_index: LogIndex, base_eterm: EpochTerm) {
+        MemLog::reset(self, base_index, base_eterm);
+    }
+    fn save_meta(&mut self, meta: &NodeMeta) {
+        self.meta = Some(meta.clone());
+    }
+    fn load_meta(&self) -> Option<NodeMeta> {
+        self.meta.clone()
+    }
+    fn save_snapshot(&mut self, snapshot: &Snapshot, config: &ClusterConfig) {
+        self.snap = Some((snapshot.clone(), config.clone()));
+    }
+    fn load_snapshot(&self) -> Option<(Snapshot, ClusterConfig)> {
+        self.snap.clone()
+    }
+    fn sync(&mut self) {}
 }
 
 #[cfg(test)]

@@ -1,0 +1,241 @@
+//! The pluggable durable-storage boundary.
+//!
+//! [`LogStore`] covers everything a ReCraft node persists: the replicated
+//! log (append / truncate / compact / the merge protocol's renumbering
+//! [`LogStore::reset`]), the per-node metadata that must be durable before a
+//! message leaves the node ([`NodeMeta`]: hard state plus cluster identity),
+//! and the snapshot the state machine restarts from.
+//!
+//! Two implementations ship: [`MemLog`](crate::MemLog), the original
+//! in-memory backend (state survives an in-process [`restart`] but not a real
+//! reboot), and [`WalLog`](crate::WalLog), a segmented write-ahead log with
+//! crash recovery.
+//!
+//! # The write-ahead contract
+//!
+//! Mutations may buffer; [`LogStore::sync`] makes everything written so far
+//! durable. The consensus layer calls `sync` before externalizing any output
+//! that acknowledges the written state (votes, append responses), so a crash
+//! can only ever lose writes that were never acknowledged to anyone.
+//!
+//! [`restart`]: https://en.wikipedia.org/wiki/Raft_(algorithm)
+
+use crate::entry::LogEntry;
+use crate::snapshot::Snapshot;
+use crate::state::HardState;
+use recraft_types::{ClusterConfig, ClusterId, EpochTerm, LogIndex, Result};
+
+/// The per-node metadata that must be durable before the node answers RPCs:
+/// the Raft hard state plus the ReCraft cluster-identity fields (a split or
+/// merge changes what cluster a node *is*, and a reboot must not forget).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMeta {
+    /// Current epoch-term and the vote granted in it.
+    pub hard: HardState,
+    /// The cluster this node belongs to.
+    pub cluster: ClusterId,
+    /// The reconfiguration-generation epoch of that identity.
+    pub cluster_epoch: u32,
+    /// Whether the node holds a real configuration (false for joiners).
+    pub bootstrapped: bool,
+    /// The cluster a joiner was provisioned for, if any.
+    pub join_target: Option<ClusterId>,
+}
+
+/// The storage surface the consensus core drives.
+///
+/// Log semantics are exactly [`MemLog`](crate::MemLog)'s: a compacted base
+/// `(base_index, base_eterm)` followed by contiguous entries. All reads are
+/// served from memory (implementations keep an in-memory index); durability
+/// applies to mutations.
+pub trait LogStore: std::fmt::Debug + Send {
+    // ---- Log shape (read side) ------------------------------------------
+
+    /// The compaction base index (entries at or below it are gone).
+    fn base_index(&self) -> LogIndex;
+
+    /// The epoch-term recorded at the base index.
+    fn base_eterm(&self) -> EpochTerm;
+
+    /// Index of the first retained entry.
+    fn first_index(&self) -> LogIndex {
+        self.base_index().next()
+    }
+
+    /// Index of the last entry (the base index if the log is empty).
+    fn last_index(&self) -> LogIndex;
+
+    /// Epoch-term of the last entry (the base epoch-term if empty).
+    fn last_eterm(&self) -> EpochTerm;
+
+    /// Number of retained entries.
+    fn len(&self) -> usize;
+
+    /// Whether no entries are retained.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entry at `index`, if retained.
+    fn entry(&self, index: LogIndex) -> Option<LogEntry>;
+
+    /// The epoch-term at `index`: the base epoch-term for the base index,
+    /// otherwise the retained entry's. `None` if compacted away or past the
+    /// end.
+    fn eterm_at(&self, index: LogIndex) -> Option<EpochTerm>;
+
+    /// Whether the log matches `(index, eterm)` — the AppendEntries
+    /// consistency check. The base position counts as matching.
+    fn matches(&self, index: LogIndex, eterm: EpochTerm) -> bool {
+        self.eterm_at(index) == Some(eterm)
+    }
+
+    /// Entries in `[from, to]`, clamped to what is retained.
+    fn slice(&self, from: LogIndex, to: LogIndex) -> Vec<LogEntry>;
+
+    /// Entries from `from` through the end of the log.
+    fn tail(&self, from: LogIndex) -> Vec<LogEntry> {
+        self.slice(from, self.last_index())
+    }
+
+    // ---- Log mutations ---------------------------------------------------
+
+    /// Appends one entry to the tail.
+    ///
+    /// # Panics
+    /// Panics if `entry.index` is not exactly `last_index + 1` — appends are
+    /// contiguous by construction.
+    fn append(&mut self, entry: LogEntry);
+
+    /// Removes every entry at or after `index` (follower conflict
+    /// resolution). Returns the number of entries removed.
+    ///
+    /// # Errors
+    /// Returns [`recraft_types::Error::IndexOutOfRange`] if `index` is at or
+    /// below the base.
+    fn truncate_from(&mut self, index: LogIndex) -> Result<usize>;
+
+    /// Compacts the log: drops entries at or below `index` and records
+    /// `(index, eterm)` as the new base. The covering snapshot must already
+    /// be durable (see [`LogStore::save_snapshot`]).
+    ///
+    /// # Errors
+    /// Returns [`recraft_types::Error::IndexOutOfRange`] if `index` is below
+    /// the current base or beyond the last entry.
+    fn compact_to(&mut self, index: LogIndex, eterm: EpochTerm) -> Result<()>;
+
+    /// Discards everything and installs a fresh base — snapshot installation
+    /// and the merge protocol's log renumbering (§III-C2).
+    fn reset(&mut self, base_index: LogIndex, base_eterm: EpochTerm);
+
+    // ---- Durable node state ---------------------------------------------
+
+    /// Persists the node metadata. Durable once [`LogStore::sync`] returns.
+    fn save_meta(&mut self, meta: &NodeMeta);
+
+    /// The last persisted node metadata, if any.
+    fn load_meta(&self) -> Option<NodeMeta>;
+
+    /// Atomically persists a snapshot and the configuration at its tail.
+    /// Must be durable *before* the log is compacted or reset past it —
+    /// implementations make this call itself atomic and synchronous.
+    fn save_snapshot(&mut self, snapshot: &Snapshot, config: &ClusterConfig);
+
+    /// The last persisted snapshot and its configuration, if any.
+    fn load_snapshot(&self) -> Option<(Snapshot, ClusterConfig)>;
+
+    /// Makes every buffered mutation durable. Called by the node before its
+    /// outputs are externalized (the write-ahead barrier).
+    fn sync(&mut self);
+
+    // ---- Crash modelling -------------------------------------------------
+
+    /// Whether this backend survives a real process reboot (drives the
+    /// simulator's choice between in-memory restart and reopen-from-disk).
+    fn persistent(&self) -> bool {
+        false
+    }
+
+    /// Power-cut injection hook: discards buffered-but-unsynced state as a
+    /// crash would, except for up to `keep_unsynced` bytes that had already
+    /// reached the disk — the torn tail a recovery pass must detect and
+    /// drop. When the budget exceeds what was in flight, durable backends
+    /// leave a partial garbage frame instead (the record that was being
+    /// written at the instant of death). In-memory backends ignore this
+    /// (their crash model is process death).
+    fn power_cut(&mut self, keep_unsynced: usize) {
+        let _ = keep_unsynced;
+    }
+}
+
+impl<L: LogStore + ?Sized> LogStore for Box<L> {
+    fn base_index(&self) -> LogIndex {
+        (**self).base_index()
+    }
+    fn base_eterm(&self) -> EpochTerm {
+        (**self).base_eterm()
+    }
+    fn first_index(&self) -> LogIndex {
+        (**self).first_index()
+    }
+    fn last_index(&self) -> LogIndex {
+        (**self).last_index()
+    }
+    fn last_eterm(&self) -> EpochTerm {
+        (**self).last_eterm()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn entry(&self, index: LogIndex) -> Option<LogEntry> {
+        (**self).entry(index)
+    }
+    fn eterm_at(&self, index: LogIndex) -> Option<EpochTerm> {
+        (**self).eterm_at(index)
+    }
+    fn matches(&self, index: LogIndex, eterm: EpochTerm) -> bool {
+        (**self).matches(index, eterm)
+    }
+    fn slice(&self, from: LogIndex, to: LogIndex) -> Vec<LogEntry> {
+        (**self).slice(from, to)
+    }
+    fn tail(&self, from: LogIndex) -> Vec<LogEntry> {
+        (**self).tail(from)
+    }
+    fn append(&mut self, entry: LogEntry) {
+        (**self).append(entry);
+    }
+    fn truncate_from(&mut self, index: LogIndex) -> Result<usize> {
+        (**self).truncate_from(index)
+    }
+    fn compact_to(&mut self, index: LogIndex, eterm: EpochTerm) -> Result<()> {
+        (**self).compact_to(index, eterm)
+    }
+    fn reset(&mut self, base_index: LogIndex, base_eterm: EpochTerm) {
+        (**self).reset(base_index, base_eterm);
+    }
+    fn save_meta(&mut self, meta: &NodeMeta) {
+        (**self).save_meta(meta);
+    }
+    fn load_meta(&self) -> Option<NodeMeta> {
+        (**self).load_meta()
+    }
+    fn save_snapshot(&mut self, snapshot: &Snapshot, config: &ClusterConfig) {
+        (**self).save_snapshot(snapshot, config);
+    }
+    fn load_snapshot(&self) -> Option<(Snapshot, ClusterConfig)> {
+        (**self).load_snapshot()
+    }
+    fn sync(&mut self) {
+        (**self).sync();
+    }
+    fn persistent(&self) -> bool {
+        (**self).persistent()
+    }
+    fn power_cut(&mut self, keep_unsynced: usize) {
+        (**self).power_cut(keep_unsynced);
+    }
+}

@@ -1,0 +1,1053 @@
+//! `WalLog`: a segmented, checksummed write-ahead log backend.
+//!
+//! # Data-dir layout
+//!
+//! ```text
+//! <dir>/
+//!   meta.bin          node metadata (hard state + cluster identity),
+//!                     one crc-framed record, replaced atomically
+//!   snapshot.bin      last snapshot + its tail configuration, crc-framed,
+//!                     replaced atomically (write-tmp + rename)
+//!   base.bin          the log's compaction base (index, epoch-term)
+//!   wal/
+//!     seg-<seq>.log   16-byte header + [len][crc32][LogEntry] records
+//! ```
+//!
+//! # Semantics
+//!
+//! * **Append** writes through to the active segment; [`WalLog::sync`] makes
+//!   it durable (optionally `fdatasync`; the durable watermark is tracked
+//!   either way so crash injection stays honest without paying for physical
+//!   syncs in simulation runs).
+//! * **Truncate** physically truncates the containing segment and deletes
+//!   later ones, so segment files only ever hold live, index-ordered
+//!   entries.
+//! * **Compact** persists the new base and deletes every whole segment at or
+//!   below it; the caller (the node) persists the covering snapshot first.
+//! * **Reset** (merge renumbering / snapshot install) drops all segments and
+//!   starts a fresh one at the new base.
+//! * **Recovery** ([`WalLog::open`]) replays segments in order, validating
+//!   length, checksum, decode, and index contiguity of every record; the
+//!   first torn or corrupt record ends the log — the tail is dropped and the
+//!   files are trimmed to the valid prefix. If the persisted snapshot is
+//!   ahead of (or inconsistent with) the recovered log, the snapshot wins
+//!   and the log resets to its tail, mirroring Raft's durability hierarchy.
+//!
+//! A crash can therefore lose only writes after the last sync point — which
+//! the node never acknowledges to anyone (see the write-ahead contract on
+//! [`LogStore`]).
+
+use crate::entry::LogEntry;
+use crate::memlog::MemLog;
+use crate::snapshot::Snapshot;
+use crate::store::{LogStore, NodeMeta};
+use bytes::{Bytes, BytesMut};
+use recraft_types::codec::{Decode, Encode};
+use recraft_types::{ClusterConfig, EpochTerm, Error, LogIndex, Result};
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const SEGMENT_MAGIC: u32 = 0x5243_574C; // "RCWL"
+const SEGMENT_VERSION: u32 = 1;
+const SEGMENT_HEADER_LEN: u64 = 16;
+/// Upper bound on a single framed record, guarding recovery against insane
+/// lengths from corrupt frames.
+const MAX_RECORD_LEN: usize = 1 << 28;
+
+/// Tuning knobs for a [`WalLog`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Issue physical `fdatasync` calls on [`LogStore::sync`]. Disable in
+    /// simulations for speed — the durable watermark (and therefore crash
+    /// injection) is tracked identically either way.
+    pub fsync: bool,
+    /// Roll to a new segment once the active one exceeds this many bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            fsync: true,
+            segment_bytes: 64 * 1024,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Segment {
+    seq: u64,
+    path: PathBuf,
+    /// File length in bytes (header included).
+    len: u64,
+    /// Highest entry index stored in this segment, if any.
+    last_entry: Option<LogIndex>,
+}
+
+/// The segmented durable backend (see the crate docs for the data-dir
+/// layout and recovery semantics).
+#[derive(Debug)]
+pub struct WalLog {
+    dir: PathBuf,
+    wal_dir: PathBuf,
+    opts: WalOptions,
+    /// In-memory mirror serving all reads.
+    mem: MemLog,
+    /// Byte position of each retained entry: `(segment seq, record offset)`,
+    /// parallel to the mirror's entries.
+    offsets: VecDeque<(u64, u64)>,
+    segments: Vec<Segment>,
+    /// Open handle on the last (active) segment.
+    active: File,
+    /// Bytes of the active segment known durable; everything past it can be
+    /// torn by a power cut. Non-active segments are always fully durable
+    /// (rolling syncs them).
+    synced_len: u64,
+}
+
+impl WalLog {
+    /// Opens (or creates) a WAL at `dir` with default options, running
+    /// recovery over whatever the directory holds.
+    ///
+    /// # Errors
+    /// Returns [`Error::Storage`] if the directory cannot be created or a
+    /// file operation fails. Corrupt or torn *content* is not an error — it
+    /// is dropped by recovery.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(dir, WalOptions::default())
+    }
+
+    /// Opens (or creates) a WAL at `dir` with explicit options.
+    ///
+    /// # Errors
+    /// Returns [`Error::Storage`] on I/O failure (see [`WalLog::open`]).
+    pub fn open_with(dir: impl AsRef<Path>, opts: WalOptions) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let wal_dir = dir.join("wal");
+        fs::create_dir_all(&wal_dir).map_err(|e| io_err("create data dir", &wal_dir, &e))?;
+
+        // The log base: default origin when never compacted.
+        let (base_index, base_eterm) = match read_framed(&dir.join("base.bin")) {
+            Some(mut payload) => (
+                LogIndex::decode(&mut payload).map_err(|_| corrupt_base())?,
+                EpochTerm::decode(&mut payload).map_err(|_| corrupt_base())?,
+            ),
+            None => (LogIndex::ZERO, EpochTerm::ZERO),
+        };
+        let mut mem = MemLog::new();
+        mem.reset(base_index, base_eterm);
+
+        // Collect segment files ascending by sequence number; anything that
+        // does not parse as a segment name is ignored.
+        let mut seg_paths: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = fs::read_dir(&wal_dir).map_err(|e| io_err("list wal dir", &wal_dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list wal dir", &wal_dir, &e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(seq) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                seg_paths.push((seq, entry.path()));
+            }
+        }
+        seg_paths.sort_unstable_by_key(|(seq, _)| *seq);
+
+        // Replay: validate every record; the first invalid one ends the log.
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut offsets: VecDeque<(u64, u64)> = VecDeque::new();
+        let mut dropped_tail = false;
+        for (seq, path) in seg_paths {
+            if dropped_tail {
+                // Everything after a torn segment is unreachable history.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            let raw = fs::read(&path).map_err(|e| io_err("read segment", &path, &e))?;
+            let (valid_len, last_entry) =
+                replay_segment(seq, &raw, &mut mem, &mut offsets, base_index);
+            if (valid_len as usize) < raw.len() {
+                // Torn or corrupt tail: trim the file to the valid prefix.
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| io_err("trim segment", &path, &e))?;
+                f.set_len(valid_len)
+                    .map_err(|e| io_err("trim segment", &path, &e))?;
+                dropped_tail = true;
+            }
+            if valid_len == 0 {
+                // Not even a valid header: the file is unusable.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            segments.push(Segment {
+                seq,
+                path,
+                len: valid_len,
+                last_entry,
+            });
+        }
+
+        // The persisted snapshot outranks an inconsistent or lagging log
+        // (crash between snapshot install and log reset).
+        if let Some(mut payload) = read_framed(&dir.join("snapshot.bin")) {
+            if let Ok(snap) = Snapshot::decode(&mut payload) {
+                if !mem.matches(snap.last_index, snap.last_eterm) {
+                    mem.reset(snap.last_index, snap.last_eterm);
+                    offsets.clear();
+                    for seg in segments.drain(..) {
+                        let _ = fs::remove_file(&seg.path);
+                    }
+                    write_framed(
+                        &dir.join("base.bin"),
+                        &encode_base(snap.last_index, snap.last_eterm),
+                        opts.fsync,
+                    )?;
+                }
+            }
+        }
+
+        let mut wal = if let Some(seg) = segments.pop() {
+            let active = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&seg.path)
+                .map_err(|e| io_err("open active segment", &seg.path, &e))?;
+            let synced_len = seg.len;
+            segments.push(seg);
+            WalLog {
+                dir,
+                wal_dir,
+                opts,
+                mem,
+                offsets,
+                segments,
+                active,
+                synced_len,
+            }
+        } else {
+            let (seg, active) = create_segment(&wal_dir, 1)?;
+            WalLog {
+                dir,
+                wal_dir,
+                opts,
+                mem,
+                offsets,
+                segments: vec![seg],
+                active,
+                synced_len: SEGMENT_HEADER_LEN,
+            }
+        };
+        if wal.opts.fsync {
+            sync_dir(&wal.wal_dir);
+        }
+        // Recovery may have trimmed files; the surviving prefix is durable.
+        wal.synced_len = wal.active_seg().len;
+        Ok(wal)
+    }
+
+    /// The data directory this WAL lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of live segment files (observability and tests).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Bytes of the active segment not yet covered by a sync point.
+    #[must_use]
+    pub fn unsynced_bytes(&self) -> u64 {
+        self.active_seg().len - self.synced_len
+    }
+
+    fn active_seg(&self) -> &Segment {
+        self.segments.last().expect("always one segment")
+    }
+
+    fn active_seg_mut(&mut self) -> &mut Segment {
+        self.segments.last_mut().expect("always one segment")
+    }
+
+    /// Appends raw record bytes to the active segment, rolling first if the
+    /// segment is full.
+    fn write_record(&mut self, record: &[u8], entry_index: LogIndex) {
+        if self.active_seg().len >= self.opts.segment_bytes {
+            self.roll();
+        }
+        let offset = self.active_seg().len;
+        self.active
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.active.write_all(record))
+            .unwrap_or_else(|e| panic!("wal append failed: {e}"));
+        let seq = self.active_seg().seq;
+        self.offsets.push_back((seq, offset));
+        let seg = self.active_seg_mut();
+        seg.len = offset + record.len() as u64;
+        seg.last_entry = Some(entry_index);
+    }
+
+    /// Finishes the active segment (making it durable) and starts the next.
+    fn roll(&mut self) {
+        self.sync();
+        let next_seq = self.active_seg().seq + 1;
+        let (seg, file) = create_segment(&self.wal_dir, next_seq)
+            .unwrap_or_else(|e| panic!("wal segment roll failed: {e}"));
+        if self.opts.fsync {
+            sync_dir(&self.wal_dir);
+        }
+        self.segments.push(seg);
+        self.active = file;
+        self.synced_len = SEGMENT_HEADER_LEN;
+    }
+
+    fn persist_base(&self) {
+        write_framed(
+            &self.dir.join("base.bin"),
+            &encode_base(self.mem.base_index(), self.mem.base_eterm()),
+            self.opts.fsync,
+        )
+        .unwrap_or_else(|e| panic!("wal base write failed: {e}"));
+    }
+
+    /// Drops every segment file and starts a fresh one at `next_seq`.
+    fn clear_segments(&mut self, next_seq: u64) {
+        for seg in self.segments.drain(..) {
+            let _ = fs::remove_file(&seg.path);
+        }
+        self.offsets.clear();
+        let (seg, file) = create_segment(&self.wal_dir, next_seq)
+            .unwrap_or_else(|e| panic!("wal segment create failed: {e}"));
+        if self.opts.fsync {
+            sync_dir(&self.wal_dir);
+        }
+        self.segments.push(seg);
+        self.active = file;
+        self.synced_len = SEGMENT_HEADER_LEN;
+    }
+}
+
+impl LogStore for WalLog {
+    fn base_index(&self) -> LogIndex {
+        self.mem.base_index()
+    }
+    fn base_eterm(&self) -> EpochTerm {
+        self.mem.base_eterm()
+    }
+    fn last_index(&self) -> LogIndex {
+        self.mem.last_index()
+    }
+    fn last_eterm(&self) -> EpochTerm {
+        self.mem.last_eterm()
+    }
+    fn len(&self) -> usize {
+        self.mem.len()
+    }
+    fn entry(&self, index: LogIndex) -> Option<LogEntry> {
+        self.mem.entry(index).cloned()
+    }
+    fn eterm_at(&self, index: LogIndex) -> Option<EpochTerm> {
+        self.mem.eterm_at(index)
+    }
+    fn slice(&self, from: LogIndex, to: LogIndex) -> Vec<LogEntry> {
+        self.mem.slice(from, to)
+    }
+
+    fn append(&mut self, entry: LogEntry) {
+        let record = frame(&entry.encode_to_bytes());
+        let index = entry.index;
+        self.mem.append(entry); // asserts contiguity first
+        self.write_record(&record, index);
+    }
+
+    fn truncate_from(&mut self, index: LogIndex) -> Result<usize> {
+        let removed = self.mem.truncate_from(index)?;
+        if removed == 0 {
+            return Ok(0);
+        }
+        let keep = self.offsets.len() - removed;
+        let (seq, offset) = self.offsets[keep];
+        self.offsets.truncate(keep);
+        // Drop segments entirely past the truncation point.
+        let mut changed_segment = false;
+        while self.active_seg().seq > seq {
+            let seg = self.segments.pop().expect("segment list nonempty");
+            let _ = fs::remove_file(&seg.path);
+            changed_segment = true;
+        }
+        // Reopen the containing segment as active and cut it at the record.
+        let path = self.active_seg().path.clone();
+        self.active = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("reopen segment", &path, &e))?;
+        self.active
+            .set_len(offset)
+            .map_err(|e| io_err("truncate segment", &path, &e))?;
+        if self.opts.fsync {
+            let _ = self.active.sync_data();
+            sync_dir(&self.wal_dir);
+        }
+        // If live entries remain in this segment, the log's (new) last entry
+        // is among them; otherwise only a stale pre-base prefix survives.
+        let has_live = self.offsets.iter().any(|(s, _)| *s == seq);
+        let last_entry = has_live.then(|| self.mem.last_index());
+        let seg = self.active_seg_mut();
+        seg.len = offset;
+        seg.last_entry = last_entry;
+        // The durable watermark tracks the *active* segment. A cross-segment
+        // truncation reactivates an earlier segment that rolling had fully
+        // synced, so its surviving prefix is durable in full; only a
+        // same-segment truncation can cut into unsynced territory.
+        self.synced_len = if changed_segment {
+            offset
+        } else {
+            self.synced_len.min(offset)
+        };
+        Ok(removed)
+    }
+
+    fn compact_to(&mut self, index: LogIndex, eterm: EpochTerm) -> Result<()> {
+        self.mem.compact_to(index, eterm)?;
+        self.persist_base();
+        // Delete whole segments whose content is entirely at or below the
+        // base; the active segment always stays (it is the append tail).
+        let mut removed = 0;
+        while self.segments.len() > 1 {
+            let seg = &self.segments[0];
+            let covered = match seg.last_entry {
+                Some(last) => last <= index,
+                None => true,
+            };
+            if !covered {
+                break;
+            }
+            let seg = self.segments.remove(0);
+            let _ = fs::remove_file(&seg.path);
+            removed += 1;
+        }
+        if removed > 0 && self.opts.fsync {
+            sync_dir(&self.wal_dir);
+        }
+        // The dropped entries are exactly a prefix of the offset deque
+        // (compaction only ever removes from the front), so re-aligning with
+        // the mirror's retained count covers both deleted segments and the
+        // stale prefix left inside surviving ones.
+        while self.offsets.len() > self.mem.len() {
+            self.offsets.pop_front();
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, base_index: LogIndex, base_eterm: EpochTerm) {
+        let next_seq = self.active_seg().seq + 1;
+        self.mem.reset(base_index, base_eterm);
+        // Segment deletion precedes the base write so a crash in between
+        // leaves an empty (not mixed-lineage) log; recovery then restores
+        // the base from the snapshot.
+        self.clear_segments(next_seq);
+        self.persist_base();
+    }
+
+    fn save_meta(&mut self, meta: &NodeMeta) {
+        write_framed(
+            &self.dir.join("meta.bin"),
+            &meta.encode_to_bytes(),
+            self.opts.fsync,
+        )
+        .unwrap_or_else(|e| panic!("wal meta write failed: {e}"));
+    }
+
+    fn load_meta(&self) -> Option<NodeMeta> {
+        let mut payload = read_framed(&self.dir.join("meta.bin"))?;
+        NodeMeta::decode(&mut payload).ok()
+    }
+
+    fn save_snapshot(&mut self, snapshot: &Snapshot, config: &ClusterConfig) {
+        let mut buf = BytesMut::new();
+        snapshot.encode(&mut buf);
+        config.encode(&mut buf);
+        write_framed(
+            &self.dir.join("snapshot.bin"),
+            &buf.freeze(),
+            self.opts.fsync,
+        )
+        .unwrap_or_else(|e| panic!("wal snapshot write failed: {e}"));
+    }
+
+    fn load_snapshot(&self) -> Option<(Snapshot, ClusterConfig)> {
+        let mut payload = read_framed(&self.dir.join("snapshot.bin"))?;
+        let snap = Snapshot::decode(&mut payload).ok()?;
+        let config = ClusterConfig::decode(&mut payload).ok()?;
+        Some((snap, config))
+    }
+
+    fn sync(&mut self) {
+        if self.opts.fsync {
+            self.active
+                .sync_data()
+                .unwrap_or_else(|e| panic!("wal sync failed: {e}"));
+        }
+        self.synced_len = self.active_seg().len;
+    }
+
+    fn persistent(&self) -> bool {
+        true
+    }
+
+    fn power_cut(&mut self, keep_unsynced: usize) {
+        let unsynced = self.unsynced_bytes();
+        let durable = self.synced_len + (keep_unsynced as u64).min(unsynced);
+        let _ = self.active.set_len(durable);
+        // When the tear reaches past everything that was in flight, model
+        // the write that was striking the platter at the instant of death: a
+        // partial garbage frame past the durable watermark, which recovery
+        // must detect (bad length/checksum) and trim.
+        let junk = (keep_unsynced as u64).saturating_sub(unsynced);
+        if junk > 0 {
+            let garbage = vec![0xA5u8; junk as usize];
+            let _ = self
+                .active
+                .seek(SeekFrom::Start(durable))
+                .and_then(|_| self.active.write_all(&garbage));
+        }
+        let _ = self.active.sync_data();
+        // The store is dead after this: the sim reopens the directory.
+    }
+}
+
+// ---- Record framing and file helpers ---------------------------------------
+
+/// Frames a payload as `[u32 len][u32 crc32][payload]`.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn encode_base(index: LogIndex, eterm: EpochTerm) -> Bytes {
+    let mut buf = BytesMut::new();
+    index.encode(&mut buf);
+    eterm.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Replays one segment's records into the mirror. Returns the byte length of
+/// the valid prefix (0 when even the header is bad) and the highest entry
+/// index the segment contributed.
+fn replay_segment(
+    seq: u64,
+    raw: &[u8],
+    mem: &mut MemLog,
+    offsets: &mut VecDeque<(u64, u64)>,
+    base_index: LogIndex,
+) -> (u64, Option<LogIndex>) {
+    if raw.len() < SEGMENT_HEADER_LEN as usize {
+        return (0, None);
+    }
+    let magic = u32::from_be_bytes(raw[0..4].try_into().expect("4 bytes"));
+    let version = u32::from_be_bytes(raw[4..8].try_into().expect("4 bytes"));
+    let hdr_seq = u64::from_be_bytes(raw[8..16].try_into().expect("8 bytes"));
+    if magic != SEGMENT_MAGIC || version != SEGMENT_VERSION || hdr_seq != seq {
+        return (0, None);
+    }
+    let mut pos = SEGMENT_HEADER_LEN as usize;
+    let mut last_entry = None;
+    while let Some((payload, next)) = next_record(raw, pos) {
+        let mut bytes = Bytes::copy_from_slice(payload);
+        let Ok(entry) = LogEntry::decode(&mut bytes) else {
+            break;
+        };
+        if !bytes.is_empty() {
+            break; // trailing garbage inside a frame: treat as corrupt
+        }
+        if entry.index <= base_index {
+            // Stale prefix below the compaction base (the covering segment
+            // outlived compaction because it also holds live entries).
+            last_entry = Some(entry.index);
+            pos = next;
+            continue;
+        }
+        if entry.index != mem.last_index().next() {
+            break; // gap or regression: a dropped tail upstream
+        }
+        mem.append(entry.clone());
+        offsets.push_back((seq, pos as u64));
+        last_entry = Some(entry.index);
+        pos = next;
+    }
+    (pos as u64, last_entry)
+}
+
+/// Parses the record starting at `pos`; `None` on a torn or corrupt frame.
+fn next_record(raw: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+    if pos + 8 > raw.len() {
+        return None;
+    }
+    let len = u32::from_be_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_be_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_LEN || pos + 8 + len > raw.len() {
+        return None;
+    }
+    let payload = &raw[pos + 8..pos + 8 + len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((payload, pos + 8 + len))
+}
+
+fn create_segment(wal_dir: &Path, seq: u64) -> Result<(Segment, File)> {
+    let path = wal_dir.join(format!("seg-{seq:016}.log"));
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)
+        .map_err(|e| io_err("create segment", &path, &e))?;
+    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+    header[0..4].copy_from_slice(&SEGMENT_MAGIC.to_be_bytes());
+    header[4..8].copy_from_slice(&SEGMENT_VERSION.to_be_bytes());
+    header[8..16].copy_from_slice(&seq.to_be_bytes());
+    file.write_all(&header)
+        .map_err(|e| io_err("write segment header", &path, &e))?;
+    Ok((
+        Segment {
+            seq,
+            path,
+            len: SEGMENT_HEADER_LEN,
+            last_entry: None,
+        },
+        file,
+    ))
+}
+
+/// Reads a crc-framed file, returning its payload if intact.
+fn read_framed(path: &Path) -> Option<Bytes> {
+    let mut raw = Vec::new();
+    File::open(path).ok()?.read_to_end(&mut raw).ok()?;
+    let (payload, end) = next_record(&raw, 0)?;
+    if end != raw.len() {
+        return None;
+    }
+    Some(Bytes::copy_from_slice(payload))
+}
+
+/// Atomically replaces `path` with a crc-framed `payload` (write-tmp +
+/// rename, syncing file and directory when `fsync` is set).
+fn write_framed(path: &Path, payload: &[u8], fsync: bool) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp).map_err(|e| io_err("create tmp", &tmp, &e))?;
+        file.write_all(&frame(payload))
+            .map_err(|e| io_err("write tmp", &tmp, &e))?;
+        if fsync {
+            file.sync_data().map_err(|e| io_err("sync tmp", &tmp, &e))?;
+        }
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err("rename tmp", path, &e))?;
+    if fsync {
+        if let Some(parent) = path.parent() {
+            sync_dir(parent);
+        }
+    }
+    Ok(())
+}
+
+fn sync_dir(dir: &Path) {
+    if let Ok(f) = File::open(dir) {
+        let _ = f.sync_all();
+    }
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> Error {
+    Error::Storage(format!("{what} {}: {e}", path.display()))
+}
+
+fn corrupt_base() -> Error {
+    Error::Storage("corrupt base.bin".into())
+}
+
+// ---- CRC-32 (IEEE 802.3) ----------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// The IEEE CRC-32 of `data` (the checksum guarding every WAL frame).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+pub(crate) mod testdir {
+    //! Unique, self-cleaning temp directories for storage tests.
+
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// A temp directory removed on drop.
+    pub struct TestDir(pub PathBuf);
+
+    impl TestDir {
+        pub fn new(tag: &str) -> TestDir {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("recraft-wal-test-{}-{tag}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            TestDir(path)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testdir::TestDir;
+    use super::*;
+    use recraft_types::{ClusterId, NodeId, RangeSet, SessionTable};
+
+    fn et(term: u32) -> EpochTerm {
+        EpochTerm::new(0, term)
+    }
+
+    fn entry(i: u64, term: u32) -> LogEntry {
+        LogEntry::command(LogIndex(i), et(term), Bytes::from(format!("v{i}")))
+    }
+
+    fn opts() -> WalOptions {
+        WalOptions {
+            fsync: false,
+            segment_bytes: 256, // tiny, to exercise rotation
+        }
+    }
+
+    fn fill(wal: &mut WalLog, from: u64, to: u64, term: u32) {
+        for i in from..=to {
+            wal.append(entry(i, term));
+        }
+        wal.sync();
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_survives_reopen() {
+        let dir = TestDir::new("reopen");
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 20, 1);
+            assert!(wal.segment_count() > 1, "rotation expected");
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(20));
+        assert_eq!(wal.entry(LogIndex(7)), Some(entry(7, 1)));
+        assert_eq!(wal.slice(LogIndex(3), LogIndex(5)).len(), 3);
+    }
+
+    #[test]
+    fn truncate_survives_reopen() {
+        let dir = TestDir::new("truncate");
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 20, 1);
+            assert_eq!(wal.truncate_from(LogIndex(8)).unwrap(), 13);
+            // Divergent suffix replaced by a different term.
+            fill(&mut wal, 8, 12, 2);
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(12));
+        assert_eq!(wal.eterm_at(LogIndex(7)), Some(et(1)));
+        assert_eq!(wal.eterm_at(LogIndex(8)), Some(et(2)));
+    }
+
+    #[test]
+    fn cross_segment_truncation_keeps_durable_watermark() {
+        let dir = TestDir::new("truncate-watermark");
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 30, 1); // several rolled (fully synced) segments
+            assert!(wal.segment_count() >= 3);
+            // Truncate back into an earlier, fully-durable segment...
+            wal.truncate_from(LogIndex(5)).unwrap();
+            // ...then lose power with nothing new written. The surviving
+            // prefix was synced when its segment rolled; a power cut must
+            // not be able to destroy it.
+            wal.power_cut(0);
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(4));
+        assert_eq!(wal.entry(LogIndex(4)), Some(entry(4, 1)));
+    }
+
+    #[test]
+    fn compact_deletes_covered_segments_and_survives_reopen() {
+        let dir = TestDir::new("compact");
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 40, 1);
+            let before = wal.segment_count();
+            wal.compact_to(LogIndex(35), et(1)).unwrap();
+            assert!(wal.segment_count() < before, "whole segments deleted");
+            assert_eq!(wal.base_index(), LogIndex(35));
+            assert_eq!(wal.len(), 5);
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.base_index(), LogIndex(35));
+        assert_eq!(wal.base_eterm(), et(1));
+        assert_eq!(wal.last_index(), LogIndex(40));
+        assert!(wal.entry(LogIndex(35)).is_none());
+        assert_eq!(wal.entry(LogIndex(36)), Some(entry(36, 1)));
+    }
+
+    #[test]
+    fn reset_renumbers_and_survives_reopen() {
+        let dir = TestDir::new("reset");
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 10, 1);
+            wal.reset(LogIndex::ZERO, EpochTerm::new(3, 0));
+            wal.append(LogEntry::noop(LogIndex(1), EpochTerm::new(3, 0)));
+            wal.sync();
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.base_eterm(), EpochTerm::new(3, 0));
+        assert_eq!(wal.last_index(), LogIndex(1));
+        assert_eq!(wal.len(), 1);
+    }
+
+    #[test]
+    fn meta_and_snapshot_roundtrip() {
+        let dir = TestDir::new("meta");
+        let config =
+            ClusterConfig::new(ClusterId(4), [NodeId(1), NodeId(2)], RangeSet::full()).unwrap();
+        let meta = NodeMeta {
+            hard: crate::HardState {
+                eterm: et(5),
+                voted_for: Some(NodeId(2)),
+            },
+            cluster: ClusterId(4),
+            cluster_epoch: 1,
+            bootstrapped: true,
+            join_target: None,
+        };
+        let snap = Snapshot {
+            last_index: LogIndex(3),
+            last_eterm: et(2),
+            cluster: ClusterId(4),
+            ranges: RangeSet::full(),
+            data: Bytes::from_static(b"state"),
+            sessions: SessionTable::new(),
+        };
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 3, 2);
+            wal.save_meta(&meta);
+            wal.save_snapshot(&snap, &config);
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.load_meta(), Some(meta));
+        assert_eq!(wal.load_snapshot(), Some((snap, config)));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_on_recovery() {
+        let dir = TestDir::new("torn");
+        let tail_path;
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 20, 1);
+            tail_path = wal.active_seg().path.clone();
+        }
+        // Tear the last few bytes off the tail segment (a partial write).
+        let len = fs::metadata(&tail_path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&tail_path).unwrap();
+        f.set_len(len - 3).unwrap();
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        // Exactly the torn record is gone; the prefix survives.
+        assert_eq!(wal.last_index(), LogIndex(19));
+        assert_eq!(wal.entry(LogIndex(19)), Some(entry(19, 1)));
+        // The trimmed log keeps appending cleanly after recovery.
+        let mut wal = wal;
+        wal.append(entry(20, 2));
+        wal.sync();
+        assert_eq!(wal.last_index(), LogIndex(20));
+    }
+
+    #[test]
+    fn corrupt_record_drops_rest_of_log() {
+        let dir = TestDir::new("corrupt");
+        let first_seg;
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 30, 1);
+            assert!(wal.segment_count() >= 3);
+            first_seg = wal.segments[0].path.clone();
+        }
+        // Flip one payload byte in the middle of the FIRST segment: every
+        // entry from there on (including later, intact segments) must go —
+        // keeping them would leave a hole in the log.
+        let mut raw = fs::read(&first_seg).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        fs::write(&first_seg, &raw).unwrap();
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert!(wal.last_index() < LogIndex(30));
+        // Contiguity from the base holds.
+        let mut expect = wal.first_index();
+        for e in wal.tail(wal.first_index()) {
+            assert_eq!(e.index, expect);
+            expect = expect.next();
+        }
+        assert_eq!(wal.segment_count(), 1);
+    }
+
+    #[test]
+    fn power_cut_tears_only_unsynced_suffix() {
+        let dir = TestDir::new("powercut");
+        {
+            // Large segments: a mid-test roll would sync the "unsynced" tail.
+            let mut wal = WalLog::open_with(
+                &dir.0,
+                WalOptions {
+                    fsync: false,
+                    segment_bytes: 1 << 20,
+                },
+            )
+            .unwrap();
+            fill(&mut wal, 1, 5, 1); // synced
+            for i in 6..=9 {
+                wal.append(entry(i, 1)); // unsynced
+            }
+            assert!(wal.unsynced_bytes() > 0);
+            wal.power_cut(7); // keep a torn fragment of entry 6
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        // Everything synced survives; nothing unsynced does (7 bytes is less
+        // than a whole record).
+        assert_eq!(wal.last_index(), LogIndex(5));
+    }
+
+    #[test]
+    fn power_cut_keeping_full_record_preserves_it() {
+        let dir = TestDir::new("powercut-full");
+        {
+            let mut wal = WalLog::open_with(
+                &dir.0,
+                WalOptions {
+                    fsync: false,
+                    segment_bytes: 1 << 20,
+                },
+            )
+            .unwrap();
+            fill(&mut wal, 1, 5, 1);
+            wal.append(entry(6, 1));
+            let whole = wal.unsynced_bytes() as usize;
+            wal.append(entry(7, 1));
+            wal.power_cut(whole); // entry 6 fully hit the platter, 7 did not
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(6));
+    }
+
+    #[test]
+    fn power_cut_with_nothing_in_flight_leaves_torn_garbage() {
+        let dir = TestDir::new("powercut-garbage");
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 5, 1); // everything synced
+            assert_eq!(wal.unsynced_bytes(), 0);
+            wal.power_cut(40); // a write was mid-flight when power died
+        }
+        // Recovery trims the garbage frame and keeps everything durable.
+        let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(5));
+        wal.append(entry(6, 1));
+        wal.sync();
+        drop(wal);
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(6));
+    }
+
+    #[test]
+    fn snapshot_ahead_of_log_wins_on_recovery() {
+        let dir = TestDir::new("snap-wins");
+        let config =
+            ClusterConfig::new(ClusterId(9), [NodeId(1), NodeId(2)], RangeSet::full()).unwrap();
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            fill(&mut wal, 1, 4, 1);
+            // A snapshot from a different lineage (merge renumbering) was
+            // persisted, but the crash hit before the log reset.
+            let snap = Snapshot {
+                last_index: LogIndex(1),
+                last_eterm: EpochTerm::new(7, 0),
+                cluster: ClusterId(9),
+                ranges: RangeSet::full(),
+                data: Bytes::new(),
+                sessions: SessionTable::new(),
+            };
+            wal.save_snapshot(&snap, &config);
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        // The old-lineage log is discarded; the base sits at the snapshot.
+        assert_eq!(wal.base_index(), LogIndex(1));
+        assert_eq!(wal.base_eterm(), EpochTerm::new(7, 0));
+        assert!(wal.is_empty());
+    }
+
+    #[test]
+    fn fresh_dir_is_empty_log() {
+        let dir = TestDir::new("fresh");
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(wal.base_index(), LogIndex::ZERO);
+        assert!(wal.load_meta().is_none());
+        assert!(wal.load_snapshot().is_none());
+    }
+}

@@ -484,6 +484,10 @@ impl Encode for Error {
                 m.encode(buf);
             }
             Error::SessionStale => 12u8.encode(buf),
+            Error::Storage(m) => {
+                13u8.encode(buf);
+                m.encode(buf);
+            }
         }
     }
 }
@@ -504,6 +508,7 @@ impl Decode for Error {
             10 => Error::ProposalDropped,
             11 => Error::InvalidState(String::decode(buf)?),
             12 => Error::SessionStale,
+            13 => Error::Storage(String::decode(buf)?),
             t => return Err(Error::Codec(format!("unknown Error tag {t}"))),
         })
     }

@@ -6,9 +6,11 @@
 //! soon as they are *appended* (with the split/merge refinements described in
 //! `recraft-core`).
 
+use crate::codec::{Decode, Encode};
 use crate::error::{Error, Result};
 use crate::ids::{ClusterId, NodeId, TxId};
 use crate::range::RangeSet;
+use bytes::{Bytes, BytesMut};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -494,6 +496,231 @@ impl ConfigChange {
     }
 }
 
+// ---- Binary codecs ---------------------------------------------------------
+//
+// Configuration changes ride in persisted log entries (the WAL backend) and
+// in snapshot metadata, so everything reachable from [`ConfigChange`] has a
+// binary form. Decoding re-validates through the public constructors wherever
+// an invariant exists, so corrupt or adversarial bytes can never produce a
+// configuration the validators would have rejected.
+
+impl Encode for ClusterConfig {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.members.encode(buf);
+        match self.quorum {
+            QuorumRule::Majority => None,
+            QuorumRule::Fixed(q) => Some(q as u64),
+        }
+        .encode(buf);
+        self.ranges.encode(buf);
+    }
+}
+
+impl Decode for ClusterConfig {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        let id = ClusterId::decode(buf)?;
+        let members = BTreeSet::<NodeId>::decode(buf)?;
+        let fixed = Option::<u64>::decode(buf)?;
+        let ranges = RangeSet::decode(buf)?;
+        match fixed {
+            None => ClusterConfig::new(id, members, ranges),
+            Some(q) => ClusterConfig::with_quorum(id, members, ranges, q as usize),
+        }
+        .map_err(|e| Error::Codec(format!("invalid persisted ClusterConfig: {e}")))
+    }
+}
+
+impl Encode for SplitSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.subclusters.encode(buf);
+    }
+}
+
+impl Decode for SplitSpec {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        let subclusters = Vec::<ClusterConfig>::decode(buf)?;
+        // Re-validate against the loosest parent (the union of everything in
+        // the spec): disjointness and the two-subcluster minimum still hold.
+        let parent_members: BTreeSet<NodeId> = subclusters
+            .iter()
+            .flat_map(|c| c.members().iter().copied())
+            .collect();
+        SplitSpec::new(subclusters, &parent_members, &RangeSet::full())
+            .map_err(|e| Error::Codec(format!("invalid persisted SplitSpec: {e}")))
+    }
+}
+
+impl Encode for MergeParticipant {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cluster.encode(buf);
+        self.members.encode(buf);
+    }
+}
+
+impl Decode for MergeParticipant {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(MergeParticipant {
+            cluster: ClusterId::decode(buf)?,
+            members: BTreeSet::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for MergeTx {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.coordinator.encode(buf);
+        self.participants.encode(buf);
+        self.new_cluster.encode(buf);
+        self.resume_members.encode(buf);
+    }
+}
+
+impl Decode for MergeTx {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        let tx = MergeTx {
+            id: TxId::decode(buf)?,
+            coordinator: ClusterId::decode(buf)?,
+            participants: Vec::decode(buf)?,
+            new_cluster: ClusterId::decode(buf)?,
+            resume_members: Option::decode(buf)?,
+        };
+        tx.validate()
+            .map_err(|e| Error::Codec(format!("invalid persisted MergeTx: {e}")))?;
+        Ok(tx)
+    }
+}
+
+impl Encode for MergeDecision {
+    fn encode(&self, buf: &mut BytesMut) {
+        matches!(self, MergeDecision::Ok).encode(buf);
+    }
+}
+
+impl Decode for MergeDecision {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(if bool::decode(buf)? {
+            MergeDecision::Ok
+        } else {
+            MergeDecision::No
+        })
+    }
+}
+
+impl Encode for MergeOutcome {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            MergeOutcome::Commit {
+                tx,
+                ranges,
+                new_epoch,
+            } => {
+                0u8.encode(buf);
+                tx.encode(buf);
+                ranges.encode(buf);
+                new_epoch.encode(buf);
+            }
+            MergeOutcome::Abort { tx_id } => {
+                1u8.encode(buf);
+                tx_id.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for MergeOutcome {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => MergeOutcome::Commit {
+                tx: MergeTx::decode(buf)?,
+                ranges: RangeSet::decode(buf)?,
+                new_epoch: u32::decode(buf)?,
+            },
+            1 => MergeOutcome::Abort {
+                tx_id: TxId::decode(buf)?,
+            },
+            t => return Err(Error::Codec(format!("unknown MergeOutcome tag {t}"))),
+        })
+    }
+}
+
+impl Encode for ConfigChange {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ConfigChange::Simple { members } => {
+                0u8.encode(buf);
+                members.encode(buf);
+            }
+            ConfigChange::JointEnter { old, new } => {
+                1u8.encode(buf);
+                old.encode(buf);
+                new.encode(buf);
+            }
+            ConfigChange::JointLeave { new } => {
+                2u8.encode(buf);
+                new.encode(buf);
+            }
+            ConfigChange::Resize { members, quorum } => {
+                3u8.encode(buf);
+                members.encode(buf);
+                (*quorum as u64).encode(buf);
+            }
+            ConfigChange::SplitJoint(spec) => {
+                4u8.encode(buf);
+                spec.encode(buf);
+            }
+            ConfigChange::SplitNew(spec) => {
+                5u8.encode(buf);
+                spec.encode(buf);
+            }
+            ConfigChange::MergePrepare { tx, decision } => {
+                6u8.encode(buf);
+                tx.encode(buf);
+                decision.encode(buf);
+            }
+            ConfigChange::MergeCommit(outcome) => {
+                7u8.encode(buf);
+                outcome.encode(buf);
+            }
+            ConfigChange::SetRanges(ranges) => {
+                8u8.encode(buf);
+                ranges.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ConfigChange {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => ConfigChange::Simple {
+                members: BTreeSet::decode(buf)?,
+            },
+            1 => ConfigChange::JointEnter {
+                old: BTreeSet::decode(buf)?,
+                new: BTreeSet::decode(buf)?,
+            },
+            2 => ConfigChange::JointLeave {
+                new: BTreeSet::decode(buf)?,
+            },
+            3 => ConfigChange::Resize {
+                members: BTreeSet::decode(buf)?,
+                quorum: u64::decode(buf)? as usize,
+            },
+            4 => ConfigChange::SplitJoint(SplitSpec::decode(buf)?),
+            5 => ConfigChange::SplitNew(SplitSpec::decode(buf)?),
+            6 => ConfigChange::MergePrepare {
+                tx: MergeTx::decode(buf)?,
+                decision: MergeDecision::decode(buf)?,
+            },
+            7 => ConfigChange::MergeCommit(MergeOutcome::decode(buf)?),
+            8 => ConfigChange::SetRanges(RangeSet::decode(buf)?),
+            t => return Err(Error::Codec(format!("unknown ConfigChange tag {t}"))),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +976,76 @@ mod tests {
         };
         assert_eq!(commit.tx_id(), TxId(1));
         assert_eq!(MergeOutcome::Abort { tx_id: TxId(2) }.tx_id(), TxId(2));
+    }
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        use bytes::Buf;
+        let mut bytes = value.encode_to_bytes();
+        let decoded = T::decode(&mut bytes).unwrap();
+        assert_eq!(decoded, value);
+        assert_eq!(bytes.remaining(), 0, "leftover bytes");
+    }
+
+    #[test]
+    fn config_codecs_roundtrip() {
+        let (spec, _) = two_way_spec();
+        let tx = merge_tx();
+        roundtrip(ClusterConfig::new(ClusterId(3), nodes(&[1, 2, 3]), RangeSet::full()).unwrap());
+        roundtrip(
+            ClusterConfig::with_quorum(ClusterId(3), nodes(&[1, 2, 3, 4, 5]), RangeSet::full(), 4)
+                .unwrap(),
+        );
+        roundtrip(spec.clone());
+        roundtrip(tx.clone());
+        roundtrip(MergeDecision::Ok);
+        roundtrip(MergeDecision::No);
+        roundtrip(MergeOutcome::Commit {
+            tx: tx.clone(),
+            ranges: RangeSet::full(),
+            new_epoch: 9,
+        });
+        roundtrip(MergeOutcome::Abort { tx_id: TxId(4) });
+        for change in [
+            ConfigChange::Simple {
+                members: nodes(&[1, 2, 3]),
+            },
+            ConfigChange::JointEnter {
+                old: nodes(&[1, 2]),
+                new: nodes(&[1, 2, 3]),
+            },
+            ConfigChange::JointLeave {
+                new: nodes(&[1, 2, 3]),
+            },
+            ConfigChange::Resize {
+                members: nodes(&[1, 2, 3, 4, 5]),
+                quorum: 4,
+            },
+            ConfigChange::SplitJoint(spec.clone()),
+            ConfigChange::SplitNew(spec),
+            ConfigChange::MergePrepare {
+                tx,
+                decision: MergeDecision::Ok,
+            },
+            ConfigChange::MergeCommit(MergeOutcome::Abort { tx_id: TxId(1) }),
+            ConfigChange::SetRanges(RangeSet::full()),
+        ] {
+            roundtrip(change);
+        }
+    }
+
+    #[test]
+    fn config_decode_revalidates() {
+        // An empty member set round-trips the bytes but fails validation.
+        let mut buf = BytesMut::new();
+        ClusterId(1).encode(&mut buf);
+        BTreeSet::<NodeId>::new().encode(&mut buf);
+        Option::<u64>::None.encode(&mut buf);
+        RangeSet::full().encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert!(ClusterConfig::decode(&mut bytes).is_err());
+        // Garbage never panics.
+        let mut junk = Bytes::from_static(&[0xFF, 1, 2, 3]);
+        assert!(ConfigChange::decode(&mut junk).is_err());
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub enum Error {
     IndexOutOfRange(LogIndex),
     /// Codec failure while decoding persisted or transferred bytes.
     Codec(String),
+    /// A durable-storage backend failed (I/O error, missing or unrecoverable
+    /// persisted state).
+    Storage(String),
     /// A proposal was dropped because the node stepped down or the entry was
     /// truncated by a new leader.
     ProposalDropped,
@@ -80,6 +83,7 @@ impl fmt::Display for Error {
             Error::MergeBlocked => write!(f, "cluster is blocked in merge data exchange"),
             Error::IndexOutOfRange(i) => write!(f, "log index {i} out of range"),
             Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::ProposalDropped => write!(f, "proposal dropped"),
             Error::SessionStale => write!(f, "request older than the session's last applied one"),
             Error::InvalidState(m) => write!(f, "invalid protocol state: {m}"),
@@ -108,6 +112,7 @@ mod tests {
             Error::MergeBlocked,
             Error::IndexOutOfRange(LogIndex(3)),
             Error::Codec("x".into()),
+            Error::Storage("x".into()),
             Error::ProposalDropped,
             Error::SessionStale,
             Error::InvalidState("x".into()),

@@ -10,7 +10,7 @@ use recraft::types::{
     ClientOp, ClientRequest, ClusterConfig, ClusterId, MergeParticipant, MergeTx, NodeId, RangeSet,
     SessionId, SplitSpec, TxId,
 };
-use recraft_storage::EntryPayload;
+use recraft_storage::{EntryPayload, LogStore};
 
 const SEC: u64 = 1_000_000;
 
@@ -101,7 +101,7 @@ fn sessions_with_duplicates_through_split_and_merge() {
     // ...and none of them put an entry in any log: with reads off the log,
     // no Get command exists anywhere.
     for node in sim.nodes() {
-        for entry in node.log().iter() {
+        for entry in node.log().tail(node.log().first_index()) {
             let cmd = match &entry.payload {
                 EntryPayload::Command(cmd) => cmd,
                 EntryPayload::SessionCommand { cmd, .. } => cmd,
