@@ -1,0 +1,159 @@
+//! Replication-pipeline throughput: batch size × in-flight depth × storage
+//! backend.
+//!
+//! The sweep measures committed-entries/sec at leader saturation for the
+//! three throughput levers this repo's hot path now exposes:
+//!
+//! * `max_batch_entries` — how many backlogged entries coalesce into one
+//!   AppendEntries frame (and one group-commit WAL record on the follower);
+//! * `max_inflight` — how many such frames the leader streams per follower
+//!   before waiting for an acknowledgement;
+//! * the storage backend — `mem` (no durability cost) vs `wal` (every
+//!   `take_outputs` barrier group-commits the round's appends).
+//!
+//! The `(batch=1, inflight=1)` row is the lockstep baseline: one entry per
+//! round trip, the defaults-off configuration. The acceptance bar for the
+//! pipelined engine is ≥2× committed-entries/sec over that baseline on the
+//! wal backend; the run asserts it.
+//!
+//! Run with: `cargo bench -p recraft-bench --bench replication_pipeline`
+//! (`BENCH_SMOKE=1` shrinks the measurement window for CI smoke runs).
+//! A machine-readable summary lands in
+//! `target/bench-summaries/BENCH_replication_pipeline.json` so the perf
+//! trajectory accumulates across CI runs.
+
+use recraft_bench::{node_ids, SEC};
+use recraft_core::PipelineConfig;
+use recraft_sim::{Backend, Sim, SimConfig, Workload};
+use recraft_types::{ClusterId, RangeSet};
+use std::io::Write;
+
+/// One measured configuration.
+struct Point {
+    backend: &'static str,
+    batch: usize,
+    inflight: usize,
+    kops: f64,
+    mean_batch: f64,
+    max_depth: usize,
+}
+
+fn run_point(backend: Backend, pipeline: PipelineConfig, measure: u64) -> (f64, f64, usize) {
+    let seed = 0x51BE ^ (pipeline.max_inflight as u64) << 8 ^ pipeline.max_batch_entries as u64;
+    let cfg = SimConfig::with_seed(seed)
+        .with_backend(backend)
+        .with_pipeline(pipeline);
+    let mut sim = Sim::new(cfg);
+    let cluster = ClusterId(1);
+    sim.boot_cluster(cluster, &node_ids(3), RangeSet::full());
+    sim.run_until_leader(cluster);
+    // Enough closed-loop writers to keep the leader's proposal queue full:
+    // saturation is where pipelining and batching pay.
+    sim.add_clients(
+        64,
+        Workload {
+            key_count: 10_000,
+            value_size: 512,
+            get_ratio: 0.0,
+            ..Workload::default()
+        },
+    );
+    sim.run_for(2 * SEC); // warmup
+    let from = sim.time();
+    sim.run_for(measure);
+    let to = sim.time();
+    sim.check_invariants();
+    sim.check_linearizability();
+    let ops = sim.metrics().completed_between(from, to);
+    let kops = ops as f64 / (measure as f64 / SEC as f64) / 1000.0;
+    let mean_batch = sim.metrics().mean_batch_size().unwrap_or(0.0);
+    let (_, max_depth) = sim.metrics().pipeline_maxima();
+    (kops, mean_batch, max_depth)
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let measure = if smoke { 2 * SEC } else { 6 * SEC };
+    println!("=== Replication pipeline: committed entries/sec at saturation ===");
+    println!(
+        "    (3 nodes, 64 write clients, 512 B values{})\n",
+        if smoke { ", smoke window" } else { "" }
+    );
+    println!(
+        "{:>4} {:>6} {:>9} | {:>12} {:>11} {:>10} | {:>8}",
+        "wal?", "batch", "inflight", "K entries/s", "mean batch", "max depth", "speedup"
+    );
+    let sweep: &[(usize, usize)] = if smoke {
+        &[(1, 1), (128, 64)]
+    } else {
+        &[(1, 1), (16, 1), (1, 16), (16, 16), (128, 64)]
+    };
+    let mut points: Vec<Point> = Vec::new();
+    let mut wal_speedup = 0.0f64;
+    for backend in [Backend::Mem, Backend::Wal] {
+        let name = match backend {
+            Backend::Mem => "mem",
+            Backend::Wal => "wal",
+        };
+        let mut baseline = None;
+        for &(batch, inflight) in sweep {
+            let pipeline = PipelineConfig {
+                max_inflight: inflight,
+                max_batch_entries: batch,
+                max_batch_bytes: 1 << 20,
+            };
+            let (kops, mean_batch, max_depth) = run_point(backend, pipeline, measure);
+            let base = *baseline.get_or_insert(kops);
+            let speedup = if base > 0.0 { kops / base } else { 0.0 };
+            if backend == Backend::Wal {
+                wal_speedup = wal_speedup.max(speedup);
+            }
+            println!(
+                "{name:>4} {batch:>6} {inflight:>9} | {kops:>12.2} {mean_batch:>11.2} \
+                 {max_depth:>10} | {speedup:>7.2}x"
+            );
+            points.push(Point {
+                backend: name,
+                batch,
+                inflight,
+                kops,
+                mean_batch,
+                max_depth,
+            });
+        }
+    }
+    println!(
+        "\nBatched+pipelined vs lockstep on the wal backend: {wal_speedup:.2}x \
+         (bar: >= 2.0x)"
+    );
+    write_summary(&points).expect("write bench summary");
+    assert!(
+        wal_speedup >= 2.0,
+        "pipelined replication must clear 2x over lockstep on wal, got {wal_speedup:.2}x"
+    );
+}
+
+/// Writes the JSON summary CI uploads as the perf-trajectory artifact.
+fn write_summary(points: &[Point]) -> std::io::Result<()> {
+    // Benches run with the package as CWD; anchor on the manifest so the
+    // summary lands in the workspace-level target dir CI uploads from.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-summaries");
+    let dir = dir.as_path();
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join("BENCH_replication_pipeline.json"))?;
+    writeln!(
+        f,
+        "{{\n  \"bench\": \"replication_pipeline\",\n  \"points\": ["
+    )?;
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"backend\": \"{}\", \"batch\": {}, \"inflight\": {}, \
+             \"kops\": {:.3}, \"mean_batch\": {:.2}, \"max_depth\": {}}}{comma}",
+            p.backend, p.batch, p.inflight, p.kops, p.mean_batch, p.max_depth
+        )?;
+    }
+    writeln!(f, "  ]\n}}")?;
+    Ok(())
+}

@@ -51,10 +51,10 @@ pub mod timing;
 pub mod votes;
 
 pub use events::NodeEvent;
-pub use node::{Node, Role};
+pub use node::{Node, ReconfigRecord, Role};
 pub use quorum::QuorumSpec;
 pub use sm::{MapMachine, StateMachine};
-pub use timing::Timing;
+pub use timing::{PipelineConfig, Timing};
 
 // Re-export the message vocabulary so downstream users need only this crate.
 pub use recraft_net as net;

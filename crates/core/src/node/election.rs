@@ -187,6 +187,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                     Progress {
                         next: last.next(),
                         matched: LogIndex::ZERO,
+                        window: super::ReplicationWindow::default(),
                     },
                 );
             }

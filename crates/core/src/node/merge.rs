@@ -517,8 +517,9 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                     at: self.hard.eterm,
                     tx: Some(tx_id),
                 });
-                // Fold the prepare + abort off the stack; the cluster resumes
-                // ordinary service unchanged.
+                self.touch_meta(); // history is durable metadata (survives reboots)
+                                   // Fold the prepare + abort off the stack; the cluster resumes
+                                   // ordinary service unchanged.
                 let base = self.cfg.base().clone();
                 self.cfg.fold(base, index);
                 false
@@ -698,6 +699,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             at: EpochTerm::new(ex.new_epoch, 0),
             tx: Some(ex.tx.id),
         });
+        self.touch_meta(); // history is durable metadata (survives reboots)
         if !members.contains(&self.id) {
             // Left out by the resumption resize: retire (still serving our
             // part to stragglers through merge_parts).

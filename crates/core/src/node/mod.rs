@@ -51,11 +51,110 @@ pub enum Role {
     Removed,
 }
 
-/// Per-peer replication progress kept by leaders.
+/// One AppendEntries batch the leader has sent but not yet seen
+/// acknowledged: the consistency point it was anchored at, how many entries
+/// it carried, and when it left (per-peer send timestamp, driving the
+/// stale-probe retransmit).
 #[derive(Debug, Clone, Copy)]
+pub(crate) struct InflightProbe {
+    pub(crate) prev_index: LogIndex,
+    pub(crate) len: u64,
+    pub(crate) sent_at: u64,
+}
+
+/// The per-follower pipeline window: every in-flight AppendEntries batch,
+/// oldest first. The leader streams new batches until the window holds
+/// `PipelineConfig::max_inflight` probes, acks drain it (out-of-order safe:
+/// `match_index` is cumulative, so one response can retire many probes), and
+/// a nack or a stale probe rewinds it wholesale — everything in flight past
+/// a failed consistency check is doomed anyway.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReplicationWindow {
+    probes: std::collections::VecDeque<InflightProbe>,
+}
+
+impl ReplicationWindow {
+    /// Number of batches currently in flight.
+    pub(crate) fn depth(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Records a freshly sent batch.
+    pub(crate) fn record(&mut self, prev_index: LogIndex, len: u64, sent_at: u64) {
+        self.probes.push_back(InflightProbe {
+            prev_index,
+            len,
+            sent_at,
+        });
+    }
+
+    /// Retires every probe the cumulative `match_index` covers. Responses
+    /// may arrive duplicated or out of order; covering probes by their end
+    /// position keeps the accounting monotonic either way.
+    pub(crate) fn ack(&mut self, match_index: LogIndex) {
+        while let Some(p) = self.probes.front() {
+            if p.prev_index.0 + p.len <= match_index.0 {
+                self.probes.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drops all in-flight accounting (nack rewind, truncation, step-down).
+    pub(crate) fn rewind(&mut self) {
+        self.probes.clear();
+    }
+
+    /// Whether the oldest probe has been in flight longer than `timeout` —
+    /// the loss signal that triggers a retransmit rewind.
+    pub(crate) fn stale(&self, now: u64, timeout: u64) -> bool {
+        self.probes
+            .front()
+            .is_some_and(|p| now.saturating_sub(p.sent_at) > timeout)
+    }
+}
+
+/// Per-peer replication progress kept by leaders.
+#[derive(Debug, Clone)]
 pub(crate) struct Progress {
     pub(crate) next: LogIndex,
     pub(crate) matched: LogIndex,
+    pub(crate) window: ReplicationWindow,
+}
+
+/// What a slot of an in-progress apply batch is: a plain command or a
+/// session-tracked one whose response must be recorded for dedup.
+#[derive(Debug, Clone, Copy)]
+enum BatchTag {
+    Plain,
+    Session(SessionId, u64),
+}
+
+/// A run of committed commands being gathered for one
+/// [`StateMachine::apply_batch`] call (see [`Node::advance_apply`] for the
+/// flush boundaries that keep batching invisible to every other layer).
+#[derive(Debug, Default)]
+struct ApplyBatch {
+    entries: Vec<(LogIndex, bytes::Bytes)>,
+    tags: Vec<BatchTag>,
+    /// Sessions with a command in the run — a second command of the same
+    /// session forces a flush so its dedup check sees recorded state.
+    sessions: BTreeSet<SessionId>,
+}
+
+impl ApplyBatch {
+    fn push(&mut self, index: LogIndex, cmd: bytes::Bytes, tag: BatchTag) {
+        if let BatchTag::Session(session, _) = tag {
+            self.sessions.insert(session);
+        }
+        self.entries.push((index, cmd));
+        self.tags.push(tag);
+    }
+
+    fn touches(&self, session: SessionId) -> bool {
+        self.sessions.contains(&session)
+    }
 }
 
 /// A client write proposal awaiting its entry's application.
@@ -132,26 +231,9 @@ pub(crate) struct MergeDriver {
     pub(crate) next_retry: u64,
 }
 
-/// A record of one completed reconfiguration, kept for long-term recovery
-/// (§V: "ReCraft requires all clusters to maintain the reconfiguration
-/// history even after garbage collecting the log").
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ReconfigRecord {
-    /// What happened.
-    pub kind: &'static str,
-    /// The cluster before.
-    pub old_cluster: ClusterId,
-    /// The cluster after.
-    pub new_cluster: ClusterId,
-    /// Members before.
-    pub members_before: BTreeSet<NodeId>,
-    /// Members after.
-    pub members_after: BTreeSet<NodeId>,
-    /// The node's epoch-term when the record was made.
-    pub at: EpochTerm,
-    /// The merge transaction involved, if any.
-    pub tx: Option<TxId>,
-}
+// The §V reconfiguration-history record now lives in `recraft-storage`: it
+// is persisted inside [`NodeMeta`], so history survives real reboots.
+pub use recraft_storage::ReconfigRecord;
 
 /// A ReCraft replica, generic over its state machine `SM` and durable
 /// storage backend `LS` (defaulting to the in-memory [`MemLog`]).
@@ -435,7 +517,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             snapshot,
             snap_config,
             cfg,
-            history: Vec::new(),
+            history: meta.history,
             sm,
             sessions,
             role: Role::Follower,
@@ -469,7 +551,9 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         })
     }
 
-    /// The durable node metadata as of right now.
+    /// The durable node metadata as of right now. The §V reconfiguration
+    /// history rides along, so it survives reboots even after the log
+    /// entries that produced it were compacted away.
     pub(crate) fn node_meta(&self) -> NodeMeta {
         NodeMeta {
             hard: self.hard,
@@ -477,6 +561,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             cluster_epoch: self.cluster_epoch,
             bootstrapped: self.bootstrapped,
             join_target: self.join_target,
+            history: self.history.clone(),
         }
     }
 
@@ -953,6 +1038,26 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         self.log.append(entry);
     }
 
+    /// Appends a contiguous run of entries, keeping the config stack in sync
+    /// per entry while handing the storage layer the whole run at once — on
+    /// a durable backend that is one group-commit record instead of one per
+    /// entry.
+    pub(crate) fn log_append_batch(&mut self, entries: Vec<LogEntry>) {
+        if entries.is_empty() {
+            return;
+        }
+        for entry in &entries {
+            if let Some(change) = entry.as_config() {
+                self.cfg.push(entry.index, change.clone());
+                self.emit(NodeEvent::ConfigAppended {
+                    kind: change.kind(),
+                    index: entry.index,
+                });
+            }
+        }
+        self.log.append_batch(entries);
+    }
+
     /// Truncates the log from `index`, rolling back config entries and
     /// failing any client proposals that lived there.
     pub(crate) fn log_truncate(&mut self, index: LogIndex) {
@@ -966,9 +1071,13 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             .expect("truncation point above base");
         self.cfg.truncate_from(index);
         // Replication cursors must not point past the shortened log, or the
-        // next send would look up a prev entry that no longer exists.
+        // next send would look up a prev entry that no longer exists. The
+        // in-flight accounting for any rolled-back cursor is void with it.
         for pr in self.progress.values_mut() {
-            pr.next = pr.next.min(index);
+            if pr.next > index {
+                pr.next = index;
+                pr.window.rewind();
+            }
         }
         let dropped: Vec<(LogIndex, PendingClient)> =
             self.pending_clients.split_off(&index).into_iter().collect();
@@ -1035,7 +1144,22 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
 
     /// Applies committed entries in order, processing configuration commits
     /// (folds, split completion, merge phases).
+    ///
+    /// Plain and session commands are gathered into runs handed to
+    /// [`StateMachine::apply_batch`] in one call. Three things flush a
+    /// pending run early, preserving exactly the one-at-a-time semantics:
+    ///
+    /// * a **configuration entry** — batches never straddle a
+    ///   reconfiguration barrier, so split range retention, merge
+    ///   resumption, and membership folds observe the same state boundaries
+    ///   as the unbatched loop;
+    /// * a **same-session command** — the dedup verdict for `(session,
+    ///   seq)` may depend on a command still sitting in the batch, so the
+    ///   batch applies (and records) first;
+    /// * crossing the config stack's **fold point** during replay, whose
+    ///   range re-pruning must see the batch applied.
     pub(crate) fn advance_apply(&mut self, now: u64) {
+        let mut batch = ApplyBatch::default();
         while self.applied_index < self.commit_index {
             let index = self.applied_index.next();
             let entry = self
@@ -1044,29 +1168,53 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                 .expect("committed entry missing from log")
                 .clone();
             self.applied_index = index;
-            match &entry.payload {
+            match entry.payload {
                 EntryPayload::Noop => {}
-                EntryPayload::Command(cmd) => {
-                    let resp = self.sm.apply(index, cmd);
-                    let digest = crate::events::fingerprint(cmd);
-                    self.emit(NodeEvent::AppliedCommand {
-                        cluster: self.cluster,
-                        index,
-                        digest,
-                    });
-                    if let Some(p) = self.pending_clients.remove(&index) {
-                        self.reply(
-                            p.client,
-                            p.session,
-                            p.seq,
-                            ClientOutcome::Reply { payload: resp },
-                        );
+                EntryPayload::Command(ref cmd) => {
+                    batch.push(index, cmd.clone(), BatchTag::Plain);
+                }
+                EntryPayload::SessionCommand {
+                    session,
+                    seq,
+                    ref cmd,
+                } => {
+                    if batch.touches(session) {
+                        self.flush_apply_batch(&mut batch);
+                    }
+                    match self.sessions.check(session, seq) {
+                        SessionCheck::Fresh => {
+                            batch.push(index, cmd.clone(), BatchTag::Session(session, seq));
+                        }
+                        // A duplicate entry: answer from the table without
+                        // re-applying.
+                        SessionCheck::Duplicate(recorded) => {
+                            if let Some(p) = self.pending_clients.remove(&index) {
+                                self.reply(
+                                    p.client,
+                                    p.session,
+                                    p.seq,
+                                    ClientOutcome::Reply { payload: recorded },
+                                );
+                            }
+                        }
+                        SessionCheck::Stale => {
+                            if let Some(p) = self.pending_clients.remove(&index) {
+                                self.reply(
+                                    p.client,
+                                    p.session,
+                                    p.seq,
+                                    ClientOutcome::Rejected {
+                                        error: Error::SessionStale,
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
-                EntryPayload::SessionCommand { session, seq, cmd } => {
-                    self.apply_session_command(index, *session, *seq, cmd);
-                }
-                EntryPayload::Config(change) => {
+                EntryPayload::Config(ref change) => {
+                    // Reconfiguration barrier: whatever is pending applies
+                    // BEFORE the barrier's state transitions run.
+                    self.flush_apply_batch(&mut batch);
                     if index > self.cfg.base_from() {
                         let reset = self.on_config_committed(now, index, &entry, &change.clone());
                         if reset {
@@ -1079,47 +1227,50 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             }
             if index == self.cfg.base_from() {
                 // Crossing a fold point during replay after restart: re-prune
-                // state outside the folded configuration's ranges.
+                // state outside the folded configuration's ranges — after the
+                // commands up to the fold point have applied.
+                self.flush_apply_batch(&mut batch);
                 let ranges = self.cfg.base().ranges().clone();
                 self.sm.retain_ranges(&ranges);
             }
         }
+        self.flush_apply_batch(&mut batch);
         self.maybe_compact();
         // Reads whose read_index just became covered can now be served.
         self.flush_ready_reads(now);
     }
 
-    /// Applies (or deduplicates) a committed session command. The check runs
-    /// at apply time on every replica, so duplicate *entries* — the same
-    /// `(session, seq)` appended twice by different leaders during a retry
-    /// storm — change the state machine exactly once everywhere.
-    fn apply_session_command(
-        &mut self,
-        index: LogIndex,
-        session: SessionId,
-        seq: u64,
-        cmd: &bytes::Bytes,
-    ) {
-        let outcome = match self.sessions.check(session, seq) {
-            SessionCheck::Fresh => {
-                let resp = self.sm.apply(index, cmd);
+    /// Applies the gathered run through [`StateMachine::apply_batch`], then
+    /// settles the per-entry bookkeeping: session records (the apply-time
+    /// exactly-once check every replica runs), safety-witness events, and
+    /// client replies.
+    fn flush_apply_batch(&mut self, batch: &mut ApplyBatch) {
+        if batch.entries.is_empty() {
+            return;
+        }
+        let responses = self.sm.apply_batch(&batch.entries);
+        debug_assert_eq!(responses.len(), batch.entries.len());
+        let entries = std::mem::take(&mut batch.entries);
+        let tags = std::mem::take(&mut batch.tags);
+        batch.sessions.clear();
+        for (((index, cmd), tag), resp) in entries.into_iter().zip(tags).zip(responses) {
+            if let BatchTag::Session(session, seq) = tag {
                 self.sessions.record(session, seq, resp.clone());
-                let digest = crate::events::fingerprint(cmd);
-                self.emit(NodeEvent::AppliedCommand {
-                    cluster: self.cluster,
-                    index,
-                    digest,
-                });
-                ClientOutcome::Reply { payload: resp }
             }
-            // A duplicate entry: answer from the table without re-applying.
-            SessionCheck::Duplicate(recorded) => ClientOutcome::Reply { payload: recorded },
-            SessionCheck::Stale => ClientOutcome::Rejected {
-                error: Error::SessionStale,
-            },
-        };
-        if let Some(p) = self.pending_clients.remove(&index) {
-            self.reply(p.client, p.session, p.seq, outcome);
+            let digest = crate::events::fingerprint(&cmd);
+            self.emit(NodeEvent::AppliedCommand {
+                cluster: self.cluster,
+                index,
+                digest,
+            });
+            if let Some(p) = self.pending_clients.remove(&index) {
+                self.reply(
+                    p.client,
+                    p.session,
+                    p.seq,
+                    ClientOutcome::Reply { payload: resp },
+                );
+            }
         }
     }
 
@@ -1215,6 +1366,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         let members_before = self.cfg.base().members().clone();
         let quorum_size = base.quorum_size();
         self.cfg.fold(base, index);
+        self.touch_meta(); // the history is part of the durable metadata
         self.history.push(ReconfigRecord {
             kind,
             old_cluster: self.cluster,

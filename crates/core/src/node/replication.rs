@@ -1,4 +1,4 @@
-//! Log replication with segmented commit rules.
+//! Pipelined log replication with segmented commit rules.
 //!
 //! Replication is Raft's, with three ReCraft refinements:
 //!
@@ -11,6 +11,26 @@
 //!   content is fixed by the reconfiguration in progress, and the paper's
 //!   re-execution semantics ("FAILURE ... requires a re-execution, e.g. a
 //!   leader committing log entries from past terms") depends on it.
+//!
+//! # The pipeline
+//!
+//! The leader streams AppendEntries batches to each follower without
+//! waiting for acknowledgements, bounded by the follower's
+//! [`ReplicationWindow`](super::ReplicationWindow):
+//!
+//! * [`Node::push_entries`] fills the window — up to
+//!   `PipelineConfig::max_inflight` batches of up to `max_batch_entries` /
+//!   `max_batch_bytes` each, so a backlog coalesces into few large frames
+//!   while an idle stream sends each proposal the moment it arrives;
+//! * successful responses carry a cumulative `match_index` that retires
+//!   every covered probe, however reordered or duplicated the responses
+//!   arrive;
+//! * a rejection rewinds the whole window (everything in flight past a
+//!   failed consistency check is doomed) and restreams from the conflict
+//!   hint;
+//! * a probe that outlives a heartbeat interval without an acknowledgement
+//!   is presumed lost: the window rewinds to `matched + 1` and restreams
+//!   (the follower drops duplicates idempotently).
 //!
 //! [`Derived::commit_rule`]: crate::stack::Derived::commit_rule
 
@@ -32,10 +52,13 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         self.progress.retain(|peer, _| members.contains(peer));
         for peer in members {
             if peer != self.id {
-                self.progress.entry(peer).or_insert(super::Progress {
-                    next: last.next(),
-                    matched: LogIndex::ZERO,
-                });
+                self.progress
+                    .entry(peer)
+                    .or_insert_with(|| super::Progress {
+                        next: last.next(),
+                        matched: LogIndex::ZERO,
+                        window: super::ReplicationWindow::default(),
+                    });
             }
         }
     }
@@ -52,14 +75,39 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         }
     }
 
-    /// Sends the next batch (or a heartbeat, or a snapshot) to one peer.
-    pub(crate) fn send_append(&mut self, _now: u64, peer: NodeId) {
-        if self.role != Role::Leader {
-            return;
+    /// Streams to one peer: pending entries if the pipeline window has room,
+    /// else (or when fully caught up) a single empty heartbeat probe so
+    /// election suppression, commit propagation, and ReadIndex confirmation
+    /// never depend on there being log traffic.
+    pub(crate) fn send_append(&mut self, now: u64, peer: NodeId) {
+        if !self.push_entries(now, peer) {
+            self.send_heartbeat(peer);
         }
-        let Some(pr) = self.progress.get(&peer).copied() else {
-            return;
+    }
+
+    /// Fills the peer's pipeline window with entry batches (or requests a
+    /// snapshot install when the peer is behind the compaction base).
+    /// Returns whether anything was sent.
+    pub(crate) fn push_entries(&mut self, now: u64, peer: NodeId) -> bool {
+        if self.role != Role::Leader {
+            // Nothing sent, and the heartbeat fallback checks again.
+            return true;
+        }
+        let Some(pr) = self.progress.get_mut(&peer) else {
+            return true;
         };
+        // Loss detection: the oldest in-flight batch went unacknowledged
+        // for two full heartbeat intervals — and heartbeats themselves
+        // elicit acks (or nacks) that would have retired or rewound it —
+        // so presume loss, rewind to the last acknowledged point, and
+        // restream. (This is where the per-peer send timestamps earn their
+        // keep; duplicates are dropped idempotently on the follower.) The
+        // 2x margin keeps a healthy-but-slow ack stream from triggering
+        // steady-state full-window retransmits.
+        if pr.window.stale(now, 2 * self.timing.heartbeat_interval) {
+            pr.window.rewind();
+            pr.next = pr.matched.next();
+        }
         if pr.next <= self.log.base_index() {
             // The peer needs entries we compacted away (or it comes from a
             // different log lineage, e.g. a merge straggler): install our
@@ -73,7 +121,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                     config: self.snap_config.clone(),
                 },
             );
-            return;
+            return true;
         }
         let derived = self.derived_cached();
         let cap = derived.replication_cap(self.id, peer);
@@ -81,22 +129,74 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         if let Some(cap) = cap {
             last = last.min(cap);
         }
+        let pipeline = self.timing.pipeline;
+        let mut sent = false;
+        while let Some(pr) = self.progress.get(&peer) {
+            if pr.next > last || pr.window.depth() >= pipeline.max_inflight {
+                break;
+            }
+            let next = pr.next;
+            let prev_index = next.prev();
+            let prev_eterm = self
+                .log
+                .eterm_at(prev_index)
+                .expect("prev entry within retained log");
+            // Coalesce the backlog: up to max_batch_entries per frame, cut
+            // earlier once the payload outgrows max_batch_bytes (always at
+            // least one entry so a huge command still replicates).
+            let to = last.min(LogIndex(next.0 + pipeline.max_batch_entries as u64 - 1));
+            let mut entries = self.log.slice(next, to);
+            let mut bytes = 0usize;
+            for (i, e) in entries.iter().enumerate() {
+                bytes += payload_bytes(e);
+                if bytes > pipeline.max_batch_bytes && i > 0 {
+                    entries.truncate(i);
+                    break;
+                }
+            }
+            let last_sent = entries.last().map(|e| e.index).expect("nonempty batch");
+            let len = last_sent.0 - prev_index.0;
+            if let Some(pr) = self.progress.get_mut(&peer) {
+                pr.next = last_sent.next();
+                pr.window.record(prev_index, len, now);
+            }
+            self.send(
+                peer,
+                Message::AppendEntries {
+                    cluster: self.cluster,
+                    eterm: self.hard.eterm,
+                    prev_index,
+                    prev_eterm,
+                    entries,
+                    leader_commit: self.commit_index,
+                    probe: self.read_serial,
+                },
+            );
+            sent = true;
+        }
+        sent
+    }
+
+    /// Sends one empty AppendEntries probe anchored at the peer's cursor:
+    /// the heartbeat. Carries `leader_commit` and the ReadIndex probe
+    /// serial; the response doubles as the loss detector for optimistically
+    /// advanced cursors (a follower missing the prefix answers with a
+    /// conflict hint).
+    fn send_heartbeat(&mut self, peer: NodeId) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let Some(pr) = self.progress.get(&peer) else {
+            return;
+        };
+        if pr.next <= self.log.base_index() {
+            return; // push_entries already requested a snapshot install
+        }
         let prev_index = pr.next.prev();
         let prev_eterm = self
             .log
             .eterm_at(prev_index)
             .expect("prev entry within retained log");
-        let to = last.min(LogIndex(pr.next.0 + self.timing.max_batch as u64 - 1));
-        let entries = self.log.slice(pr.next, to);
-        // Pipeline: optimistically advance `next` past what we just sent so
-        // back-to-back proposals do not re-send the same suffix. A lost
-        // message self-heals through the consistency check (the follower's
-        // conflict hint rolls `next` back).
-        if let Some(last_sent) = entries.last().map(|e| e.index) {
-            if let Some(pr) = self.progress.get_mut(&peer) {
-                pr.next = last_sent.next();
-            }
-        }
         self.send(
             peer,
             Message::AppendEntries {
@@ -104,7 +204,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                 eterm: self.hard.eterm,
                 prev_index,
                 prev_eterm,
-                entries,
+                entries: Vec::new(),
                 leader_commit: self.commit_index,
                 probe: self.read_serial,
             },
@@ -188,8 +288,18 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             return;
         }
         let mut match_index = prev_index;
+        // Partition the batch: skip what we already hold, truncate a
+        // conflicting suffix once, and gather everything genuinely new into
+        // one run — a single group-commit record on a durable backend
+        // instead of one write per entry.
+        let mut to_append: Vec<LogEntry> = Vec::new();
         for entry in entries {
             match_index = entry.index;
+            if !to_append.is_empty() {
+                // Past the first new entry everything is new (contiguous).
+                to_append.push(entry);
+                continue;
+            }
             if entry.index <= self.log.base_index() {
                 continue; // already folded into our snapshot
             }
@@ -198,14 +308,15 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                 Some(_) => {
                     // Conflicting uncommitted suffix: replace it.
                     self.log_truncate(entry.index);
-                    self.log_append(entry);
+                    to_append.push(entry);
                 }
                 None => {
                     debug_assert_eq!(entry.index, self.log.last_index().next());
-                    self.log_append(entry);
+                    to_append.push(entry);
                 }
             }
         }
+        self.log_append_batch(to_append);
         self.send(
             from,
             Message::AppendResp {
@@ -252,28 +363,33 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             if match_index > pr.matched {
                 pr.matched = match_index;
             }
+            // The cumulative match retires every in-flight batch it covers
+            // — responses may arrive duplicated or out of order, the window
+            // accounting only ever moves forward.
+            pr.window.ack(pr.matched);
             // Never roll back below pipelined in-flight sends.
             pr.next = pr.next.max(pr.matched.next());
-            let next = pr.next;
-            // Continue streaming only while there is something this peer may
-            // actually receive (the split replication cap bounds cross-
-            // subcluster peers at the Cnew entry — without honouring it here
-            // the leader and the peer ping-pong empty appends forever).
-            let derived = self.derived_cached();
-            let mut last = self.log.last_index();
-            if let Some(cap) = derived.replication_cap(self.id, from) {
-                last = last.min(cap);
-            }
-            let more = next <= last;
+            let advanced = pr.matched > self.commit_index;
             // The successful response at our own epoch-term confirms the
             // responder still recognizes this leadership; credit it to every
             // read batch the echoed probe serial covers.
             self.note_read_ack(now, from, probe);
-            self.leader_advance_commit(now);
-            if more {
-                self.send_append(now, from);
+            // Commit evaluation is amortized over ack batches: one response
+            // may retire many pipelined sends, and acks that cannot move the
+            // commit index (duplicates, heartbeat echoes) skip the quorum
+            // walk entirely.
+            if advanced {
+                self.leader_advance_commit(now);
             }
+            // Refill the freed window slots (push_entries honours the split
+            // replication cap, so cross-subcluster peers are never ping-
+            // ponged with empty appends past the Cnew entry).
+            self.push_entries(now, from);
         } else {
+            // Everything in flight past the failed consistency check is
+            // doomed with it: rewind the window wholesale and restream from
+            // the conflict hint.
+            pr.window.rewind();
             let hint = conflict.unwrap_or(pr.next.saturating_prev());
             pr.next = hint.min(pr.next.saturating_prev()).max(LogIndex::ZERO);
             self.send_append(now, from);
@@ -437,16 +553,45 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         if self.role != Role::Leader {
             return;
         }
+        // Credit replication only up to the snapshot boundary we sent. The
+        // responder reports its own last index, which can include an
+        // uncommitted tail from an older leader that matches nothing of
+        // ours — counting it as replicated would both over-claim quorum
+        // acknowledgements and point `next` past our log. Up to the
+        // snapshot index the responder's *committed* prefix provably agrees
+        // with us, so that much is safe to credit.
+        let confirmed = last_index.min(self.snapshot.last_index);
         if let Some(pr) = self.progress.get_mut(&from) {
-            if last_index > pr.matched {
-                pr.matched = last_index;
+            if confirmed > pr.matched {
+                pr.matched = confirmed;
             }
             pr.next = pr.matched.next();
-            let more = pr.next <= self.log.last_index();
+            // In-flight probes anchored before the install are void.
+            pr.window.rewind();
             self.leader_advance_commit(now);
-            if more {
-                self.send_append(now, from);
-            }
+            self.push_entries(now, from);
         }
+    }
+
+    /// The deepest per-peer in-flight pipeline window right now (leader
+    /// observability: the simulator samples this into its depth histogram).
+    #[must_use]
+    pub fn max_inflight_depth(&self) -> usize {
+        self.progress
+            .values()
+            .map(|pr| pr.window.depth())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Approximate wire payload of one entry — the accounting unit behind the
+/// `max_batch_bytes` coalescing bound.
+fn payload_bytes(entry: &LogEntry) -> usize {
+    match &entry.payload {
+        EntryPayload::Noop => 8,
+        EntryPayload::Command(cmd) => cmd.len() + 16,
+        EntryPayload::SessionCommand { cmd, .. } => cmd.len() + 32,
+        EntryPayload::Config(_) => 64,
     }
 }

@@ -49,6 +49,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                 at: self.hard.eterm,
                 tx: None,
             });
+            self.touch_meta(); // history is durable metadata (survives reboots)
             self.role = Role::Removed;
             self.emit(NodeEvent::Removed {
                 cluster: old_cluster,
@@ -99,6 +100,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             at: new_eterm,
             tx: None,
         });
+        self.touch_meta(); // history is durable metadata (survives reboots)
         self.emit(NodeEvent::SplitCompleted {
             old_cluster,
             new_cluster: sub.id(),
@@ -116,10 +118,13 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             let last = self.log.last_index();
             for peer in sub.members().iter().copied() {
                 if peer != self.id {
-                    self.progress.entry(peer).or_insert(super::Progress {
-                        next: last.next(),
-                        matched: LogIndex::ZERO,
-                    });
+                    self.progress
+                        .entry(peer)
+                        .or_insert_with(|| super::Progress {
+                            next: last.next(),
+                            matched: LogIndex::ZERO,
+                            window: super::ReplicationWindow::default(),
+                        });
                 }
             }
             self.emit(NodeEvent::BecameLeader {

@@ -15,6 +15,21 @@ pub trait StateMachine {
     /// back to the client.
     fn apply(&mut self, index: LogIndex, cmd: &Bytes) -> Bytes;
 
+    /// Applies a run of committed commands in log order, returning one
+    /// response per command (same order). The consensus layer hands over
+    /// the longest run that does not cross a reconfiguration barrier —
+    /// split/merge/membership entries always flush the pending batch first,
+    /// so range retention and session snapshots observe exactly the
+    /// boundaries the one-at-a-time path did. Implementations can amortize
+    /// per-call overhead (decode state, index maintenance, one revision
+    /// scan); the default simply loops [`StateMachine::apply`].
+    fn apply_batch(&mut self, entries: &[(LogIndex, Bytes)]) -> Vec<Bytes> {
+        entries
+            .iter()
+            .map(|(index, cmd)| self.apply(*index, cmd))
+            .collect()
+    }
+
     /// Answers a read-only query against the applied state — the leader's
     /// ReadIndex path calls this after quorum-confirming its commit index,
     /// so reads never touch the log.

@@ -5,6 +5,74 @@
 //! timeouts randomized over a 2× band (the paper's liveness assumption
 //! `broadcastTime << electionTimeout << MTBF`, §VI-B).
 
+/// Tuning knobs for the pipelined replication engine and batched apply.
+///
+/// The three levers production Raft implementations pull for throughput:
+/// keep several AppendEntries batches in flight per follower instead of one
+/// per round trip (`max_inflight`), coalesce backlogged entries into large
+/// batches (`max_batch_entries` / `max_batch_bytes`), and let the write-
+/// ahead barrier group-commit everything a round appended under one fsync
+/// (which falls out of the batch shape — see `LogStore::append_batch`).
+/// Setting `max_inflight` and `max_batch_entries` to 1 gives the lockstep
+/// one-entry-per-round-trip baseline the `replication_pipeline` bench
+/// measures against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Maximum AppendEntries batches in flight per follower before the
+    /// leader stops streaming and waits for acknowledgements.
+    pub max_inflight: usize,
+    /// Maximum entries per AppendEntries batch.
+    pub max_batch_entries: usize,
+    /// Soft cap on command payload bytes per AppendEntries batch (a batch
+    /// always carries at least one entry).
+    pub max_batch_bytes: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_inflight: 64,
+            max_batch_entries: 128,
+            max_batch_bytes: 1 << 20,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The defaults-off configuration: one entry, one batch in flight —
+    /// the classic lockstep replication cycle, kept as the bench baseline.
+    #[must_use]
+    pub fn lockstep() -> Self {
+        PipelineConfig {
+            max_inflight: 1,
+            max_batch_entries: 1,
+            max_batch_bytes: 1 << 20,
+        }
+    }
+
+    /// Reads overrides from `RECRAFT_MAX_INFLIGHT`,
+    /// `RECRAFT_MAX_BATCH_ENTRIES`, and `RECRAFT_MAX_BATCH_BYTES`, so the
+    /// whole sim/test suite can be swept across pipeline shapes without
+    /// edits (the same pattern as `RECRAFT_BACKEND`). Unset or unparsable
+    /// variables keep the defaults.
+    #[must_use]
+    pub fn from_env() -> Self {
+        fn var(name: &str, default: usize) -> usize {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|v| *v > 0)
+                .unwrap_or(default)
+        }
+        let d = PipelineConfig::default();
+        PipelineConfig {
+            max_inflight: var("RECRAFT_MAX_INFLIGHT", d.max_inflight),
+            max_batch_entries: var("RECRAFT_MAX_BATCH_ENTRIES", d.max_batch_entries),
+            max_batch_bytes: var("RECRAFT_MAX_BATCH_BYTES", d.max_batch_bytes),
+        }
+    }
+}
+
 /// Timer configuration for one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timing {
@@ -20,8 +88,8 @@ pub struct Timing {
     pub rpc_retry: u64,
     /// Log length that triggers snapshotting and compaction.
     pub compaction_threshold: usize,
-    /// Maximum entries per AppendEntries batch.
-    pub max_batch: usize,
+    /// Replication pipelining and batching knobs.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for Timing {
@@ -33,7 +101,7 @@ impl Default for Timing {
             pull_retry: 100_000,
             rpc_retry: 150_000,
             compaction_threshold: 4096,
-            max_batch: 128,
+            pipeline: PipelineConfig::default(),
         }
     }
 }
@@ -43,7 +111,8 @@ impl Timing {
     ///
     /// # Panics
     /// Panics if the heartbeat interval is not strictly below the minimum
-    /// election timeout or the timeout band is empty.
+    /// election timeout, the timeout band is empty, or a pipeline bound is
+    /// zero.
     pub fn validate(&self) {
         assert!(
             self.heartbeat_interval < self.election_timeout_min,
@@ -53,7 +122,18 @@ impl Timing {
             self.election_timeout_min <= self.election_timeout_max,
             "empty election timeout band"
         );
-        assert!(self.max_batch > 0, "batch size must be positive");
+        assert!(
+            self.pipeline.max_batch_entries > 0,
+            "batch size must be positive"
+        );
+        assert!(
+            self.pipeline.max_inflight > 0,
+            "in-flight window must be positive"
+        );
+        assert!(
+            self.pipeline.max_batch_bytes > 0,
+            "batch byte bound must be positive"
+        );
     }
 }
 
@@ -74,5 +154,30 @@ mod tests {
             ..Timing::default()
         };
         t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight")]
+    fn zero_inflight_rejected() {
+        let t = Timing {
+            pipeline: PipelineConfig {
+                max_inflight: 0,
+                ..PipelineConfig::default()
+            },
+            ..Timing::default()
+        };
+        t.validate();
+    }
+
+    #[test]
+    fn lockstep_is_valid_and_minimal() {
+        let p = PipelineConfig::lockstep();
+        assert_eq!(p.max_inflight, 1);
+        assert_eq!(p.max_batch_entries, 1);
+        Timing {
+            pipeline: p,
+            ..Timing::default()
+        }
+        .validate();
     }
 }

@@ -209,28 +209,13 @@ impl KvStore {
         self.entries.iter().map(|(k, v)| k.len() + v.len()).sum()
     }
 
-    fn encode_map(map: &BTreeMap<Vec<u8>, Bytes>) -> Bytes {
-        let plain: BTreeMap<Vec<u8>, Vec<u8>> =
-            map.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect();
-        let mut buf = BytesMut::new();
-        plain.encode(&mut buf);
-        buf.freeze()
-    }
-
-    fn decode_map(data: &Bytes) -> Result<BTreeMap<Vec<u8>, Bytes>> {
-        let mut buf = data.clone();
-        let plain = BTreeMap::<Vec<u8>, Vec<u8>>::decode(&mut buf)?;
-        Ok(plain
-            .into_iter()
-            .map(|(k, v)| (k, Bytes::from(v)))
-            .collect())
-    }
-}
-
-impl StateMachine for KvStore {
-    fn apply(&mut self, _index: LogIndex, cmd: &Bytes) -> Bytes {
+    /// Applies one command: bumps the revision and answers. The single
+    /// dispatch both [`StateMachine::apply`] and
+    /// [`StateMachine::apply_batch`] go through — replicas must produce
+    /// byte-identical responses whichever path delivered the entry.
+    fn apply_cmd(&mut self, cmd: &Bytes) -> KvResp {
         self.revision += 1;
-        let resp = match KvCmd::decode(cmd) {
+        match KvCmd::decode(cmd) {
             Ok(KvCmd::Put { key, value }) => {
                 self.entries.insert(key, value);
                 KvResp::Ok {
@@ -265,8 +250,40 @@ impl StateMachine for KvStore {
             Err(_) => KvResp::Ok {
                 revision: self.revision,
             },
-        };
-        resp.encode()
+        }
+    }
+
+    fn encode_map(map: &BTreeMap<Vec<u8>, Bytes>) -> Bytes {
+        let plain: BTreeMap<Vec<u8>, Vec<u8>> =
+            map.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect();
+        let mut buf = BytesMut::new();
+        plain.encode(&mut buf);
+        buf.freeze()
+    }
+
+    fn decode_map(data: &Bytes) -> Result<BTreeMap<Vec<u8>, Bytes>> {
+        let mut buf = data.clone();
+        let plain = BTreeMap::<Vec<u8>, Vec<u8>>::decode(&mut buf)?;
+        Ok(plain
+            .into_iter()
+            .map(|(k, v)| (k, Bytes::from(v)))
+            .collect())
+    }
+}
+
+impl StateMachine for KvStore {
+    fn apply(&mut self, _index: LogIndex, cmd: &Bytes) -> Bytes {
+        self.apply_cmd(cmd).encode()
+    }
+
+    fn apply_batch(&mut self, entries: &[(LogIndex, Bytes)]) -> Vec<Bytes> {
+        // One pre-sized pass over the whole committed run, through the same
+        // dispatch as the single-entry path.
+        let mut responses = Vec::with_capacity(entries.len());
+        for (_, cmd) in entries {
+            responses.push(self.apply_cmd(cmd).encode());
+        }
+        responses
     }
 
     fn query(&self, key: &[u8]) -> Bytes {
@@ -518,6 +535,50 @@ mod tests {
         let mut store = KvStore::new();
         put(&mut store, LogIndex(1), "abc", "wxyz");
         assert_eq!(store.data_size(), 7);
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_apply() {
+        use recraft_core::StateMachine as _;
+        let cmds: Vec<Bytes> = vec![
+            KvCmd::Put {
+                key: b"a".to_vec(),
+                value: Bytes::from_static(b"1"),
+            }
+            .encode(),
+            KvCmd::Get {
+                key: b"a".to_vec(),
+                nonce: 7,
+            }
+            .encode(),
+            Bytes::from_static(b"\xFF\xFF"), // malformed still consumes a slot
+            KvCmd::Delete {
+                key: b"a".to_vec(),
+                nonce: 8,
+            }
+            .encode(),
+            KvCmd::Get {
+                key: b"a".to_vec(),
+                nonce: 9,
+            }
+            .encode(),
+        ];
+        let mut seq = KvStore::new();
+        let seq_resps: Vec<Bytes> = cmds
+            .iter()
+            .enumerate()
+            .map(|(i, c)| seq.apply(LogIndex(i as u64 + 1), c))
+            .collect();
+        let mut batched = KvStore::new();
+        let entries: Vec<(LogIndex, Bytes)> = cmds
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (LogIndex(i as u64 + 1), c.clone()))
+            .collect();
+        let batch_resps = batched.apply_batch(&entries);
+        assert_eq!(seq_resps, batch_resps, "byte-identical responses");
+        assert_eq!(seq, batched, "identical end state");
+        assert_eq!(batched.revision(), cmds.len() as u64);
     }
 
     #[test]

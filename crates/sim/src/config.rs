@@ -1,6 +1,6 @@
 //! Simulation parameters.
 
-use recraft_core::Timing;
+use recraft_core::{PipelineConfig, Timing};
 
 /// Which durable-storage backend simulated nodes run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,7 +70,14 @@ impl Default for SimConfig {
             bandwidth: 100,
             drop_prob: 0.0,
             proc_time: 20,
-            timing: Timing::default(),
+            // Pipeline knobs default from RECRAFT_MAX_INFLIGHT /
+            // RECRAFT_MAX_BATCH_ENTRIES / RECRAFT_MAX_BATCH_BYTES, so the
+            // whole suite sweeps replication shapes without edits — the
+            // same pattern as RECRAFT_BACKEND.
+            timing: Timing {
+                pipeline: PipelineConfig::from_env(),
+                ..Timing::default()
+            },
             tick_interval: 5_000,
             client_timeout: 5_000_000,
             directory_delay: 20_000,
@@ -87,5 +94,21 @@ impl SimConfig {
             seed,
             ..SimConfig::default()
         }
+    }
+
+    /// The same configuration with explicit pipeline knobs (the
+    /// `replication_pipeline` bench sweeps these).
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.timing.pipeline = pipeline;
+        self
+    }
+
+    /// The same configuration on an explicit storage backend (overriding
+    /// the `RECRAFT_BACKEND` default).
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }

@@ -517,13 +517,24 @@ impl Sim {
             }
             Action::PowerCut(id) => {
                 let tear = self.rng.gen_range(0..64);
+                let mut degraded = None;
                 if let Some(sn) = self.nodes.get_mut(&id) {
                     sn.up = false;
+                    if !sn.node.log().persistent() {
+                        // Nothing durable to tear: the fault degrades to a
+                        // plain crash. Mark it so traces distinguish
+                        // "survived a power cut" from "power cut was a
+                        // no-op".
+                        degraded = Some(sn.node.cluster());
+                    }
                     // The process dies mid-write: unsent outputs vanish, and
                     // on a durable backend the WAL tail is torn at an
                     // arbitrary byte past the last sync point. No flush: the
                     // power was already gone.
                     sn.node.power_cut(tear);
+                }
+                if let Some(cluster) = degraded {
+                    self.observe(id, NodeEvent::PowerCutDegraded { cluster });
                 }
             }
             Action::RebootFromDisk(id) => self.reboot_from_disk(id),
@@ -693,6 +704,22 @@ impl Sim {
             return;
         };
         let (msgs, events) = sn.node.take_outputs();
+        let inflight_depth = sn.node.max_inflight_depth();
+        // Pipeline observability: every non-empty AppendEntries batch feeds
+        // the batch-size histogram, and any append traffic samples the
+        // sender's deepest in-flight window.
+        let mut append_traffic = false;
+        for env in &msgs {
+            if let Message::AppendEntries { entries, .. } = &env.msg {
+                if !entries.is_empty() {
+                    self.metrics.record_batch(entries.len());
+                    append_traffic = true;
+                }
+            }
+        }
+        if append_traffic {
+            self.metrics.record_inflight(inflight_depth);
+        }
         for ev in events {
             self.observe(id, ev);
         }

@@ -1,4 +1,7 @@
-//! Run metrics: completed operations, latencies, message counts.
+//! Run metrics: completed operations, latencies, message counts, and the
+//! replication-pipeline shape (batch-size and in-flight-depth histograms).
+
+use std::collections::BTreeMap;
 
 /// Metrics accumulated during a simulation run.
 #[derive(Debug, Clone, Default)]
@@ -11,9 +14,58 @@ pub struct Metrics {
     pub bytes_delivered: u64,
     /// Messages dropped by the fault model.
     pub messages_dropped: u64,
+    /// Histogram of entries per non-empty AppendEntries batch: how well the
+    /// leader coalesces its backlog. Keyed by exact batch size.
+    pub append_batch_sizes: BTreeMap<usize, u64>,
+    /// Histogram of the deepest per-peer in-flight replication window,
+    /// sampled whenever a leader emits append traffic: how much pipelining
+    /// actually happens. Keyed by exact depth.
+    pub inflight_depths: BTreeMap<usize, u64>,
 }
 
 impl Metrics {
+    /// Records one outbound AppendEntries batch of `entries` entries.
+    pub(crate) fn record_batch(&mut self, entries: usize) {
+        *self.append_batch_sizes.entry(entries).or_insert(0) += 1;
+    }
+
+    /// Records one sample of a leader's deepest in-flight window.
+    pub(crate) fn record_inflight(&mut self, depth: usize) {
+        *self.inflight_depths.entry(depth).or_insert(0) += 1;
+    }
+
+    /// Mean entries per non-empty AppendEntries batch.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> Option<f64> {
+        let count: u64 = self.append_batch_sizes.values().sum();
+        if count == 0 {
+            return None;
+        }
+        let total: u64 = self
+            .append_batch_sizes
+            .iter()
+            .map(|(size, n)| *size as u64 * n)
+            .sum();
+        Some(total as f64 / count as f64)
+    }
+
+    /// The largest batch and window depth observed.
+    #[must_use]
+    pub fn pipeline_maxima(&self) -> (usize, usize) {
+        let batch = self
+            .append_batch_sizes
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0);
+        let depth = self
+            .inflight_depths
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0);
+        (batch, depth)
+    }
     /// Completed operations per window, from time 0 through the last
     /// completion.
     #[must_use]
@@ -88,6 +140,19 @@ mod tests {
         let series = m.throughput_series(1_000);
         assert_eq!(series, vec![(0, 2), (1_000, 1), (2_000, 1)]);
         assert_eq!(m.completed_between(0, 1_000), 2);
+    }
+
+    #[test]
+    fn pipeline_histograms() {
+        let mut m = Metrics::default();
+        m.record_batch(1);
+        m.record_batch(4);
+        m.record_batch(4);
+        m.record_inflight(2);
+        m.record_inflight(5);
+        assert_eq!(m.mean_batch_size(), Some(3.0));
+        assert_eq!(m.pipeline_maxima(), (4, 5));
+        assert!(Metrics::default().mean_batch_size().is_none());
     }
 
     #[test]

@@ -8,13 +8,14 @@
 use crate::entry::{EntryPayload, LogEntry};
 use crate::snapshot::Snapshot;
 use crate::state::HardState;
-use crate::store::NodeMeta;
+use crate::store::{NodeMeta, ReconfigRecord};
 use bytes::{Bytes, BytesMut};
 use recraft_types::codec::{Decode, Encode};
 use recraft_types::{
     ClusterId, ConfigChange, EpochTerm, Error, LogIndex, NodeId, RangeSet, Result, SessionId,
-    SessionTable,
+    SessionTable, TxId,
 };
+use std::collections::BTreeSet;
 
 impl Encode for EntryPayload {
     fn encode(&self, buf: &mut BytesMut) {
@@ -88,6 +89,52 @@ impl Decode for HardState {
     }
 }
 
+/// The §V reconfiguration-history record kinds a decode can produce. The
+/// `kind` field is a `&'static str` in memory; on disk it travels as a
+/// string and is interned back through this table (unknown kinds from a
+/// newer writer degrade to `"unknown"` instead of failing the whole meta).
+const RECONFIG_KINDS: &[&str] = &[
+    "simple",
+    "resize",
+    "joint",
+    "split",
+    "split-removed",
+    "merge",
+    "merge-abort",
+];
+
+impl Encode for ReconfigRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.kind.to_string().encode(buf);
+        self.old_cluster.encode(buf);
+        self.new_cluster.encode(buf);
+        self.members_before.encode(buf);
+        self.members_after.encode(buf);
+        self.at.encode(buf);
+        self.tx.encode(buf);
+    }
+}
+
+impl Decode for ReconfigRecord {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        let kind = String::decode(buf)?;
+        let kind = RECONFIG_KINDS
+            .iter()
+            .find(|k| **k == kind)
+            .copied()
+            .unwrap_or("unknown");
+        Ok(ReconfigRecord {
+            kind,
+            old_cluster: ClusterId::decode(buf)?,
+            new_cluster: ClusterId::decode(buf)?,
+            members_before: BTreeSet::<NodeId>::decode(buf)?,
+            members_after: BTreeSet::<NodeId>::decode(buf)?,
+            at: EpochTerm::decode(buf)?,
+            tx: Option::<TxId>::decode(buf)?,
+        })
+    }
+}
+
 impl Encode for NodeMeta {
     fn encode(&self, buf: &mut BytesMut) {
         self.hard.encode(buf);
@@ -95,6 +142,7 @@ impl Encode for NodeMeta {
         self.cluster_epoch.encode(buf);
         self.bootstrapped.encode(buf);
         self.join_target.encode(buf);
+        self.history.encode(buf);
     }
 }
 
@@ -106,6 +154,7 @@ impl Decode for NodeMeta {
             cluster_epoch: u32::decode(buf)?,
             bootstrapped: bool::decode(buf)?,
             join_target: Option::<ClusterId>::decode(buf)?,
+            history: Vec::<ReconfigRecord>::decode(buf)?,
         })
     }
 }
@@ -184,6 +233,15 @@ mod tests {
             cluster_epoch: 2,
             bootstrapped: false,
             join_target: Some(ClusterId(6)),
+            history: vec![ReconfigRecord {
+                kind: "split",
+                old_cluster: ClusterId(5),
+                new_cluster: ClusterId(7),
+                members_before: BTreeSet::from([NodeId(1), NodeId(2)]),
+                members_after: BTreeSet::from([NodeId(1)]),
+                at: EpochTerm::new(1, 2),
+                tx: Some(TxId(3)),
+            }],
         });
     }
 

@@ -39,5 +39,5 @@ pub use entry::{EntryPayload, LogEntry};
 pub use memlog::MemLog;
 pub use snapshot::Snapshot;
 pub use state::HardState;
-pub use store::{LogStore, NodeMeta};
+pub use store::{LogStore, NodeMeta, ReconfigRecord};
 pub use wal::{crc32, WalLog, WalOptions};

@@ -236,6 +236,12 @@ impl LogStore for MemLog {
     fn append(&mut self, entry: LogEntry) {
         MemLog::append(self, entry);
     }
+    fn append_batch(&mut self, entries: Vec<LogEntry>) {
+        self.entries.reserve(entries.len());
+        for entry in entries {
+            MemLog::append(self, entry);
+        }
+    }
     fn truncate_from(&mut self, index: LogIndex) -> Result<usize> {
         MemLog::truncate_from(self, index)
     }

@@ -16,6 +16,9 @@ use recraft_types::{EpochTerm, LogIndex};
 #[derive(Debug, Clone)]
 enum Op {
     Append(u32),
+    /// A group-committed batch of `n` entries at one term (one atomic
+    /// record on the WAL backend).
+    AppendBatch(u32, u32),
     TruncateFrom(u64),
     CompactTo(u64),
     Reset(u32),
@@ -24,6 +27,7 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         4 => (1u32..8).prop_map(Op::Append),
+        3 => ((1u32..6), (1u32..8)).prop_map(|(n, t)| Op::AppendBatch(n, t)),
         2 => (0u64..64).prop_map(Op::TruncateFrom),
         2 => (0u64..64).prop_map(Op::CompactTo),
         1 => (0u32..4).prop_map(Op::Reset),
@@ -53,6 +57,20 @@ fn run_ops<L: LogStore>(log: &mut L, ops: &[Op]) -> Result<(), TestCaseError> {
                     Bytes::from_static(b"x"),
                 ));
                 model.push((index.0, *term));
+            }
+            Op::AppendBatch(n, term) => {
+                let mut batch = Vec::new();
+                let mut index = log.last_index();
+                for _ in 0..*n {
+                    index = index.next();
+                    batch.push(LogEntry::command(
+                        index,
+                        EpochTerm::new(0, *term),
+                        Bytes::from_static(b"x"),
+                    ));
+                    model.push((index.0, *term));
+                }
+                log.append_batch(batch);
             }
             Op::TruncateFrom(i) => {
                 let res = log.truncate_from(LogIndex(*i));

@@ -23,7 +23,30 @@
 use crate::entry::LogEntry;
 use crate::snapshot::Snapshot;
 use crate::state::HardState;
-use recraft_types::{ClusterConfig, ClusterId, EpochTerm, LogIndex, Result};
+use recraft_types::{ClusterConfig, ClusterId, EpochTerm, LogIndex, NodeId, Result, TxId};
+use std::collections::BTreeSet;
+
+/// A record of one completed reconfiguration, kept for long-term recovery
+/// (§V: "ReCraft requires all clusters to maintain the reconfiguration
+/// history even after garbage collecting the log"). Persisted as part of
+/// [`NodeMeta`], so the history survives real reboots, not just the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigRecord {
+    /// What happened.
+    pub kind: &'static str,
+    /// The cluster before.
+    pub old_cluster: ClusterId,
+    /// The cluster after.
+    pub new_cluster: ClusterId,
+    /// Members before.
+    pub members_before: BTreeSet<NodeId>,
+    /// Members after.
+    pub members_after: BTreeSet<NodeId>,
+    /// The node's epoch-term when the record was made.
+    pub at: recraft_types::EpochTerm,
+    /// The merge transaction involved, if any.
+    pub tx: Option<TxId>,
+}
 
 /// The per-node metadata that must be durable before the node answers RPCs:
 /// the Raft hard state plus the ReCraft cluster-identity fields (a split or
@@ -40,6 +63,14 @@ pub struct NodeMeta {
     pub bootstrapped: bool,
     /// The cluster a joiner was provisioned for, if any.
     pub join_target: Option<ClusterId>,
+    /// Completed reconfigurations this node witnessed (§V history). The
+    /// records outlive log compaction by design. Riding in the metadata
+    /// blob means every hard-state flush re-encodes the history; that is
+    /// acceptable because it grows only with *reconfigurations* (rare,
+    /// human-scale events), never with traffic — if a deployment ever
+    /// accumulates enough records to matter, split them into an
+    /// append-only file of their own.
+    pub history: Vec<ReconfigRecord>,
 }
 
 /// The storage surface the consensus core drives.
@@ -107,6 +138,21 @@ pub trait LogStore: std::fmt::Debug + Send {
     /// contiguous by construction.
     fn append(&mut self, entry: LogEntry);
 
+    /// Appends a contiguous run of entries in one operation. Durable
+    /// backends fold the whole run into a single on-disk record (the
+    /// group-commit write path: one frame, one checksum, one write — and a
+    /// torn record rolls the *entire* batch back atomically at recovery).
+    /// The default loops [`LogStore::append`].
+    ///
+    /// # Panics
+    /// Panics if the first entry's index is not exactly `last_index + 1` or
+    /// the run is not contiguous.
+    fn append_batch(&mut self, entries: Vec<LogEntry>) {
+        for entry in entries {
+            self.append(entry);
+        }
+    }
+
     /// Removes every entry at or after `index` (follower conflict
     /// resolution). Returns the number of entries removed.
     ///
@@ -147,6 +193,14 @@ pub trait LogStore: std::fmt::Debug + Send {
     /// Makes every buffered mutation durable. Called by the node before its
     /// outputs are externalized (the write-ahead barrier).
     fn sync(&mut self);
+
+    /// How many [`LogStore::sync`] barriers actually had buffered log writes
+    /// to make durable — the group-commit count. One `take_outputs` round
+    /// that appended any number of entries contributes exactly one. Backends
+    /// without a durability cost may return 0.
+    fn sync_count(&self) -> u64 {
+        0
+    }
 
     // ---- Crash modelling -------------------------------------------------
 
@@ -208,6 +262,9 @@ impl<L: LogStore + ?Sized> LogStore for Box<L> {
     fn append(&mut self, entry: LogEntry) {
         (**self).append(entry);
     }
+    fn append_batch(&mut self, entries: Vec<LogEntry>) {
+        (**self).append_batch(entries);
+    }
     fn truncate_from(&mut self, index: LogIndex) -> Result<usize> {
         (**self).truncate_from(index)
     }
@@ -231,6 +288,9 @@ impl<L: LogStore + ?Sized> LogStore for Box<L> {
     }
     fn sync(&mut self) {
         (**self).sync();
+    }
+    fn sync_count(&self) -> u64 {
+        (**self).sync_count()
     }
     fn persistent(&self) -> bool {
         (**self).persistent()

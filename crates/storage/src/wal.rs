@@ -18,7 +18,10 @@
 //! * **Append** writes through to the active segment; [`WalLog::sync`] makes
 //!   it durable (optionally `fdatasync`; the durable watermark is tracked
 //!   either way so crash injection stays honest without paying for physical
-//!   syncs in simulation runs).
+//!   syncs in simulation runs). Every record holds a *batch* of one or more
+//!   entries behind a single length/crc frame, so a group-committed append
+//!   batch is one write, one checksum — and one atomic unit at recovery: a
+//!   torn or corrupt record drops the whole batch, never a partial one.
 //! * **Truncate** physically truncates the containing segment and deletes
 //!   later ones, so segment files only ever hold live, index-ordered
 //!   entries.
@@ -50,7 +53,10 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const SEGMENT_MAGIC: u32 = 0x5243_574C; // "RCWL"
-const SEGMENT_VERSION: u32 = 1;
+/// Version 2: record payloads are entry *batches* (`Vec<LogEntry>`), the
+/// group-commit unit. Version-1 segments (single-entry payloads) are not
+/// read back; recovery treats them as unusable files.
+const SEGMENT_VERSION: u32 = 2;
 const SEGMENT_HEADER_LEN: u64 = 16;
 /// Upper bound on a single framed record, guarding recovery against insane
 /// lengths from corrupt frames.
@@ -105,6 +111,8 @@ pub struct WalLog {
     /// torn by a power cut. Non-active segments are always fully durable
     /// (rolling syncs them).
     synced_len: u64,
+    /// Group-commit barriers: syncs that had buffered log writes to flush.
+    syncs: u64,
 }
 
 impl WalLog {
@@ -229,6 +237,7 @@ impl WalLog {
                 segments,
                 active,
                 synced_len,
+                syncs: 0,
             }
         } else {
             let (seg, active) = create_segment(&wal_dir, 1)?;
@@ -241,6 +250,7 @@ impl WalLog {
                 segments: vec![seg],
                 active,
                 synced_len: SEGMENT_HEADER_LEN,
+                syncs: 0,
             }
         };
         if wal.opts.fsync {
@@ -277,9 +287,11 @@ impl WalLog {
         self.segments.last_mut().expect("always one segment")
     }
 
-    /// Appends raw record bytes to the active segment, rolling first if the
-    /// segment is full.
-    fn write_record(&mut self, record: &[u8], entry_index: LogIndex) {
+    /// Appends one framed batch record (`count` entries ending at
+    /// `last_index`) to the active segment in a single write, rolling first
+    /// if the segment is full. Every entry in the batch shares the record's
+    /// byte offset: the batch is one atomic unit on disk.
+    fn write_record(&mut self, record: &[u8], count: usize, last_index: LogIndex) {
         if self.active_seg().len >= self.opts.segment_bytes {
             self.roll();
         }
@@ -289,10 +301,12 @@ impl WalLog {
             .and_then(|_| self.active.write_all(record))
             .unwrap_or_else(|e| panic!("wal append failed: {e}"));
         let seq = self.active_seg().seq;
-        self.offsets.push_back((seq, offset));
+        for _ in 0..count {
+            self.offsets.push_back((seq, offset));
+        }
         let seg = self.active_seg_mut();
         seg.len = offset + record.len() as u64;
-        seg.last_entry = Some(entry_index);
+        seg.last_entry = Some(last_index);
     }
 
     /// Finishes the active segment (making it durable) and starts the next.
@@ -362,10 +376,20 @@ impl LogStore for WalLog {
     }
 
     fn append(&mut self, entry: LogEntry) {
-        let record = frame(&entry.encode_to_bytes());
-        let index = entry.index;
-        self.mem.append(entry); // asserts contiguity first
-        self.write_record(&record, index);
+        self.append_batch(vec![entry]);
+    }
+
+    fn append_batch(&mut self, entries: Vec<LogEntry>) {
+        if entries.is_empty() {
+            return;
+        }
+        let record = frame(&encode_batch(&entries));
+        let count = entries.len();
+        let last = entries.last().expect("nonempty").index;
+        for entry in entries {
+            self.mem.append(entry); // asserts contiguity first
+        }
+        self.write_record(&record, count, last);
     }
 
     fn truncate_from(&mut self, index: LogIndex) -> Result<usize> {
@@ -375,7 +399,18 @@ impl LogStore for WalLog {
         }
         let keep = self.offsets.len() - removed;
         let (seq, offset) = self.offsets[keep];
-        self.offsets.truncate(keep);
+        // Whether the cut reaches into territory that was already durable:
+        // earlier segments are always fully synced (rolling syncs them), and
+        // within the active segment everything below the watermark is.
+        let cut_durable = seq != self.active_seg().seq || offset < self.synced_len;
+        // Batch records are atomic on disk: cutting the file at the record
+        // boundary also drops any *kept* entries that share the record.
+        // Count them — they are rewritten as a fresh record after the cut.
+        let mut rewrite_n = 0usize;
+        while rewrite_n < keep && self.offsets[keep - rewrite_n - 1] == (seq, offset) {
+            rewrite_n += 1;
+        }
+        self.offsets.truncate(keep - rewrite_n);
         // Drop segments entirely past the truncation point.
         let mut changed_segment = false;
         while self.active_seg().seq > seq {
@@ -397,10 +432,11 @@ impl LogStore for WalLog {
             let _ = self.active.sync_data();
             sync_dir(&self.wal_dir);
         }
-        // If live entries remain in this segment, the log's (new) last entry
-        // is among them; otherwise only a stale pre-base prefix survives.
+        // If live entries remain on disk in this segment, the highest sits
+        // just below the entries awaiting rewrite; otherwise only a stale
+        // pre-base prefix survives.
         let has_live = self.offsets.iter().any(|(s, _)| *s == seq);
-        let last_entry = has_live.then(|| self.mem.last_index());
+        let last_entry = has_live.then(|| LogIndex(self.mem.last_index().0 - rewrite_n as u64));
         let seg = self.active_seg_mut();
         seg.len = offset;
         seg.last_entry = last_entry;
@@ -413,6 +449,20 @@ impl LogStore for WalLog {
         } else {
             self.synced_len.min(offset)
         };
+        if rewrite_n > 0 {
+            let last = self.mem.last_index();
+            let from = LogIndex(last.0 - rewrite_n as u64 + 1);
+            let entries = self.mem.slice(from, last);
+            let record = frame(&encode_batch(&entries));
+            self.write_record(&record, entries.len(), last);
+            if cut_durable {
+                // The rewrite REPLACES entries that were already durable
+                // (possibly acknowledged): it must be durable before this
+                // call returns, or a power cut before the next barrier
+                // would lose what a previous sync promised.
+                self.sync();
+            }
+        }
         Ok(removed)
     }
 
@@ -492,12 +542,22 @@ impl LogStore for WalLog {
     }
 
     fn sync(&mut self) {
+        if self.unsynced_bytes() > 0 {
+            // A group-commit barrier: everything appended since the last
+            // sync point becomes durable under one fsync, however many
+            // entries (or batches) accumulated.
+            self.syncs += 1;
+        }
         if self.opts.fsync {
             self.active
                 .sync_data()
                 .unwrap_or_else(|e| panic!("wal sync failed: {e}"));
         }
         self.synced_len = self.active_seg().len;
+    }
+
+    fn sync_count(&self) -> u64 {
+        self.syncs
     }
 
     fn persistent(&self) -> bool {
@@ -536,6 +596,18 @@ fn frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Encodes an entry batch as one record payload: `[u32 count][entries...]`.
+/// One frame and one checksum cover the whole batch, making it the atomic
+/// unit of both the group-commit write and the recovery scan.
+fn encode_batch(entries: &[LogEntry]) -> Bytes {
+    let mut buf = BytesMut::new();
+    (entries.len() as u32).encode(&mut buf);
+    for entry in entries {
+        entry.encode(&mut buf);
+    }
+    buf.freeze()
+}
+
 fn encode_base(index: LogIndex, eterm: EpochTerm) -> Bytes {
     let mut buf = BytesMut::new();
     index.encode(&mut buf);
@@ -564,27 +636,50 @@ fn replay_segment(
     }
     let mut pos = SEGMENT_HEADER_LEN as usize;
     let mut last_entry = None;
-    while let Some((payload, next)) = next_record(raw, pos) {
+    'records: while let Some((payload, next)) = next_record(raw, pos) {
+        // Decode and validate the WHOLE batch before touching the mirror:
+        // a record is atomic, so a bad entry anywhere in it (or trailing
+        // garbage) drops the entire batch — never a partial one.
         let mut bytes = Bytes::copy_from_slice(payload);
-        let Ok(entry) = LogEntry::decode(&mut bytes) else {
+        let Ok(count) = u32::decode(&mut bytes) else {
             break;
         };
+        // The count is untrusted on-disk data: cap the reservation by what
+        // the payload could possibly hold (an entry encodes to ≥ 17 bytes:
+        // index + epoch-term + payload tag), so a corrupt frame cannot
+        // abort recovery with an absurd allocation — decode failure below
+        // trims it as a torn tail instead.
+        let mut batch = Vec::with_capacity((count as usize).min(bytes.len() / 17 + 1));
+        for _ in 0..count {
+            let Ok(entry) = LogEntry::decode(&mut bytes) else {
+                break 'records;
+            };
+            batch.push(entry);
+        }
         if !bytes.is_empty() {
             break; // trailing garbage inside a frame: treat as corrupt
         }
-        if entry.index <= base_index {
-            // Stale prefix below the compaction base (the covering segment
-            // outlived compaction because it also holds live entries).
+        let mut expect = mem.last_index().next();
+        for entry in &batch {
+            if entry.index <= base_index {
+                continue; // stale prefix below the compaction base
+            }
+            if entry.index != expect {
+                break 'records; // gap or regression: a dropped tail upstream
+            }
+            expect = expect.next();
+        }
+        // The batch checks out: fold it into the mirror as one unit.
+        for entry in batch {
             last_entry = Some(entry.index);
-            pos = next;
-            continue;
+            if entry.index <= base_index {
+                // The covering segment outlived compaction because it also
+                // holds live entries.
+                continue;
+            }
+            mem.append(entry);
+            offsets.push_back((seq, pos as u64));
         }
-        if entry.index != mem.last_index().next() {
-            break; // gap or regression: a dropped tail upstream
-        }
-        mem.append(entry.clone());
-        offsets.push_back((seq, pos as u64));
-        last_entry = Some(entry.index);
         pos = next;
     }
     (pos as u64, last_entry)
@@ -875,6 +970,7 @@ mod tests {
             cluster_epoch: 1,
             bootstrapped: true,
             join_target: None,
+            history: Vec::new(),
         };
         let snap = Snapshot {
             last_index: LogIndex(3),
@@ -893,6 +989,132 @@ mod tests {
         let wal = WalLog::open_with(&dir.0, opts()).unwrap();
         assert_eq!(wal.load_meta(), Some(meta));
         assert_eq!(wal.load_snapshot(), Some((snap, config)));
+    }
+
+    #[test]
+    fn append_batch_roundtrips_and_survives_reopen() {
+        let dir = TestDir::new("batch");
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            wal.append_batch((1..=10).map(|i| entry(i, 1)).collect());
+            wal.sync();
+            assert_eq!(wal.last_index(), LogIndex(10));
+            assert_eq!(wal.entry(LogIndex(4)), Some(entry(4, 1)));
+            // Batches and single appends interleave freely.
+            wal.append(entry(11, 1));
+            wal.append_batch(vec![entry(12, 1), entry(13, 1)]);
+            wal.sync();
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(13));
+        assert_eq!(wal.entry(LogIndex(12)), Some(entry(12, 1)));
+    }
+
+    #[test]
+    fn batched_appends_group_commit_under_one_sync() {
+        let dir = TestDir::new("group-commit");
+        let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.sync_count(), 0);
+        wal.append_batch((1..=8).map(|i| entry(i, 1)).collect());
+        wal.append(entry(9, 1));
+        wal.sync();
+        // However many appends accumulated, the barrier pays one sync.
+        assert_eq!(wal.sync_count(), 1);
+        // An idle barrier (nothing buffered) is not a group commit.
+        wal.sync();
+        assert_eq!(wal.sync_count(), 1);
+    }
+
+    #[test]
+    fn torn_batch_rolls_back_atomically() {
+        let dir = TestDir::new("torn-batch");
+        {
+            let mut wal = WalLog::open_with(
+                &dir.0,
+                WalOptions {
+                    fsync: false,
+                    segment_bytes: 1 << 20, // no mid-test roll
+                },
+            )
+            .unwrap();
+            fill(&mut wal, 1, 5, 1); // synced prefix
+            wal.append_batch((6..=9).map(|i| entry(i, 1)).collect());
+            let unsynced = wal.unsynced_bytes();
+            assert!(unsynced > 0);
+            // Tear mid-record: more than half the batch hit the platter, but
+            // the frame is incomplete — recovery must drop ALL of 6..=9, not
+            // the torn suffix only.
+            wal.power_cut((unsynced / 2) as usize);
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(5), "whole batch rolled back");
+        assert_eq!(wal.entry(LogIndex(5)), Some(entry(5, 1)));
+    }
+
+    #[test]
+    fn fully_durable_batch_survives_power_cut() {
+        let dir = TestDir::new("batch-durable");
+        {
+            let mut wal = WalLog::open_with(
+                &dir.0,
+                WalOptions {
+                    fsync: false,
+                    segment_bytes: 1 << 20,
+                },
+            )
+            .unwrap();
+            fill(&mut wal, 1, 3, 1);
+            wal.append_batch(vec![entry(4, 1), entry(5, 1)]);
+            let whole = wal.unsynced_bytes() as usize;
+            wal.append_batch(vec![entry(6, 1), entry(7, 1)]);
+            // The first batch's record fully reached the disk; the second
+            // tore. Atomicity is per batch record.
+            wal.power_cut(whole);
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(5));
+    }
+
+    #[test]
+    fn truncate_mid_batch_rewrites_surviving_prefix() {
+        let dir = TestDir::new("truncate-mid-batch");
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            wal.append_batch((1..=6).map(|i| entry(i, 1)).collect());
+            wal.sync();
+            // Cut inside the batch record: entries 1..=3 survive and are
+            // rewritten as a fresh record (the old record is atomic on disk
+            // and cannot be split).
+            assert_eq!(wal.truncate_from(LogIndex(4)).unwrap(), 3);
+            assert_eq!(wal.last_index(), LogIndex(3));
+            assert_eq!(wal.entry(LogIndex(2)), Some(entry(2, 1)));
+            // A divergent suffix appends cleanly after the rewrite.
+            wal.append_batch(vec![entry(4, 2), entry(5, 2)]);
+            wal.sync();
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(5));
+        assert_eq!(wal.eterm_at(LogIndex(3)), Some(et(1)));
+        assert_eq!(wal.eterm_at(LogIndex(4)), Some(et(2)));
+    }
+
+    #[test]
+    fn truncate_into_durable_batch_keeps_prefix_durable() {
+        // Regression: truncating into the middle of an already-fsync'd batch
+        // record replaces durable entries with a rewritten record. That
+        // rewrite must itself be durable before truncate_from returns — a
+        // power cut immediately after must reboot with 1..=3, not nothing.
+        let dir = TestDir::new("truncate-durable");
+        {
+            let mut wal = WalLog::open_with(&dir.0, opts()).unwrap();
+            wal.append_batch((1..=6).map(|i| entry(i, 1)).collect());
+            wal.sync(); // all six durable
+            wal.truncate_from(LogIndex(4)).unwrap();
+            wal.power_cut(0); // nothing unsynced may survive — 1..=3 must
+        }
+        let wal = WalLog::open_with(&dir.0, opts()).unwrap();
+        assert_eq!(wal.last_index(), LogIndex(3), "durable prefix survives");
+        assert_eq!(wal.entry(LogIndex(3)), Some(entry(3, 1)));
     }
 
     #[test]
