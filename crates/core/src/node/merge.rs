@@ -572,7 +572,9 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             last_eterm: eterm,
             cluster: self.cluster,
             ranges: own_ranges.clone(),
-            data: self.sm.snapshot(&own_ranges),
+            // Bounded chunks: a part never materializes the keyspace as one
+            // allocation, however large this participant's state grew.
+            chunks: self.sm.snapshot_chunks(&own_ranges),
             // The session table rides in the part: the merged cluster
             // inherits every participant's exactly-once accounting.
             sessions: self.sessions.clone(),
@@ -709,12 +711,16 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             });
             return;
         }
-        // Combine the disjoint parts in participant order.
+        // Combine the disjoint parts in participant order. Each part is a
+        // chunk sequence; the flattened list hands the machine one bounded
+        // blob at a time (chunks within a part are disjoint by construction,
+        // parts are disjoint by P2').
         let parts: Vec<Bytes> = ex
             .tx
             .participants
             .iter()
-            .map(|p| ex.parts[&p.cluster].data.clone())
+            .flat_map(|p| ex.parts[&p.cluster].chunks.iter().cloned())
+            .filter(|chunk| !chunk.is_empty())
             .collect();
         self.sm
             .restore_merged(&parts)
@@ -743,7 +749,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             last_eterm: new_eterm,
             cluster: self.cluster,
             ranges: ex.ranges,
-            data: self.sm.snapshot(base.ranges()),
+            chunks: self.sm.snapshot_chunks(base.ranges()),
             sessions: self.sessions.clone(),
         };
         self.snap_config = base.clone();

@@ -192,6 +192,40 @@ pub(crate) struct PullState {
     pub(crate) next_retry: u64,
 }
 
+/// A chunked snapshot install being assembled on a follower. Volatile by
+/// design: a crash mid-stream drops the partial image wholesale and the
+/// leader re-streams from scratch — a partial snapshot is never installed
+/// and never persisted.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingInstall {
+    /// Who is streaming (a new sender restarts assembly).
+    pub(crate) from: NodeId,
+    /// Stream identity: the snapshot's tail position.
+    pub(crate) last_index: LogIndex,
+    pub(crate) last_eterm: EpochTerm,
+    /// Stream identity: the producing cluster and frame count.
+    pub(crate) cluster: ClusterId,
+    pub(crate) total: u32,
+    /// The configuration at the snapshot point (rides every frame).
+    pub(crate) config: ClusterConfig,
+    pub(crate) ranges: RangeSet,
+    /// The session table from the stream's first frame.
+    pub(crate) sessions: Option<SessionTable>,
+    /// Collected chunks by sequence number.
+    pub(crate) chunks: BTreeMap<u32, bytes::Bytes>,
+}
+
+impl PendingInstall {
+    /// Whether `frame` belongs to this assembly.
+    fn matches(&self, from: NodeId, frame: &recraft_storage::SnapshotFrame) -> bool {
+        self.from == from
+            && self.last_index == frame.last_index
+            && self.last_eterm == frame.last_eterm
+            && self.cluster == frame.cluster
+            && self.total == frame.total
+    }
+}
+
 /// Snapshot-exchange state after a merge outcome commits (§III-C2).
 #[derive(Debug, Clone)]
 pub(crate) struct Exchange {
@@ -279,6 +313,9 @@ pub struct Node<SM, LS = MemLog> {
     /// that formed since then trigger exactly one follow-up round.
     pub(crate) last_probe_serial: u64,
     pub(crate) pull: Option<PullState>,
+    /// A chunked snapshot install mid-assembly (follower side). Volatile:
+    /// crashes and restarts drop it, forcing a re-stream from scratch.
+    pub(crate) pending_install: Option<PendingInstall>,
     pub(crate) exchange: Option<Exchange>,
     pub(crate) driver: Option<MergeDriver>,
     /// Pending 2PC replies: once the entry at the index commits, answer the
@@ -386,7 +423,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             last_eterm: EpochTerm::ZERO,
             cluster: config.id(),
             ranges: config.ranges().clone(),
-            data: sm.snapshot(config.ranges()),
+            chunks: sm.snapshot_chunks(config.ranges()),
             sessions: SessionTable::new(),
         };
         let mut rng = StdRng::seed_from_u64(seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -414,6 +451,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             read_serial: 0,
             last_probe_serial: 0,
             pull: None,
+            pending_install: None,
             exchange: None,
             driver: None,
             pending_2pc: HashMap::new(),
@@ -491,7 +529,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         if !store.matches(snapshot.last_index, snapshot.last_eterm) {
             store.reset(snapshot.last_index, snapshot.last_eterm);
         }
-        sm.restore(&snapshot.data)?;
+        sm.restore_chunks(&snapshot.chunks)?;
         sm.retain_ranges(snap_config.ranges());
         // Root the config stack at the snapshot and replay config entries
         // from the surviving log; they re-fold when their commit is
@@ -532,6 +570,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             read_serial: 0,
             last_probe_serial: 0,
             pull: None,
+            pending_install: None,
             exchange: None,
             driver: None,
             pending_2pc: HashMap::new(),
@@ -706,6 +745,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     /// [`Node::reopen`].
     pub fn power_cut(&mut self, keep_unsynced: usize) {
         self.log.power_cut(keep_unsynced);
+        self.sm.power_cut(keep_unsynced);
         self.discard_outputs();
     }
 
@@ -759,6 +799,9 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         self.pending_clients.clear();
         self.pending_reads.clear();
         self.pull = None;
+        // A half-assembled snapshot stream dies with the process: the node
+        // reboots clean and the leader re-streams from scratch.
+        self.pending_install = None;
         self.exchange = None;
         self.driver = None;
         self.pending_2pc.clear();
@@ -771,7 +814,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         // The session table is part of that applied state and replays with
         // it, so exactly-once accounting survives the crash.
         self.sm
-            .restore(&self.snapshot.data)
+            .restore_chunks(&self.snapshot.chunks)
             .expect("own snapshot must decode");
         self.sessions = self.snapshot.sessions.clone();
         self.sm.retain_ranges(self.cfg.base().ranges());
@@ -908,10 +951,10 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             ),
             Message::InstallSnapshot {
                 eterm,
-                snapshot,
+                frame,
                 config,
                 ..
-            } => self.handle_install_snapshot(now, from, eterm, *snapshot, config),
+            } => self.handle_install_snapshot_frame(now, from, eterm, *frame, config),
             Message::InstallSnapshotResp { eterm, last_index } => {
                 self.handle_install_snapshot_resp(now, from, eterm, last_index);
             }
@@ -1127,6 +1170,16 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             return;
         }
         self.commit_index = index;
+        // A snapshot stream mid-assembly whose tail the commit just passed
+        // can never usefully install (the handler would reject it as
+        // "nothing newer"); free the buffered chunks now.
+        if self
+            .pending_install
+            .as_ref()
+            .is_some_and(|p| p.last_index <= self.commit_index && p.cluster == self.cluster)
+        {
+            self.pending_install = None;
+        }
         if !self.committed_in_term {
             // Precondition P3 bookkeeping: did an entry of our own epoch-term
             // just commit?
@@ -1484,7 +1537,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             last_eterm: eterm,
             cluster: self.cluster,
             ranges: ranges.clone(),
-            data: self.sm.snapshot(&ranges),
+            chunks: self.sm.snapshot_chunks(&ranges),
             sessions: self.sessions.clone(),
         };
         self.snap_config = self.cfg.base().clone();

@@ -110,17 +110,29 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         }
         if pr.next <= self.log.base_index() {
             // The peer needs entries we compacted away (or it comes from a
-            // different log lineage, e.g. a merge straggler): install our
-            // snapshot together with the configuration at that point.
-            self.send(
-                peer,
-                Message::InstallSnapshot {
-                    cluster: self.cluster,
-                    eterm: self.hard.eterm,
-                    snapshot: Box::new(self.snapshot.clone()),
-                    config: self.snap_config.clone(),
-                },
-            );
+            // different log lineage, e.g. a merge straggler): stream our
+            // snapshot — one bounded frame per state-machine chunk, the
+            // configuration at the snapshot point on every frame, the
+            // session table on the first frame only. The peer assembles and
+            // installs atomically; until its InstallSnapshotResp arrives the
+            // stream re-sends whole on the next heartbeat (frames are
+            // idempotent, and a peer that crashed mid-stream starts from
+            // scratch by design).
+            let frames = self.snapshot.frames();
+            let config = self.snap_config.clone();
+            let cluster = self.cluster;
+            let eterm = self.hard.eterm;
+            for frame in frames {
+                self.send(
+                    peer,
+                    Message::InstallSnapshot {
+                        cluster,
+                        eterm,
+                        frame: Box::new(frame),
+                        config: config.clone(),
+                    },
+                );
+            }
             return true;
         }
         let derived = self.derived_cached();
@@ -441,15 +453,20 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         }
     }
 
-    /// Installs a leader-provided snapshot, adopting its configuration (this
-    /// is also how merge stragglers from other subclusters are restored,
-    /// §III-C2).
-    pub(crate) fn handle_install_snapshot(
+    /// One frame of a chunked snapshot stream arrived. Frames are assembled
+    /// in the volatile [`PendingInstall`](super::PendingInstall) buffer and
+    /// the snapshot installs atomically once every chunk is in — a follower
+    /// that crashes mid-stream (or sees the stream identity change under a
+    /// new leader) drops the partial image and re-assembles from scratch, so
+    /// a partial snapshot is never installed. Adopting the configuration at
+    /// the snapshot point is also how merge stragglers from other
+    /// subclusters are restored, §III-C2.
+    pub(crate) fn handle_install_snapshot_frame(
         &mut self,
         now: u64,
         from: NodeId,
         eterm: EpochTerm,
-        snapshot: Snapshot,
+        frame: recraft_storage::SnapshotFrame,
         config: ClusterConfig,
     ) {
         if !self.bootstrapped && self.join_target.is_some_and(|target| target != config.id()) {
@@ -473,7 +490,18 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             return;
         }
         self.become_follower(now, eterm, Some(from));
-        if snapshot.last_index <= self.commit_index && snapshot.cluster == self.cluster {
+        // A half-assembled stream whose tail the log has meanwhile caught
+        // up to (ordinary replication overtook the install) is dead weight:
+        // drop the buffered chunks rather than holding them until the next
+        // install or restart.
+        if self
+            .pending_install
+            .as_ref()
+            .is_some_and(|p| p.last_index <= self.commit_index && p.cluster == self.cluster)
+        {
+            self.pending_install = None;
+        }
+        if frame.last_index <= self.commit_index && frame.cluster == self.cluster {
             // Nothing newer here.
             self.send(
                 from,
@@ -484,7 +512,49 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             );
             return;
         }
-        self.install_snapshot_state(snapshot, config);
+        if frame.seq >= frame.total {
+            return; // malformed frame: can never complete a stream
+        }
+        // A frame from a different stream identity (new sender after a
+        // leader change, or the sender compacted to a newer snapshot)
+        // restarts assembly from scratch: chunks of two snapshots never mix.
+        let fresh = match &self.pending_install {
+            Some(p) => !p.matches(from, &frame),
+            None => true,
+        };
+        if fresh {
+            self.pending_install = Some(super::PendingInstall {
+                from,
+                last_index: frame.last_index,
+                last_eterm: frame.last_eterm,
+                cluster: frame.cluster,
+                total: frame.total,
+                config,
+                ranges: frame.ranges.clone(),
+                sessions: None,
+                chunks: std::collections::BTreeMap::new(),
+            });
+        }
+        let pending = self.pending_install.as_mut().expect("ensured above");
+        if let Some(sessions) = frame.sessions {
+            // The session table rides the stream's first frame only.
+            pending.sessions = Some(sessions);
+        }
+        pending.chunks.insert(frame.seq, frame.chunk);
+        if pending.chunks.len() < pending.total as usize {
+            return; // keep assembling; duplicates were absorbed by the map
+        }
+        // Every chunk of the stream is in: install atomically.
+        let pending = self.pending_install.take().expect("complete");
+        let snapshot = Snapshot {
+            last_index: pending.last_index,
+            last_eterm: pending.last_eterm,
+            cluster: pending.cluster,
+            ranges: pending.ranges,
+            chunks: pending.chunks.into_values().collect(),
+            sessions: pending.sessions.unwrap_or_default(),
+        };
+        self.install_snapshot_state(snapshot, pending.config);
         self.emit(NodeEvent::SnapshotInstalled {
             from,
             index: self.log.base_index(),
@@ -520,7 +590,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         // repair by reinstalling.
         self.persist_meta_now();
         self.sm
-            .restore(&snapshot.data)
+            .restore_chunks(&snapshot.chunks)
             .expect("leader snapshot must decode");
         self.log.save_snapshot(&snapshot, &config);
         self.log.reset(snapshot.last_index, snapshot.last_eterm);
@@ -531,9 +601,10 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         self.pending_reads.clear();
         self.sessions = snapshot.sessions.clone();
         // A pending exchange is superseded: the snapshot describes the world
-        // after the reconfiguration.
+        // after the reconfiguration. So is any half-assembled install stream.
         self.exchange = None;
         self.pull = None;
+        self.pending_install = None;
         self.snapshot = snapshot;
         self.snap_config = config;
     }

@@ -1422,3 +1422,408 @@ mod wal_backed {
         assert_eq!(node.role(), Role::Follower);
     }
 }
+
+mod chunked_install {
+    //! The streamed InstallSnapshot path: a multi-chunk machine's snapshot
+    //! travels as bounded frames, a partial stream is never installed (a
+    //! crash mid-stream re-streams from scratch), a leader change
+    //! mid-stream restarts assembly, and the session table rides the stream
+    //! exactly once.
+
+    use super::*;
+    use recraft_storage::SnapshotFrame;
+    use recraft_types::codec::{Decode, Encode};
+    use recraft_types::SessionTable;
+
+    /// A map machine that snapshots one chunk *per pair*, with a native
+    /// chunked install — the smallest machine that produces genuinely
+    /// multi-frame streams.
+    #[derive(Debug, Clone, Default)]
+    struct ChunkyKv {
+        entries: BTreeMap<Vec<u8>, Vec<u8>>,
+    }
+
+    impl ChunkyKv {
+        fn encode_map(map: &BTreeMap<Vec<u8>, Vec<u8>>) -> bytes::Bytes {
+            map.encode_to_bytes()
+        }
+    }
+
+    impl StateMachine for ChunkyKv {
+        fn apply(&mut self, _index: LogIndex, cmd: &bytes::Bytes) -> bytes::Bytes {
+            if let Some(p) = cmd.iter().position(|&b| b == b'=') {
+                self.entries
+                    .insert(cmd[..p].to_vec(), cmd[p + 1..].to_vec());
+            }
+            bytes::Bytes::from_static(b"ok")
+        }
+        fn query(&self, key: &[u8]) -> bytes::Bytes {
+            self.entries
+                .get(key)
+                .map(|v| bytes::Bytes::from(v.clone()))
+                .unwrap_or_default()
+        }
+        fn snapshot(&self, ranges: &RangeSet) -> bytes::Bytes {
+            let filtered: BTreeMap<Vec<u8>, Vec<u8>> = self
+                .entries
+                .iter()
+                .filter(|(k, _)| ranges.contains(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            Self::encode_map(&filtered)
+        }
+        fn restore(&mut self, data: &bytes::Bytes) -> recraft_types::Result<()> {
+            let mut buf = data.clone();
+            self.entries = BTreeMap::decode(&mut buf)?;
+            Ok(())
+        }
+        fn restore_merged(&mut self, parts: &[bytes::Bytes]) -> recraft_types::Result<()> {
+            self.entries.clear();
+            for part in parts {
+                let mut buf = part.clone();
+                self.entries
+                    .extend(BTreeMap::<Vec<u8>, Vec<u8>>::decode(&mut buf)?);
+            }
+            Ok(())
+        }
+        fn retain_ranges(&mut self, ranges: &RangeSet) {
+            self.entries.retain(|k, _| ranges.contains(k));
+        }
+        fn snapshot_chunks(&self, ranges: &RangeSet) -> Vec<bytes::Bytes> {
+            let chunks: Vec<bytes::Bytes> = self
+                .entries
+                .iter()
+                .filter(|(k, _)| ranges.contains(k))
+                .map(|(k, v)| Self::encode_map(&BTreeMap::from([(k.clone(), v.clone())])))
+                .collect();
+            if chunks.is_empty() {
+                vec![Self::encode_map(&BTreeMap::new())]
+            } else {
+                chunks
+            }
+        }
+        fn chunked_install(&self) -> bool {
+            true
+        }
+        fn install_begin(&mut self) {
+            self.entries.clear();
+        }
+        fn install_chunk(&mut self, chunk: &bytes::Bytes) -> recraft_types::Result<()> {
+            let mut buf = chunk.clone();
+            self.entries
+                .extend(BTreeMap::<Vec<u8>, Vec<u8>>::decode(&mut buf)?);
+            Ok(())
+        }
+    }
+
+    fn config3() -> ClusterConfig {
+        ClusterConfig::new(
+            recraft_types::ClusterId(1),
+            [NodeId(1), NodeId(2), NodeId(3)],
+            RangeSet::full(),
+        )
+        .unwrap()
+    }
+
+    fn follower() -> Node<ChunkyKv> {
+        Node::new(
+            NodeId(3),
+            config3(),
+            ChunkyKv::default(),
+            Timing::default(),
+            3,
+        )
+    }
+
+    /// A leader-built snapshot with `n` pairs tagged by `tag`, at
+    /// `last_index`, carrying one recorded session.
+    fn make_snapshot(tag: &str, n: usize, last_index: u64, eterm: EpochTerm) -> Snapshot {
+        let mut sm = ChunkyKv::default();
+        for i in 0..n {
+            sm.apply(
+                LogIndex(i as u64 + 1),
+                &bytes::Bytes::from(format!("{tag}{i:02}={tag}-value")),
+            );
+        }
+        let mut sessions = SessionTable::new();
+        sessions.record(SessionId(42), 7, bytes::Bytes::from_static(b"recorded"));
+        Snapshot {
+            last_index: LogIndex(last_index),
+            last_eterm: eterm,
+            cluster: recraft_types::ClusterId(1),
+            ranges: RangeSet::full(),
+            chunks: sm.snapshot_chunks(&RangeSet::full()),
+            sessions,
+        }
+    }
+
+    fn step_frame(
+        node: &mut Node<ChunkyKv>,
+        now: u64,
+        from: NodeId,
+        eterm: EpochTerm,
+        frame: SnapshotFrame,
+    ) {
+        node.step(
+            now,
+            from,
+            Message::InstallSnapshot {
+                cluster: recraft_types::ClusterId(1),
+                eterm,
+                frame: Box::new(frame),
+                config: config3(),
+            },
+        );
+    }
+
+    #[test]
+    fn frames_are_bounded_and_carry_sessions_once() {
+        let snap = make_snapshot("a", 8, 10, EpochTerm::new(0, 1));
+        let frames = snap.frames();
+        assert_eq!(frames.len(), 8, "one frame per chunk");
+        assert_eq!(
+            frames.iter().filter(|f| f.sessions.is_some()).count(),
+            1,
+            "the session table is sent once per install, not once per chunk"
+        );
+        assert!(frames[0].sessions.is_some(), "and it rides the first frame");
+        let total: usize = frames.iter().map(|f| f.chunk.len()).sum();
+        let max = frames.iter().map(|f| f.chunk.len()).max().unwrap();
+        assert!(
+            max < total / 2,
+            "no frame holds the keyspace (max {max} of {total})"
+        );
+    }
+
+    #[test]
+    fn full_stream_installs_atomically_and_acks() {
+        let mut node = follower();
+        let eterm = EpochTerm::new(0, 1);
+        let snap = make_snapshot("a", 8, 10, eterm);
+        for frame in snap.frames() {
+            step_frame(&mut node, 1_000, NodeId(1), eterm, frame);
+        }
+        assert_eq!(node.applied_index(), LogIndex(10));
+        assert_eq!(node.state_machine().entries.len(), 8);
+        assert_eq!(
+            node.sessions().last_seq(SessionId(42)),
+            Some(7),
+            "session table installed with the snapshot"
+        );
+        let (msgs, _) = node.take_outputs();
+        assert!(
+            msgs.iter().any(|e| matches!(
+                e.msg,
+                Message::InstallSnapshotResp { last_index, .. } if last_index == LogIndex(10)
+            )),
+            "acknowledged after the last frame"
+        );
+    }
+
+    #[test]
+    fn reordered_and_duplicated_frames_still_install_once() {
+        let mut node = follower();
+        let eterm = EpochTerm::new(0, 1);
+        let snap = make_snapshot("a", 6, 10, eterm);
+        let mut frames = snap.frames();
+        frames.reverse(); // the sessions-bearing first frame arrives last
+        let dups: Vec<_> = frames.clone();
+        for frame in frames.into_iter().chain(dups) {
+            step_frame(&mut node, 1_000, NodeId(1), eterm, frame);
+        }
+        assert_eq!(node.applied_index(), LogIndex(10));
+        assert_eq!(node.state_machine().entries.len(), 6);
+        assert_eq!(node.sessions().last_seq(SessionId(42)), Some(7));
+    }
+
+    #[test]
+    fn partial_stream_never_installs_and_crash_restreams_from_scratch() {
+        let mut node = follower();
+        let eterm = EpochTerm::new(0, 1);
+        let snap = make_snapshot("a", 8, 10, eterm);
+        let frames = snap.frames();
+        // Half the stream arrives, then the follower dies.
+        for frame in frames.iter().take(4).cloned() {
+            step_frame(&mut node, 1_000, NodeId(1), eterm, frame);
+        }
+        assert_eq!(
+            node.applied_index(),
+            LogIndex::ZERO,
+            "a partial stream installs nothing"
+        );
+        assert!(node.state_machine().entries.is_empty());
+        node.restart(2_000);
+        // The leader re-streams from scratch; the previously delivered
+        // frames are gone with the crash, so a *partial* replay still
+        // installs nothing...
+        for frame in frames.iter().skip(4).cloned() {
+            step_frame(&mut node, 3_000, NodeId(1), eterm, frame);
+        }
+        assert_eq!(node.applied_index(), LogIndex::ZERO);
+        // ...and only the complete re-stream does.
+        for frame in frames {
+            step_frame(&mut node, 4_000, NodeId(1), eterm, frame);
+        }
+        assert_eq!(node.applied_index(), LogIndex(10));
+        assert_eq!(node.state_machine().entries.len(), 8);
+    }
+
+    #[test]
+    fn leader_change_mid_stream_restarts_assembly() {
+        let mut node = follower();
+        let old_eterm = EpochTerm::new(0, 1);
+        let old = make_snapshot("a", 6, 10, old_eterm);
+        let old_frames = old.frames();
+        for frame in old_frames.iter().take(3).cloned() {
+            step_frame(&mut node, 1_000, NodeId(1), old_eterm, frame);
+        }
+        // Leadership moves: node 2 streams its own (newer) snapshot.
+        let new_eterm = EpochTerm::new(0, 2);
+        let new = make_snapshot("b", 5, 12, new_eterm);
+        for frame in new.frames() {
+            step_frame(&mut node, 2_000, NodeId(2), new_eterm, frame);
+        }
+        assert_eq!(
+            node.applied_index(),
+            LogIndex(12),
+            "the new stream installed"
+        );
+        let sm = node.state_machine();
+        assert_eq!(sm.entries.len(), 5, "no chunk of the old stream leaked in");
+        assert!(sm.entries.keys().all(|k| k.starts_with(b"b")));
+        // The old leader's remaining frames are stale and change nothing.
+        for frame in old_frames.into_iter().skip(3) {
+            step_frame(&mut node, 3_000, NodeId(1), old_eterm, frame);
+        }
+        assert_eq!(node.applied_index(), LogIndex(12));
+        assert_eq!(node.state_machine().entries.len(), 5);
+    }
+
+    #[test]
+    fn leader_streams_multi_frame_snapshot_to_laggard() {
+        // End to end through real replication: a laggard behind the
+        // compaction base receives a genuinely multi-frame stream whose
+        // frames are each far below the whole-state size.
+        let config = config3();
+        let timing = Timing {
+            compaction_threshold: 6,
+            ..Timing::default()
+        };
+        let mut nodes: BTreeMap<NodeId, Node<ChunkyKv>> = BTreeMap::new();
+        for id in [1u64, 2, 3] {
+            nodes.insert(
+                NodeId(id),
+                Node::new(
+                    NodeId(id),
+                    config.clone(),
+                    ChunkyKv::default(),
+                    timing,
+                    0xACE + id,
+                ),
+            );
+        }
+        let mut now = 0u64;
+        let mut blackhole: BTreeSet<NodeId> = BTreeSet::from([NodeId(3)]);
+        // One pump round: tick everyone, deliver everything not blackholed.
+        let pump = |nodes: &mut BTreeMap<NodeId, Node<ChunkyKv>>,
+                    blackhole: &BTreeSet<NodeId>,
+                    now: u64|
+         -> Vec<Envelope> {
+            let mut captured = Vec::new();
+            let mut queue: Vec<Envelope> = Vec::new();
+            for node in nodes.values_mut() {
+                node.tick(now);
+            }
+            for _ in 0..40 {
+                for node in nodes.values_mut() {
+                    let (msgs, _) = node.take_outputs();
+                    queue.extend(msgs);
+                }
+                if queue.is_empty() {
+                    break;
+                }
+                for env in std::mem::take(&mut queue) {
+                    captured.push(env.clone());
+                    if blackhole.contains(&env.to) || env.to.0 >= 1000 {
+                        continue;
+                    }
+                    if let Some(n) = nodes.get_mut(&env.to) {
+                        n.step(now, env.from, env.msg);
+                    }
+                }
+            }
+            captured
+        };
+        // Elect a leader among {1, 2} and commit enough to compact.
+        let mut leader = None;
+        for _ in 0..200 {
+            now += TICK;
+            pump(&mut nodes, &blackhole, now);
+            leader = nodes
+                .values()
+                .find(|n| n.is_leader() && !blackhole.contains(&n.id()))
+                .map(Node::id);
+            if leader.is_some() {
+                break;
+            }
+        }
+        let leader = leader.expect("leader elected");
+        for i in 0..12u32 {
+            now += TICK;
+            nodes.get_mut(&leader).unwrap().propose_entry(
+                now,
+                EntryPayload::Command(bytes::Bytes::from(format!("k{i:02}=v{i}"))),
+            );
+            pump(&mut nodes, &blackhole, now);
+        }
+        assert!(
+            nodes[&leader].log().base_index() > LogIndex::ZERO,
+            "leader compacted"
+        );
+        // Heal node 3: the leader must stream its snapshot in bounded
+        // frames (ChunkyKv: one pair per chunk).
+        blackhole.clear();
+        let mut install_frames = Vec::new();
+        for _ in 0..100 {
+            now += TICK;
+            for env in pump(&mut nodes, &blackhole, now) {
+                if env.to == NodeId(3) {
+                    if let Message::InstallSnapshot { frame, .. } = &env.msg {
+                        install_frames.push(frame.clone());
+                    }
+                }
+            }
+            if nodes[&NodeId(3)].applied_index() >= nodes[&leader].log().base_index() {
+                break;
+            }
+        }
+        assert!(
+            install_frames.iter().map(|f| f.total).any(|t| t > 1),
+            "the stream was genuinely multi-frame"
+        );
+        let state_bytes: usize = nodes[&leader]
+            .state_machine()
+            .snapshot(&RangeSet::full())
+            .len();
+        assert!(
+            install_frames.iter().all(|f| f.chunk.len() < state_bytes),
+            "every frame is far below the whole-state payload"
+        );
+        assert_eq!(
+            install_frames
+                .iter()
+                .filter(|f| f.sessions.is_some())
+                .map(|f| f.seq)
+                .collect::<BTreeSet<u32>>(),
+            BTreeSet::from([0]),
+            "sessions ride first frames only"
+        );
+        // The laggard converged to the leader's state.
+        let caught_up = &nodes[&NodeId(3)];
+        assert!(caught_up.applied_index() >= nodes[&leader].log().base_index());
+        assert_eq!(
+            caught_up.state_machine().entries.get(b"k00".as_slice()),
+            Some(&b"v0".to_vec())
+        );
+    }
+}

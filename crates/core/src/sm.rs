@@ -54,6 +54,91 @@ pub trait StateMachine {
 
     /// Drops all state outside `ranges` (split completion).
     fn retain_ranges(&mut self, ranges: &RangeSet);
+
+    // ---- Streaming snapshot surface -------------------------------------
+    //
+    // The consensus layer moves snapshots through these methods so transfer
+    // peak allocation is bounded by the machine's *chunk* size, never the
+    // keyspace. The defaults express a whole-blob machine (one chunk that is
+    // exactly [`StateMachine::snapshot`]'s payload), so in-memory machines
+    // need not implement anything; on-disk machines like `recraft-kv`'s
+    // `DurableKv` override them to emit one bounded chunk per key sub-range.
+
+    /// Encodes the state restricted to `ranges` as a sequence of
+    /// independently decodable, bounded-size chunks. Must return at least
+    /// one chunk (an empty state still encodes to a non-empty chunk) so an
+    /// install stream always has a first frame.
+    fn snapshot_chunks(&self, ranges: &RangeSet) -> Vec<Bytes> {
+        vec![self.snapshot(ranges)]
+    }
+
+    /// Whether this machine natively *merges* install chunks. The default
+    /// install surface replaces the whole state per chunk, so feeding a
+    /// multi-chunk stream to a whole-blob machine would silently keep only
+    /// the last chunk — [`StateMachine::restore_chunks`] guards on this and
+    /// fails loudly instead. Machines that override the install surface to
+    /// merge chunks (like `recraft-kv`'s `DurableKv`) return `true`.
+    fn chunked_install(&self) -> bool {
+        false
+    }
+
+    /// Starts a chunked install: the next [`StateMachine::install_chunk`]
+    /// calls replace the state. Whole-blob machines need nothing here —
+    /// their single `install_chunk` call is a full [`StateMachine::restore`].
+    fn install_begin(&mut self) {}
+
+    /// Feeds one chunk of an in-progress install.
+    ///
+    /// # Errors
+    /// Returns a codec error if the chunk is malformed.
+    fn install_chunk(&mut self, chunk: &Bytes) -> Result<()> {
+        self.restore(chunk)
+    }
+
+    /// Completes a chunked install (durable machines persist here).
+    ///
+    /// # Errors
+    /// Returns an error when the installed image cannot be finalized.
+    fn install_finish(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Replaces the state with an already-assembled chunk sequence — the
+    /// restart/recovery path, driving the same begin/chunk/finish cycle a
+    /// streamed install uses. Empty chunks (the degenerate frame of an
+    /// empty snapshot) are skipped.
+    ///
+    /// # Errors
+    /// Returns an error if any chunk is malformed, or when a multi-chunk
+    /// stream reaches a machine whose install surface cannot merge chunks
+    /// (see [`StateMachine::chunked_install`]) — installing only the last
+    /// chunk would be silent divergence.
+    fn restore_chunks(&mut self, chunks: &[Bytes]) -> Result<()> {
+        if !self.chunked_install() && chunks.iter().filter(|c| !c.is_empty()).count() > 1 {
+            return Err(recraft_types::Error::Codec(
+                "multi-chunk snapshot stream fed to a whole-blob state machine \
+                 (mixed RECRAFT_SM deployment?)"
+                    .into(),
+            ));
+        }
+        self.install_begin();
+        for chunk in chunks {
+            if !chunk.is_empty() {
+                self.install_chunk(chunk)?;
+            }
+        }
+        self.install_finish()
+    }
+
+    /// Crash-injection hook mirroring [`LogStore::power_cut`]: durable
+    /// machines discard buffered-but-unsynced state (and may leave a torn
+    /// artifact for their recovery to detect). In-memory machines ignore it
+    /// — their crash model is process death.
+    ///
+    /// [`LogStore::power_cut`]: recraft_storage::LogStore::power_cut
+    fn power_cut(&mut self, keep_unsynced: usize) {
+        let _ = keep_unsynced;
+    }
 }
 
 /// A minimal key-value state machine for tests and examples.

@@ -6,8 +6,14 @@
 //!
 //! * [`KvCmd`] / [`KvResp`] — the typed command set (put/get/delete/ingest)
 //!   with a compact binary encoding,
-//! * [`KvStore`] — a revisioned key-value [`StateMachine`] with range-scoped
-//!   snapshots (what split retains and merge exchanges),
+//! * [`KvStore`] — a revisioned in-memory key-value [`StateMachine`] with
+//!   range-scoped snapshots (what split retains and merge exchanges),
+//! * [`DurableKv`] — the on-disk machine: memtable + immutable crc-framed
+//!   segment files per key sub-range, a manifest with a persisted
+//!   applied-index watermark, native bounded snapshot chunks, and crash
+//!   recovery via [`DurableKv::open`],
+//! * [`KvMachine`] — the runtime-selected union of the two (the simulator
+//!   boots it from `RECRAFT_SM=mem|durable`),
 //! * [`lin`] — a linearizability witness checker used by the simulator and
 //!   the integration tests.
 //!
@@ -36,6 +42,13 @@
 //! ```
 
 pub mod lin;
+
+mod durable;
+mod machine;
+#[cfg(test)]
+mod proptests;
 mod store;
 
+pub use durable::{DurableKv, DurableKvOptions};
+pub use machine::KvMachine;
 pub use store::{KvCmd, KvResp, KvStore};

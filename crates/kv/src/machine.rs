@@ -1,0 +1,221 @@
+//! [`KvMachine`]: the runtime-selected key-value state machine.
+//!
+//! The simulator boots every node on one of the two machines depending on
+//! `RECRAFT_SM` (`mem` | `durable`), crossed with the `RECRAFT_BACKEND` log
+//! axis — so the whole test suite exercises all four combinations without
+//! edits. The enum delegates the full [`StateMachine`] surface (including
+//! the streaming snapshot methods and the crash hook) and re-exposes the
+//! read accessors tests and the TC baseline use.
+
+use crate::durable::DurableKv;
+use crate::store::KvStore;
+use bytes::Bytes;
+use recraft_core::StateMachine;
+use recraft_types::{LogIndex, RangeSet, Result};
+
+/// A [`KvStore`] or a [`DurableKv`], chosen at boot time.
+#[derive(Debug)]
+pub enum KvMachine {
+    /// The in-memory machine (whole-blob snapshots, no recovery surface).
+    Mem(KvStore),
+    /// The on-disk machine (chunked snapshots, reopen recovery).
+    Durable(DurableKv),
+}
+
+impl KvMachine {
+    /// The number of stored pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            KvMachine::Mem(s) => s.len(),
+            KvMachine::Durable(s) => s.len(),
+        }
+    }
+
+    /// Whether the store holds no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current revision (count of applied commands).
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        match self {
+            KvMachine::Mem(s) => s.revision(),
+            KvMachine::Durable(s) => s.revision(),
+        }
+    }
+
+    /// Direct read access (for tests and the router; linearizable reads go
+    /// through the log or the ReadIndex path).
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<&Bytes> {
+        match self {
+            KvMachine::Mem(s) => s.get(key),
+            KvMachine::Durable(s) => s.get(key),
+        }
+    }
+
+    /// Approximate data size in bytes (keys + values).
+    #[must_use]
+    pub fn data_size(&self) -> usize {
+        match self {
+            KvMachine::Mem(s) => s.data_size(),
+            KvMachine::Durable(s) => s.data_size(),
+        }
+    }
+
+    /// The durable machine, when that is what is running.
+    #[must_use]
+    pub fn as_durable(&self) -> Option<&DurableKv> {
+        match self {
+            KvMachine::Mem(_) => None,
+            KvMachine::Durable(s) => Some(s),
+        }
+    }
+}
+
+impl StateMachine for KvMachine {
+    fn apply(&mut self, index: LogIndex, cmd: &Bytes) -> Bytes {
+        match self {
+            KvMachine::Mem(s) => s.apply(index, cmd),
+            KvMachine::Durable(s) => s.apply(index, cmd),
+        }
+    }
+
+    fn apply_batch(&mut self, entries: &[(LogIndex, Bytes)]) -> Vec<Bytes> {
+        match self {
+            KvMachine::Mem(s) => s.apply_batch(entries),
+            KvMachine::Durable(s) => s.apply_batch(entries),
+        }
+    }
+
+    fn query(&self, key: &[u8]) -> Bytes {
+        match self {
+            KvMachine::Mem(s) => s.query(key),
+            KvMachine::Durable(s) => s.query(key),
+        }
+    }
+
+    fn snapshot(&self, ranges: &RangeSet) -> Bytes {
+        match self {
+            KvMachine::Mem(s) => s.snapshot(ranges),
+            KvMachine::Durable(s) => s.snapshot(ranges),
+        }
+    }
+
+    fn restore(&mut self, data: &Bytes) -> Result<()> {
+        match self {
+            KvMachine::Mem(s) => s.restore(data),
+            KvMachine::Durable(s) => s.restore(data),
+        }
+    }
+
+    fn restore_merged(&mut self, parts: &[Bytes]) -> Result<()> {
+        match self {
+            KvMachine::Mem(s) => s.restore_merged(parts),
+            KvMachine::Durable(s) => s.restore_merged(parts),
+        }
+    }
+
+    fn retain_ranges(&mut self, ranges: &RangeSet) {
+        match self {
+            KvMachine::Mem(s) => s.retain_ranges(ranges),
+            KvMachine::Durable(s) => s.retain_ranges(ranges),
+        }
+    }
+
+    fn snapshot_chunks(&self, ranges: &RangeSet) -> Vec<Bytes> {
+        match self {
+            KvMachine::Mem(s) => s.snapshot_chunks(ranges),
+            KvMachine::Durable(s) => s.snapshot_chunks(ranges),
+        }
+    }
+
+    fn chunked_install(&self) -> bool {
+        match self {
+            KvMachine::Mem(s) => s.chunked_install(),
+            KvMachine::Durable(s) => s.chunked_install(),
+        }
+    }
+
+    fn install_begin(&mut self) {
+        match self {
+            KvMachine::Mem(s) => s.install_begin(),
+            KvMachine::Durable(s) => s.install_begin(),
+        }
+    }
+
+    fn install_chunk(&mut self, chunk: &Bytes) -> Result<()> {
+        match self {
+            KvMachine::Mem(s) => s.install_chunk(chunk),
+            KvMachine::Durable(s) => s.install_chunk(chunk),
+        }
+    }
+
+    fn install_finish(&mut self) -> Result<()> {
+        match self {
+            KvMachine::Mem(s) => s.install_finish(),
+            KvMachine::Durable(s) => s.install_finish(),
+        }
+    }
+
+    fn restore_chunks(&mut self, chunks: &[Bytes]) -> Result<()> {
+        match self {
+            KvMachine::Mem(s) => s.restore_chunks(chunks),
+            KvMachine::Durable(s) => s.restore_chunks(chunks),
+        }
+    }
+
+    fn power_cut(&mut self, keep_unsynced: usize) {
+        match self {
+            KvMachine::Mem(s) => StateMachine::power_cut(s, keep_unsynced),
+            KvMachine::Durable(s) => StateMachine::power_cut(s, keep_unsynced),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::testdir::TestDir;
+    use crate::durable::DurableKvOptions;
+    use crate::store::KvCmd;
+
+    #[test]
+    fn both_variants_delegate_identically() {
+        let dir = TestDir::new("machine");
+        let mut mem = KvMachine::Mem(KvStore::new());
+        let mut durable = KvMachine::Durable(
+            DurableKv::create(
+                &dir.0,
+                KvStore::new(),
+                DurableKvOptions {
+                    fsync: false,
+                    ..DurableKvOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        let cmd = KvCmd::Put {
+            key: b"k".to_vec(),
+            value: Bytes::from_static(b"v"),
+        }
+        .encode();
+        assert_eq!(
+            mem.apply(LogIndex(1), &cmd),
+            durable.apply(LogIndex(1), &cmd)
+        );
+        assert_eq!(mem.len(), durable.len());
+        assert_eq!(mem.revision(), durable.revision());
+        assert_eq!(mem.get(b"k"), durable.get(b"k"));
+        assert_eq!(mem.query(b"k"), durable.query(b"k"));
+        assert_eq!(
+            mem.snapshot(&RangeSet::full()),
+            durable.snapshot(&RangeSet::full())
+        );
+        assert!(mem.as_durable().is_none());
+        assert!(durable.as_durable().is_some());
+    }
+}

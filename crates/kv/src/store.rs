@@ -213,7 +213,9 @@ impl KvStore {
     /// dispatch both [`StateMachine::apply`] and
     /// [`StateMachine::apply_batch`] go through — replicas must produce
     /// byte-identical responses whichever path delivered the entry.
-    fn apply_cmd(&mut self, cmd: &Bytes) -> KvResp {
+    /// `DurableKv` routes its applies through the same dispatch, so the two
+    /// machines answer byte-identically under identical logs.
+    pub(crate) fn apply_cmd(&mut self, cmd: &Bytes) -> KvResp {
         self.revision += 1;
         match KvCmd::decode(cmd) {
             Ok(KvCmd::Put { key, value }) => {
@@ -253,7 +255,31 @@ impl KvStore {
         }
     }
 
-    fn encode_map(map: &BTreeMap<Vec<u8>, Bytes>) -> Bytes {
+    /// The stored pairs (the `DurableKv` wrapper partitions these into
+    /// segment files).
+    pub(crate) fn entries(&self) -> &BTreeMap<Vec<u8>, Bytes> {
+        &self.entries
+    }
+
+    /// Merges a snapshot-format blob (`[u64 revision][map]`) into the store:
+    /// pairs extend the map, the revision takes the maximum. The chunked
+    /// install path feeds one bounded blob at a time through this.
+    pub(crate) fn absorb_snapshot_blob(&mut self, data: &Bytes) -> Result<()> {
+        let mut buf = data.clone();
+        let revision = u64::decode(&mut buf)?;
+        let map = Self::decode_map(&buf)?;
+        self.entries.extend(map);
+        self.revision = self.revision.max(revision);
+        Ok(())
+    }
+
+    /// Replaces the whole state (recovery from decoded segment contents).
+    pub(crate) fn set_state(&mut self, entries: BTreeMap<Vec<u8>, Bytes>, revision: u64) {
+        self.entries = entries;
+        self.revision = revision;
+    }
+
+    pub(crate) fn encode_map(map: &BTreeMap<Vec<u8>, Bytes>) -> Bytes {
         let plain: BTreeMap<Vec<u8>, Vec<u8>> =
             map.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect();
         let mut buf = BytesMut::new();
@@ -261,7 +287,7 @@ impl KvStore {
         buf.freeze()
     }
 
-    fn decode_map(data: &Bytes) -> Result<BTreeMap<Vec<u8>, Bytes>> {
+    pub(crate) fn decode_map(data: &Bytes) -> Result<BTreeMap<Vec<u8>, Bytes>> {
         let mut buf = data.clone();
         let plain = BTreeMap::<Vec<u8>, Vec<u8>>::decode(&mut buf)?;
         Ok(plain

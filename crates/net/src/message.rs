@@ -1,6 +1,6 @@
 //! The message vocabulary.
 
-use recraft_storage::{LogEntry, Snapshot};
+use recraft_storage::{LogEntry, Snapshot, SnapshotFrame};
 use recraft_types::{
     ClientRequest, ClientResponse, ClusterConfig, ClusterId, EpochTerm, Error, LogIndex,
     MergeDecision, MergeOutcome, MergeTx, NodeId, RangeSet, SplitSpec, TxId,
@@ -189,14 +189,18 @@ pub enum Message {
     // ---- Snapshot installation (leader → laggard) ----
     /// Raft InstallSnapshot extended with the configuration at the snapshot
     /// point (also used to restore nodes coming from other subclusters after
-    /// a merge, §III-C2).
+    /// a merge, §III-C2). The snapshot streams as a sequence of these
+    /// bounded-size frames sharing one stream identity; the receiver
+    /// assembles them and installs atomically once every frame arrived, so
+    /// no single message (or allocation) ever holds the whole keyspace. The
+    /// session table rides only the stream's first frame.
     InstallSnapshot {
         /// Leader's cluster.
         cluster: ClusterId,
         /// Leader's epoch-term.
         eterm: EpochTerm,
-        /// The snapshot.
-        snapshot: Box<Snapshot>,
+        /// One frame of the chunked snapshot stream.
+        frame: Box<SnapshotFrame>,
         /// Configuration in effect at the snapshot point.
         config: ClusterConfig,
     },
@@ -350,7 +354,7 @@ impl Message {
             Message::PullResp {
                 entries, snapshot, ..
             } => HDR + entries.len() * 64 + snapshot.as_ref().map_or(0, |s| s.size_bytes()),
-            Message::InstallSnapshot { snapshot, .. } => HDR + snapshot.size_bytes(),
+            Message::InstallSnapshot { frame, .. } => HDR + frame.size_bytes(),
             Message::FetchSnapshotResp { part, .. } => {
                 HDR + part.as_ref().map_or(0, |s| s.size_bytes())
             }

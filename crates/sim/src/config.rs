@@ -28,6 +28,32 @@ impl Backend {
     }
 }
 
+/// Which key-value state machine simulated nodes run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SmKind {
+    /// The in-memory `KvStore` (whole-blob snapshots, restart-only crash
+    /// model).
+    #[default]
+    Mem,
+    /// The on-disk `DurableKv`: per-node data dirs, chunked snapshots,
+    /// power-cut tears, and reopen recovery on reboot.
+    Durable,
+}
+
+impl SmKind {
+    /// Reads the machine from the `RECRAFT_SM` environment variable
+    /// (`mem` | `durable`, case-insensitive; anything else falls back to
+    /// `Mem`). Crossed with `RECRAFT_BACKEND`, this gives the CI its four
+    /// state-machine × log-backend combinations without test edits.
+    #[must_use]
+    pub fn from_env() -> SmKind {
+        match std::env::var("RECRAFT_SM") {
+            Ok(v) if v.eq_ignore_ascii_case("durable") => SmKind::Durable,
+            _ => SmKind::Mem,
+        }
+    }
+}
+
 /// Parameters of a simulation run. All times are virtual microseconds.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -59,6 +85,9 @@ pub struct SimConfig {
     /// The storage backend nodes boot on. Defaults from `RECRAFT_BACKEND`,
     /// so the entire test suite switches backend without edits.
     pub backend: Backend,
+    /// The key-value state machine nodes boot on. Defaults from
+    /// `RECRAFT_SM` (same pattern as `RECRAFT_BACKEND`).
+    pub sm: SmKind,
 }
 
 impl Default for SimConfig {
@@ -82,6 +111,7 @@ impl Default for SimConfig {
             client_timeout: 5_000_000,
             directory_delay: 20_000,
             backend: Backend::from_env(),
+            sm: SmKind::from_env(),
         }
     }
 }
@@ -109,6 +139,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// The same configuration on an explicit state machine (overriding the
+    /// `RECRAFT_SM` default) — the cross-backend matrix tests pin all four
+    /// combinations in one process this way.
+    #[must_use]
+    pub fn with_machine(mut self, sm: SmKind) -> Self {
+        self.sm = sm;
         self
     }
 }

@@ -1,7 +1,7 @@
 //! The discrete-event engine.
 
 use crate::client::{Client, Outstanding, Workload};
-use crate::config::{Backend, SimConfig};
+use crate::config::{Backend, SimConfig, SmKind};
 use crate::directory::Directory;
 use crate::metrics::Metrics;
 use rand::rngs::StdRng;
@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 use recraft_core::events::{fingerprint, read_fingerprint};
 use recraft_core::{Node, NodeEvent, Role};
 use recraft_kv::lin::{self, Op, OpId, OpKind};
-use recraft_kv::{KvResp, KvStore};
+use recraft_kv::{DurableKv, DurableKvOptions, KvMachine, KvResp, KvStore};
 use recraft_net::{AdminCmd, Envelope, Message};
 use recraft_storage::{LogStore, MemLog, WalLog, WalOptions};
 use recraft_types::{
@@ -108,7 +108,7 @@ impl Ord for Ev {
 pub type SimStore = Box<dyn LogStore>;
 
 struct SimNode {
-    node: Node<KvStore, SimStore>,
+    node: Node<KvMachine, SimStore>,
     up: bool,
 }
 
@@ -155,12 +155,13 @@ pub struct Sim {
 }
 
 impl Sim {
-    /// Creates an empty simulation. On the WAL backend a per-run data root
-    /// is created under the system temp dir and removed when the sim drops.
+    /// Creates an empty simulation. On the WAL backend (or with the durable
+    /// state machine) a per-run data root is created under the system temp
+    /// dir and removed when the sim drops.
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
-        let data_root = (cfg.backend == Backend::Wal).then(|| {
+        let data_root = (cfg.backend == Backend::Wal || cfg.sm == SmKind::Durable).then(|| {
             let run = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
             let root = std::env::temp_dir().join(format!(
                 "recraft-sim-{}-{run}-{:x}",
@@ -202,7 +203,8 @@ impl Sim {
 
     // ---- Storage backends --------------------------------------------------
 
-    /// The data directory of `id` (WAL backend only).
+    /// The data directory of `id` (present when either the WAL backend or
+    /// the durable state machine is selected).
     fn node_dir(&self, id: NodeId) -> Option<PathBuf> {
         self.data_root
             .as_ref()
@@ -213,9 +215,10 @@ impl Sim {
     /// previous incarnation of the id left behind (boot semantics); a reboot
     /// passes `false` to recover it instead.
     fn make_store(&self, id: NodeId, fresh: bool) -> SimStore {
-        match self.node_dir(id) {
-            None => Box::new(MemLog::new()),
-            Some(dir) => {
+        match self.cfg.backend {
+            Backend::Mem => Box::new(MemLog::new()),
+            Backend::Wal => {
+                let dir = self.node_dir(id).expect("wal backend has a data root");
                 if fresh {
                     let _ = std::fs::remove_dir_all(&dir);
                 }
@@ -232,6 +235,39 @@ impl Sim {
                     )
                     .expect("open node WAL"),
                 )
+            }
+        }
+    }
+
+    /// Builds the configured state machine for `id`, seeded with `preload`
+    /// (the TC baseline restarts nodes preloaded with migrated data). A
+    /// boot (`fresh`) wipes and re-creates the machine's data dir; a reboot
+    /// recovers it — exercising `DurableKv`'s manifest/segment recovery,
+    /// torn-tail handling included.
+    fn make_machine(&self, id: NodeId, preload: KvStore, fresh: bool) -> KvMachine {
+        match self.cfg.sm {
+            SmKind::Mem => KvMachine::Mem(preload),
+            SmKind::Durable => {
+                let dir = self
+                    .node_dir(id)
+                    .expect("durable machine has a data root")
+                    .join("kv");
+                let opts = DurableKvOptions {
+                    // Same rationale as the WAL: virtual time makes physical
+                    // fsyncs pure overhead; the commit protocol (write-tmp +
+                    // rename) is identical either way.
+                    fsync: false,
+                    chunk_bytes: 32 * 1024,
+                    memtable_bytes: 2 * 1024 * 1024,
+                };
+                let kv = if fresh {
+                    DurableKv::create(&dir, preload, opts)
+                } else {
+                    debug_assert!(preload.is_empty(), "reboot recovers, not preloads");
+                    DurableKv::open(&dir, opts)
+                }
+                .expect("open node kv machine");
+                KvMachine::Durable(kv)
             }
         }
     }
@@ -253,13 +289,15 @@ impl Sim {
     }
 
     /// Boots one node with a preloaded store (the TC baseline's restart-as-
-    /// subcluster path).
+    /// subcluster path). Under `RECRAFT_SM=durable` the preload seeds the
+    /// node's on-disk machine.
     pub fn boot_node_with_store(&mut self, id: NodeId, config: ClusterConfig, store: KvStore) {
         let backend = self.make_store(id, true);
+        let machine = self.make_machine(id, store, true);
         let node = Node::with_store(
             id,
             config,
-            store,
+            machine,
             backend,
             self.cfg.timing,
             self.node_seed(id),
@@ -275,10 +313,11 @@ impl Sim {
     /// add names it).
     pub fn boot_joiner(&mut self, id: NodeId) {
         let backend = self.make_store(id, true);
+        let machine = self.make_machine(id, KvStore::new(), true);
         let node = Node::joiner_with_store(
             id,
             None,
-            KvStore::new(),
+            machine,
             backend,
             self.cfg.timing,
             self.node_seed(id),
@@ -292,10 +331,11 @@ impl Sim {
     /// former cluster is still alive (it would otherwise re-adopt it).
     pub fn boot_joiner_into(&mut self, id: NodeId, target: ClusterId) {
         let backend = self.make_store(id, true);
+        let machine = self.make_machine(id, KvStore::new(), true);
         let node = Node::joiner_with_store(
             id,
             Some(target),
-            KvStore::new(),
+            machine,
             backend,
             self.cfg.timing,
             self.node_seed(id),
@@ -601,13 +641,17 @@ impl Sim {
     }
 
     /// Reboots a node from its data dir: the old node object is dropped
-    /// wholesale and a fresh one is reconstructed by storage recovery. On
-    /// the in-memory backend (nothing on disk to reboot from) this is the
+    /// wholesale and a fresh one is reconstructed by storage recovery —
+    /// the WAL recovers the log/meta/snapshot and, under
+    /// `RECRAFT_SM=durable`, the state machine recovers its own flushed
+    /// segments before the node snapshot re-baselines it. On the in-memory
+    /// log backend (nothing durable to reboot the *log* from) this is the
     /// in-process restart, which keeps crash-recovery scenarios runnable
-    /// under both backends.
+    /// under every combination.
     fn reboot_from_disk(&mut self, id: NodeId) {
-        if self.node_dir(id).is_none() {
-            // Mem backend: the process image is all there is.
+        if self.cfg.backend == Backend::Mem {
+            // The consensus state lives only in the process image; a real
+            // reboot would be a fresh, unrecoverable node.
             self.apply_action(Action::Restart(id));
             return;
         }
@@ -618,14 +662,9 @@ impl Sim {
         // recovery over whatever the torn directory holds.
         self.nodes.remove(&id);
         let store = self.make_store(id, false);
-        let node = Node::reopen(
-            id,
-            store,
-            KvStore::new(),
-            self.cfg.timing,
-            self.node_seed(id),
-        )
-        .expect("recover node from data dir");
+        let machine = self.make_machine(id, KvStore::new(), false);
+        let node = Node::reopen(id, store, machine, self.cfg.timing, self.node_seed(id))
+            .expect("recover node from data dir");
         self.nodes.insert(id, SimNode { node, up: true });
         self.schedule(self.cfg.tick_interval, EvKind::NodeTick(id));
         self.schedule(self.cfg.directory_delay, EvKind::DirectoryRefresh);
@@ -1203,7 +1242,7 @@ impl Sim {
 
     /// Read access to a node.
     #[must_use]
-    pub fn node(&self, id: NodeId) -> Option<&Node<KvStore, SimStore>> {
+    pub fn node(&self, id: NodeId) -> Option<&Node<KvMachine, SimStore>> {
         self.nodes.get(&id).map(|sn| &sn.node)
     }
 
@@ -1214,7 +1253,7 @@ impl Sim {
     }
 
     /// Iterates over all nodes.
-    pub fn nodes(&self) -> impl Iterator<Item = &Node<KvStore, SimStore>> {
+    pub fn nodes(&self) -> impl Iterator<Item = &Node<KvMachine, SimStore>> {
         self.nodes.values().map(|sn| &sn.node)
     }
 

@@ -32,7 +32,7 @@ mod engine;
 mod metrics;
 
 pub use client::Workload;
-pub use config::{Backend, SimConfig};
+pub use config::{Backend, SimConfig, SmKind};
 pub use directory::Directory;
 pub use engine::{Action, Sim, SimStore, ADMIN_ADDR, CLIENT_BASE};
 pub use metrics::Metrics;

@@ -165,7 +165,7 @@ impl Encode for Snapshot {
         self.last_eterm.encode(buf);
         self.cluster.encode(buf);
         self.ranges.encode(buf);
-        self.data.encode(buf);
+        self.chunks.encode(buf);
         self.sessions.encode(buf);
     }
 }
@@ -177,7 +177,7 @@ impl Decode for Snapshot {
             last_eterm: EpochTerm::decode(buf)?,
             cluster: ClusterId::decode(buf)?,
             ranges: RangeSet::decode(buf)?,
-            data: Bytes::decode(buf)?,
+            chunks: Vec::<Bytes>::decode(buf)?,
             sessions: SessionTable::decode(buf)?,
         })
     }
@@ -256,7 +256,7 @@ mod tests {
             last_eterm: EpochTerm::new(2, 5),
             cluster: config.id(),
             ranges: RangeSet::full(),
-            data: Bytes::from_static(b"payload"),
+            chunks: vec![Bytes::from_static(b"payload"), Bytes::from_static(b"more")],
             sessions,
         });
     }

@@ -27,6 +27,7 @@
 
 mod codec;
 mod entry;
+pub mod framing;
 mod memlog;
 #[cfg(test)]
 mod proptests;
@@ -36,8 +37,9 @@ mod store;
 mod wal;
 
 pub use entry::{EntryPayload, LogEntry};
+pub use framing::crc32;
 pub use memlog::MemLog;
-pub use snapshot::Snapshot;
+pub use snapshot::{Snapshot, SnapshotFrame};
 pub use state::HardState;
 pub use store::{LogStore, NodeMeta, ReconfigRecord};
-pub use wal::{crc32, WalLog, WalOptions};
+pub use wal::{WalLog, WalOptions};

@@ -5,8 +5,11 @@ use recraft_types::{ClusterId, EpochTerm, LogIndex, RangeSet, SessionTable};
 
 /// A snapshot of the applied state up to (and including) `last_index`.
 ///
-/// The payload is opaque to the consensus layer; `recraft-kv` encodes its
-/// key-value map into it. Split and merge exchange snapshots tagged with the
+/// The payload is a sequence of opaque, bounded-size *chunks*: the state
+/// machine encodes each chunk independently (`recraft-kv` puts one key
+/// sub-range per chunk), so no single allocation on either side of a
+/// transfer ever holds the whole keyspace. Whole-blob state machines simply
+/// produce one chunk. Split and merge exchange snapshots tagged with the
 /// key ranges they cover so the merge can combine disjoint chunks
 /// ("exchange them, and use the combined snapshot as the base state",
 /// §III-C2).
@@ -20,8 +23,11 @@ pub struct Snapshot {
     pub cluster: ClusterId,
     /// The key ranges the payload covers.
     pub ranges: RangeSet,
-    /// Opaque encoded state-machine payload.
-    pub data: Bytes,
+    /// Opaque encoded state-machine payload, in bounded-size chunks. Node
+    /// snapshots always carry at least one chunk (an empty state still
+    /// encodes to a non-empty chunk), so a streamed install always has a
+    /// first frame to ride the session table on.
+    pub chunks: Vec<Bytes>,
     /// The exactly-once session dedup table at the snapshot point. Part of
     /// the applied state: restarts, snapshot installs, split parts, and
     /// merge exchange all carry it so retried client writes stay
@@ -38,7 +44,7 @@ impl Snapshot {
             last_eterm: EpochTerm::ZERO,
             cluster,
             ranges,
-            data: Bytes::new(),
+            chunks: Vec::new(),
             sessions: SessionTable::new(),
         }
     }
@@ -46,7 +52,82 @@ impl Snapshot {
     /// The payload size in bytes (what data exchange actually transfers).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.data.len() + self.sessions.size_bytes()
+        self.chunks.iter().map(Bytes::len).sum::<usize>() + self.sessions.size_bytes()
+    }
+
+    /// The largest single chunk — the peak contiguous allocation any
+    /// transfer of this snapshot requires.
+    #[must_use]
+    pub fn max_chunk_bytes(&self) -> usize {
+        self.chunks.iter().map(Bytes::len).max().unwrap_or(0)
+    }
+
+    /// Splits the snapshot into its install-stream frames: one frame per
+    /// chunk, sharing the stream identity `(cluster, last_index,
+    /// last_eterm, total)`. The session table rides *only* the first frame
+    /// — it is part of the snapshot, not of every chunk, so a chunked
+    /// install sends it exactly once.
+    #[must_use]
+    pub fn frames(&self) -> Vec<SnapshotFrame> {
+        let chunks: &[Bytes] = if self.chunks.is_empty() {
+            // Degenerate empty snapshot: one empty frame keeps the stream
+            // well-formed (a zero-frame stream could never complete).
+            &[Bytes::new()]
+        } else {
+            &self.chunks
+        };
+        let total = chunks.len() as u32;
+        chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| SnapshotFrame {
+                last_index: self.last_index,
+                last_eterm: self.last_eterm,
+                cluster: self.cluster,
+                ranges: self.ranges.clone(),
+                seq: i as u32,
+                total,
+                chunk: chunk.clone(),
+                sessions: (i == 0).then(|| self.sessions.clone()),
+            })
+            .collect()
+    }
+}
+
+/// One frame of a chunked snapshot install stream.
+///
+/// The receiver assembles frames of one stream identity `(cluster,
+/// last_index, last_eterm, total)` until every `seq in 0..total` arrived,
+/// then installs the whole snapshot atomically. Frames are idempotent and
+/// reorderable; a frame from a *different* stream identity restarts
+/// assembly from scratch (the sender changed its snapshot, or leadership
+/// moved mid-stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotFrame {
+    /// The last applied log index of the snapshot being streamed.
+    pub last_index: LogIndex,
+    /// The epoch-term of that entry.
+    pub last_eterm: EpochTerm,
+    /// The cluster that produced the snapshot.
+    pub cluster: ClusterId,
+    /// The key ranges the snapshot covers.
+    pub ranges: RangeSet,
+    /// This frame's position in the stream.
+    pub seq: u32,
+    /// Total number of frames in the stream.
+    pub total: u32,
+    /// This frame's payload chunk.
+    pub chunk: Bytes,
+    /// The session table — `Some` on the first frame only (sent once per
+    /// install, not once per chunk).
+    pub sessions: Option<SessionTable>,
+}
+
+impl SnapshotFrame {
+    /// Approximate wire size in bytes (chunk + session table when carried).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.chunk.len() + self.sessions.as_ref().map_or(0, SessionTable::size_bytes)
     }
 }
 
@@ -59,6 +140,39 @@ mod tests {
         let s = Snapshot::empty(ClusterId(1), RangeSet::full());
         assert_eq!(s.last_index, LogIndex::ZERO);
         assert_eq!(s.size_bytes(), 0);
+        assert_eq!(s.max_chunk_bytes(), 0);
         assert_eq!(s.cluster, ClusterId(1));
+        // Even the degenerate snapshot streams as one (empty) frame.
+        let frames = s.frames();
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].sessions.is_some());
+    }
+
+    #[test]
+    fn frames_carry_sessions_exactly_once() {
+        let mut sessions = SessionTable::new();
+        sessions.record(recraft_types::SessionId(1), 5, Bytes::from_static(b"ok"));
+        let s = Snapshot {
+            last_index: LogIndex(9),
+            last_eterm: EpochTerm::new(1, 2),
+            cluster: ClusterId(3),
+            ranges: RangeSet::full(),
+            chunks: vec![
+                Bytes::from_static(b"aaa"),
+                Bytes::from_static(b"bbb"),
+                Bytes::from_static(b"cc"),
+            ],
+            sessions,
+        };
+        let frames = s.frames();
+        assert_eq!(frames.len(), 3);
+        assert!(frames[0].sessions.is_some(), "first frame rides the table");
+        assert!(frames[1..].iter().all(|f| f.sessions.is_none()));
+        assert!(frames.iter().all(|f| f.total == 3));
+        assert_eq!(s.max_chunk_bytes(), 3);
+        assert_eq!(
+            frames.iter().map(|f| f.chunk.len()).sum::<usize>(),
+            s.chunks.iter().map(Bytes::len).sum::<usize>()
+        );
     }
 }

@@ -41,6 +41,7 @@
 //! [`LogStore`]).
 
 use crate::entry::LogEntry;
+use crate::framing::{frame, io_err, next_record, read_framed, sync_dir, write_framed};
 use crate::memlog::MemLog;
 use crate::snapshot::Snapshot;
 use crate::store::{LogStore, NodeMeta};
@@ -49,7 +50,7 @@ use recraft_types::codec::{Decode, Encode};
 use recraft_types::{ClusterConfig, EpochTerm, Error, LogIndex, Result};
 use std::collections::VecDeque;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const SEGMENT_MAGIC: u32 = 0x5243_574C; // "RCWL"
@@ -58,9 +59,6 @@ const SEGMENT_MAGIC: u32 = 0x5243_574C; // "RCWL"
 /// read back; recovery treats them as unusable files.
 const SEGMENT_VERSION: u32 = 2;
 const SEGMENT_HEADER_LEN: u64 = 16;
-/// Upper bound on a single framed record, guarding recovery against insane
-/// lengths from corrupt frames.
-const MAX_RECORD_LEN: usize = 1 << 28;
 
 /// Tuning knobs for a [`WalLog`].
 #[derive(Debug, Clone, Copy)]
@@ -585,16 +583,7 @@ impl LogStore for WalLog {
     }
 }
 
-// ---- Record framing and file helpers ---------------------------------------
-
-/// Frames a payload as `[u32 len][u32 crc32][payload]`.
-fn frame(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + 8);
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    out.extend_from_slice(&crc32(payload).to_be_bytes());
-    out.extend_from_slice(payload);
-    out
-}
+// ---- Record encoding helpers ------------------------------------------------
 
 /// Encodes an entry batch as one record payload: `[u32 count][entries...]`.
 /// One frame and one checksum cover the whole batch, making it the atomic
@@ -685,23 +674,6 @@ fn replay_segment(
     (pos as u64, last_entry)
 }
 
-/// Parses the record starting at `pos`; `None` on a torn or corrupt frame.
-fn next_record(raw: &[u8], pos: usize) -> Option<(&[u8], usize)> {
-    if pos + 8 > raw.len() {
-        return None;
-    }
-    let len = u32::from_be_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_be_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
-    if len > MAX_RECORD_LEN || pos + 8 + len > raw.len() {
-        return None;
-    }
-    let payload = &raw[pos + 8..pos + 8 + len];
-    if crc32(payload) != crc {
-        return None;
-    }
-    Some((payload, pos + 8 + len))
-}
-
 fn create_segment(wal_dir: &Path, seq: u64) -> Result<(Segment, File)> {
     let path = wal_dir.join(format!("seg-{seq:016}.log"));
     let mut file = OpenOptions::new()
@@ -728,84 +700,8 @@ fn create_segment(wal_dir: &Path, seq: u64) -> Result<(Segment, File)> {
     ))
 }
 
-/// Reads a crc-framed file, returning its payload if intact.
-fn read_framed(path: &Path) -> Option<Bytes> {
-    let mut raw = Vec::new();
-    File::open(path).ok()?.read_to_end(&mut raw).ok()?;
-    let (payload, end) = next_record(&raw, 0)?;
-    if end != raw.len() {
-        return None;
-    }
-    Some(Bytes::copy_from_slice(payload))
-}
-
-/// Atomically replaces `path` with a crc-framed `payload` (write-tmp +
-/// rename, syncing file and directory when `fsync` is set).
-fn write_framed(path: &Path, payload: &[u8], fsync: bool) -> Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut file = File::create(&tmp).map_err(|e| io_err("create tmp", &tmp, &e))?;
-        file.write_all(&frame(payload))
-            .map_err(|e| io_err("write tmp", &tmp, &e))?;
-        if fsync {
-            file.sync_data().map_err(|e| io_err("sync tmp", &tmp, &e))?;
-        }
-    }
-    fs::rename(&tmp, path).map_err(|e| io_err("rename tmp", path, &e))?;
-    if fsync {
-        if let Some(parent) = path.parent() {
-            sync_dir(parent);
-        }
-    }
-    Ok(())
-}
-
-fn sync_dir(dir: &Path) {
-    if let Ok(f) = File::open(dir) {
-        let _ = f.sync_all();
-    }
-}
-
-fn io_err(what: &str, path: &Path, e: &std::io::Error) -> Error {
-    Error::Storage(format!("{what} {}: {e}", path.display()))
-}
-
 fn corrupt_base() -> Error {
     Error::Storage("corrupt base.bin".into())
-}
-
-// ---- CRC-32 (IEEE 802.3) ----------------------------------------------------
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = crc32_table();
-
-/// The IEEE CRC-32 of `data` (the checksum guarding every WAL frame).
-#[must_use]
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in data {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
-    }
-    !crc
 }
 
 #[cfg(test)]
@@ -863,12 +759,6 @@ mod tests {
             wal.append(entry(i, term));
         }
         wal.sync();
-    }
-
-    #[test]
-    fn crc32_known_vectors() {
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]
@@ -977,7 +867,7 @@ mod tests {
             last_eterm: et(2),
             cluster: ClusterId(4),
             ranges: RangeSet::full(),
-            data: Bytes::from_static(b"state"),
+            chunks: vec![Bytes::from_static(b"state")],
             sessions: SessionTable::new(),
         };
         {
@@ -1251,7 +1141,7 @@ mod tests {
                 last_eterm: EpochTerm::new(7, 0),
                 cluster: ClusterId(9),
                 ranges: RangeSet::full(),
-                data: Bytes::new(),
+                chunks: Vec::new(),
                 sessions: SessionTable::new(),
             };
             wal.save_snapshot(&snap, &config);
