@@ -1,0 +1,199 @@
+//! Real-deployment saturation: open-loop clients against loopback-TCP
+//! clusters.
+//!
+//! Unlike every other bench in this crate, nothing here is simulated. Each
+//! node runs on its own OS thread; peers exchange the wire messages over
+//! real loopback TCP; `wal` nodes physically fsync at every output
+//! barrier; and 256 client threads keep a windowed backlog standing at the
+//! leader. The numbers are wall-clock: ns per confirmed op (open-loop,
+//! fleet-wide) and confirmed ops per millisecond, swept across 1/3/5-node
+//! clusters on both storage backends.
+//!
+//! The run asserts its own acceptance bars: every client finishes, the
+//! session table confirms exactly-once delivery, and the 3-node `wal`
+//! configuration amortizes group commit well below one fsync barrier per
+//! committed entry per node.
+//!
+//! Run with: `cargo bench -p recraft-bench --bench cluster_harness`
+//! (`BENCH_SMOKE=1` shrinks per-client ops and skips the 5-node tier for
+//! CI smoke runs). A machine-readable summary lands in
+//! `target/bench-summaries/BENCH_cluster_harness.json`.
+
+use recraft_cluster::{verify_sessions, ClientOptions, Cluster, ClusterSpec, HarnessBackend};
+use std::io::Write;
+use std::time::Duration;
+
+/// Fleet size — the target deployment load from the issue brief.
+const CLIENTS: u64 = 256;
+
+struct Point {
+    nodes: usize,
+    backend: &'static str,
+    total_ops: u64,
+    ns_per_op: f64,
+    ops_per_ms: f64,
+    sync_per_entry: f64,
+    redirects: u64,
+    stale_confirmed: u64,
+    elections: u64,
+    snapshot_installs: u64,
+}
+
+fn run_point(nodes: usize, backend: HarnessBackend, ops_per_client: u64) -> Point {
+    let mut spec = ClusterSpec::new(nodes, backend);
+    // Size election timeouts to the deployment, as production configs do.
+    // With the node drivers plus the whole client fleet contending for the
+    // host's cores, a driver can legitimately go seconds without being
+    // scheduled; default (150-300 ms) timeouts then read scheduling delay
+    // as leader death and the run dissolves into election churn, redirect
+    // storms, and snapshot re-images of starved followers (the per-point
+    // `elections`/`snapshot_installs` columns make this visible). Nothing
+    // crashes in this bench, so failure-detection latency costs nothing —
+    // only the liveness condition broadcastTime << electionTimeout has to
+    // hold, and loopback broadcast is microseconds.
+    spec.timing.election_timeout_min = 10_000_000;
+    spec.timing.election_timeout_max = 20_000_000;
+    spec.timing.heartbeat_interval = 1_000_000;
+    let cluster = Cluster::launch(&spec);
+    cluster
+        .wait_for_leader(Duration::from_secs(60))
+        .expect("leader election");
+    let opts = ClientOptions {
+        ops: ops_per_client,
+        window: 8,
+        value_size: 512,
+        // Open-loop queueing delay is the point, not a fault: with
+        // clients × window ops standing at the leader, a response can
+        // legitimately queue for seconds. Keep the read timeout well above
+        // that so reconnect-resend only fires for genuinely lost replies.
+        read_timeout: Duration::from_secs(10),
+        deadline: Duration::from_secs(600),
+        ..ClientOptions::default()
+    };
+    let fleet = cluster.run_clients(CLIENTS, &opts);
+    let unfinished = fleet.reports.iter().filter(|r| !r.completed).count();
+    assert_eq!(
+        unfinished,
+        0,
+        "{unfinished} of {CLIENTS} clients missed the deadline at {nodes} nodes / {}",
+        backend.as_str()
+    );
+    let total_ops = CLIENTS * ops_per_client;
+    assert_eq!(fleet.confirmed_ops(), total_ops);
+    let elapsed_ns = fleet.elapsed.as_nanos() as f64;
+
+    let elections = cluster.elections();
+    let snapshot_installs = cluster.snapshot_installs();
+    let members = cluster.shutdown();
+    verify_sessions(&members, CLIENTS, ops_per_client);
+    let syncs: u64 = members.iter().map(|n| n.log().sync_count()).sum();
+    let committed = members
+        .iter()
+        .map(|n| n.commit_index().0)
+        .max()
+        .unwrap_or(0);
+    let sync_per_entry = if committed > 0 {
+        syncs as f64 / (committed as f64 * members.len() as f64)
+    } else {
+        0.0
+    };
+    Point {
+        nodes,
+        backend: backend.as_str(),
+        total_ops,
+        ns_per_op: elapsed_ns / total_ops as f64,
+        ops_per_ms: total_ops as f64 / (elapsed_ns / 1e6),
+        sync_per_entry,
+        redirects: fleet.reports.iter().map(|r| r.redirects).sum(),
+        stale_confirmed: fleet.reports.iter().map(|r| r.stale_confirmed).sum(),
+        elections,
+        snapshot_installs,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    // Full: ~100k ops fleet-wide per configuration. Smoke: enough to
+    // saturate briefly while keeping CI wall-clock small.
+    let ops_per_client: u64 = if smoke { 8 } else { 390 };
+    let node_tiers: &[usize] = if smoke { &[3] } else { &[1, 3, 5] };
+    println!("=== Real cluster: OS threads + loopback TCP, open-loop saturation ===");
+    println!(
+        "    ({CLIENTS} client threads x {ops_per_client} ops, window 8, 512 B values{})\n",
+        if smoke { ", smoke scale" } else { "" }
+    );
+    println!(
+        "{:>5} {:>4} | {:>10} {:>10} {:>10} | {:>9} {:>6} {:>6} {:>8}",
+        "nodes", "wal?", "ns/op", "op/ms", "sync/entry", "redirects", "stale", "elects", "installs"
+    );
+    let mut points = Vec::new();
+    let mut wal3_sync_per_entry = f64::NAN;
+    for &nodes in node_tiers {
+        for backend in [HarnessBackend::Mem, HarnessBackend::Wal] {
+            let p = run_point(nodes, backend, ops_per_client);
+            println!(
+                "{:>5} {:>4} | {:>10.0} {:>10.2} {:>10.4} | {:>9} {:>6} {:>6} {:>8}",
+                p.nodes,
+                p.backend,
+                p.ns_per_op,
+                p.ops_per_ms,
+                p.sync_per_entry,
+                p.redirects,
+                p.stale_confirmed,
+                p.elections,
+                p.snapshot_installs
+            );
+            // Keep progress visible when stdout is a file or CI pipe.
+            let _ = std::io::stdout().flush();
+            if nodes == 3 && backend == HarnessBackend::Wal {
+                wal3_sync_per_entry = p.sync_per_entry;
+            }
+            points.push(p);
+        }
+    }
+    println!(
+        "\n3-node wal group-commit amortization: {wal3_sync_per_entry:.4} \
+         fsync barriers per committed entry per node (bar: < 1.0)"
+    );
+    write_summary(&points, ops_per_client).expect("write bench summary");
+    assert!(
+        wal3_sync_per_entry < 1.0,
+        "wal group commit must amortize below one sync per entry, got {wal3_sync_per_entry:.4}"
+    );
+}
+
+/// Writes the JSON summary CI uploads as the perf-trajectory artifact.
+fn write_summary(points: &[Point], ops_per_client: u64) -> std::io::Result<()> {
+    // Benches run with the package as CWD; anchor on the manifest so the
+    // summary lands in the workspace-level target dir CI uploads from.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-summaries");
+    std::fs::create_dir_all(&dir)?;
+    let mut f = std::fs::File::create(dir.join("BENCH_cluster_harness.json"))?;
+    writeln!(
+        f,
+        "{{\n  \"bench\": \"cluster_harness\",\n  \"clients\": {CLIENTS},\n  \
+         \"ops_per_client\": {ops_per_client},\n  \"points\": ["
+    )?;
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"nodes\": {}, \"backend\": \"{}\", \"total_ops\": {}, \
+             \"ns_per_op\": {:.0}, \"ops_per_ms\": {:.3}, \"sync_per_entry\": {:.4}, \
+             \"redirects\": {}, \"stale_confirmed\": {}, \"elections\": {}, \
+             \"snapshot_installs\": {}}}{comma}",
+            p.nodes,
+            p.backend,
+            p.total_ops,
+            p.ns_per_op,
+            p.ops_per_ms,
+            p.sync_per_entry,
+            p.redirects,
+            p.stale_confirmed,
+            p.elections,
+            p.snapshot_installs
+        )?;
+    }
+    writeln!(f, "  ]\n}}")?;
+    Ok(())
+}

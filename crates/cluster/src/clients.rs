@@ -1,0 +1,325 @@
+//! The open-loop client driver: many concurrent sessions over real TCP.
+//!
+//! Each client is one OS thread owning one [`SessionId`]. It keeps a
+//! bounded window of writes in flight ([`ClientOptions::window`]), which is
+//! what makes the load *open-loop*: the leader sees a standing backlog from
+//! every session at once, so replication batching and pipelining engage —
+//! the regime the saturation bench measures.
+//!
+//! Exactly-once under retries follows the same discipline the simulator's
+//! clients use: a write is retried under its original `(session, seq)`
+//! until answered, and on every (re)connection the pending window is resent
+//! in ascending sequence order. Per-connection FIFO plus ascending resend
+//! keeps each session's sequence numbers arriving monotonically, which
+//! yields one useful inference: a [`Error::SessionStale`] rejection for
+//! `seq` means some *higher* sequence number already applied — and since
+//! every lower one was always sent first, `seq` itself applied earlier and
+//! only its reply was lost. The client counts it as confirmed.
+
+use crate::CLIENT_BASE;
+use bytes::Bytes;
+use recraft_kv::KvCmd;
+use recraft_net::frame::{read_frame, write_frame};
+use recraft_net::{Envelope, Message};
+use recraft_types::{
+    ClientOp, ClientOutcome, ClientRequest, ClientResponse, Error, NodeId, SessionId,
+};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Knobs for one open-loop run. Every client uses the same options.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Writes each client performs (sequence numbers `1..=ops`).
+    pub ops: u64,
+    /// In-flight window per client; `1` degenerates to closed-loop.
+    pub window: usize,
+    /// Value payload size in bytes (the paper's evaluation uses 512).
+    pub value_size: usize,
+    /// Distinct keys across the run.
+    pub key_count: u64,
+    /// Socket read timeout; expiry triggers reconnect-and-resend, which is
+    /// the retry path for lost responses.
+    pub read_timeout: Duration,
+    /// Overall per-client deadline; a client that cannot finish by then
+    /// reports `completed: false` instead of hanging the run.
+    pub deadline: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            ops: 100,
+            window: 8,
+            value_size: 512,
+            key_count: 10_000,
+            read_timeout: Duration::from_millis(1000),
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What one client observed.
+#[derive(Debug, Clone, Default)]
+pub struct ClientReport {
+    /// Client index (also its session id).
+    pub client: u64,
+    /// Writes acknowledged with a reply.
+    pub replies: u64,
+    /// Writes confirmed applied via the `SessionStale` inference (the reply
+    /// itself was lost to a reconnect).
+    pub stale_confirmed: u64,
+    /// Replies for operations already confirmed (duplicate deliveries).
+    pub duplicates: u64,
+    /// Redirect outcomes followed.
+    pub redirects: u64,
+    /// Connections dialed (including the first).
+    pub connects: u64,
+    /// Whether every operation was confirmed before the deadline.
+    pub completed: bool,
+}
+
+/// Runs `clients` concurrent open-loop sessions against the cluster and
+/// joins them all.
+///
+/// # Panics
+/// Panics if a client thread panics.
+#[must_use]
+pub fn run_open_loop(
+    addrs: &BTreeMap<NodeId, SocketAddr>,
+    clients: u64,
+    opts: &ClientOptions,
+) -> Vec<ClientReport> {
+    let nodes: Vec<(NodeId, SocketAddr)> = addrs.iter().map(|(n, a)| (*n, *a)).collect();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let nodes = nodes.clone();
+            let opts = opts.clone();
+            thread::Builder::new()
+                .name(format!("recraft-client-{i}"))
+                .spawn(move || OpenLoopClient::new(i, nodes, opts).run())
+                .expect("spawn client thread")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect()
+}
+
+struct OpenLoopClient {
+    idx: u64,
+    me: NodeId,
+    session: SessionId,
+    nodes: Vec<(NodeId, SocketAddr)>,
+    target: usize,
+    stream: Option<TcpStream>,
+    /// The retry window: every unconfirmed request, keyed by seq.
+    pending: BTreeMap<u64, ClientRequest>,
+    next_seq: u64,
+    opts: ClientOptions,
+    report: ClientReport,
+}
+
+impl OpenLoopClient {
+    fn new(idx: u64, nodes: Vec<(NodeId, SocketAddr)>, opts: ClientOptions) -> Self {
+        let target = (idx as usize) % nodes.len();
+        OpenLoopClient {
+            idx,
+            me: NodeId(CLIENT_BASE + idx),
+            session: SessionId(idx),
+            nodes,
+            target,
+            stream: None,
+            pending: BTreeMap::new(),
+            next_seq: 1,
+            opts,
+            report: ClientReport {
+                client: idx,
+                ..ClientReport::default()
+            },
+        }
+    }
+
+    fn run(mut self) -> ClientReport {
+        let deadline = Instant::now() + self.opts.deadline;
+        while self.next_seq <= self.opts.ops || !self.pending.is_empty() {
+            if Instant::now() >= deadline {
+                break;
+            }
+            if self.stream.is_none() && !self.connect_and_resend() {
+                continue;
+            }
+            self.fill_window();
+            self.read_one();
+        }
+        self.report.completed = self.pending.is_empty() && self.next_seq > self.opts.ops;
+        self.report
+    }
+
+    /// Dials the current target and replays the whole pending window in
+    /// ascending sequence order (the monotonicity invariant the
+    /// `SessionStale` inference rests on).
+    fn connect_and_resend(&mut self) -> bool {
+        let (nid, addr) = self.nodes[self.target];
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(self.opts.read_timeout));
+                self.stream = Some(s);
+                self.report.connects += 1;
+                let window: Vec<ClientRequest> = self.pending.values().cloned().collect();
+                for req in window {
+                    if !self.send(nid, req) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Err(_) => {
+                // Node down (or not yet up): try the next one.
+                self.rotate();
+                thread::sleep(Duration::from_millis(10));
+                false
+            }
+        }
+    }
+
+    fn send(&mut self, to: NodeId, req: ClientRequest) -> bool {
+        let env = Envelope::new(self.me, to, Message::ClientReq { req });
+        let ok = self
+            .stream
+            .as_mut()
+            .is_some_and(|s| write_frame(s, &env).is_ok());
+        if !ok {
+            // Reconnect to the same target; rotation is driven by
+            // redirects and connect failures, not write errors.
+            self.stream = None;
+        }
+        ok
+    }
+
+    fn rotate(&mut self) {
+        self.target = (self.target + 1) % self.nodes.len();
+    }
+
+    /// Points the next connection at the hinted leader (or the next node
+    /// round-robin when the cluster has no leader to hint at).
+    fn retarget(&mut self, hint: Option<NodeId>) {
+        match hint.and_then(|h| self.nodes.iter().position(|(n, _)| *n == h)) {
+            Some(i) => self.target = i,
+            None => {
+                self.rotate();
+                // No leader known — likely an election; back off briefly.
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+        self.stream = None;
+    }
+
+    /// Issues fresh writes until the in-flight window is full.
+    fn fill_window(&mut self) {
+        while self.stream.is_some()
+            && self.pending.len() < self.opts.window.max(1)
+            && self.next_seq <= self.opts.ops
+        {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let req = self.make_req(seq);
+            self.pending.insert(seq, req.clone());
+            let to = self.nodes[self.target].0;
+            if !self.send(to, req) {
+                break;
+            }
+        }
+    }
+
+    fn make_req(&self, seq: u64) -> ClientRequest {
+        let mix = self
+            .idx
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(seq.wrapping_mul(0x85EB_CA6B));
+        let key = format!("k{:08}", mix % self.opts.key_count).into_bytes();
+        // Unique values make post-run spot checks exact.
+        let mut value = format!("c{}-s{}-", self.idx, seq).into_bytes();
+        value.resize(self.opts.value_size.max(value.len()), b'x');
+        ClientRequest {
+            session: self.session,
+            seq,
+            op: ClientOp::Command {
+                key: key.clone(),
+                cmd: KvCmd::Put {
+                    key,
+                    value: Bytes::from(value),
+                }
+                .encode(),
+            },
+        }
+    }
+
+    /// Blocks (up to the read timeout) for one response. Timeout or error
+    /// drops the connection; the next loop iteration reconnects and resends
+    /// the window — that is the retry path.
+    fn read_one(&mut self) {
+        let Some(s) = self.stream.as_mut() else {
+            return;
+        };
+        match read_frame(s) {
+            Ok(Some(env)) => {
+                if let Message::ClientResp { resp } = env.msg {
+                    self.on_resp(resp);
+                }
+            }
+            Ok(None) | Err(_) => self.stream = None,
+        }
+    }
+
+    fn on_resp(&mut self, resp: ClientResponse) {
+        if resp.session != self.session {
+            return;
+        }
+        let seq = resp.seq;
+        match resp.outcome {
+            ClientOutcome::Reply { .. } => {
+                if self.pending.remove(&seq).is_some() {
+                    self.report.replies += 1;
+                } else {
+                    self.report.duplicates += 1;
+                }
+            }
+            ClientOutcome::Redirect { leader_hint, .. } => {
+                if self.pending.contains_key(&seq) {
+                    self.report.redirects += 1;
+                    self.retarget(leader_hint);
+                }
+            }
+            ClientOutcome::Rejected { error } => {
+                if !self.pending.contains_key(&seq) {
+                    return;
+                }
+                match error {
+                    Error::SessionStale => {
+                        // A higher seq applied, so this one did too; only
+                        // the reply was lost. Confirmed.
+                        self.pending.remove(&seq);
+                        self.report.stale_confirmed += 1;
+                    }
+                    Error::NotLeader(hint) => {
+                        self.report.redirects += 1;
+                        self.retarget(hint);
+                    }
+                    _ => {
+                        // Transient (e.g. the proposal was dropped at a
+                        // leader change): retry under the same (session,
+                        // seq) on the current connection.
+                        let req = self.pending[&seq].clone();
+                        let to = self.nodes[self.target].0;
+                        let _ = self.send(to, req);
+                    }
+                }
+            }
+        }
+    }
+}

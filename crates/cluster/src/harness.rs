@@ -1,0 +1,294 @@
+//! Launching, watching, and tearing down a loopback-TCP cluster.
+//!
+//! [`Cluster::launch`] binds every node's listener first, so the full
+//! address map exists before any driver starts — peers can dial each other
+//! from the first heartbeat. Elections then run on real randomized
+//! timeouts ([`recraft_core::Timing::default`]: 150–300 ms), so a fresh
+//! cluster elects within a few hundred milliseconds without any nudging.
+//!
+//! [`Cluster::shutdown`] returns the actual [`HarnessNode`] values for
+//! post-run inspection; [`verify_sessions`] checks exactly-once delivery
+//! against the server-side session table — every client session's
+//! `last_seq` must equal the number of operations that client issued.
+
+use crate::clients::{run_open_loop, ClientOptions, ClientReport};
+use crate::driver::{spawn_node, HarnessNode, HarnessStore, NodeHandle};
+use recraft_core::{Node, Timing};
+use recraft_kv::{KvMachine, KvStore};
+use recraft_storage::{MemLog, WalLog, WalOptions};
+use recraft_types::{ClusterConfig, ClusterId, NodeId, RangeSet, SessionId};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Which [`recraft_storage::LogStore`] each node runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarnessBackend {
+    /// In-memory log: no durability cost, the network-bound ceiling.
+    Mem,
+    /// Segmented write-ahead log with real fsync at every output barrier.
+    Wal,
+}
+
+impl HarnessBackend {
+    /// The name used in CLI flags, env vars, and bench summaries.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HarnessBackend::Mem => "mem",
+            HarnessBackend::Wal => "wal",
+        }
+    }
+
+    /// Parses `"mem"` / `"wal"`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mem" => Some(HarnessBackend::Mem),
+            "wal" => Some(HarnessBackend::Wal),
+            _ => None,
+        }
+    }
+}
+
+/// What to deploy.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Cluster size (1, 3, 5, ...).
+    pub nodes: usize,
+    /// Storage backend for every node.
+    pub backend: HarnessBackend,
+    /// Protocol timers; the default (150–300 ms elections, 50 ms
+    /// heartbeats) is viable wall-clock timing.
+    pub timing: Timing,
+    /// Whether `wal` nodes physically fsync at the barrier. On by default —
+    /// that is the durability cost the harness exists to measure.
+    pub fsync: bool,
+}
+
+impl ClusterSpec {
+    /// A spec with default timing and real fsync.
+    #[must_use]
+    pub fn new(nodes: usize, backend: HarnessBackend) -> Self {
+        ClusterSpec {
+            nodes,
+            backend,
+            timing: Timing::default(),
+            fsync: true,
+        }
+    }
+}
+
+/// Distinguishes concurrent clusters (and runs within one process) in the
+/// scratch-directory namespace.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A running cluster: one driver thread per node, all on loopback TCP.
+pub struct Cluster {
+    handles: Vec<NodeHandle>,
+    addrs: BTreeMap<NodeId, SocketAddr>,
+    data_root: Option<PathBuf>,
+}
+
+impl Cluster {
+    /// Boots `spec.nodes` nodes as one cluster over `RangeSet::full()` and
+    /// starts their drivers. Returns once every thread is spawned (not
+    /// once a leader exists — see [`Cluster::wait_for_leader`]).
+    ///
+    /// # Panics
+    /// Panics on listener/bind, scratch-directory, or WAL-open failure.
+    #[must_use]
+    pub fn launch(spec: &ClusterSpec) -> Cluster {
+        assert!(spec.nodes >= 1, "cluster needs at least one node");
+        let ids: Vec<NodeId> = (1..=spec.nodes as u64).map(NodeId).collect();
+        // Bind everything first: the address map must be complete before
+        // the first driver sends its first message.
+        let listeners: Vec<TcpListener> = ids
+            .iter()
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback listener"))
+            .collect();
+        let addrs: BTreeMap<NodeId, SocketAddr> = ids
+            .iter()
+            .zip(&listeners)
+            .map(|(id, l)| (*id, l.local_addr().expect("listener addr")))
+            .collect();
+        let data_root = match spec.backend {
+            HarnessBackend::Mem => None,
+            HarnessBackend::Wal => {
+                let run = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+                let root = std::env::temp_dir()
+                    .join(format!("recraft-cluster-{}-{run}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&root);
+                std::fs::create_dir_all(&root).expect("create harness data root");
+                Some(root)
+            }
+        };
+        let config = ClusterConfig::new(ClusterId(1), ids.iter().copied(), RangeSet::full())
+            .expect("bootstrap config");
+        let handles = ids
+            .iter()
+            .copied()
+            .zip(listeners)
+            .map(|(id, listener)| {
+                let store: HarnessStore = match &data_root {
+                    None => Box::new(MemLog::new()),
+                    Some(root) => Box::new(
+                        WalLog::open_with(
+                            root.join(format!("node-{}", id.0)),
+                            WalOptions {
+                                fsync: spec.fsync,
+                                segment_bytes: 8 * 1024 * 1024,
+                            },
+                        )
+                        .expect("open node wal"),
+                    ),
+                };
+                let seed = 0xC1A5 ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let node: HarnessNode = Node::with_store(
+                    id,
+                    config.clone(),
+                    KvMachine::Mem(KvStore::new()),
+                    store,
+                    spec.timing,
+                    seed,
+                );
+                spawn_node(node, listener, addrs.clone())
+            })
+            .collect();
+        Cluster {
+            handles,
+            addrs,
+            data_root,
+        }
+    }
+
+    /// The node-id → listen-address map, for client drivers.
+    #[must_use]
+    pub fn addrs(&self) -> &BTreeMap<NodeId, SocketAddr> {
+        &self.addrs
+    }
+
+    /// Polls driver status until some node reports leadership.
+    pub fn wait_for_leader(&self, timeout: Duration) -> Option<NodeId> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            for h in &self.handles {
+                if h.status.is_leader.load(Ordering::Relaxed) {
+                    return Some(h.id);
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Elections won across the cluster so far (from driver status). A
+    /// value above the node count's natural single election means
+    /// leadership churned — on oversubscribed hosts usually scheduler
+    /// starvation tripping election timeouts.
+    #[must_use]
+    pub fn elections(&self) -> u64 {
+        self.handles
+            .iter()
+            .map(|h| h.status.elections.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Full snapshot installs accepted across the cluster so far. Nonzero
+    /// under steady load means a follower fell behind the leader's
+    /// compaction horizon and had to be re-imaged.
+    #[must_use]
+    pub fn snapshot_installs(&self) -> u64 {
+        self.handles
+            .iter()
+            .map(|h| h.status.snapshot_installs.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Runs `clients` concurrent open-loop sessions to completion and
+    /// measures the wall-clock span of the whole fleet.
+    #[must_use]
+    pub fn run_clients(&self, clients: u64, opts: &ClientOptions) -> ClientsRun {
+        let start = Instant::now();
+        let reports = run_open_loop(&self.addrs, clients, opts);
+        ClientsRun {
+            reports,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Stops every driver (each flushes a final storage barrier) and
+    /// returns the nodes for inspection. Scratch WAL directories are
+    /// removed when the `Cluster` value drops at the end of this call —
+    /// the returned nodes' in-memory state (session tables, counters)
+    /// survives that.
+    #[must_use]
+    pub fn shutdown(mut self) -> Vec<HarnessNode> {
+        let handles = std::mem::take(&mut self.handles);
+        handles.into_iter().map(NodeHandle::shutdown).collect()
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for h in std::mem::take(&mut self.handles) {
+            let _ = h.shutdown();
+        }
+        if let Some(root) = self.data_root.take() {
+            let _ = std::fs::remove_dir_all(root);
+        }
+    }
+}
+
+/// The result of one [`Cluster::run_clients`] fleet run.
+#[derive(Debug)]
+pub struct ClientsRun {
+    /// Per-client outcomes.
+    pub reports: Vec<ClientReport>,
+    /// Wall-clock time from first spawn to last join.
+    pub elapsed: Duration,
+}
+
+impl ClientsRun {
+    /// Whether every client confirmed every operation.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.reports.iter().all(|r| r.completed)
+    }
+
+    /// Operations confirmed across the fleet (replies + stale-confirmed).
+    #[must_use]
+    pub fn confirmed_ops(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.replies + r.stale_confirmed)
+            .sum()
+    }
+}
+
+/// Exactly-once check against the server-side session table: on the
+/// most-applied node, every client session's `last_seq` must equal the
+/// number of operations that client issued — no session ahead (duplicate
+/// application) or behind (lost write).
+///
+/// # Panics
+/// Panics if any session's recorded `last_seq` differs from `ops`.
+pub fn verify_sessions(nodes: &[HarnessNode], clients: u64, ops: u64) {
+    let node = nodes
+        .iter()
+        .max_by_key(|n| n.applied_index().0)
+        .expect("at least one node");
+    for c in 0..clients {
+        let last = node.sessions().last_seq(SessionId(c));
+        assert_eq!(
+            last,
+            Some(ops),
+            "client {c}: session table records last_seq {last:?}, expected {ops}"
+        );
+    }
+}

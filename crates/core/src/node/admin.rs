@@ -110,14 +110,14 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             self.reject(from, session, seq, Error::WrongRange(None));
             return;
         }
-        let index = self.propose_entry(now, EntryPayload::SessionCommand { session, seq, cmd });
-        self.pending_clients.insert(
-            index,
-            PendingClient {
+        self.propose_entry_replying(
+            now,
+            EntryPayload::SessionCommand { session, seq, cmd },
+            Some(PendingClient {
                 client: from,
                 session,
                 seq,
-            },
+            }),
         );
     }
 

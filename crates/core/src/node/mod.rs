@@ -1548,6 +1548,19 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
 
     /// Appends a proposal to the leader's log and replicates it.
     pub(crate) fn propose_entry(&mut self, now: u64, payload: EntryPayload) -> LogIndex {
+        self.propose_entry_replying(now, payload, None)
+    }
+
+    /// Appends a proposal with a client responder registered *before* the
+    /// commit index can advance: on a single-node cluster the append
+    /// commits and applies synchronously inside this call, and the
+    /// apply-time reply looks the responder up by index.
+    pub(crate) fn propose_entry_replying(
+        &mut self,
+        now: u64,
+        payload: EntryPayload,
+        pending: Option<PendingClient>,
+    ) -> LogIndex {
         debug_assert_eq!(self.role, Role::Leader);
         let index = self.log.last_index().next();
         self.log_append(LogEntry {
@@ -1555,6 +1568,9 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             eterm: self.hard.eterm,
             payload,
         });
+        if let Some(p) = pending {
+            self.pending_clients.insert(index, p);
+        }
         self.heartbeat_due = now + self.timing.heartbeat_interval;
         self.broadcast_append(now);
         // A single-node cluster commits immediately.

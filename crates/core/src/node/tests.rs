@@ -300,6 +300,25 @@ fn replicates_and_applies_commands() {
 }
 
 #[test]
+fn single_node_write_gets_apply_time_reply() {
+    // A single-voter quorum commits and applies *inside* the proposing
+    // `step`, so the client responder must be registered before the
+    // proposal runs — otherwise the apply-time reply lookup misses and the
+    // write is confirmed only by a later retry's rejection (regression:
+    // the loopback-TCP harness lost 7/8 replies at 1 node this way).
+    let mut net = Net::with_nodes(&[1]);
+    let leader = net.elect();
+    net.put(leader, 7, "k", "v");
+    net.run(2);
+    assert!(
+        net.ok_response(7),
+        "single-node proposal must get a direct apply-time reply"
+    );
+    assert_eq!(net.node(1).state_machine().get(b"k"), Some(&b"v"[..]));
+    net.assert_state_machine_safety();
+}
+
+#[test]
 fn followers_redirect_clients() {
     let mut net = Net::with_nodes(&[1, 2, 3]);
     let leader = net.elect();

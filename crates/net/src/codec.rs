@@ -1,0 +1,495 @@
+//! Binary codecs for the wire vocabulary.
+//!
+//! Every [`Message`] variant (and the [`Envelope`] around it) encodes
+//! through `recraft_types::codec`, composing the codecs the component types
+//! already define. This is what actually crosses a TCP connection in the
+//! real-deployment harness; the simulator keeps passing `Envelope` values
+//! in memory and never pays for a round-trip.
+
+use crate::message::{AdminCmd, Envelope, Message, PullHint};
+use bytes::{Bytes, BytesMut};
+use recraft_storage::{LogEntry, Snapshot, SnapshotFrame};
+use recraft_types::codec::{Decode, Encode};
+use recraft_types::{
+    ClientRequest, ClientResponse, ClusterConfig, ClusterId, EpochTerm, Error, LogIndex,
+    MergeDecision, MergeOutcome, MergeTx, NodeId, RangeSet, Result, SplitSpec, TxId,
+};
+use std::collections::BTreeSet;
+
+impl Encode for PullHint {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.commit_index.encode(buf);
+        self.epoch.encode(buf);
+    }
+}
+
+impl Decode for PullHint {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(PullHint {
+            commit_index: LogIndex::decode(buf)?,
+            epoch: u32::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for AdminCmd {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            AdminCmd::Split(spec) => {
+                0u8.encode(buf);
+                spec.encode(buf);
+            }
+            AdminCmd::Merge(tx) => {
+                1u8.encode(buf);
+                tx.encode(buf);
+            }
+            AdminCmd::AddAndResize(nodes) => {
+                2u8.encode(buf);
+                nodes.encode(buf);
+            }
+            AdminCmd::RemoveAndResize(nodes) => {
+                3u8.encode(buf);
+                nodes.encode(buf);
+            }
+            AdminCmd::ResizeQuorum => 4u8.encode(buf),
+            AdminCmd::SimpleChange(nodes) => {
+                5u8.encode(buf);
+                nodes.encode(buf);
+            }
+            AdminCmd::JointChange(nodes) => {
+                6u8.encode(buf);
+                nodes.encode(buf);
+            }
+            AdminCmd::Campaign => 7u8.encode(buf),
+            AdminCmd::ProposeNoop => 8u8.encode(buf),
+            AdminCmd::SetRanges(ranges) => {
+                9u8.encode(buf);
+                ranges.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for AdminCmd {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => AdminCmd::Split(SplitSpec::decode(buf)?),
+            1 => AdminCmd::Merge(MergeTx::decode(buf)?),
+            2 => AdminCmd::AddAndResize(BTreeSet::<NodeId>::decode(buf)?),
+            3 => AdminCmd::RemoveAndResize(BTreeSet::<NodeId>::decode(buf)?),
+            4 => AdminCmd::ResizeQuorum,
+            5 => AdminCmd::SimpleChange(BTreeSet::<NodeId>::decode(buf)?),
+            6 => AdminCmd::JointChange(BTreeSet::<NodeId>::decode(buf)?),
+            7 => AdminCmd::Campaign,
+            8 => AdminCmd::ProposeNoop,
+            9 => AdminCmd::SetRanges(RangeSet::decode(buf)?),
+            t => return Err(Error::Codec(format!("unknown AdminCmd tag {t}"))),
+        })
+    }
+}
+
+// `Result<(), Error>` is a foreign type, so the AdminResp payload encodes
+// through free functions rather than an orphan `Encode` impl.
+fn encode_admin_result(result: &std::result::Result<(), Error>, buf: &mut BytesMut) {
+    match result {
+        Ok(()) => 0u8.encode(buf),
+        Err(e) => {
+            1u8.encode(buf);
+            e.encode(buf);
+        }
+    }
+}
+
+fn decode_admin_result(buf: &mut Bytes) -> Result<std::result::Result<(), Error>> {
+    match u8::decode(buf)? {
+        0 => Ok(Ok(())),
+        1 => Ok(Err(Error::decode(buf)?)),
+        t => Err(Error::Codec(format!("invalid admin result tag {t}"))),
+    }
+}
+
+impl Encode for Message {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Message::AppendEntries {
+                cluster,
+                eterm,
+                prev_index,
+                prev_eterm,
+                entries,
+                leader_commit,
+                probe,
+            } => {
+                0u8.encode(buf);
+                cluster.encode(buf);
+                eterm.encode(buf);
+                prev_index.encode(buf);
+                prev_eterm.encode(buf);
+                entries.encode(buf);
+                leader_commit.encode(buf);
+                probe.encode(buf);
+            }
+            Message::AppendResp {
+                cluster,
+                eterm,
+                success,
+                match_index,
+                conflict,
+                probe,
+            } => {
+                1u8.encode(buf);
+                cluster.encode(buf);
+                eterm.encode(buf);
+                success.encode(buf);
+                match_index.encode(buf);
+                conflict.encode(buf);
+                probe.encode(buf);
+            }
+            Message::RequestVote {
+                cluster,
+                eterm,
+                last_index,
+                last_eterm,
+            } => {
+                2u8.encode(buf);
+                cluster.encode(buf);
+                eterm.encode(buf);
+                last_index.encode(buf);
+                last_eterm.encode(buf);
+            }
+            Message::VoteResp {
+                cluster,
+                eterm,
+                granted,
+                pull,
+            } => {
+                3u8.encode(buf);
+                cluster.encode(buf);
+                eterm.encode(buf);
+                granted.encode(buf);
+                pull.encode(buf);
+            }
+            Message::NotifyCommit {
+                cluster,
+                cnew_index,
+                cnew_eterm,
+            } => {
+                4u8.encode(buf);
+                cluster.encode(buf);
+                cnew_index.encode(buf);
+                cnew_eterm.encode(buf);
+            }
+            Message::PullReq { commit_index } => {
+                5u8.encode(buf);
+                commit_index.encode(buf);
+            }
+            Message::PullResp {
+                epoch,
+                entries,
+                commit_index,
+                snapshot,
+                snapshot_config,
+            } => {
+                6u8.encode(buf);
+                epoch.encode(buf);
+                entries.encode(buf);
+                commit_index.encode(buf);
+                match snapshot {
+                    None => 0u8.encode(buf),
+                    Some(snap) => {
+                        1u8.encode(buf);
+                        snap.as_ref().encode(buf);
+                    }
+                }
+                snapshot_config.encode(buf);
+            }
+            Message::InstallSnapshot {
+                cluster,
+                eterm,
+                frame,
+                config,
+            } => {
+                7u8.encode(buf);
+                cluster.encode(buf);
+                eterm.encode(buf);
+                frame.as_ref().encode(buf);
+                config.encode(buf);
+            }
+            Message::InstallSnapshotResp { eterm, last_index } => {
+                8u8.encode(buf);
+                eterm.encode(buf);
+                last_index.encode(buf);
+            }
+            Message::MergePrepareReq { tx } => {
+                9u8.encode(buf);
+                tx.encode(buf);
+            }
+            Message::MergePrepareResp {
+                tx_id,
+                cluster,
+                decision,
+                epoch,
+                ranges,
+            } => {
+                10u8.encode(buf);
+                tx_id.encode(buf);
+                cluster.encode(buf);
+                decision.encode(buf);
+                epoch.encode(buf);
+                ranges.encode(buf);
+            }
+            Message::MergeCommitReq { outcome } => {
+                11u8.encode(buf);
+                outcome.encode(buf);
+            }
+            Message::MergeCommitResp { tx_id, cluster } => {
+                12u8.encode(buf);
+                tx_id.encode(buf);
+                cluster.encode(buf);
+            }
+            Message::MergeRedirect { tx_id, leader } => {
+                13u8.encode(buf);
+                tx_id.encode(buf);
+                leader.encode(buf);
+            }
+            Message::FetchSnapshotReq { tx_id } => {
+                14u8.encode(buf);
+                tx_id.encode(buf);
+            }
+            Message::FetchSnapshotResp { tx_id, part } => {
+                15u8.encode(buf);
+                tx_id.encode(buf);
+                match part {
+                    None => 0u8.encode(buf),
+                    Some(snap) => {
+                        1u8.encode(buf);
+                        snap.as_ref().encode(buf);
+                    }
+                }
+            }
+            Message::ClientReq { req } => {
+                16u8.encode(buf);
+                req.encode(buf);
+            }
+            Message::ClientResp { resp } => {
+                17u8.encode(buf);
+                resp.encode(buf);
+            }
+            Message::AdminReq { req_id, cmd } => {
+                18u8.encode(buf);
+                req_id.encode(buf);
+                cmd.encode(buf);
+            }
+            Message::AdminResp { req_id, result } => {
+                19u8.encode(buf);
+                req_id.encode(buf);
+                encode_admin_result(result, buf);
+            }
+        }
+    }
+}
+
+impl Decode for Message {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => Message::AppendEntries {
+                cluster: ClusterId::decode(buf)?,
+                eterm: EpochTerm::decode(buf)?,
+                prev_index: LogIndex::decode(buf)?,
+                prev_eterm: EpochTerm::decode(buf)?,
+                entries: Vec::<LogEntry>::decode(buf)?,
+                leader_commit: LogIndex::decode(buf)?,
+                probe: u64::decode(buf)?,
+            },
+            1 => Message::AppendResp {
+                cluster: ClusterId::decode(buf)?,
+                eterm: EpochTerm::decode(buf)?,
+                success: bool::decode(buf)?,
+                match_index: LogIndex::decode(buf)?,
+                conflict: Option::<LogIndex>::decode(buf)?,
+                probe: u64::decode(buf)?,
+            },
+            2 => Message::RequestVote {
+                cluster: ClusterId::decode(buf)?,
+                eterm: EpochTerm::decode(buf)?,
+                last_index: LogIndex::decode(buf)?,
+                last_eterm: EpochTerm::decode(buf)?,
+            },
+            3 => Message::VoteResp {
+                cluster: ClusterId::decode(buf)?,
+                eterm: EpochTerm::decode(buf)?,
+                granted: bool::decode(buf)?,
+                pull: Option::<PullHint>::decode(buf)?,
+            },
+            4 => Message::NotifyCommit {
+                cluster: ClusterId::decode(buf)?,
+                cnew_index: LogIndex::decode(buf)?,
+                cnew_eterm: EpochTerm::decode(buf)?,
+            },
+            5 => Message::PullReq {
+                commit_index: LogIndex::decode(buf)?,
+            },
+            6 => Message::PullResp {
+                epoch: u32::decode(buf)?,
+                entries: Vec::<LogEntry>::decode(buf)?,
+                commit_index: LogIndex::decode(buf)?,
+                snapshot: match u8::decode(buf)? {
+                    0 => None,
+                    1 => Some(Box::new(Snapshot::decode(buf)?)),
+                    t => return Err(Error::Codec(format!("invalid snapshot tag {t}"))),
+                },
+                snapshot_config: Option::<ClusterConfig>::decode(buf)?,
+            },
+            7 => Message::InstallSnapshot {
+                cluster: ClusterId::decode(buf)?,
+                eterm: EpochTerm::decode(buf)?,
+                frame: Box::new(SnapshotFrame::decode(buf)?),
+                config: ClusterConfig::decode(buf)?,
+            },
+            8 => Message::InstallSnapshotResp {
+                eterm: EpochTerm::decode(buf)?,
+                last_index: LogIndex::decode(buf)?,
+            },
+            9 => Message::MergePrepareReq {
+                tx: MergeTx::decode(buf)?,
+            },
+            10 => Message::MergePrepareResp {
+                tx_id: TxId::decode(buf)?,
+                cluster: ClusterId::decode(buf)?,
+                decision: MergeDecision::decode(buf)?,
+                epoch: u32::decode(buf)?,
+                ranges: RangeSet::decode(buf)?,
+            },
+            11 => Message::MergeCommitReq {
+                outcome: MergeOutcome::decode(buf)?,
+            },
+            12 => Message::MergeCommitResp {
+                tx_id: TxId::decode(buf)?,
+                cluster: ClusterId::decode(buf)?,
+            },
+            13 => Message::MergeRedirect {
+                tx_id: TxId::decode(buf)?,
+                leader: Option::<NodeId>::decode(buf)?,
+            },
+            14 => Message::FetchSnapshotReq {
+                tx_id: TxId::decode(buf)?,
+            },
+            15 => Message::FetchSnapshotResp {
+                tx_id: TxId::decode(buf)?,
+                part: match u8::decode(buf)? {
+                    0 => None,
+                    1 => Some(Box::new(Snapshot::decode(buf)?)),
+                    t => return Err(Error::Codec(format!("invalid snapshot tag {t}"))),
+                },
+            },
+            16 => Message::ClientReq {
+                req: ClientRequest::decode(buf)?,
+            },
+            17 => Message::ClientResp {
+                resp: ClientResponse::decode(buf)?,
+            },
+            18 => Message::AdminReq {
+                req_id: u64::decode(buf)?,
+                cmd: AdminCmd::decode(buf)?,
+            },
+            19 => Message::AdminResp {
+                req_id: u64::decode(buf)?,
+                result: decode_admin_result(buf)?,
+            },
+            t => return Err(Error::Codec(format!("unknown Message tag {t}"))),
+        })
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.from.encode(buf);
+        self.to.encode(buf);
+        self.msg.encode(buf);
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(Envelope {
+            from: NodeId::decode(buf)?,
+            to: NodeId::decode(buf)?,
+            msg: Message::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Buf;
+
+    fn roundtrip(msg: Message) {
+        let env = Envelope::new(NodeId(1), NodeId(2), msg);
+        let mut bytes = env.encode_to_bytes();
+        let decoded = Envelope::decode(&mut bytes).unwrap();
+        assert_eq!(decoded, env);
+        assert_eq!(
+            bytes.remaining(),
+            0,
+            "leftover bytes for {}",
+            env.msg.kind()
+        );
+    }
+
+    #[test]
+    fn raft_core_roundtrip() {
+        roundtrip(Message::AppendEntries {
+            cluster: ClusterId(1),
+            eterm: EpochTerm::new(1, 3),
+            prev_index: LogIndex(7),
+            prev_eterm: EpochTerm::new(1, 2),
+            entries: vec![LogEntry::command(
+                LogIndex(8),
+                EpochTerm::new(1, 3),
+                Bytes::from_static(b"cmd"),
+            )],
+            leader_commit: LogIndex(7),
+            probe: 5,
+        });
+        roundtrip(Message::AppendResp {
+            cluster: ClusterId(1),
+            eterm: EpochTerm::new(1, 3),
+            success: false,
+            match_index: LogIndex(0),
+            conflict: Some(LogIndex(4)),
+            probe: 5,
+        });
+        roundtrip(Message::RequestVote {
+            cluster: ClusterId(1),
+            eterm: EpochTerm::new(2, 4),
+            last_index: LogIndex(9),
+            last_eterm: EpochTerm::new(1, 3),
+        });
+        roundtrip(Message::VoteResp {
+            cluster: ClusterId(1),
+            eterm: EpochTerm::new(2, 4),
+            granted: false,
+            pull: Some(PullHint {
+                commit_index: LogIndex(11),
+                epoch: 3,
+            }),
+        });
+    }
+
+    #[test]
+    fn admin_plane_roundtrip() {
+        roundtrip(Message::AdminReq {
+            req_id: 9,
+            cmd: AdminCmd::Campaign,
+        });
+        roundtrip(Message::AdminResp {
+            req_id: 9,
+            result: Ok(()),
+        });
+        roundtrip(Message::AdminResp {
+            req_id: 10,
+            result: Err(Error::NotLeader(Some(NodeId(3)))),
+        });
+    }
+}

@@ -1,0 +1,197 @@
+//! Length-prefixed framing for envelopes on a byte stream.
+//!
+//! A frame is a big-endian `u32` payload length followed by the payload —
+//! one encoded [`Envelope`]. The length prefix is bounded by
+//! [`MAX_FRAME_BYTES`] so a corrupt or hostile peer cannot make the reader
+//! allocate unbounded memory; oversized and truncated frames surface as
+//! [`Error::Codec`], never as a panic.
+//!
+//! The functions here come in two layers: pure byte-level helpers
+//! ([`encode_frame`] / [`decode_frame`]) that the property tests exercise,
+//! and blocking stream I/O ([`write_frame`] / [`read_frame`]) that the
+//! loopback-TCP harness uses.
+
+use crate::message::Envelope;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use recraft_types::codec::{Decode, Encode};
+use recraft_types::{Error, Result};
+use std::io::{Read, Write};
+
+/// Hard upper bound on a frame payload. Generously above anything the
+/// protocol produces (append batches cap at ~1 MiB of payload, snapshot
+/// frames at one bounded chunk) while still rejecting garbage prefixes
+/// before allocating.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Encodes `env` as one length-prefixed frame.
+#[must_use]
+pub fn encode_frame(env: &Envelope) -> Bytes {
+    let payload = env.encode_to_bytes();
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(u32::try_from(payload.len()).expect("envelope exceeds u32 frame length"));
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Decodes one frame from the front of `buf`, consuming it.
+///
+/// # Errors
+/// Returns [`Error::Codec`] when the prefix claims more than
+/// [`MAX_FRAME_BYTES`], when the payload is truncated, or when the payload
+/// does not decode to exactly one envelope.
+pub fn decode_frame(buf: &mut Bytes) -> Result<Envelope> {
+    if buf.remaining() < 4 {
+        return Err(Error::Codec(format!(
+            "truncated frame header: need 4, have {}",
+            buf.remaining()
+        )));
+    }
+    let len = buf.get_u32() as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Codec(format!(
+            "oversized frame: {len} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )));
+    }
+    if buf.remaining() < len {
+        return Err(Error::Codec(format!(
+            "truncated frame body: need {len}, have {}",
+            buf.remaining()
+        )));
+    }
+    let mut payload = buf.copy_to_bytes(len);
+    let env = Envelope::decode(&mut payload)?;
+    if payload.remaining() != 0 {
+        return Err(Error::Codec(format!(
+            "frame has {} trailing bytes after envelope",
+            payload.remaining()
+        )));
+    }
+    Ok(env)
+}
+
+/// Writes one frame to a blocking stream.
+///
+/// # Errors
+/// Returns [`Error::Storage`] on stream I/O failure.
+pub fn write_frame<W: Write>(w: &mut W, env: &Envelope) -> Result<()> {
+    let frame = encode_frame(env);
+    w.write_all(&frame)
+        .map_err(|e| Error::Storage(format!("frame write: {e}")))?;
+    Ok(())
+}
+
+/// Reads one frame from a blocking stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF before any header
+/// byte). EOF in the middle of a frame, an oversized prefix, or a payload
+/// that fails to decode all surface as errors.
+///
+/// # Errors
+/// Returns [`Error::Storage`] on stream I/O failure and [`Error::Codec`]
+/// on malformed frames.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Envelope>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(Error::Codec(format!(
+                    "stream ended inside frame header ({filled}/4 bytes)"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Storage(format!("frame header read: {e}"))),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Codec(format!(
+            "oversized frame: {len} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Error::Codec(format!("stream ended inside {len}-byte frame body"))
+        } else {
+            Error::Storage(format!("frame body read: {e}"))
+        }
+    })?;
+    let mut payload = Bytes::from(payload);
+    let env = Envelope::decode(&mut payload)?;
+    if payload.remaining() != 0 {
+        return Err(Error::Codec(format!(
+            "frame has {} trailing bytes after envelope",
+            payload.remaining()
+        )));
+    }
+    Ok(Some(env))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use recraft_types::{LogIndex, NodeId};
+
+    fn sample() -> Envelope {
+        Envelope::new(
+            NodeId(1),
+            NodeId(2),
+            Message::PullReq {
+                commit_index: LogIndex(42),
+            },
+        )
+    }
+
+    #[test]
+    fn frame_roundtrip_bytes_and_stream() {
+        let env = sample();
+        let mut bytes = encode_frame(&env);
+        assert_eq!(decode_frame(&mut bytes).unwrap(), env);
+        assert_eq!(bytes.remaining(), 0);
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &env).unwrap();
+        write_frame(&mut wire, &env).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(env.clone()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(env));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_error() {
+        let env = sample();
+        let full = encode_frame(&env);
+        for cut in 0..full.len() {
+            let mut short = full.slice(..cut);
+            assert!(decode_frame(&mut short).is_err(), "cut at {cut}");
+            let mut cursor = std::io::Cursor::new(full.slice(..cut).to_vec());
+            match cut {
+                0 => assert!(matches!(read_frame(&mut cursor), Ok(None))),
+                _ => assert!(read_frame(&mut cursor).is_err(), "stream cut at {cut}"),
+            }
+        }
+
+        let mut oversized = BytesMut::new();
+        oversized.put_u32(u32::MAX);
+        oversized.put_slice(b"junk");
+        let mut bytes = oversized.freeze();
+        assert!(decode_frame(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let env = sample();
+        let payload = env.encode_to_bytes();
+        let mut framed = BytesMut::new();
+        framed.put_u32((payload.len() + 2) as u32);
+        framed.put_slice(&payload);
+        framed.put_slice(b"xx");
+        let mut bytes = framed.freeze();
+        assert!(decode_frame(&mut bytes).is_err());
+    }
+}

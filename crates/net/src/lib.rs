@@ -8,7 +8,13 @@
 //! consumes envelopes and emits envelopes, and any transport (the
 //! deterministic simulator in `recraft-sim`, or a real network) can carry
 //! them.
+//!
+//! For real transports, every message implements the workspace
+//! `Encode`/`Decode` codec, and [`frame`] wraps encoded envelopes in
+//! length-prefixed frames suitable for a TCP byte stream.
 
+mod codec;
+pub mod frame;
 mod message;
 
 pub use message::{AdminCmd, Envelope, Message, PullHint};

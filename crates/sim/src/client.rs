@@ -1,4 +1,4 @@
-//! Closed-loop simulated clients speaking the typed session protocol.
+//! Simulated clients speaking the typed session protocol.
 //!
 //! Each client owns one [`SessionId`] and tags every operation with a
 //! monotonically increasing sequence number. Writes are retried under the
@@ -33,6 +33,11 @@ pub struct Workload {
     /// entry) instead of the leader's ReadIndex path. Kept for the
     /// read-throughput comparison benches; ReadIndex is the default.
     pub reads_via_log: bool,
+    /// Open-loop window: how many operations the client keeps in flight
+    /// concurrently. `1` is the classic closed-loop client (wait for each
+    /// response before issuing the next op); larger windows sustain
+    /// concurrent proposals so leader-side batching and pipelining engage.
+    pub pipeline: usize,
 }
 
 impl Default for Workload {
@@ -43,6 +48,7 @@ impl Default for Workload {
             get_ratio: 0.0,
             dup_prob: 0.0,
             reads_via_log: false,
+            pipeline: 1,
         }
     }
 }
@@ -62,7 +68,8 @@ pub(crate) struct Outstanding {
     pub attempts: u32,
 }
 
-/// One closed-loop client session.
+/// One client session: closed-loop at `pipeline == 1`, open-loop with a
+/// bounded in-flight window otherwise.
 #[derive(Debug)]
 pub(crate) struct Client {
     pub id: u64,
@@ -71,7 +78,9 @@ pub(crate) struct Client {
     pub rng: StdRng,
     pub workload: Workload,
     pub next_seq: u64,
-    pub outstanding: Option<Outstanding>,
+    /// In-flight operations keyed by sequence number; at most
+    /// [`Workload::pipeline`] entries.
+    pub outstanding: BTreeMap<u64, Outstanding>,
     pub leader_cache: BTreeMap<ClusterId, NodeId>,
     pub active: bool,
 }

@@ -365,7 +365,7 @@ impl Sim {
                     rng: StdRng::seed_from_u64(seed),
                     workload: workload.clone(),
                     next_seq: 1,
-                    outstanding: None,
+                    outstanding: BTreeMap::new(),
                     leader_cache: BTreeMap::new(),
                     active: true,
                 },
@@ -508,10 +508,9 @@ impl Sim {
                 let current = self
                     .clients
                     .get(&client)
-                    .and_then(|c| c.outstanding.as_ref())
-                    .is_some_and(|o| o.seq == seq);
+                    .is_some_and(|c| c.outstanding.contains_key(&seq));
                 if current {
-                    self.send_outstanding(client, None);
+                    self.send_outstanding(client, seq, None);
                 }
             }
             EvKind::AdminCheck(req_id) => {
@@ -869,46 +868,56 @@ impl Sim {
 
     // ---- Clients --------------------------------------------------------------
 
+    /// Issues operations until the client's in-flight window is full (one
+    /// iteration for the classic closed-loop client, several for an
+    /// open-loop window).
     fn client_issue(&mut self, id: u64) {
-        let Some(c) = self.clients.get_mut(&id) else {
-            return;
-        };
-        if !c.active || c.outstanding.is_some() {
-            return;
+        loop {
+            let Some(c) = self.clients.get_mut(&id) else {
+                return;
+            };
+            if !c.active || c.outstanding.len() >= c.workload.pipeline.max(1) {
+                return;
+            }
+            let (key, op, kind) = c.next_op();
+            let seq = c.next_seq;
+            c.next_seq += 1;
+            // Register the operation's identity in the apply-order witness:
+            // commands by their bytes, ReadIndex reads by their (session,
+            // seq).
+            let digest = match &op {
+                ClientOp::Command { cmd, .. } => fingerprint(cmd),
+                ClientOp::Get { .. } => read_fingerprint(c.session, seq),
+            };
+            self.digest_ops.insert(digest, (id, seq));
+            let c = self.clients.get_mut(&id).unwrap();
+            c.outstanding.insert(
+                seq,
+                Outstanding {
+                    seq,
+                    key,
+                    op,
+                    kind,
+                    cluster: None,
+                    invoked_at: self.now,
+                    attempts: 0,
+                },
+            );
+            self.send_outstanding(id, seq, None);
+            let timeout = self.cfg.client_timeout;
+            self.schedule(timeout, EvKind::ClientRetry { client: id, seq });
         }
-        let (key, op, kind) = c.next_op();
-        let seq = c.next_seq;
-        c.next_seq += 1;
-        // Register the operation's identity in the apply-order witness:
-        // commands by their bytes, ReadIndex reads by their (session, seq).
-        let digest = match &op {
-            ClientOp::Command { cmd, .. } => fingerprint(cmd),
-            ClientOp::Get { .. } => read_fingerprint(c.session, seq),
-        };
-        self.digest_ops.insert(digest, (id, seq));
-        let c = self.clients.get_mut(&id).unwrap();
-        c.outstanding = Some(Outstanding {
-            seq,
-            key,
-            op,
-            kind,
-            cluster: None,
-            invoked_at: self.now,
-            attempts: 0,
-        });
-        self.send_outstanding(id, None);
-        let timeout = self.cfg.client_timeout;
-        self.schedule(timeout, EvKind::ClientRetry { client: id, seq });
     }
 
-    /// (Re)transmits a client's outstanding request, resolving the target
-    /// through the preferred hint, the cached leader, or the directory.
-    /// Writes may be deliberately delivered twice (`Workload::dup_prob`).
-    fn send_outstanding(&mut self, id: u64, prefer: Option<NodeId>) {
+    /// (Re)transmits one of a client's outstanding requests, resolving the
+    /// target through the preferred hint, the cached leader, or the
+    /// directory. Writes may be deliberately delivered twice
+    /// (`Workload::dup_prob`).
+    fn send_outstanding(&mut self, id: u64, seq: u64, prefer: Option<NodeId>) {
         let Some(c) = self.clients.get(&id) else {
             return;
         };
-        let Some(o) = &c.outstanding else {
+        let Some(o) = c.outstanding.get(&seq) else {
             return;
         };
         let key = o.key.clone();
@@ -935,14 +944,14 @@ impl Sim {
             .or_else(|| self.nodes.iter().find(|(_, sn)| sn.up).map(|(n, _)| *n));
         let c = self.clients.get_mut(&id).unwrap();
         if cluster.is_some() {
-            if let Some(o) = &mut c.outstanding {
+            if let Some(o) = c.outstanding.get_mut(&seq) {
                 o.cluster = cluster;
             }
         }
         let Some(target) = target else {
             return; // nobody to talk to; the retry timer will try again
         };
-        let o = c.outstanding.as_ref().expect("checked");
+        let o = c.outstanding.get(&seq).expect("checked");
         let req = ClientRequest {
             session: c.session,
             seq: o.seq,
@@ -973,25 +982,22 @@ impl Sim {
         let Some(c) = self.clients.get_mut(&id) else {
             return;
         };
-        let Some(o) = &mut c.outstanding else {
+        let Some(o) = c.outstanding.get_mut(&seq) else {
             return;
         };
-        if o.seq != seq {
-            return;
-        }
         let is_write = !o.op.is_read();
         if is_write && o.attempts < WRITE_RETRY_LIMIT {
             // Retry under the same (session, seq): even if an earlier
             // attempt was appended, the session table applies it once.
             o.attempts += 1;
-            self.send_outstanding(id, None);
+            self.send_outstanding(id, seq, None);
             let timeout = self.cfg.client_timeout;
             self.schedule(timeout, EvKind::ClientRetry { client: id, seq });
             return;
         }
         // Reads are idempotent — a retry is simply a fresh operation — and
         // writes out of retries are abandoned as incomplete.
-        let o = c.outstanding.take().expect("checked");
+        let o = c.outstanding.remove(&seq).expect("checked");
         self.history.push(Op {
             id: (id, o.seq),
             key: o.key,
@@ -1009,15 +1015,12 @@ impl Sim {
         if resp.session != c.session {
             return;
         }
-        let Some(o) = &c.outstanding else {
-            return;
-        };
-        if o.seq != resp.seq {
+        if !c.outstanding.contains_key(&resp.seq) {
             return; // stale response for an abandoned attempt
         }
         match resp.outcome {
             ClientOutcome::Reply { payload } => {
-                let mut o = c.outstanding.take().expect("checked");
+                let mut o = c.outstanding.remove(&resp.seq).expect("checked");
                 if let OpKind::Read { value } = &mut o.kind {
                     if let Ok(KvResp::Value { value: v, .. }) = KvResp::decode(&payload) {
                         *value = v;
@@ -1049,7 +1052,7 @@ impl Sim {
                 if let (Some(cl), Some(h)) = (cluster, leader_hint) {
                     c.leader_cache.insert(cl, h);
                 }
-                self.send_outstanding(client, leader_hint);
+                self.send_outstanding(client, resp.seq, leader_hint);
             }
             ClientOutcome::Rejected { error } => {
                 if Self::retryable(&error) {
@@ -1060,7 +1063,7 @@ impl Sim {
                     self.schedule(10_000, EvKind::ClientResend { client, seq });
                 } else {
                     // SessionStale and friends: abandon as incomplete.
-                    let o = c.outstanding.take().expect("checked");
+                    let o = c.outstanding.remove(&resp.seq).expect("checked");
                     self.history.push(Op {
                         id: (client, resp.seq),
                         key: o.key,
@@ -1383,7 +1386,7 @@ impl Sim {
         let mut history = self.history.clone();
         // Outstanding requests count as incomplete operations.
         for c in self.clients.values() {
-            if let Some(o) = &c.outstanding {
+            for o in c.outstanding.values() {
                 history.push(Op {
                     id: (c.id, o.seq),
                     key: o.key.clone(),

@@ -6,7 +6,7 @@
 //! workspace uses (no external serialization dependency).
 
 use crate::entry::{EntryPayload, LogEntry};
-use crate::snapshot::Snapshot;
+use crate::snapshot::{Snapshot, SnapshotFrame};
 use crate::state::HardState;
 use crate::store::{NodeMeta, ReconfigRecord};
 use bytes::{Bytes, BytesMut};
@@ -183,6 +183,34 @@ impl Decode for Snapshot {
     }
 }
 
+impl Encode for SnapshotFrame {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.last_index.encode(buf);
+        self.last_eterm.encode(buf);
+        self.cluster.encode(buf);
+        self.ranges.encode(buf);
+        self.seq.encode(buf);
+        self.total.encode(buf);
+        self.chunk.encode(buf);
+        self.sessions.encode(buf);
+    }
+}
+
+impl Decode for SnapshotFrame {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(SnapshotFrame {
+            last_index: LogIndex::decode(buf)?,
+            last_eterm: EpochTerm::decode(buf)?,
+            cluster: ClusterId::decode(buf)?,
+            ranges: RangeSet::decode(buf)?,
+            seq: u32::decode(buf)?,
+            total: u32::decode(buf)?,
+            chunk: Bytes::decode(buf)?,
+            sessions: Option::<SessionTable>::decode(buf)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +287,23 @@ mod tests {
             chunks: vec![Bytes::from_static(b"payload"), Bytes::from_static(b"more")],
             sessions,
         });
+    }
+
+    #[test]
+    fn snapshot_frames_roundtrip() {
+        let mut sessions = SessionTable::new();
+        sessions.record(SessionId(4), 11, Bytes::from_static(b"done"));
+        let snap = Snapshot {
+            last_index: LogIndex(23),
+            last_eterm: EpochTerm::new(3, 8),
+            cluster: ClusterId(2),
+            ranges: RangeSet::full(),
+            chunks: vec![Bytes::from_static(b"aa"), Bytes::from_static(b"bb")],
+            sessions,
+        };
+        for frame in snap.frames() {
+            roundtrip(frame);
+        }
     }
 
     #[test]

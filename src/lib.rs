@@ -25,6 +25,7 @@
 //! | [`storage`] | `recraft-storage` | log, hard state, snapshots |
 //! | [`net`] | `recraft-net` | messages and envelopes |
 //! | [`kv`] | `recraft-kv` | the etcd-like KV state machine |
+//! | [`cluster`] | `recraft-cluster` | real deployment: threads + loopback TCP |
 //! | [`sim`] | `recraft-sim` | deterministic cluster simulator |
 //! | [`tc`] | `recraft-tc` | the TiKV/CockroachDB-style baseline |
 //!
@@ -49,6 +50,7 @@
 //! See `examples/` for split, merge, membership-change, and fault-recovery
 //! walkthroughs.
 
+pub use recraft_cluster as cluster;
 pub use recraft_core as core;
 pub use recraft_kv as kv;
 pub use recraft_net as net;

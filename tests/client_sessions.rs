@@ -53,6 +53,7 @@ fn sessions_with_duplicates_through_split_and_merge() {
             get_ratio: 0.3,
             dup_prob: 0.25,
             reads_via_log: false,
+            pipeline: 1,
         },
     );
     sim.run_for(3 * SEC);

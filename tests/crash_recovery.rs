@@ -31,6 +31,7 @@ fn workload() -> Workload {
         get_ratio: 0.2,
         dup_prob: 0.1,
         reads_via_log: false,
+        pipeline: 1,
     }
 }
 

@@ -48,6 +48,7 @@ fn workload() -> Workload {
         get_ratio: 0.2,
         dup_prob: 0.05,
         reads_via_log: false,
+        pipeline: 1,
     }
 }
 
