@@ -1,0 +1,147 @@
+//! A TCP admin client: delivers [`AdminCmd`]s to a live cluster's leader.
+//!
+//! This is the fleet controller's transport when it runs against the real
+//! harness instead of the simulator — the same `AdminReq`/`AdminResp` wire
+//! messages a node's admin plane speaks, over one short-lived loopback
+//! connection per attempt.
+//!
+//! Leader discovery is by probing: the client walks the candidate address
+//! list, follows `NotLeader` hints when they name a reachable node, and
+//! retries `PreconditionP3` (a fresh leader whose no-op has not committed
+//! yet) until the deadline. Every other rejection is returned to the
+//! caller — precondition failures like P1/P2 are planning errors, not
+//! transport noise.
+
+use crate::CLIENT_BASE;
+use recraft_net::frame::{read_frame, write_frame};
+use recraft_net::{AdminCmd, Envelope, Message};
+use recraft_types::{Error, NodeId};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Admin endpoints address themselves above even the client range, so a
+/// node's reader registers the connection's write-half for the response and
+/// no session-owning client ever collides with it.
+pub const ADMIN_BASE: u64 = 2_000_000;
+
+/// One admin endpoint with a stable identity for response routing.
+#[derive(Debug)]
+pub struct AdminClient {
+    me: NodeId,
+    next_req: u64,
+    /// Per-attempt socket timeout.
+    pub io_timeout: Duration,
+}
+
+impl AdminClient {
+    /// A client with identity `ADMIN_BASE + idx` (use distinct `idx` for
+    /// concurrent admin endpoints).
+    #[must_use]
+    pub fn new(idx: u64) -> Self {
+        AdminClient {
+            me: NodeId(ADMIN_BASE + idx),
+            next_req: 1,
+            io_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Sends `cmd` to the node at `addr` and awaits its verdict. Transport
+    /// failures (dial, write, read, timeout) come back as `None`; protocol
+    /// verdicts — acceptance or rejection — as `Some`.
+    pub fn send_one(
+        &mut self,
+        addr: SocketAddr,
+        to: NodeId,
+        cmd: AdminCmd,
+    ) -> Option<Result<(), Error>> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let mut stream = TcpStream::connect_timeout(&addr, self.io_timeout).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.io_timeout));
+        write_frame(
+            &mut stream,
+            &Envelope {
+                from: self.me,
+                to,
+                msg: Message::AdminReq { req_id, cmd },
+            },
+        )
+        .ok()?;
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some(env)) => {
+                    if let Message::AdminResp {
+                        req_id: rid,
+                        result,
+                    } = env.msg
+                    {
+                        if rid == req_id {
+                            return Some(result);
+                        }
+                    }
+                }
+                Ok(None) | Err(_) => return None,
+            }
+        }
+    }
+
+    /// Delivers `cmd` to whichever of `candidates` is leader, following
+    /// `NotLeader` hints and waiting out `PreconditionP3`, until `deadline`.
+    ///
+    /// Returns the node that accepted, or the last rejection seen.
+    ///
+    /// # Errors
+    /// The last retryable rejection when no candidate accepts before the
+    /// deadline; the first non-retryable rejection otherwise.
+    pub fn run_on_leader(
+        &mut self,
+        candidates: &BTreeMap<NodeId, SocketAddr>,
+        cmd: &AdminCmd,
+        deadline: Duration,
+    ) -> Result<NodeId, Error> {
+        let until = Instant::now() + deadline;
+        let order: Vec<NodeId> = candidates.keys().copied().collect();
+        let mut at = 0usize;
+        let mut last_err = Error::InvalidState("admin deadline elapsed".into());
+        while Instant::now() < until {
+            let id = order[at % order.len()];
+            at += 1;
+            let Some(addr) = candidates.get(&id) else {
+                continue;
+            };
+            match self.send_one(*addr, id, cmd.clone()) {
+                Some(Ok(())) => return Ok(id),
+                Some(Err(Error::NotLeader(hint))) => {
+                    last_err = Error::NotLeader(hint);
+                    // Jump the probe order to the hinted node if we know it.
+                    if let Some(h) = hint {
+                        if let Some(pos) = order.iter().position(|n| *n == h) {
+                            at = pos;
+                        }
+                    }
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Some(Err(e @ (Error::PreconditionP3 | Error::PreconditionP1))) => {
+                    // A fresh leader whose no-op has not committed (P3), or a
+                    // prior reconfiguration still settling (P1): both resolve
+                    // on their own — stay on this node and retry.
+                    last_err = e;
+                    at -= 1;
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Some(Err(e)) => return Err(e),
+                None => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        Err(last_err)
+    }
+}
+
+/// `NodeId(CLIENT_BASE)`-relative sanity: admin ids must sit above client
+/// ids so the two registries never collide.
+const _: () = assert!(ADMIN_BASE > CLIENT_BASE);

@@ -46,6 +46,10 @@ pub struct ClientOptions {
     /// Overall per-client deadline; a client that cannot finish by then
     /// reports `completed: false` instead of hanging the run.
     pub deadline: Duration,
+    /// Offset added to every client's session id (and wire identity). Lets
+    /// a second fleet run against the same cluster use fresh sessions
+    /// instead of colliding with the first run's sequence numbers.
+    pub session_base: u64,
 }
 
 impl Default for ClientOptions {
@@ -57,6 +61,7 @@ impl Default for ClientOptions {
             key_count: 10_000,
             read_timeout: Duration::from_millis(1000),
             deadline: Duration::from_secs(120),
+            session_base: 0,
         }
     }
 }
@@ -128,8 +133,8 @@ impl OpenLoopClient {
         let target = (idx as usize) % nodes.len();
         OpenLoopClient {
             idx,
-            me: NodeId(CLIENT_BASE + idx),
-            session: SessionId(idx),
+            me: NodeId(CLIENT_BASE + opts.session_base + idx),
+            session: SessionId(opts.session_base + idx),
             nodes,
             target,
             stream: None,

@@ -60,6 +60,10 @@ const DRAIN_PER_ROUND: usize = 4096;
 pub struct NodeStatus {
     /// Whether the node currently believes it is leader.
     pub is_leader: AtomicBool,
+    /// The cluster the node currently belongs to (changes when a split or
+    /// merge completes — the harness watches this to see a reconfiguration
+    /// land without locking the node).
+    pub cluster: AtomicU64,
     /// The node's commit index.
     pub commit: AtomicU64,
     /// The node's applied index.
@@ -220,6 +224,7 @@ fn drive(
             }
         }
         status.is_leader.store(node.is_leader(), Ordering::Relaxed);
+        status.cluster.store(node.cluster().0, Ordering::Relaxed);
         status
             .commit
             .store(node.commit_index().0, Ordering::Relaxed);

@@ -171,6 +171,72 @@ impl Cluster {
         &self.addrs
     }
 
+    /// The cluster id each node currently reports (from driver status).
+    /// After a split completes, this partitions the nodes into the
+    /// subclusters; after a merge, it converges on the merged cluster's id.
+    #[must_use]
+    pub fn node_clusters(&self) -> BTreeMap<NodeId, ClusterId> {
+        self.handles
+            .iter()
+            .map(|h| (h.id, ClusterId(h.status.cluster.load(Ordering::Relaxed))))
+            .collect()
+    }
+
+    /// The addresses of the nodes currently reporting membership of
+    /// `cluster` — admin-command candidates for that cluster's leader.
+    #[must_use]
+    pub fn members_of(&self, cluster: ClusterId) -> BTreeMap<NodeId, SocketAddr> {
+        self.handles
+            .iter()
+            .filter(|h| h.status.cluster.load(Ordering::Relaxed) == cluster.0)
+            .map(|h| (h.id, h.addr))
+            .collect()
+    }
+
+    /// Polls until some node reports leadership of `cluster`.
+    pub fn wait_for_leader_of(&self, cluster: ClusterId, timeout: Duration) -> Option<NodeId> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            for h in &self.handles {
+                if h.status.cluster.load(Ordering::Relaxed) == cluster.0
+                    && h.status.is_leader.load(Ordering::Relaxed)
+                {
+                    return Some(h.id);
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Polls until every node reports one of `want` as its cluster and each
+    /// member of `want` has a leader, or the timeout elapses. Returns
+    /// whether the fleet converged.
+    pub fn wait_for_clusters(&self, want: &[ClusterId], timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let placed = self.handles.iter().all(|h| {
+                want.iter()
+                    .any(|c| h.status.cluster.load(Ordering::Relaxed) == c.0)
+            });
+            let led = want.iter().all(|c| {
+                self.handles.iter().any(|h| {
+                    h.status.cluster.load(Ordering::Relaxed) == c.0
+                        && h.status.is_leader.load(Ordering::Relaxed)
+                })
+            });
+            if placed && led {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     /// Polls driver status until some node reports leadership.
     pub fn wait_for_leader(&self, timeout: Duration) -> Option<NodeId> {
         let deadline = Instant::now() + timeout;
@@ -279,11 +345,20 @@ impl ClientsRun {
 /// # Panics
 /// Panics if any session's recorded `last_seq` differs from `ops`.
 pub fn verify_sessions(nodes: &[HarnessNode], clients: u64, ops: u64) {
+    verify_sessions_from(nodes, 0, clients, ops);
+}
+
+/// [`verify_sessions`] for a run whose clients used a nonzero
+/// [`crate::ClientOptions::session_base`].
+///
+/// # Panics
+/// Panics if any session's recorded `last_seq` differs from `ops`.
+pub fn verify_sessions_from(nodes: &[HarnessNode], base: u64, clients: u64, ops: u64) {
     let node = nodes
         .iter()
         .max_by_key(|n| n.applied_index().0)
         .expect("at least one node");
-    for c in 0..clients {
+    for c in base..base + clients {
         let last = node.sessions().last_seq(SessionId(c));
         assert_eq!(
             last,

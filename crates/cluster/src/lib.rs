@@ -35,13 +35,17 @@
 //! recraft_cluster::harness::verify_sessions(&nodes, 8, 100);
 //! ```
 
+pub mod admin;
 pub mod clients;
 pub mod driver;
 pub mod harness;
 
+pub use admin::{AdminClient, ADMIN_BASE};
 pub use clients::{run_open_loop, ClientOptions, ClientReport};
 pub use driver::{HarnessNode, HarnessStore, NodeHandle, NodeStatus};
-pub use harness::{verify_sessions, ClientsRun, Cluster, ClusterSpec, HarnessBackend};
+pub use harness::{
+    verify_sessions, verify_sessions_from, ClientsRun, Cluster, ClusterSpec, HarnessBackend,
+};
 
 /// Client endpoints address themselves as `NodeId(CLIENT_BASE + client_id)`,
 /// far outside the node-id space — the same convention the simulator uses.

@@ -1,0 +1,206 @@
+//! The fleet control plane against the real harness: controller-built
+//! split and merge plans delivered to live leaders over loopback TCP.
+//!
+//! The deterministic simulator is the correctness oracle for the fleet
+//! layer; this test is the deployment truth — the same `AdminReq` wire
+//! messages, real elections, real sockets. A six-node cluster serves a
+//! client fleet, the controller splits it into two three-node subclusters
+//! at the keyspace midpoint, both halves elect and serve, and a
+//! controller-built merge folds them back into one cluster that serves the
+//! full keyspace again with every session intact.
+
+use recraft_cluster::{AdminClient, ClientOptions, Cluster, ClusterSpec, HarnessBackend};
+use recraft_fleet::{Controller, FleetCmd, FleetConfig, RangeSample};
+use recraft_net::AdminCmd;
+use recraft_types::{ClusterId, KeyRange, RangeSet};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Same serialization discipline as `loopback_cluster.rs`: concurrent
+/// clusters starve each other's heartbeats on small machines.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        split_ops: 100,
+        merge_ops: 50,
+        split_bytes: 64 << 20,
+        merge_bytes: 16 << 20,
+        cooldown_us: 0,
+        stall_us: 600_000_000,
+        max_inflight: 2,
+        replication: 3,
+        min_ranges: 1,
+        max_ranges: 4,
+    }
+}
+
+/// One planning round's samples, assembled from live harness state the way
+/// a production embedding would: ranges and membership from the directory,
+/// load figures from metrics (synthesized here to steer the plan).
+fn sample(
+    cluster: ClusterId,
+    ranges: RangeSet,
+    members: &BTreeMap<recraft_types::NodeId, std::net::SocketAddr>,
+    ops: u64,
+    split_key: Option<&[u8]>,
+) -> RangeSample {
+    RangeSample {
+        cluster,
+        ranges,
+        members: members.keys().copied().collect(),
+        ops,
+        bytes: 0,
+        split_key: split_key.map(<[u8]>::to_vec),
+    }
+}
+
+#[test]
+fn controller_split_and_merge_over_tcp() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let cluster = Cluster::launch(&ClusterSpec::new(6, HarnessBackend::Mem));
+    assert!(
+        cluster.wait_for_leader(Duration::from_secs(10)).is_some(),
+        "no leader within 10s"
+    );
+
+    // Load the cluster so the split has data to partition.
+    let opts = ClientOptions {
+        ops: 20,
+        window: 4,
+        key_count: 10_000,
+        ..ClientOptions::default()
+    };
+    let run1 = cluster.run_clients(8, &opts);
+    assert!(run1.all_completed(), "pre-split fleet incomplete");
+
+    // The controller sees one hot range and plans a split at the midpoint.
+    let mut ctl = Controller::new(fleet_cfg(), 2);
+    let boot = ClusterId(1);
+    let cmds = ctl.plan(
+        1,
+        &[sample(
+            boot,
+            RangeSet::full(),
+            &cluster.members_of(boot),
+            10_000,
+            Some(b"k00005000"),
+        )],
+    );
+    let split = cmds
+        .iter()
+        .find_map(|c| match c {
+            FleetCmd::Admin {
+                cmd: cmd @ AdminCmd::Split(_),
+                ..
+            } => Some(cmd.clone()),
+            _ => None,
+        })
+        .expect("controller plans a split");
+
+    let mut admin = AdminClient::new(0);
+    admin
+        .run_on_leader(cluster.addrs(), &split, Duration::from_secs(10))
+        .expect("split accepted by the leader");
+
+    // Both subclusters (controller-allocated ids 2 and 3) elect and serve.
+    let (a, b) = (ClusterId(2), ClusterId(3));
+    assert!(
+        cluster.wait_for_clusters(&[a, b], Duration::from_secs(20)),
+        "fleet did not converge on the two subclusters: {:?}",
+        cluster.node_clusters()
+    );
+    let (ma, mb) = (cluster.members_of(a), cluster.members_of(b));
+    assert_eq!(ma.len(), 3, "subcluster {a:?} staffing: {ma:?}");
+    assert_eq!(mb.len(), 3, "subcluster {b:?} staffing: {mb:?}");
+
+    // Prove both halves are live post-split: each leader commits a no-op.
+    for members in [&ma, &mb] {
+        admin
+            .run_on_leader(members, &AdminCmd::ProposeNoop, Duration::from_secs(10))
+            .expect("subcluster leader serves");
+    }
+
+    // Feed the controller the post-split world twice: the first round
+    // observes both children (clearing the pending split), the second
+    // plans the merge of the now-cold pair.
+    let ranges_a =
+        RangeSet::from_ranges([KeyRange::new(Vec::new(), b"k00005000".to_vec()).unwrap()]).unwrap();
+    let ranges_b = RangeSet::from_ranges([KeyRange::from_start(b"k00005000".to_vec())]).unwrap();
+    let world = [
+        sample(a, ranges_a.clone(), &ma, 0, None),
+        sample(b, ranges_b.clone(), &mb, 0, None),
+    ];
+    let mut cmds = ctl.plan(2, &world);
+    cmds.extend(ctl.plan(3, &world));
+    let (coordinator, merge) = cmds
+        .iter()
+        .find_map(|c| match c {
+            FleetCmd::Admin {
+                cluster,
+                cmd: cmd @ AdminCmd::Merge(_),
+            } => Some((*cluster, cmd.clone())),
+            _ => None,
+        })
+        .expect("controller plans the merge");
+    let coord_members = cluster.members_of(coordinator);
+    admin
+        .run_on_leader(&coord_members, &merge, Duration::from_secs(10))
+        .expect("merge accepted by the coordinator's leader");
+
+    // The merged cluster (controller-allocated id 4) resumes with the
+    // coordinator's members — `resume_members` caps resumption at the
+    // configured replication factor; the other participant's nodes retire
+    // to the spare pool.
+    let merged = ClusterId(4);
+    assert!(
+        cluster
+            .wait_for_leader_of(merged, Duration::from_secs(30))
+            .is_some(),
+        "merged cluster never elected: {:?}",
+        cluster.node_clusters()
+    );
+    let mm = cluster.members_of(merged);
+    assert_eq!(
+        mm.keys().copied().collect::<Vec<_>>(),
+        ma.keys().copied().collect::<Vec<_>>(),
+        "merged cluster should resume with the coordinator's members"
+    );
+
+    // Full-keyspace service is restored: a fresh client fleet (new
+    // sessions) completes against the merged cluster.
+    let run2 = recraft_cluster::run_open_loop(
+        &mm,
+        8,
+        &ClientOptions {
+            session_base: 100,
+            ..opts.clone()
+        },
+    );
+    assert!(
+        run2.iter().all(|r| r.completed),
+        "post-merge fleet incomplete: {run2:?}"
+    );
+
+    // Exactly-once held across the whole reshaping: both generations'
+    // sessions are intact on the merged cluster (whose log was renumbered —
+    // check its own most-applied node, not a retired one).
+    let nodes = cluster.shutdown();
+    let survivor = nodes
+        .iter()
+        .filter(|n| n.cluster() == merged)
+        .max_by_key(|n| n.applied_index().0)
+        .expect("a merged-cluster node");
+    for c in (0..8).chain(100..108) {
+        let last = survivor.sessions().last_seq(recraft_types::SessionId(c));
+        assert_eq!(
+            last,
+            Some(opts.ops),
+            "session {c}: last_seq {last:?}, expected {}",
+            opts.ops
+        );
+    }
+}

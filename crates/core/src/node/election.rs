@@ -29,6 +29,15 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             self.reset_election_timer(now);
             return;
         }
+        if self.cfg.base().id() != self.cluster {
+            // Adopted a cluster's identity but still running the joiner
+            // placeholder configuration (the real config arrives with the
+            // catch-up log or snapshot). The placeholder's only member is
+            // this node, so campaigning here would elect a rogue
+            // single-node "leader" of the adopted cluster.
+            self.reset_election_timer(now);
+            return;
+        }
         let derived = self.derived_cached();
         let voters = derived.elect.voters();
         if !voters.contains(&self.id) {
@@ -188,6 +197,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                         next: last.next(),
                         matched: LogIndex::ZERO,
                         window: super::ReplicationWindow::default(),
+                        search: None,
                     },
                 );
             }

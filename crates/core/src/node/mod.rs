@@ -121,6 +121,15 @@ pub(crate) struct Progress {
     pub(crate) next: LogIndex,
     pub(crate) matched: LogIndex,
     pub(crate) window: ReplicationWindow,
+    /// Active binary search for the peer's real match point after a failed
+    /// consistency check: `(lo, hi)` brackets it as `lo <= match < hi`,
+    /// where `lo` is the best lower bound (the confirmed `matched`, or the
+    /// unverified compaction base) and `hi` the lowest index the peer
+    /// provably does not match. While set, the leader probes interval
+    /// midpoints with empty appends instead of streaming entries, so a
+    /// far-divergent follower reconciles in O(log n) round trips instead of
+    /// one `next_index` step per nack.
+    pub(crate) search: Option<(LogIndex, LogIndex)>,
 }
 
 /// What a slot of an in-progress apply batch is: a plain command or a
@@ -470,6 +479,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             meta_dirty: false,
         };
         // Boot state is durable before the node says anything to anyone.
+        node.refresh_sm_lineage();
         node.log.save_snapshot(&node.snapshot, node.cfg.base());
         node.log.save_meta(&node.node_meta());
         node.log.sync();
@@ -529,8 +539,65 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         if !store.matches(snapshot.last_index, snapshot.last_eterm) {
             store.reset(snapshot.last_index, snapshot.last_eterm);
         }
-        sm.restore_chunks(&snapshot.chunks)?;
-        sm.retain_ranges(snap_config.ranges());
+        // O(delta) reboot (ROADMAP item 4b): a durable machine recovers its
+        // own image on open, so re-installing the consensus snapshot over it
+        // would be a redundant O(keyspace) rewrite. Trust the machine's
+        // persisted applied-index watermark `w` instead — and replay only
+        // the log suffix past it — when the image provably belongs here:
+        //   - its lineage token matches this node's persisted identity
+        //     (splits and merges re-tag the image through `note_lineage`; a
+        //     mismatch means the identity moved after the machine's last
+        //     flush, so the image's indexes may be from another numbering),
+        //   - `commit_floor <= w <= last_index` (below the floor the
+        //     snapshot is strictly newer; above the durable tail the
+        //     machine absorbed writes a torn log no longer vouches for),
+        //   - the replay suffix `(commit_floor, w]` holds no Config entries
+        //     (their application does identity/range bookkeeping a suffix
+        //     replay cannot reconstruct — rare, fall back to the snapshot).
+        // Applied implies committed, so adopting `w` as the commit floor is
+        // safe.
+        let commit_floor = snapshot.last_index.max(store.base_index());
+        let expected_lineage = lineage_token(meta.cluster, meta.cluster_epoch);
+        let trusted = match sm.recovered_watermark() {
+            Some((lineage, w))
+                if lineage == expected_lineage && w >= commit_floor && w <= store.last_index() =>
+            {
+                store
+                    .tail(store.first_index())
+                    .iter()
+                    .filter(|e| e.index > commit_floor && e.index <= w)
+                    .all(|e| e.as_config().is_none())
+                    .then_some(w)
+            }
+            _ => None,
+        };
+        let mut sessions = snapshot.sessions.clone();
+        let recovered_floor = match trusted {
+            Some(w) => {
+                // The image already contains the suffix's effects; replay
+                // only the exactly-once bookkeeping. The recorded responses
+                // are not recoverable from the durable image, so a duplicate
+                // retried across this reboot is answered with an empty reply
+                // payload — clients treat any recorded reply as completion
+                // (the same inference the SessionStale path relies on).
+                for entry in store.tail(commit_floor.next()) {
+                    if entry.index > w {
+                        break;
+                    }
+                    if let EntryPayload::SessionCommand { session, seq, .. } = &entry.payload {
+                        if matches!(sessions.check(*session, *seq), SessionCheck::Fresh) {
+                            sessions.record(*session, *seq, bytes::Bytes::new());
+                        }
+                    }
+                }
+                w
+            }
+            None => {
+                sm.restore_chunks(&snapshot.chunks)?;
+                sm.retain_ranges(snap_config.ranges());
+                commit_floor
+            }
+        };
         // Root the config stack at the snapshot and replay config entries
         // from the surviving log; they re-fold when their commit is
         // re-confirmed by a leader.
@@ -543,11 +610,9 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                 cfg.push(entry.index, change.clone());
             }
         }
-        let commit_floor = snapshot.last_index.max(store.base_index());
         let mut rng = StdRng::seed_from_u64(seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let election_deadline = Self::random_timeout(&mut rng, &timing, 0);
-        let sessions = snapshot.sessions.clone();
-        Ok(Node {
+        let mut node = Node {
             id,
             cluster: meta.cluster,
             hard: meta.hard,
@@ -560,8 +625,8 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             sessions,
             role: Role::Follower,
             leader_hint: None,
-            commit_index: commit_floor,
-            applied_index: commit_floor,
+            commit_index: recovered_floor,
+            applied_index: recovered_floor,
             committed_in_term: false,
             votes: BTreeSet::new(),
             progress: BTreeMap::new(),
@@ -587,7 +652,11 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             outbox: Vec::new(),
             events: Vec::new(),
             meta_dirty: false,
-        })
+        };
+        // The fallback restore path rebuilt the image without a lineage tag;
+        // either way the machine now carries the recovered identity.
+        node.refresh_sm_lineage();
+        Ok(node)
     }
 
     /// The durable node metadata as of right now. The §V reconfiguration
@@ -620,9 +689,19 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     /// content, whereas old identity over renumbered content would leave
     /// `hard.eterm` below the log's base epoch-term.
     pub(crate) fn persist_meta_now(&mut self) {
+        self.refresh_sm_lineage();
         let meta = self.node_meta();
         self.log.save_meta(&meta);
         self.meta_dirty = false;
+    }
+
+    /// Re-tags the state machine with the current lineage token. Called
+    /// whenever the durable identity is persisted, so a durable machine's
+    /// image and the node metadata agree on whom they belong to — the
+    /// precondition for the O(delta) reboot path in [`Node::reopen`].
+    pub(crate) fn refresh_sm_lineage(&mut self) {
+        self.sm
+            .note_lineage(lineage_token(self.cluster, self.cluster_epoch));
     }
 
     /// Persists the current snapshot and its configuration. Called *before*
@@ -637,6 +716,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     /// The write-ahead barrier: everything buffered becomes durable.
     fn flush_storage(&mut self) {
         if self.meta_dirty {
+            self.refresh_sm_lineage();
             let meta = self.node_meta();
             self.log.save_meta(&meta);
             self.meta_dirty = false;
@@ -1546,6 +1626,55 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         self.log.compact_to(to, eterm).expect("compaction bounds");
     }
 
+    /// Re-stamps the retained snapshot from the live machine when it still
+    /// describes a pre-split lineage.
+    ///
+    /// A split keeps the old log and the old snapshot: siblings and
+    /// stragglers of the parent cluster still recover from them. But a node
+    /// that joins the *child* cluster later must reject that snapshot as
+    /// foreign (its config names the parent cluster at the same epoch), so
+    /// catching such a joiner up would wedge forever. Called just before
+    /// streaming a snapshot; rebuilds it at `applied_index` under the
+    /// current cluster identity, without compacting the log — the old
+    /// entries stay available for the parent lineage's recovery paths.
+    pub(crate) fn refresh_stale_snapshot(&mut self) {
+        if self.snapshot.cluster == self.cluster {
+            return;
+        }
+        // Pending *membership* entries are fine: they all sit above
+        // `applied_index`, so `cfg.base()` is exactly the configuration at
+        // the snapshot point. An in-flight split or merge is not — the
+        // cluster identity itself is in motion, and `maybe_compact` has the
+        // same rule.
+        let reshaping = self.cfg.entries().iter().any(|(_, c)| {
+            matches!(
+                c,
+                recraft_types::ConfigChange::SplitJoint(_)
+                    | recraft_types::ConfigChange::SplitNew(_)
+                    | recraft_types::ConfigChange::MergePrepare { .. }
+                    | recraft_types::ConfigChange::MergeCommit(_)
+            )
+        });
+        if reshaping || self.exchange.is_some() {
+            return;
+        }
+        let to = self.applied_index;
+        let Some(eterm) = self.log.eterm_at(to) else {
+            return; // applied point no longer in the log: nothing newer to stamp
+        };
+        let ranges = self.cfg.base().ranges().clone();
+        self.snapshot = Snapshot {
+            last_index: to,
+            last_eterm: eterm,
+            cluster: self.cluster,
+            ranges: ranges.clone(),
+            chunks: self.sm.snapshot_chunks(&ranges),
+            sessions: self.sessions.clone(),
+        };
+        self.snap_config = self.cfg.base().clone();
+        self.persist_snapshot();
+    }
+
     /// Appends a proposal to the leader's log and replicates it.
     pub(crate) fn propose_entry(&mut self, now: u64, payload: EntryPayload) -> LogIndex {
         self.propose_entry_replying(now, payload, None)
@@ -1583,6 +1712,23 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     pub(crate) fn propose_config(&mut self, now: u64, change: ConfigChange) -> LogIndex {
         self.propose_entry(now, EntryPayload::Config(change))
     }
+}
+
+/// A compact digest of a node's cluster identity and epoch — the lineage
+/// token durable state machines tag their image with (FNV-1a over the two
+/// words). Splits and merges change `(cluster, epoch)` without rewriting
+/// the machine's image, so a reboot compares this token against the
+/// persisted metadata to decide whether the recovered image's applied-index
+/// watermark still speaks for this log's numbering.
+fn lineage_token(cluster: ClusterId, epoch: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [cluster.0, u64::from(epoch)] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
 }
 
 #[cfg(test)]

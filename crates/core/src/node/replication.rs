@@ -58,6 +58,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                         next: last.next(),
                         matched: LogIndex::ZERO,
                         window: super::ReplicationWindow::default(),
+                        search: None,
                     });
             }
         }
@@ -107,6 +108,13 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         if pr.window.stale(now, 2 * self.timing.heartbeat_interval) {
             pr.window.rewind();
             pr.next = pr.matched.next();
+            pr.search = None;
+        }
+        if pr.search.is_some() {
+            // Bisecting the peer's match point: the heartbeat fallback
+            // probes the current midpoint (anchored at `next - 1`); real
+            // entries wait until the search resolves.
+            return false;
         }
         if pr.next <= self.log.base_index() {
             // The peer needs entries we compacted away (or it comes from a
@@ -118,6 +126,11 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             // stream re-sends whole on the next heartbeat (frames are
             // idempotent, and a peer that crashed mid-stream starts from
             // scratch by design).
+            //
+            // A split child still holding the parent lineage's snapshot
+            // re-stamps it first: a joiner of the child would have to
+            // reject parent-labelled frames as foreign.
+            self.refresh_stale_snapshot();
             let frames = self.snapshot.frames();
             let config = self.snap_config.clone();
             let cluster = self.cluster;
@@ -277,11 +290,19 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             return;
         }
         self.become_follower(now, eterm, Some(from));
-        if !self.log.matches(prev_index, prev_eterm) {
+        // A joiner that has adopted this cluster's identity but still runs
+        // the placeholder configuration must not accept log entries yet: the
+        // cluster's base configuration is not itself a log entry, so a
+        // log-only catch-up would leave it folding membership changes over an
+        // empty range set (wiping the machine at the next fold point). Only a
+        // snapshot carries the configuration — ask for one via conflict = 0,
+        // even when the consistency check would pass.
+        let placeholder = self.cfg.base().id() != self.cluster;
+        if placeholder || !self.log.matches(prev_index, prev_eterm) {
             // Consistency check failed: hint where to back up. A mismatch at
             // or below our base means we are on a different log lineage (or
             // hopelessly behind): ask for a snapshot via conflict = 0.
-            let conflict = if prev_index <= self.log.base_index() {
+            let conflict = if placeholder || prev_index <= self.log.base_index() {
                 LogIndex::ZERO
             } else {
                 prev_index.min(self.log.last_index().next())
@@ -379,8 +400,24 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             // — responses may arrive duplicated or out of order, the window
             // accounting only ever moves forward.
             pr.window.ack(pr.matched);
-            // Never roll back below pipelined in-flight sends.
-            pr.next = pr.next.max(pr.matched.next());
+            if let Some((_, hi)) = pr.search {
+                if pr.matched.next() >= hi {
+                    // The acknowledged prefix reaches the rejected zone's
+                    // edge: the match point is pinned, resume streaming.
+                    pr.search = None;
+                    pr.next = pr.matched.next();
+                } else {
+                    // Halve the interval upward: the probe (or a straggler
+                    // ack) confirmed `matched`, so bisect [matched, hi).
+                    let lo = pr.matched.max(self.log.base_index());
+                    let mid = LogIndex(lo.0 + (hi.0 - lo.0) / 2);
+                    pr.search = Some((lo, hi));
+                    pr.next = mid.next();
+                }
+            } else {
+                // Never roll back below pipelined in-flight sends.
+                pr.next = pr.next.max(pr.matched.next());
+            }
             let advanced = pr.matched > self.commit_index;
             // The successful response at our own epoch-term confirms the
             // responder still recognizes this leadership; credit it to every
@@ -399,11 +436,39 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             self.push_entries(now, from);
         } else {
             // Everything in flight past the failed consistency check is
-            // doomed with it: rewind the window wholesale and restream from
-            // the conflict hint.
+            // doomed with it: rewind the window wholesale. Rather than
+            // walking `next` back one nack at a time, bisect the peer's real
+            // match point: `(lo, hi)` brackets it as `lo <= match < hi`, and
+            // each empty probe anchored at the midpoint (`next - 1`) halves
+            // the interval — a far-behind or divergent follower reconciles
+            // in O(log n) round trips instead of O(n).
             pr.window.rewind();
+            let base = self.log.base_index();
             let hint = conflict.unwrap_or(pr.next.saturating_prev());
-            pr.next = hint.min(pr.next.saturating_prev()).max(LogIndex::ZERO);
+            // A nack never raises the upper bound: reordered stale nacks can
+            // only tighten the bracket, never reopen resolved ground.
+            let hi = match pr.search {
+                Some((_, prev_hi)) => hint.min(prev_hi),
+                None => hint,
+            };
+            let lo = pr.matched.max(base);
+            if hint == LogIndex::ZERO || hi <= base {
+                // The peer rejected even our retained base (or matches
+                // nothing we still hold): stream the snapshot.
+                pr.search = None;
+                pr.next = LogIndex::ZERO;
+            } else if pr.matched >= base && hi <= pr.matched.next() {
+                // Collapsed onto the verified match point: resume streaming.
+                pr.search = None;
+                pr.next = pr.matched.next();
+            } else {
+                // Probe the midpoint of [lo, hi) with an empty append
+                // (`prev_index = mid`); success reports `match_index = mid`
+                // and raises `lo`, another nack lowers `hi`.
+                let mid = LogIndex(lo.0 + (hi.0 - lo.0) / 2);
+                pr.search = Some((lo, hi));
+                pr.next = mid.next();
+            }
             self.send_append(now, from);
         }
     }
@@ -498,11 +563,18 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             .pending_install
             .as_ref()
             .is_some_and(|p| p.last_index <= self.commit_index && p.cluster == self.cluster)
+            && self.cfg.base().id() == self.cluster
         {
             self.pending_install = None;
         }
-        if frame.last_index <= self.commit_index && frame.cluster == self.cluster {
-            // Nothing newer here.
+        if frame.last_index <= self.commit_index
+            && frame.cluster == self.cluster
+            && self.cfg.base().id() == self.cluster
+        {
+            // Nothing newer here — unless we are a joiner still on the
+            // placeholder configuration, for which even an index-0 snapshot
+            // is news: it carries the cluster's base configuration, which no
+            // log entry ever does.
             self.send(
                 from,
                 Message::InstallSnapshotResp {
@@ -637,8 +709,10 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                 pr.matched = confirmed;
             }
             pr.next = pr.matched.next();
-            // In-flight probes anchored before the install are void.
+            // In-flight probes anchored before the install are void, and the
+            // snapshot boundary supersedes any match-point search.
             pr.window.rewind();
+            pr.search = None;
             self.leader_advance_commit(now);
             self.push_entries(now, from);
         }

@@ -83,6 +83,28 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         self.cluster_epoch = entry.eterm.epoch() + 1;
         self.cfg.fold(sub.clone(), index);
         self.sm.retain_ranges(sub.ranges());
+        // Pending ReadIndex reads for keys handed to a sibling subcluster
+        // must not be served from the just-pruned machine (they would read
+        // as absent); bounce them back to the directory. In-range reads
+        // survive: their state is untouched by the split.
+        let stranded: Vec<_> = {
+            let ranges = sub.ranges();
+            let (keep, gone) = std::mem::take(&mut self.pending_reads)
+                .into_iter()
+                .partition(|r| ranges.contains(&r.key));
+            self.pending_reads = keep;
+            gone
+        };
+        for r in stranded {
+            self.reply(
+                r.client,
+                r.session,
+                r.seq,
+                recraft_types::ClientOutcome::Rejected {
+                    error: recraft_types::Error::WrongRange(None),
+                },
+            );
+        }
         let new_eterm =
             EpochTerm::new(entry.eterm.epoch() + 1, self.hard.eterm.term()).max(self.hard.eterm);
         self.advance_eterm(new_eterm);
@@ -124,6 +146,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                             next: last.next(),
                             matched: LogIndex::ZERO,
                             window: super::ReplicationWindow::default(),
+                            search: None,
                         });
                 }
             }

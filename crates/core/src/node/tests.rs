@@ -26,6 +26,9 @@ struct Net {
     responses: Vec<(u64, ClientOutcome)>,
     admin_responses: Vec<(u64, Result<(), Error>)>,
     events: Vec<(NodeId, NodeEvent)>,
+    /// Every failed-consistency-check AppendResp observed in flight, as
+    /// `(from, to)` — the round-trip meter for reconciliation tests.
+    nacks: Vec<(NodeId, NodeId)>,
 }
 
 impl Net {
@@ -59,6 +62,7 @@ impl Net {
             responses: Vec::new(),
             admin_responses: Vec::new(),
             events: Vec::new(),
+            nacks: Vec::new(),
         }
     }
 
@@ -95,6 +99,9 @@ impl Net {
             }
             if self.blackholes.contains(&env.to) || self.crashed.contains(&env.to) {
                 continue;
+            }
+            if let Message::AppendResp { success: false, .. } = &env.msg {
+                self.nacks.push((env.from, env.to));
             }
             if let Some(node) = self.nodes.get_mut(&env.to) {
                 node.step(self.now, env.from, env.msg);
@@ -1094,6 +1101,69 @@ fn duplicate_session_write_applies_exactly_once() {
                 error: Error::SessionStale
             }
         )));
+    net.assert_state_machine_safety();
+}
+
+#[test]
+fn divergent_follower_reconciles_in_logarithmic_round_trips() {
+    // A deposed leader reboots with a long uncommitted tail that conflicts
+    // with the new leader's log of similar length. Walking `next` back one
+    // nack at a time would cost one round trip per divergent entry; the
+    // match-point bisection must land on the shared prefix in O(log n).
+    let mut net = Net::with_nodes(&[1, 2, 3]);
+    let leader = net.elect();
+    net.put(leader, 1, "base", "v");
+    net.run(5);
+    assert!(net.ok_response(1));
+    // Strand a 60-entry uncommitted tail on the leader: cut both followers
+    // off, propose (instant delivery, no time passes), then crash it before
+    // anyone campaigns.
+    let others: Vec<NodeId> = net
+        .nodes
+        .keys()
+        .copied()
+        .filter(|id| *id != leader)
+        .collect();
+    for o in &others {
+        net.blackholes.insert(*o);
+    }
+    for i in 0..60u64 {
+        net.put(leader, 100 + i, &format!("stale{i}"), "x");
+    }
+    net.crash(leader.0);
+    for o in &others {
+        net.blackholes.remove(o);
+    }
+    net.run_until(400, |net| net.any_leader().is_some_and(|l| l != leader));
+    let new_leader = net.any_leader().unwrap();
+    // The new leader commits a 60-entry suffix of its own past the shared
+    // prefix, so both logs are long and divergent from index ~3 on.
+    for i in 0..60u64 {
+        net.put(new_leader, 200 + i, &format!("fresh{i}"), "y");
+    }
+    net.run(5);
+    assert!(net.ok_response(259));
+    net.nacks.clear();
+    net.restart(leader.0);
+    net.run_until(400, |net| {
+        net.node(leader.0).log().last_index() == net.node(new_leader.0).log().last_index()
+    });
+    let nacks = net
+        .nacks
+        .iter()
+        .filter(|(f, t)| *f == leader && *t == new_leader)
+        .count();
+    assert!(
+        nacks <= 16,
+        "reconciling a 60-entry divergence took {nacks} failed probes (O(log n) expected)"
+    );
+    // The divergent tail is gone and the committed suffix applied.
+    net.run(10);
+    assert_eq!(
+        net.node(leader.0).state_machine().get(b"fresh59"),
+        Some(&b"y"[..])
+    );
+    assert_eq!(net.node(leader.0).state_machine().get(b"stale0"), None);
     net.assert_state_machine_safety();
 }
 

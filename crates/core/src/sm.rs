@@ -130,6 +130,32 @@ pub trait StateMachine {
         self.install_finish()
     }
 
+    // ---- Durable-recovery surface ---------------------------------------
+    //
+    // Durable machines persist the applied state alongside the log; on a
+    // reboot, re-installing the consensus snapshot over the recovered image
+    // is a redundant O(keyspace) rewrite. These hooks let the consensus
+    // layer trust the machine's own recovery instead and replay only the
+    // log suffix past its watermark — O(delta) per reboot. In-memory
+    // machines keep the defaults (recover nothing, trust nothing).
+
+    /// Tags the machine's durable image with the node's lineage token (a
+    /// digest of its cluster identity and epoch). Splits and merges change
+    /// the identity without rewriting the whole image, so the token is what
+    /// lets a reboot tell "same lineage, image trustworthy" from "identity
+    /// moved under a reconfiguration, fall back to the snapshot".
+    fn note_lineage(&mut self, lineage: u64) {
+        let _ = lineage;
+    }
+
+    /// What the machine recovered on open: `(lineage, applied_index)` —
+    /// the lineage token it was last tagged with and the highest log index
+    /// durably folded into its image. `None` means the machine keeps no
+    /// durable image (in-memory) and must be rebuilt from the snapshot.
+    fn recovered_watermark(&self) -> Option<(u64, LogIndex)> {
+        None
+    }
+
     /// Crash-injection hook mirroring [`LogStore::power_cut`]: durable
     /// machines discard buffered-but-unsynced state (and may leave a torn
     /// artifact for their recovery to detect). In-memory machines ignore it

@@ -1,0 +1,34 @@
+//! The multi-raft fleet layer: many ReCraft clusters (*ranges*) jointly
+//! serving one keyspace, with an autonomous controller reshaping the fleet
+//! under load.
+//!
+//! ReCraft (§III–§IV) gives a single cluster self-contained split, merge,
+//! and membership change. This crate supplies the two pieces a *deployment*
+//! of hundreds of such clusters needs on top:
+//!
+//! * [`ShardDirectory`] — the naming service's data model (§V): a versioned
+//!   map from key ranges to the cluster serving them, with the adjacency
+//!   queries a controller and a router both need. Deliberately
+//!   loosely-consistent: readers may act on a stale version and recover via
+//!   the protocol's own `Redirect`/`WrongRange` answers.
+//! * [`Controller`] — a sans-io reconfiguration planner. Fed periodic
+//!   per-range load/size samples, it decides which hot ranges to split,
+//!   which cold adjacent ranges to merge, and which clusters need staffing
+//!   first, emitting admin-plane commands ([`FleetCmd`]) for the embedding
+//!   (the simulator's `FleetHarness`, or a TCP admin client) to deliver.
+//!   Hysteresis between the split and merge thresholds, per-cluster
+//!   cooldowns, and a bound on concurrent in-flight reconfigurations keep
+//!   the fleet from thrashing.
+//!
+//! The controller owns no clocks, sockets, or threads: `plan(now, samples)`
+//! is a pure state-machine step, so the same decisions replay byte-for-byte
+//! in the deterministic simulator and against a real loopback-TCP
+//! deployment.
+
+#![warn(missing_docs)]
+
+mod controller;
+mod directory;
+
+pub use controller::{midpoint_key, Controller, FleetCmd, FleetConfig, PendingKind, RangeSample};
+pub use directory::ShardDirectory;

@@ -124,6 +124,16 @@ pub struct DurableKv {
     /// The applied-index watermark of the flushed image (persisted in the
     /// manifest): recovery restores state as of exactly this index.
     durable_applied: LogIndex,
+    /// The lineage token the consensus layer last tagged us with (volatile
+    /// until the next flush commits it to the manifest).
+    lineage: u64,
+    /// The lineage token of the flushed image (persisted in the manifest):
+    /// what a reboot can honestly claim the image belongs to.
+    durable_lineage: u64,
+    /// Full-image rebuilds (restore / merge resumption / chunked install)
+    /// since open — observable by tests asserting the O(delta) reboot path
+    /// skipped the rebuild.
+    restores: u64,
 }
 
 impl DurableKv {
@@ -148,6 +158,9 @@ impl DurableKv {
             dirty_state: true, // the seed (even an empty one) must commit
             applied: LogIndex::ZERO,
             durable_applied: LogIndex::ZERO,
+            lineage: 0,
+            durable_lineage: 0,
+            restores: 0,
         };
         kv.flush();
         Ok(kv)
@@ -178,6 +191,9 @@ impl DurableKv {
             dirty_state: false,
             applied: LogIndex::ZERO,
             durable_applied: LogIndex::ZERO,
+            lineage: 0,
+            durable_lineage: 0,
+            restores: 0,
         };
         let manifest = read_framed(&dir.join("MANIFEST.bin"))
             .and_then(|mut payload| Manifest::decode(&mut payload).ok());
@@ -218,6 +234,8 @@ impl DurableKv {
                 kv.segments = segments;
                 kv.applied = manifest.watermark;
                 kv.durable_applied = manifest.watermark;
+                kv.lineage = manifest.lineage;
+                kv.durable_lineage = manifest.lineage;
             } else {
                 // A referenced segment is unreadable: the flushed image is
                 // unrecoverable as a whole. Reset to empty (atomicity over
@@ -293,6 +311,14 @@ impl DurableKv {
         self.inner.data_size()
     }
 
+    /// The median resident key within `ranges`. See [`KvStore::split_key`].
+    ///
+    /// [`KvStore::split_key`]: crate::KvStore::split_key
+    #[must_use]
+    pub fn split_key(&self, ranges: &RangeSet) -> Option<Vec<u8>> {
+        self.inner.split_key(ranges)
+    }
+
     /// Number of live segment files.
     #[must_use]
     pub fn segment_count(&self) -> usize {
@@ -311,6 +337,14 @@ impl DurableKv {
     #[must_use]
     pub fn memtable_len(&self) -> usize {
         self.memtable.len()
+    }
+
+    /// Full-image rebuilds (restore / merge resumption / chunked install)
+    /// since this store object opened. The O(delta) reboot path is exactly
+    /// "reopen with `restore_count() == 0`".
+    #[must_use]
+    pub fn restore_count(&self) -> u64 {
+        self.restores
     }
 
     // ---- Memtable and flush ---------------------------------------------
@@ -435,6 +469,7 @@ impl DurableKv {
         let manifest = Manifest {
             revision,
             watermark: self.applied,
+            lineage: self.lineage,
             segments: segments
                 .iter()
                 .map(|s| SegMeta {
@@ -466,6 +501,7 @@ impl DurableKv {
         self.memtable.clear();
         self.memtable_bytes = 0;
         self.durable_applied = self.applied;
+        self.durable_lineage = self.lineage;
         self.dirty_state = false;
     }
 
@@ -520,7 +556,23 @@ impl StateMachine for DurableKv {
         self.inner.snapshot(ranges)
     }
 
+    fn note_lineage(&mut self, lineage: u64) {
+        if self.lineage != lineage {
+            self.lineage = lineage;
+            // Commit with the next flush: a manifest-only rewrite when the
+            // memtable is clean (no segment churn).
+            self.dirty_state = true;
+        }
+    }
+
+    fn recovered_watermark(&self) -> Option<(u64, LogIndex)> {
+        // Report the *durable* pair: a note_lineage that has not flushed yet
+        // must not let a reboot claim the image for the new lineage.
+        Some((self.durable_lineage, self.durable_applied))
+    }
+
     fn restore(&mut self, data: &Bytes) -> Result<()> {
+        self.restores += 1;
         self.inner.restore(data)?;
         self.memtable.clear();
         self.memtable_bytes = 0;
@@ -533,6 +585,7 @@ impl StateMachine for DurableKv {
     }
 
     fn restore_merged(&mut self, parts: &[Bytes]) -> Result<()> {
+        self.restores += 1;
         self.inner.restore_merged(parts)?;
         self.memtable.clear();
         self.memtable_bytes = 0;
@@ -642,6 +695,7 @@ impl StateMachine for DurableKv {
     }
 
     fn install_begin(&mut self) {
+        self.restores += 1;
         self.inner = KvStore::new();
         self.memtable.clear();
         self.memtable_bytes = 0;
@@ -783,6 +837,7 @@ struct SegMeta {
 struct Manifest {
     revision: u64,
     watermark: LogIndex,
+    lineage: u64,
     segments: Vec<SegMeta>,
 }
 
@@ -810,6 +865,7 @@ impl Encode for Manifest {
     fn encode(&self, buf: &mut BytesMut) {
         self.revision.encode(buf);
         self.watermark.encode(buf);
+        self.lineage.encode(buf);
         self.segments.encode(buf);
     }
 }
@@ -819,6 +875,7 @@ impl Decode for Manifest {
         Ok(Manifest {
             revision: u64::decode(buf)?,
             watermark: LogIndex::decode(buf)?,
+            lineage: u64::decode(buf)?,
             segments: Vec::<SegMeta>::decode(buf)?,
         })
     }

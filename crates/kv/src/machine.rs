@@ -66,6 +66,29 @@ impl KvMachine {
         }
     }
 
+    /// The median resident key within `ranges` — the load-balanced split
+    /// point. See [`KvStore::split_key`].
+    ///
+    /// [`KvStore::split_key`]: crate::KvStore::split_key
+    #[must_use]
+    pub fn split_key(&self, ranges: &RangeSet) -> Option<Vec<u8>> {
+        match self {
+            KvMachine::Mem(s) => s.split_key(ranges),
+            KvMachine::Durable(s) => s.split_key(ranges),
+        }
+    }
+
+    /// Full-image rebuilds since this machine object was created (always 0
+    /// for the in-memory variant, which never rebuilds incrementally
+    /// anyway). See [`DurableKv::restore_count`].
+    #[must_use]
+    pub fn restore_count(&self) -> u64 {
+        match self {
+            KvMachine::Mem(_) => 0,
+            KvMachine::Durable(s) => s.restore_count(),
+        }
+    }
+
     /// The durable machine, when that is what is running.
     #[must_use]
     pub fn as_durable(&self) -> Option<&DurableKv> {
@@ -123,6 +146,20 @@ impl StateMachine for KvMachine {
         match self {
             KvMachine::Mem(s) => s.retain_ranges(ranges),
             KvMachine::Durable(s) => s.retain_ranges(ranges),
+        }
+    }
+
+    fn note_lineage(&mut self, lineage: u64) {
+        match self {
+            KvMachine::Mem(s) => s.note_lineage(lineage),
+            KvMachine::Durable(s) => s.note_lineage(lineage),
+        }
+    }
+
+    fn recovered_watermark(&self) -> Option<(u64, LogIndex)> {
+        match self {
+            KvMachine::Mem(s) => s.recovered_watermark(),
+            KvMachine::Durable(s) => s.recovered_watermark(),
         }
     }
 

@@ -209,6 +209,23 @@ impl KvStore {
         self.entries.iter().map(|(k, v)| k.len() + v.len()).sum()
     }
 
+    /// The median resident key within `ranges`, as a split point: half the
+    /// stored pairs land on each side, which balances a split far better
+    /// than a byte-midpoint when the key population is skewed. `None` when
+    /// fewer than two resident keys fall in `ranges` (nothing to balance —
+    /// the caller falls back to a byte midpoint or skips the split).
+    #[must_use]
+    pub fn split_key(&self, ranges: &RangeSet) -> Option<Vec<u8>> {
+        let resident: Vec<&Vec<u8>> = self.entries.keys().filter(|k| ranges.contains(k)).collect();
+        if resident.len() < 2 {
+            return None;
+        }
+        // The BTreeMap iterates in key order: the midpoint element is the
+        // median. It is strictly above at least one resident key, so a
+        // split at it leaves both sides non-empty.
+        Some(resident[resident.len() / 2].clone())
+    }
+
     /// Applies one command: bumps the revision and answers. The single
     /// dispatch both [`StateMachine::apply`] and
     /// [`StateMachine::apply_batch`] go through — replicas must produce

@@ -7,6 +7,7 @@
 //! fresh operations. The workload can deliberately deliver write requests
 //! twice ([`Workload::dup_prob`]) to exercise the dedup path.
 
+use crate::zipf::Zipf;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -15,9 +16,9 @@ use recraft_kv::KvCmd;
 use recraft_types::{ClientOp, ClusterId, NodeId, SessionId};
 use std::collections::BTreeMap;
 
-/// What a client does: uniform-random keys, fixed-size values, an optional
-/// fraction of linearizable reads. The paper's evaluation uses 512-byte
-/// uniform random puts (§VII).
+/// What a client does: random keys (uniform or zipfian), fixed-size values,
+/// an optional fraction of linearizable reads. The paper's evaluation uses
+/// 512-byte uniform random puts (§VII).
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Number of distinct keys (`k00000000` ... ).
@@ -38,6 +39,15 @@ pub struct Workload {
     /// response before issuing the next op); larger windows sustain
     /// concurrent proposals so leader-side batching and pipelining engage.
     pub pipeline: usize,
+    /// Zipfian skew exponent. `0.0` keeps the historical uniform key draw;
+    /// any positive value samples key ranks from [`Zipf`] (YCSB-style skew
+    /// is `0.99`), deterministic from each client's seeded RNG.
+    pub zipf_s: f64,
+    /// Rotates the rank → key mapping: rank `r` maps to key index
+    /// `(hot_offset + r - 1) % key_count`. Hot ranks are consecutive key
+    /// indices, so skew lands on one contiguous key range — moving this
+    /// mid-run relocates the hot spot (the fleet scenarios' "skew flip").
+    pub hot_offset: u64,
 }
 
 impl Default for Workload {
@@ -49,6 +59,8 @@ impl Default for Workload {
             dup_prob: 0.0,
             reads_via_log: false,
             pipeline: 1,
+            zipf_s: 0.0,
+            hot_offset: 0,
         }
     }
 }
@@ -83,13 +95,35 @@ pub(crate) struct Client {
     pub outstanding: BTreeMap<u64, Outstanding>,
     pub leader_cache: BTreeMap<ClusterId, NodeId>,
     pub active: bool,
+    /// Cached zipf sampler, rebuilt when the workload's `(key_count,
+    /// zipf_s)` changes (the skew-flip path mutates workloads mid-run).
+    pub(crate) zipf: Option<Zipf>,
 }
 
 impl Client {
+    /// Draws the next key index under the workload's distribution.
+    fn next_key_index(&mut self) -> u64 {
+        if self.workload.zipf_s <= 0.0 {
+            return self.rng.gen_range(0..self.workload.key_count);
+        }
+        let stale = self.zipf.as_ref().is_none_or(|z| {
+            z.ranks() != self.workload.key_count || z.exponent() != self.workload.zipf_s
+        });
+        if stale {
+            self.zipf = Some(Zipf::new(self.workload.key_count, self.workload.zipf_s));
+        }
+        let rank = self
+            .zipf
+            .as_ref()
+            .expect("built above")
+            .sample(&mut self.rng);
+        (self.workload.hot_offset + rank - 1) % self.workload.key_count
+    }
+
     /// Builds the next operation (key, typed op, history kind), consuming
     /// one sequence number.
     pub(crate) fn next_op(&mut self) -> (Vec<u8>, ClientOp, OpKind) {
-        let key = format!("k{:08}", self.rng.gen_range(0..self.workload.key_count)).into_bytes();
+        let key = format!("k{:08}", self.next_key_index()).into_bytes();
         let seq = self.next_seq;
         let is_get = self.workload.get_ratio > 0.0 && self.rng.gen_bool(self.workload.get_ratio);
         if is_get {

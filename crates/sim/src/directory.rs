@@ -1,81 +1,10 @@
 //! The naming service: a loosely-consistent directory of live clusters.
 //!
-//! The paper's only external dependency (§V) — "a naming service that
-//! maintains the information of all live clusters ... consistent with the
-//! cluster with a very loose time bound like the domain name service". The
-//! simulator refreshes it a configurable delay after reconfigurations
-//! complete; clients consult it to route keys.
+//! The data model grew into `recraft-fleet` (the fleet layer and the TCP
+//! deployment route through the same structure); the simulator re-exports
+//! it under its historical name. The simulator refreshes it a configurable
+//! delay after reconfigurations complete; clients consult it to route keys
+//! and may be arbitrarily stale in between — `Redirect` answers from the
+//! clusters are what keep routing convergent.
 
-use recraft_types::{ClusterId, NodeId, RangeSet};
-use std::collections::{BTreeMap, BTreeSet};
-
-/// The directory contents: per cluster, its served ranges and member nodes.
-#[derive(Debug, Clone, Default)]
-pub struct Directory {
-    clusters: BTreeMap<ClusterId, (RangeSet, BTreeSet<NodeId>)>,
-}
-
-impl Directory {
-    /// Replaces the record for one cluster.
-    pub fn upsert(&mut self, cluster: ClusterId, ranges: RangeSet, members: BTreeSet<NodeId>) {
-        self.clusters.insert(cluster, (ranges, members));
-    }
-
-    /// Drops a cluster that no longer exists.
-    pub fn remove(&mut self, cluster: ClusterId) {
-        self.clusters.remove(&cluster);
-    }
-
-    /// Clears everything (used before a full rebuild).
-    pub fn clear(&mut self) {
-        self.clusters.clear();
-    }
-
-    /// The cluster serving `key`, if any.
-    #[must_use]
-    pub fn lookup(&self, key: &[u8]) -> Option<(ClusterId, &BTreeSet<NodeId>)> {
-        self.clusters
-            .iter()
-            .find(|(_, (ranges, _))| ranges.contains(key))
-            .map(|(c, (_, members))| (*c, members))
-    }
-
-    /// The member set of `cluster`, if known.
-    #[must_use]
-    pub fn members(&self, cluster: ClusterId) -> Option<&BTreeSet<NodeId>> {
-        self.clusters.get(&cluster).map(|(_, m)| m)
-    }
-
-    /// All known clusters.
-    #[must_use]
-    pub fn clusters(&self) -> &BTreeMap<ClusterId, (RangeSet, BTreeSet<NodeId>)> {
-        &self.clusters
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use recraft_types::KeyRange;
-
-    #[test]
-    fn lookup_routes_by_range() {
-        let mut dir = Directory::default();
-        let (lo, hi) = KeyRange::full().split_at(b"m").unwrap();
-        dir.upsert(
-            ClusterId(1),
-            RangeSet::from(lo),
-            [NodeId(1)].into_iter().collect(),
-        );
-        dir.upsert(
-            ClusterId(2),
-            RangeSet::from(hi),
-            [NodeId(2)].into_iter().collect(),
-        );
-        assert_eq!(dir.lookup(b"apple").unwrap().0, ClusterId(1));
-        assert_eq!(dir.lookup(b"zebra").unwrap().0, ClusterId(2));
-        dir.remove(ClusterId(2));
-        assert!(dir.lookup(b"zebra").is_none());
-        assert_eq!(dir.clusters().len(), 1);
-    }
-}
+pub use recraft_fleet::ShardDirectory as Directory;

@@ -368,9 +368,19 @@ impl Sim {
                     outstanding: BTreeMap::new(),
                     leader_cache: BTreeMap::new(),
                     active: true,
+                    zipf: None,
                 },
             );
             self.schedule(1, EvKind::ClientKick(i));
+        }
+    }
+
+    /// Mutates every client's workload in place (mid-run skew flips, hot
+    /// spot moves). Takes effect from each client's next issued operation;
+    /// operations already in flight keep their original keys.
+    pub fn update_workloads(&mut self, f: impl Fn(&mut Workload)) {
+        for client in self.clients.values_mut() {
+            f(&mut client.workload);
         }
     }
 
@@ -1028,6 +1038,7 @@ impl Sim {
                 }
                 if let Some(cluster) = o.cluster {
                     c.leader_cache.insert(cluster, from);
+                    *self.metrics.cluster_ops.entry(cluster).or_insert(0) += 1;
                 }
                 self.history.push(Op {
                     id: (client, resp.seq),
@@ -1052,6 +1063,7 @@ impl Sim {
                 if let (Some(cl), Some(h)) = (cluster, leader_hint) {
                     c.leader_cache.insert(cl, h);
                 }
+                self.metrics.redirects += 1;
                 self.send_outstanding(client, resp.seq, leader_hint);
             }
             ClientOutcome::Rejected { error } => {

@@ -29,10 +29,14 @@ mod client;
 mod config;
 mod directory;
 mod engine;
+pub mod fleet;
 mod metrics;
+pub mod zipf;
 
 pub use client::Workload;
 pub use config::{Backend, SimConfig, SmKind};
 pub use directory::Directory;
 pub use engine::{Action, Sim, SimStore, ADMIN_ADDR, CLIENT_BASE};
+pub use fleet::{FleetConfig, FleetHarness, FleetReport};
 pub use metrics::Metrics;
+pub use zipf::Zipf;

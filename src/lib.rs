@@ -25,6 +25,7 @@
 //! | [`storage`] | `recraft-storage` | log, hard state, snapshots |
 //! | [`net`] | `recraft-net` | messages and envelopes |
 //! | [`kv`] | `recraft-kv` | the etcd-like KV state machine |
+//! | [`fleet`] | `recraft-fleet` | shard directory + autonomous split/merge controller |
 //! | [`cluster`] | `recraft-cluster` | real deployment: threads + loopback TCP |
 //! | [`sim`] | `recraft-sim` | deterministic cluster simulator |
 //! | [`tc`] | `recraft-tc` | the TiKV/CockroachDB-style baseline |
@@ -52,6 +53,7 @@
 
 pub use recraft_cluster as cluster;
 pub use recraft_core as core;
+pub use recraft_fleet as fleet;
 pub use recraft_kv as kv;
 pub use recraft_net as net;
 pub use recraft_sim as sim;

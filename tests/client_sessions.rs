@@ -54,6 +54,7 @@ fn sessions_with_duplicates_through_split_and_merge() {
             dup_prob: 0.25,
             reads_via_log: false,
             pipeline: 1,
+            ..Workload::default()
         },
     );
     sim.run_for(3 * SEC);

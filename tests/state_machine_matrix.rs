@@ -49,6 +49,7 @@ fn workload() -> Workload {
         dup_prob: 0.05,
         reads_via_log: false,
         pipeline: 1,
+        ..Workload::default()
     }
 }
 
