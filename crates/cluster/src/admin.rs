@@ -14,12 +14,19 @@
 
 use crate::CLIENT_BASE;
 use recraft_net::frame::{read_frame, write_frame};
-use recraft_net::{AdminCmd, Envelope, Message};
+use recraft_net::{AdminCmd, Envelope, Message, NodeStats};
 use recraft_types::{Error, NodeId};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// First retry pause in [`AdminClient::run_on_leader`]; doubles per retry.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(10);
+
+/// Retry pause ceiling — keeps the probe responsive to elections (which
+/// resolve in a few hundred ms) while not hammering a stuck cluster.
+const BACKOFF_CAP: Duration = Duration::from_millis(160);
 
 /// Admin endpoints address themselves above even the client range, so a
 /// node's reader registers the connection's write-half for the response and
@@ -88,14 +95,50 @@ impl AdminClient {
         }
     }
 
+    /// Asks the node at `addr` for its live [`NodeStats`] — the sampling
+    /// plane's one query. Any node answers for itself (leader or not);
+    /// transport failures come back as `None`.
+    pub fn fetch_stats(&mut self, addr: SocketAddr, to: NodeId) -> Option<NodeStats> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let mut stream = TcpStream::connect_timeout(&addr, self.io_timeout).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.io_timeout));
+        write_frame(
+            &mut stream,
+            &Envelope {
+                from: self.me,
+                to,
+                msg: Message::StatsReq { req_id },
+            },
+        )
+        .ok()?;
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some(env)) => {
+                    if let Message::StatsResp { req_id: rid, stats } = env.msg {
+                        if rid == req_id {
+                            return Some(*stats);
+                        }
+                    }
+                }
+                Ok(None) | Err(_) => return None,
+            }
+        }
+    }
+
     /// Delivers `cmd` to whichever of `candidates` is leader, following
     /// `NotLeader` hints and waiting out `PreconditionP3`, until `deadline`.
+    /// Retry pauses start at 10 ms and double to a 160 ms cap, so a cluster
+    /// that stays unready is probed gently instead of hammered.
     ///
     /// Returns the node that accepted, or the last rejection seen.
     ///
     /// # Errors
-    /// The last retryable rejection when no candidate accepts before the
-    /// deadline; the first non-retryable rejection otherwise.
+    /// [`Error::DeadlineExceeded`] when the deadline elapses before any
+    /// candidate answers at all; the last retryable rejection when
+    /// candidates answered but none accepted in time; the first
+    /// non-retryable rejection otherwise.
     pub fn run_on_leader(
         &mut self,
         candidates: &BTreeMap<NodeId, SocketAddr>,
@@ -104,8 +147,15 @@ impl AdminClient {
     ) -> Result<NodeId, Error> {
         let until = Instant::now() + deadline;
         let order: Vec<NodeId> = candidates.keys().copied().collect();
+        if order.is_empty() {
+            return Err(Error::DeadlineExceeded(format!(
+                "{}: no candidate nodes",
+                cmd.kind()
+            )));
+        }
         let mut at = 0usize;
-        let mut last_err = Error::InvalidState("admin deadline elapsed".into());
+        let mut backoff = BACKOFF_FLOOR;
+        let mut last_err: Option<Error> = None;
         while Instant::now() < until {
             let id = order[at % order.len()];
             at += 1;
@@ -115,30 +165,33 @@ impl AdminClient {
             match self.send_one(*addr, id, cmd.clone()) {
                 Some(Ok(())) => return Ok(id),
                 Some(Err(Error::NotLeader(hint))) => {
-                    last_err = Error::NotLeader(hint);
+                    last_err = Some(Error::NotLeader(hint));
                     // Jump the probe order to the hinted node if we know it.
                     if let Some(h) = hint {
                         if let Some(pos) = order.iter().position(|n| *n == h) {
                             at = pos;
                         }
                     }
-                    thread::sleep(Duration::from_millis(20));
                 }
                 Some(Err(e @ (Error::PreconditionP3 | Error::PreconditionP1))) => {
                     // A fresh leader whose no-op has not committed (P3), or a
                     // prior reconfiguration still settling (P1): both resolve
                     // on their own — stay on this node and retry.
-                    last_err = e;
+                    last_err = Some(e);
                     at -= 1;
-                    thread::sleep(Duration::from_millis(20));
                 }
                 Some(Err(e)) => return Err(e),
-                None => {
-                    thread::sleep(Duration::from_millis(20));
-                }
+                None => {}
             }
+            thread::sleep(backoff.min(until.saturating_duration_since(Instant::now())));
+            backoff = (backoff * 2).min(BACKOFF_CAP);
         }
-        Err(last_err)
+        Err(last_err.unwrap_or_else(|| {
+            Error::DeadlineExceeded(format!(
+                "{}: no candidate reachable within {deadline:?}",
+                cmd.kind()
+            ))
+        }))
     }
 }
 

@@ -6,6 +6,16 @@
 //! every session at once, so replication batching and pipelining engage —
 //! the regime the saturation bench measures.
 //!
+//! Clients come in two routing modes. Without a [`FleetView`] they rotate
+//! blindly over the launch-time address list — right for a single-range
+//! cluster. With one ([`ClientOptions::view`]), each write is routed
+//! through the shared shard directory the control plane publishes: the
+//! client connects to the cluster serving its next key, follows
+//! `Redirect`/`NotLeader` hints within it, and treats `WrongRange` as the
+//! staleness signal it is — park the write, wait for the directory to move
+//! the key, re-route. The directory may be arbitrarily stale; the
+//! protocol's own answers are what keep routing convergent (§V).
+//!
 //! Exactly-once under retries follows the same discipline the simulator's
 //! clients use: a write is retried under its original `(session, seq)`
 //! until answered, and on every (re)connection the pending window is resent
@@ -15,17 +25,33 @@
 //! `seq` means some *higher* sequence number already applied — and since
 //! every lower one was always sent first, `seq` itself applied earlier and
 //! only its reply was lost. The client counts it as confirmed.
+//!
+//! Routing across splits preserves that inference through three rules:
+//! windows are **cluster-homogeneous** (filling stops at the first key the
+//! directory maps elsewhere), a `WrongRange` **parks the window** (no new
+//! sequence numbers are issued while any write awaits re-routing), and a
+//! parked write is only re-sent once the directory maps its key to a
+//! *different* cluster than the one that refused it. Together these keep
+//! each cluster's view of a session gap-free below any sequence number the
+//! client might still re-send to it. (One residual race remains: if a
+//! split's two children merge back *before* a parked write ever reaches
+//! the sibling, the merged session table — a per-session max across both
+//! lineages — could stale-confirm it. The controller's cooldown between
+//! reconfigurations is seconds; a parked client re-routes within
+//! milliseconds, so the window is not reachable in practice.)
 
+use crate::control::FleetView;
 use crate::CLIENT_BASE;
 use bytes::Bytes;
 use recraft_kv::KvCmd;
 use recraft_net::frame::{read_frame, write_frame};
 use recraft_net::{Envelope, Message};
 use recraft_types::{
-    ClientOp, ClientOutcome, ClientRequest, ClientResponse, Error, NodeId, SessionId,
+    ClientOp, ClientOutcome, ClientRequest, ClientResponse, ClusterId, Error, NodeId, SessionId,
 };
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -50,6 +76,9 @@ pub struct ClientOptions {
     /// a second fleet run against the same cluster use fresh sessions
     /// instead of colliding with the first run's sequence numbers.
     pub session_base: u64,
+    /// Directory-served routing: when set, clients route each write through
+    /// the shared fleet view instead of rotating blindly.
+    pub view: Option<Arc<FleetView>>,
 }
 
 impl Default for ClientOptions {
@@ -62,6 +91,7 @@ impl Default for ClientOptions {
             read_timeout: Duration::from_millis(1000),
             deadline: Duration::from_secs(120),
             session_base: 0,
+            view: None,
         }
     }
 }
@@ -80,6 +110,9 @@ pub struct ClientReport {
     pub duplicates: u64,
     /// Redirect outcomes followed.
     pub redirects: u64,
+    /// `WrongRange` rejections — each one is a stale route the client
+    /// recovered from by re-routing through the directory.
+    pub wrong_range: u64,
     /// Connections dialed (including the first).
     pub connects: u64,
     /// Whether every operation was confirmed before the deadline.
@@ -118,8 +151,20 @@ struct OpenLoopClient {
     idx: u64,
     me: NodeId,
     session: SessionId,
+    /// Launch-time address list — the blind-rotation target set, and the
+    /// routed mode's fallback while the directory is still empty.
     nodes: Vec<(NodeId, SocketAddr)>,
     target: usize,
+    /// The node the current connection was dialed to.
+    dest: Option<NodeId>,
+    /// The directory cluster the current window is addressed to (routed
+    /// mode; `None` while falling back to blind rotation).
+    window_cluster: Option<ClusterId>,
+    /// A cluster that answered `WrongRange` for the oldest pending write:
+    /// do not re-send there until the directory moves the key elsewhere.
+    avoid: Option<ClusterId>,
+    /// Leader hint from the last `Redirect`/`NotLeader` answer.
+    prefer: Option<NodeId>,
     stream: Option<TcpStream>,
     /// The retry window: every unconfirmed request, keyed by seq.
     pending: BTreeMap<u64, ClientRequest>,
@@ -130,13 +175,17 @@ struct OpenLoopClient {
 
 impl OpenLoopClient {
     fn new(idx: u64, nodes: Vec<(NodeId, SocketAddr)>, opts: ClientOptions) -> Self {
-        let target = (idx as usize) % nodes.len();
+        let target = (idx as usize) % nodes.len().max(1);
         OpenLoopClient {
             idx,
             me: NodeId(CLIENT_BASE + opts.session_base + idx),
             session: SessionId(opts.session_base + idx),
             nodes,
             target,
+            dest: None,
+            window_cluster: None,
+            avoid: None,
+            prefer: None,
             stream: None,
             pending: BTreeMap::new(),
             next_seq: 1,
@@ -164,16 +213,73 @@ impl OpenLoopClient {
         self.report
     }
 
-    /// Dials the current target and replays the whole pending window in
+    /// The key the client must make progress on next: the oldest pending
+    /// write's, or the next fresh sequence number's.
+    fn frontier_key(&self) -> Vec<u8> {
+        match self.pending.values().next() {
+            Some(req) => match &req.op {
+                ClientOp::Command { key, .. } | ClientOp::Get { key } => key.clone(),
+            },
+            None => self.key_for(self.next_seq),
+        }
+    }
+
+    /// Picks the destination for a new connection. In routed mode the
+    /// frontier key is resolved through the directory; a key still mapped
+    /// to the cluster that just said `WrongRange` means the directory has
+    /// not caught up — wait rather than re-send there.
+    fn pick_dest(&mut self) -> Option<(NodeId, SocketAddr)> {
+        let Some(view) = self.opts.view.clone() else {
+            return self.blind_pick();
+        };
+        match view.route(&self.frontier_key()) {
+            Some((cluster, _)) if Some(cluster) == self.avoid => {
+                // Stale route: the rejecting cluster still claims the key.
+                thread::sleep(Duration::from_millis(5));
+                None
+            }
+            Some((cluster, members)) => {
+                self.window_cluster = Some(cluster);
+                self.avoid = None;
+                let chosen = self
+                    .prefer
+                    .and_then(|p| members.iter().find(|(n, _)| *n == p).copied())
+                    .unwrap_or_else(|| members[self.target % members.len()]);
+                Some(chosen)
+            }
+            None => {
+                // Directory not populated yet (or the members' addresses
+                // are all withdrawn): fall back to blind rotation.
+                self.window_cluster = None;
+                self.blind_pick()
+            }
+        }
+    }
+
+    /// Launch-list targeting: the hinted leader when one is known, else the
+    /// rotation cursor.
+    fn blind_pick(&self) -> Option<(NodeId, SocketAddr)> {
+        if let Some(p) = self.prefer {
+            if let Some(hit) = self.nodes.iter().find(|(n, _)| *n == p) {
+                return Some(*hit);
+            }
+        }
+        (!self.nodes.is_empty()).then(|| self.nodes[self.target % self.nodes.len()])
+    }
+
+    /// Dials the picked destination and replays the whole pending window in
     /// ascending sequence order (the monotonicity invariant the
     /// `SessionStale` inference rests on).
     fn connect_and_resend(&mut self) -> bool {
-        let (nid, addr) = self.nodes[self.target];
+        let Some((nid, addr)) = self.pick_dest() else {
+            return false;
+        };
         match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
             Ok(s) => {
                 let _ = s.set_nodelay(true);
                 let _ = s.set_read_timeout(Some(self.opts.read_timeout));
                 self.stream = Some(s);
+                self.dest = Some(nid);
                 self.report.connects += 1;
                 let window: Vec<ClientRequest> = self.pending.values().cloned().collect();
                 for req in window {
@@ -207,14 +313,15 @@ impl OpenLoopClient {
     }
 
     fn rotate(&mut self) {
-        self.target = (self.target + 1) % self.nodes.len();
+        self.target = self.target.wrapping_add(1);
+        self.prefer = None;
     }
 
     /// Points the next connection at the hinted leader (or the next node
     /// round-robin when the cluster has no leader to hint at).
     fn retarget(&mut self, hint: Option<NodeId>) {
-        match hint.and_then(|h| self.nodes.iter().position(|(n, _)| *n == h)) {
-            Some(i) => self.target = i,
+        match hint {
+            Some(h) => self.prefer = Some(h),
             None => {
                 self.rotate();
                 // No leader known — likely an election; back off briefly.
@@ -224,29 +331,48 @@ impl OpenLoopClient {
         self.stream = None;
     }
 
-    /// Issues fresh writes until the in-flight window is full.
+    /// Issues fresh writes until the in-flight window is full. Routed
+    /// windows stay cluster-homogeneous: filling stops at the first key the
+    /// directory maps to a different cluster than the connection serves —
+    /// that boundary starts the next window once this one drains.
     fn fill_window(&mut self) {
         while self.stream.is_some()
             && self.pending.len() < self.opts.window.max(1)
             && self.next_seq <= self.opts.ops
         {
             let seq = self.next_seq;
+            if let (Some(view), Some(cluster)) = (self.opts.view.as_ref(), self.window_cluster) {
+                if view.route(&self.key_for(seq)).map(|(c, _)| c) != Some(cluster) {
+                    if self.pending.is_empty() {
+                        // Nothing in flight here and the next key lives
+                        // elsewhere: move the connection, not the key.
+                        self.stream = None;
+                    }
+                    break;
+                }
+            }
             self.next_seq += 1;
             let req = self.make_req(seq);
             self.pending.insert(seq, req.clone());
-            let to = self.nodes[self.target].0;
+            let to = self
+                .dest
+                .unwrap_or_else(|| self.nodes[self.target % self.nodes.len()].0);
             if !self.send(to, req) {
                 break;
             }
         }
     }
 
-    fn make_req(&self, seq: u64) -> ClientRequest {
+    fn key_for(&self, seq: u64) -> Vec<u8> {
         let mix = self
             .idx
             .wrapping_mul(0x9E37_79B9)
             .wrapping_add(seq.wrapping_mul(0x85EB_CA6B));
-        let key = format!("k{:08}", mix % self.opts.key_count).into_bytes();
+        format!("k{:08}", mix % self.opts.key_count).into_bytes()
+    }
+
+    fn make_req(&self, seq: u64) -> ClientRequest {
+        let key = self.key_for(seq);
         // Unique values make post-run spot checks exact.
         let mut value = format!("c{}-s{}-", self.idx, seq).into_bytes();
         value.resize(self.opts.value_size.max(value.len()), b'x');
@@ -315,13 +441,23 @@ impl OpenLoopClient {
                         self.report.redirects += 1;
                         self.retarget(hint);
                     }
+                    Error::WrongRange(_) => {
+                        // The route was stale: park the window (the write
+                        // stays pending, nothing new is issued) and refuse
+                        // to re-send to this cluster until the directory
+                        // moves the key somewhere else.
+                        self.report.wrong_range += 1;
+                        self.avoid = self.window_cluster.take();
+                        self.prefer = None;
+                        self.stream = None;
+                    }
                     _ => {
                         // Transient (e.g. the proposal was dropped at a
-                        // leader change): retry under the same (session,
-                        // seq) on the current connection.
-                        let req = self.pending[&seq].clone();
-                        let to = self.nodes[self.target].0;
-                        let _ = self.send(to, req);
+                        // leader change): drop the connection so the whole
+                        // window is resent in ascending order — re-sending
+                        // just this seq out of order would break the
+                        // monotonicity the SessionStale inference needs.
+                        self.stream = None;
                     }
                 }
             }

@@ -1,0 +1,321 @@
+//! The live control plane: a long-lived controller thread closing the
+//! autonomy loop over real sockets.
+//!
+//! The deterministic simulator drives the sans-io [`Controller`] from a
+//! virtual clock with direct access to node state. This module drives the
+//! *same* controller against a running [`Cluster`] the way a production
+//! deployment would, with zero hand-fed samples:
+//!
+//! 1. **Sample** — every interval, poll each live node's `StatsReq` admin
+//!    query over TCP and distill the answers through
+//!    [`recraft_fleet::SampleBook`] (witness per cluster, op-counter
+//!    deltas);
+//! 2. **Publish** — sync the observed cluster → range/member records into
+//!    the shared [`ShardDirectory`] that routed clients read
+//!    ([`FleetView`]);
+//! 3. **Plan** — feed the samples to [`Controller::plan`] on the wall
+//!    clock;
+//! 4. **Execute** — staff via [`Cluster::spawn_joiner`] + `AddAndResize`,
+//!    and deliver splits/merges to the target cluster's live leader through
+//!    [`AdminClient::run_on_leader`] with a bounded deadline.
+//!
+//! The controller is restart-tolerant by construction — its only ground
+//! truth is what the fleet reports — so the plane survives node kills,
+//! restarts, and partitions mid-campaign: a sample round simply sees fewer
+//! reporters, and command delivery fails over to whoever leads now.
+
+use crate::admin::AdminClient;
+use crate::driver::FleetNet;
+use crate::harness::Cluster;
+use recraft_fleet::{Controller, FleetCmd, FleetConfig, SampleBook, ShardDirectory};
+use recraft_net::{AdminCmd, NodeStats};
+use recraft_types::{ClusterId, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// The shared, loosely-consistent fleet view: the [`ShardDirectory`] the
+/// control plane publishes each sampling round, plus the live address map
+/// to resolve its member sets against. Routed clients read it lock-free of
+/// the controller's cadence — they may be arbitrarily stale and recover via
+/// the protocol's own `Redirect`/`WrongRange` answers.
+pub struct FleetView {
+    dir: RwLock<ShardDirectory>,
+    net: Arc<FleetNet>,
+}
+
+impl std::fmt::Debug for FleetView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dir = self.dir.read().expect("directory lock");
+        f.debug_struct("FleetView")
+            .field("version", &dir.version())
+            .field("clusters", &dir.len())
+            .finish()
+    }
+}
+
+impl FleetView {
+    /// An empty view over `net`; the directory fills on the control plane's
+    /// first sampling round.
+    #[must_use]
+    pub fn new(net: Arc<FleetNet>) -> Arc<FleetView> {
+        Arc::new(FleetView {
+            dir: RwLock::new(ShardDirectory::default()),
+            net,
+        })
+    }
+
+    /// The directory's change counter.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.dir.read().expect("directory lock").version()
+    }
+
+    /// The cluster serving `key` and its members' current addresses, or
+    /// `None` while the directory has no record covering the key.
+    #[must_use]
+    pub fn route(&self, key: &[u8]) -> Option<(ClusterId, Vec<(NodeId, SocketAddr)>)> {
+        let dir = self.dir.read().expect("directory lock");
+        let (cluster, members) = dir.lookup(key)?;
+        let addrs: Vec<(NodeId, SocketAddr)> = members
+            .iter()
+            .filter_map(|m| self.net.addr_of(*m).map(|a| (*m, a)))
+            .collect();
+        (!addrs.is_empty()).then_some((cluster, addrs))
+    }
+
+    /// Replaces the directory contents with one observation round.
+    pub fn publish(
+        &self,
+        records: impl IntoIterator<Item = (ClusterId, recraft_types::RangeSet, BTreeSet<NodeId>)>,
+    ) {
+        self.dir.write().expect("directory lock").sync(records);
+    }
+
+    /// Runs `f` under the directory read lock (snapshot inspection).
+    pub fn with_directory<T>(&self, f: impl FnOnce(&ShardDirectory) -> T) -> T {
+        f(&self.dir.read().expect("directory lock"))
+    }
+}
+
+/// Knobs for one control plane.
+#[derive(Debug, Clone)]
+pub struct ControlOptions {
+    /// Controller thresholds and limits.
+    pub fleet: FleetConfig,
+    /// Wall-clock sampling/planning cadence.
+    pub interval: Duration,
+    /// Per-command delivery deadline ([`AdminClient::run_on_leader`]).
+    pub cmd_deadline: Duration,
+    /// Seed for the controller's cluster-id allocator; must be above every
+    /// id the fleet already uses.
+    pub next_cluster: u64,
+}
+
+impl Default for ControlOptions {
+    fn default() -> Self {
+        ControlOptions {
+            fleet: FleetConfig::default(),
+            interval: Duration::from_millis(200),
+            cmd_deadline: Duration::from_secs(10),
+            next_cluster: 2,
+        }
+    }
+}
+
+/// What the control plane did over its lifetime.
+#[derive(Debug, Default, Clone)]
+pub struct ControlReport {
+    /// Sampling/planning rounds completed.
+    pub rounds: u64,
+    /// `(splits, merges, staffings)` the controller planned.
+    pub planned: (u64, u64, u64),
+    /// Commands delivered and accepted by a leader.
+    pub delivered: u64,
+    /// Command deliveries that failed their deadline (the controller's
+    /// stall tracking reclaims the slot; the fleet stays consistent).
+    pub failed: u64,
+    /// Human-readable event log, in order.
+    pub events: Vec<String>,
+}
+
+/// A running control plane thread. Stop it with [`ControlPlane::stop`] to
+/// collect the report; dropping without stopping detaches the thread until
+/// the `Cluster` it samples shuts down (sampling then just fails quietly).
+pub struct ControlPlane {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<ControlReport>>,
+}
+
+impl ControlPlane {
+    /// Spawns the controller thread over `cluster`, publishing observations
+    /// into `view` every round.
+    ///
+    /// # Panics
+    /// Panics if the thread cannot be spawned.
+    #[must_use]
+    pub fn spawn(
+        cluster: Arc<Cluster>,
+        view: Arc<FleetView>,
+        opts: ControlOptions,
+    ) -> ControlPlane {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = thread::Builder::new()
+            .name("recraft-control".into())
+            .spawn(move || run_control(&cluster, &view, &opts, &flag))
+            .expect("spawn control plane");
+        ControlPlane {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Signals the thread and joins it, returning what it did.
+    ///
+    /// # Panics
+    /// Panics if the control thread itself panicked.
+    #[must_use]
+    pub fn stop(mut self) -> ControlReport {
+        self.stop.store(true, Ordering::Relaxed);
+        self.thread
+            .take()
+            .expect("control joined once")
+            .join()
+            .expect("control plane thread panicked")
+    }
+}
+
+impl Drop for ControlPlane {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Detach: the thread exits at its next stop-flag check.
+    }
+}
+
+/// The control loop body: sample → publish → plan → execute, every
+/// `opts.interval`, until stopped.
+fn run_control(
+    cluster: &Cluster,
+    view: &FleetView,
+    opts: &ControlOptions,
+    stop: &AtomicBool,
+) -> ControlReport {
+    let start = Instant::now();
+    let mut admin = AdminClient::new(0);
+    let mut book = SampleBook::new();
+    let mut ctl = Controller::new(opts.fleet.clone(), opts.next_cluster);
+    let mut report = ControlReport::default();
+    while !stop.load(Ordering::Relaxed) {
+        let round_began = Instant::now();
+
+        // 1. Sample every live node over the admin channel.
+        let mut reports: Vec<(NodeId, NodeStats)> = Vec::new();
+        for (id, addr) in cluster.addrs() {
+            if let Some(stats) = admin.fetch_stats(addr, id) {
+                reports.push((id, stats));
+            }
+        }
+        let samples = book.build(&reports);
+
+        // 2. Publish what this round observed to the routed clients.
+        view.publish(
+            samples
+                .iter()
+                .map(|s| (s.cluster, s.ranges.clone(), s.members.clone())),
+        );
+
+        // 3. Plan on the wall clock.
+        let now_us = start.elapsed().as_micros() as u64;
+        let cmds = ctl.plan(now_us, &samples);
+
+        // 4. Execute. Member addresses come from the same samples the plan
+        // was built on — the controller acts only on what it observed.
+        let members_of = |c: ClusterId| -> BTreeMap<NodeId, SocketAddr> {
+            samples
+                .iter()
+                .find(|s| s.cluster == c)
+                .map(|s| {
+                    s.members
+                        .iter()
+                        .filter_map(|m| cluster.net().addr_of(*m).map(|a| (*m, a)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        for cmd in cmds {
+            match cmd {
+                FleetCmd::Staff {
+                    cluster: target,
+                    add,
+                } => {
+                    let joining: BTreeSet<NodeId> =
+                        (0..add).map(|_| cluster.spawn_joiner(target)).collect();
+                    report.events.push(format!(
+                        "t={}ms staff {target:?} += {joining:?}",
+                        round_began.duration_since(start).as_millis()
+                    ));
+                    deliver(
+                        &mut admin,
+                        &members_of(target),
+                        &AdminCmd::AddAndResize(joining),
+                        opts.cmd_deadline,
+                        &mut report,
+                    );
+                }
+                FleetCmd::Admin {
+                    cluster: target,
+                    cmd,
+                } => {
+                    report.events.push(format!(
+                        "t={}ms {} -> {target:?}",
+                        round_began.duration_since(start).as_millis(),
+                        cmd.kind()
+                    ));
+                    deliver(
+                        &mut admin,
+                        &members_of(target),
+                        &cmd,
+                        opts.cmd_deadline,
+                        &mut report,
+                    );
+                }
+            }
+        }
+        report.rounds += 1;
+        report.planned = ctl.planned();
+
+        // Sleep out the interval in stop-checkable slices.
+        while round_began.elapsed() < opts.interval && !stop.load(Ordering::Relaxed) {
+            thread::sleep(Duration::from_millis(5).min(opts.interval));
+        }
+    }
+    report
+}
+
+fn deliver(
+    admin: &mut AdminClient,
+    candidates: &BTreeMap<NodeId, SocketAddr>,
+    cmd: &AdminCmd,
+    deadline: Duration,
+    report: &mut ControlReport,
+) {
+    match admin.run_on_leader(candidates, cmd, deadline) {
+        Ok(by) => {
+            report.delivered += 1;
+            report
+                .events
+                .push(format!("  {} accepted by node {}", cmd.kind(), by.0));
+        }
+        Err(e) => {
+            report.failed += 1;
+            report.events.push(format!(
+                "  {} failed: {e} (stall tracking reclaims the slot)",
+                cmd.kind()
+            ));
+        }
+    }
+}

@@ -28,12 +28,12 @@ use recraft_net::frame::{read_frame, write_frame};
 use recraft_net::Envelope;
 use recraft_storage::LogStore;
 use recraft_types::NodeId;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,104 @@ pub type HarnessNode = Node<KvMachine, HarnessStore>;
 /// How long a peer connection stays down after a failed dial or write
 /// before the driver tries again (µs on the driver clock).
 const RECONNECT_BACKOFF_US: u64 = 50_000;
+
+/// The fleet's shared connectivity state: the live node-id → listen-address
+/// map, plus the fault-injection block list.
+///
+/// Drivers resolve every outbound peer address through this map at send
+/// time, so the topology can change under a running fleet: a joiner
+/// [`register`](FleetNet::register)s before its driver starts, a killed
+/// node [`deregister`](FleetNet::deregister)s (sends to it are dropped —
+/// Raft retransmits), and a restarted node re-registers on a *new* port,
+/// which peers pick up on their next send without any driver restart.
+///
+/// The block list models severed links: a blocked pair's traffic is dropped
+/// in both directions — outbound before dialing, inbound before stepping —
+/// while client and admin connections (ids at or above [`CLIENT_BASE`])
+/// always pass. That is a network-level partition, not a process fault: the
+/// node keeps running and keeps answering its own admin plane.
+#[derive(Debug, Default)]
+pub struct FleetNet {
+    addrs: RwLock<BTreeMap<NodeId, SocketAddr>>,
+    blocked: RwLock<BTreeSet<(NodeId, NodeId)>>,
+    /// Fast-path flag so the per-envelope block check is one relaxed load
+    /// while no partition is injected.
+    any_blocked: AtomicBool,
+}
+
+/// Normalizes an unordered node pair for the block set.
+fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl FleetNet {
+    /// An empty map with no blocks.
+    #[must_use]
+    pub fn new() -> Arc<FleetNet> {
+        Arc::new(FleetNet::default())
+    }
+
+    /// Publishes (or moves) a node's listen address.
+    pub fn register(&self, id: NodeId, addr: SocketAddr) {
+        self.addrs.write().expect("addr map lock").insert(id, addr);
+    }
+
+    /// Withdraws a node's address; subsequent sends to it are dropped.
+    pub fn deregister(&self, id: NodeId) {
+        self.addrs.write().expect("addr map lock").remove(&id);
+    }
+
+    /// The node's current listen address, if it is up.
+    #[must_use]
+    pub fn addr_of(&self, id: NodeId) -> Option<SocketAddr> {
+        self.addrs.read().expect("addr map lock").get(&id).copied()
+    }
+
+    /// A snapshot of every live node's address.
+    #[must_use]
+    pub fn snapshot(&self) -> BTreeMap<NodeId, SocketAddr> {
+        self.addrs.read().expect("addr map lock").clone()
+    }
+
+    /// Severs the link between `a` and `b` (both directions).
+    pub fn block(&self, a: NodeId, b: NodeId) {
+        self.blocked
+            .write()
+            .expect("block set lock")
+            .insert(pair(a, b));
+        self.any_blocked.store(true, Ordering::Release);
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn unblock(&self, a: NodeId, b: NodeId) {
+        let mut set = self.blocked.write().expect("block set lock");
+        set.remove(&pair(a, b));
+        self.any_blocked.store(!set.is_empty(), Ordering::Release);
+    }
+
+    /// Heals every severed link.
+    pub fn unblock_all(&self) {
+        self.blocked.write().expect("block set lock").clear();
+        self.any_blocked.store(false, Ordering::Release);
+    }
+
+    /// Whether peer traffic between `a` and `b` is currently dropped.
+    /// Client and admin endpoints are never blocked.
+    #[must_use]
+    pub fn is_blocked(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.any_blocked.load(Ordering::Acquire) || a.0 >= CLIENT_BASE || b.0 >= CLIENT_BASE {
+            return false;
+        }
+        self.blocked
+            .read()
+            .expect("block set lock")
+            .contains(&pair(a, b))
+    }
+}
 
 /// How many backlogged events one driver round drains behind the first:
 /// everything drained in a round shares one `take_outputs` barrier, so this
@@ -124,18 +222,14 @@ impl NodeHandle {
 
 /// Spawns the driver, acceptor, and reader threads for one node.
 ///
-/// `peer_addrs` maps every cluster member (including this node, which is
-/// skipped) to its listen address. The listener must already be bound so
-/// that peers spawned earlier can dial this node immediately.
+/// `net` is the fleet-wide address map the driver resolves peers through at
+/// send time; this node's own listener should already be registered there
+/// so that peers spawned earlier can dial it immediately.
 ///
 /// # Panics
 /// Panics if thread spawning or listener configuration fails.
 #[must_use]
-pub fn spawn_node(
-    node: HarnessNode,
-    listener: TcpListener,
-    peer_addrs: BTreeMap<NodeId, SocketAddr>,
-) -> NodeHandle {
+pub fn spawn_node(node: HarnessNode, listener: TcpListener, net: Arc<FleetNet>) -> NodeHandle {
     let id = node.id();
     let addr = listener.local_addr().expect("listener local addr");
     let (tx, rx) = channel();
@@ -154,7 +248,7 @@ pub fn spawn_node(
         let status = Arc::clone(&status);
         thread::Builder::new()
             .name(format!("recraft-node-{}", id.0))
-            .spawn(move || drive(node, &rx, peer_addrs, &clients, &status))
+            .spawn(move || drive(node, &rx, &net, &clients, &status))
             .expect("spawn node driver")
     };
     NodeHandle {
@@ -173,27 +267,30 @@ pub fn spawn_node(
 fn drive(
     mut node: HarnessNode,
     rx: &Receiver<DriverMsg>,
-    peer_addrs: BTreeMap<NodeId, SocketAddr>,
+    net: &FleetNet,
     clients: &Mutex<HashMap<NodeId, TcpStream>>,
     status: &NodeStatus,
 ) -> HarnessNode {
     let start = Instant::now();
-    let mut peers: HashMap<NodeId, PeerConn> = peer_addrs
-        .into_iter()
-        .filter(|(pid, _)| *pid != node.id())
-        .map(|(pid, a)| (pid, PeerConn::new(a)))
-        .collect();
+    let me = node.id();
+    // Peer connections materialize on first send: the fleet can grow
+    // (joiners) and move (restarts on new ports) under a running driver.
+    let mut peers: HashMap<NodeId, PeerConn> = HashMap::new();
     let mut shutdown = false;
     while !shutdown {
         match rx.recv_timeout(Duration::from_millis(1)) {
             Ok(DriverMsg::In(env)) => {
-                node.step(start.elapsed().as_micros() as u64, env.from, env.msg);
+                if !net.is_blocked(me, env.from) {
+                    node.step(start.elapsed().as_micros() as u64, env.from, env.msg);
+                }
                 // Drain the backlog behind the first event so the whole
                 // burst shares the round's single storage barrier.
                 for _ in 0..DRAIN_PER_ROUND {
                     match rx.try_recv() {
                         Ok(DriverMsg::In(env)) => {
-                            node.step(start.elapsed().as_micros() as u64, env.from, env.msg);
+                            if !net.is_blocked(me, env.from) {
+                                node.step(start.elapsed().as_micros() as u64, env.from, env.msg);
+                            }
                         }
                         Ok(DriverMsg::Shutdown) => {
                             shutdown = true;
@@ -234,8 +331,15 @@ fn drive(
         for env in outbox {
             if env.to.0 >= CLIENT_BASE {
                 send_to_client(clients, &env);
-            } else if let Some(pc) = peers.get_mut(&env.to) {
-                pc.send(&env, now);
+            } else if !net.is_blocked(me, env.to) {
+                // A peer with no registered address is down (killed, or a
+                // joiner not yet listening): drop — the protocol resends.
+                if let Some(addr) = net.addr_of(env.to) {
+                    peers
+                        .entry(env.to)
+                        .or_insert_with(|| PeerConn::new(addr))
+                        .send(addr, &env, now);
+                }
             }
         }
     }
@@ -244,7 +348,8 @@ fn drive(
 
 /// One outbound peer connection: dialed lazily, dropped on write failure,
 /// redialed after a backoff. Messages sent while the peer is down are
-/// dropped — the protocol retransmits.
+/// dropped — the protocol retransmits. A peer that re-registers on a new
+/// address (restart) is redialed there on the next send.
 struct PeerConn {
     addr: SocketAddr,
     stream: Option<TcpStream>,
@@ -260,7 +365,14 @@ impl PeerConn {
         }
     }
 
-    fn send(&mut self, env: &Envelope, now: u64) {
+    fn send(&mut self, addr: SocketAddr, env: &Envelope, now: u64) {
+        if addr != self.addr {
+            // The peer moved (killed and restarted on a fresh port): the
+            // old stream, if any, leads nowhere useful.
+            self.addr = addr;
+            self.stream = None;
+            self.down_until = 0;
+        }
         if self.stream.is_none() {
             if now < self.down_until {
                 return;

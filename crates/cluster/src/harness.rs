@@ -1,10 +1,26 @@
-//! Launching, watching, and tearing down a loopback-TCP cluster.
+//! Launching, watching, faulting, and tearing down a loopback-TCP fleet.
 //!
-//! [`Cluster::launch`] binds every node's listener first, so the full
-//! address map exists before any driver starts — peers can dial each other
-//! from the first heartbeat. Elections then run on real randomized
-//! timeouts ([`recraft_core::Timing::default`]: 150–300 ms), so a fresh
-//! cluster elects within a few hundred milliseconds without any nudging.
+//! [`Cluster::launch`] binds every node's listener first and publishes the
+//! full address map (a [`FleetNet`]) before any driver starts — peers can
+//! dial each other from the first heartbeat. Elections then run on real
+//! randomized timeouts ([`recraft_core::Timing::default`]: 150–300 ms), so
+//! a fresh cluster elects within a few hundred milliseconds without any
+//! nudging.
+//!
+//! The fleet is mutable while it runs, under `&self`: a long-lived
+//! controller thread (and a test injecting faults) reshape it concurrently
+//! with client load —
+//!
+//! * [`Cluster::spawn_joiner`] boots a fresh node in joiner mode for
+//!   controller staffing (`AddAndResize`);
+//! * [`Cluster::kill`] is a process fault: the node's driver stops and its
+//!   address is withdrawn, but its WAL directory survives;
+//! * [`Cluster::restart`] reboots a killed `wal` node from that directory
+//!   via [`recraft_core::Node::reopen`] on a **new** port — peers re-resolve
+//!   it through the shared address map;
+//! * [`Cluster::sever`] / [`Cluster::heal`] / [`Cluster::isolate`] are
+//!   network faults: peer traffic on the named links is dropped in both
+//!   directions while clients and the admin plane still reach every node.
 //!
 //! [`Cluster::shutdown`] returns the actual [`HarnessNode`] values for
 //! post-run inspection; [`verify_sessions`] checks exactly-once delivery
@@ -12,15 +28,17 @@
 //! `last_seq` must equal the number of operations that client issued.
 
 use crate::clients::{run_open_loop, ClientOptions, ClientReport};
-use crate::driver::{spawn_node, HarnessNode, HarnessStore, NodeHandle};
+use crate::driver::{spawn_node, FleetNet, HarnessNode, HarnessStore, NodeHandle, NodeStatus};
 use recraft_core::{Node, Timing};
 use recraft_kv::{KvMachine, KvStore};
 use recraft_storage::{MemLog, WalLog, WalOptions};
 use recraft_types::{ClusterConfig, ClusterId, NodeId, RangeSet, SessionId};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -86,10 +104,24 @@ impl ClusterSpec {
 /// scratch-directory namespace.
 static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-/// A running cluster: one driver thread per node, all on loopback TCP.
+/// One node's slot in the fleet registry. The handle is `None` while the
+/// node is killed; the WAL directory (if any) outlives the process fault so
+/// a restart can recover from it.
+struct Slot {
+    handle: Option<NodeHandle>,
+    dir: Option<PathBuf>,
+}
+
+/// A running fleet: one driver thread per node, all on loopback TCP.
+///
+/// Every mutating operation takes `&self` — the fleet is designed to be
+/// shared (`Arc<Cluster>`) between client threads, a controller thread, and
+/// a fault injector, all reshaping it concurrently.
 pub struct Cluster {
-    handles: Vec<NodeHandle>,
-    addrs: BTreeMap<NodeId, SocketAddr>,
+    spec: ClusterSpec,
+    net: Arc<FleetNet>,
+    slots: Mutex<BTreeMap<NodeId, Slot>>,
+    next_node: AtomicU64,
     data_root: Option<PathBuf>,
 }
 
@@ -106,14 +138,14 @@ impl Cluster {
         let ids: Vec<NodeId> = (1..=spec.nodes as u64).map(NodeId).collect();
         // Bind everything first: the address map must be complete before
         // the first driver sends its first message.
+        let net = FleetNet::new();
         let listeners: Vec<TcpListener> = ids
             .iter()
-            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback listener"))
-            .collect();
-        let addrs: BTreeMap<NodeId, SocketAddr> = ids
-            .iter()
-            .zip(&listeners)
-            .map(|(id, l)| (*id, l.local_addr().expect("listener addr")))
+            .map(|id| {
+                let l = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+                net.register(*id, l.local_addr().expect("listener addr"));
+                l
+            })
             .collect();
         let data_root = match spec.backend {
             HarnessBackend::Mem => None,
@@ -128,81 +160,246 @@ impl Cluster {
         };
         let config = ClusterConfig::new(ClusterId(1), ids.iter().copied(), RangeSet::full())
             .expect("bootstrap config");
-        let handles = ids
-            .iter()
-            .copied()
-            .zip(listeners)
-            .map(|(id, listener)| {
-                let store: HarnessStore = match &data_root {
-                    None => Box::new(MemLog::new()),
-                    Some(root) => Box::new(
-                        WalLog::open_with(
-                            root.join(format!("node-{}", id.0)),
-                            WalOptions {
-                                fsync: spec.fsync,
-                                segment_bytes: 8 * 1024 * 1024,
-                            },
-                        )
-                        .expect("open node wal"),
-                    ),
-                };
-                let seed = 0xC1A5 ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                let node: HarnessNode = Node::with_store(
-                    id,
-                    config.clone(),
-                    KvMachine::Mem(KvStore::new()),
-                    store,
-                    spec.timing,
-                    seed,
-                );
-                spawn_node(node, listener, addrs.clone())
-            })
-            .collect();
-        Cluster {
-            handles,
-            addrs,
+        let cluster = Cluster {
+            spec: spec.clone(),
+            net: Arc::clone(&net),
+            slots: Mutex::new(BTreeMap::new()),
+            next_node: AtomicU64::new(spec.nodes as u64 + 1),
             data_root,
+        };
+        let mut slots = cluster.slots.lock().expect("slot registry lock");
+        for (id, listener) in ids.iter().copied().zip(listeners) {
+            let dir = cluster
+                .data_root
+                .as_ref()
+                .map(|root| root.join(format!("node-{}", id.0)));
+            let store = cluster.open_store(dir.as_deref());
+            let node: HarnessNode = Node::with_store(
+                id,
+                config.clone(),
+                KvMachine::Mem(KvStore::new()),
+                store,
+                spec.timing,
+                harness_seed(id),
+            );
+            let handle = spawn_node(node, listener, Arc::clone(&net));
+            slots.insert(
+                id,
+                Slot {
+                    handle: Some(handle),
+                    dir,
+                },
+            );
+        }
+        drop(slots);
+        cluster
+    }
+
+    fn open_store(&self, dir: Option<&std::path::Path>) -> HarnessStore {
+        match dir {
+            None => Box::new(MemLog::new()),
+            Some(dir) => Box::new(
+                WalLog::open_with(
+                    dir,
+                    WalOptions {
+                        fsync: self.spec.fsync,
+                        segment_bytes: 8 * 1024 * 1024,
+                    },
+                )
+                .expect("open node wal"),
+            ),
         }
     }
 
-    /// The node-id → listen-address map, for client drivers.
+    /// A snapshot of the live node-id → listen-address map, for client
+    /// drivers. Killed nodes are absent; restarted ones appear on their new
+    /// port.
     #[must_use]
-    pub fn addrs(&self) -> &BTreeMap<NodeId, SocketAddr> {
-        &self.addrs
+    pub fn addrs(&self) -> BTreeMap<NodeId, SocketAddr> {
+        self.net.snapshot()
     }
 
-    /// The cluster id each node currently reports (from driver status).
-    /// After a split completes, this partitions the nodes into the
+    /// The shared connectivity state (address map + block list) — what the
+    /// control plane's router resolves member addresses through.
+    #[must_use]
+    pub fn net(&self) -> Arc<FleetNet> {
+        Arc::clone(&self.net)
+    }
+
+    /// Runs `f` over the live nodes' `(id, status)` pairs.
+    fn with_statuses<T>(
+        &self,
+        f: impl FnOnce(&mut dyn Iterator<Item = (NodeId, &NodeStatus)>) -> T,
+    ) -> T {
+        let slots = self.slots.lock().expect("slot registry lock");
+        let mut iter = slots
+            .iter()
+            .filter_map(|(id, s)| s.handle.as_ref().map(|h| (*id, &*h.status)));
+        f(&mut iter)
+    }
+
+    /// Boots a fresh node in joiner mode aimed at `target` and starts its
+    /// driver. The node idles (persisting only its identity) until the
+    /// target cluster's leader commits an `AddAndResize` naming it, then
+    /// pulls a snapshot and joins. Returns the allocated node id.
+    ///
+    /// # Panics
+    /// Panics on listener/bind or WAL-open failure.
+    pub fn spawn_joiner(&self, target: ClusterId) -> NodeId {
+        let id = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind joiner listener");
+        let dir = self
+            .data_root
+            .as_ref()
+            .map(|root| root.join(format!("node-{}", id.0)));
+        let store = self.open_store(dir.as_deref());
+        let node: HarnessNode = Node::joiner_with_store(
+            id,
+            Some(target),
+            KvMachine::Mem(KvStore::new()),
+            store,
+            self.spec.timing,
+            harness_seed(id),
+        );
+        // Publish the address before the driver starts: the target leader
+        // may heartbeat the joiner the moment the AddAndResize commits.
+        self.net
+            .register(id, listener.local_addr().expect("listener addr"));
+        let handle = spawn_node(node, listener, Arc::clone(&self.net));
+        self.slots.lock().expect("slot registry lock").insert(
+            id,
+            Slot {
+                handle: Some(handle),
+                dir,
+            },
+        );
+        id
+    }
+
+    /// A process fault: stops `id`'s driver and withdraws its address. The
+    /// node's WAL directory (if any) is kept for [`Cluster::restart`].
+    /// Returns whether the node was alive.
+    pub fn kill(&self, id: NodeId) -> bool {
+        let handle = {
+            let mut slots = self.slots.lock().expect("slot registry lock");
+            slots.get_mut(&id).and_then(|s| s.handle.take())
+        };
+        match handle {
+            Some(h) => {
+                self.net.deregister(id);
+                let _ = h.shutdown(); // drop the in-memory node: that is the fault
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reboots a killed node from its surviving WAL directory — the
+    /// real-recovery path ([`recraft_core::Node::reopen`]): hard state,
+    /// snapshot, and log prefix come back from disk. The node listens on a
+    /// **new** port; peers re-resolve it through the shared address map.
+    ///
+    /// # Panics
+    /// Panics if the node is still running, was never launched, or runs the
+    /// `mem` backend (nothing survives a process fault there).
+    pub fn restart(&self, id: NodeId) {
+        let dir = {
+            let slots = self.slots.lock().expect("slot registry lock");
+            let slot = slots.get(&id).expect("restart of an unknown node");
+            assert!(slot.handle.is_none(), "restart of a running node");
+            slot.dir.clone().expect("restart needs the wal backend")
+        };
+        let store = self.open_store(Some(&dir));
+        let node: HarnessNode = Node::reopen(
+            id,
+            store,
+            KvMachine::Mem(KvStore::new()),
+            self.spec.timing,
+            // A different seed than the first boot: a rebooted process
+            // draws fresh election jitter.
+            harness_seed(id) ^ 0x5EED_B007,
+        )
+        .expect("reopen killed node from its wal");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind restart listener");
+        self.net
+            .register(id, listener.local_addr().expect("listener addr"));
+        let handle = spawn_node(node, listener, Arc::clone(&self.net));
+        self.slots
+            .lock()
+            .expect("slot registry lock")
+            .get_mut(&id)
+            .expect("slot exists")
+            .handle = Some(handle);
+    }
+
+    /// Severs the peer link between `a` and `b` in both directions. Client
+    /// and admin traffic still reaches both nodes.
+    pub fn sever(&self, a: NodeId, b: NodeId) {
+        self.net.block(a, b);
+    }
+
+    /// Restores the peer link between `a` and `b`.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        self.net.unblock(a, b);
+    }
+
+    /// Severs `id` from every other live node — a full network partition of
+    /// one node (it still answers clients and admin queries, so its stats
+    /// remain observable).
+    pub fn isolate(&self, id: NodeId) {
+        let others: Vec<NodeId> = self.addrs().keys().copied().filter(|n| *n != id).collect();
+        for other in others {
+            self.net.block(id, other);
+        }
+    }
+
+    /// Heals every severed link.
+    pub fn heal_all(&self) {
+        self.net.unblock_all();
+    }
+
+    /// The cluster id each live node currently reports (from driver
+    /// status). After a split completes, this partitions the nodes into the
     /// subclusters; after a merge, it converges on the merged cluster's id.
     #[must_use]
     pub fn node_clusters(&self) -> BTreeMap<NodeId, ClusterId> {
-        self.handles
-            .iter()
-            .map(|h| (h.id, ClusterId(h.status.cluster.load(Ordering::Relaxed))))
-            .collect()
+        self.with_statuses(|it| {
+            it.map(|(id, s)| (id, ClusterId(s.cluster.load(Ordering::Relaxed))))
+                .collect()
+        })
     }
 
-    /// The addresses of the nodes currently reporting membership of
+    /// The addresses of the live nodes currently reporting membership of
     /// `cluster` — admin-command candidates for that cluster's leader.
     #[must_use]
     pub fn members_of(&self, cluster: ClusterId) -> BTreeMap<NodeId, SocketAddr> {
-        self.handles
-            .iter()
-            .filter(|h| h.status.cluster.load(Ordering::Relaxed) == cluster.0)
-            .map(|h| (h.id, h.addr))
+        let members: Vec<NodeId> = self.with_statuses(|it| {
+            it.filter(|(_, s)| s.cluster.load(Ordering::Relaxed) == cluster.0)
+                .map(|(id, _)| id)
+                .collect()
+        });
+        members
+            .into_iter()
+            .filter_map(|id| self.net.addr_of(id).map(|a| (id, a)))
             .collect()
     }
 
-    /// Polls until some node reports leadership of `cluster`.
+    /// Polls until some live node reports leadership of `cluster`.
     pub fn wait_for_leader_of(&self, cluster: ClusterId, timeout: Duration) -> Option<NodeId> {
         let deadline = Instant::now() + timeout;
         loop {
-            for h in &self.handles {
-                if h.status.cluster.load(Ordering::Relaxed) == cluster.0
-                    && h.status.is_leader.load(Ordering::Relaxed)
-                {
-                    return Some(h.id);
+            let leader = self.with_statuses(|it| {
+                for (id, s) in it {
+                    if s.cluster.load(Ordering::Relaxed) == cluster.0
+                        && s.is_leader.load(Ordering::Relaxed)
+                    {
+                        return Some(id);
+                    }
                 }
+                None
+            });
+            if leader.is_some() {
+                return leader;
             }
             if Instant::now() >= deadline {
                 return None;
@@ -211,21 +408,23 @@ impl Cluster {
         }
     }
 
-    /// Polls until every node reports one of `want` as its cluster and each
-    /// member of `want` has a leader, or the timeout elapses. Returns
+    /// Polls until every live node reports one of `want` as its cluster and
+    /// each member of `want` has a leader, or the timeout elapses. Returns
     /// whether the fleet converged.
     pub fn wait_for_clusters(&self, want: &[ClusterId], timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            let placed = self.handles.iter().all(|h| {
-                want.iter()
-                    .any(|c| h.status.cluster.load(Ordering::Relaxed) == c.0)
-            });
-            let led = want.iter().all(|c| {
-                self.handles.iter().any(|h| {
-                    h.status.cluster.load(Ordering::Relaxed) == c.0
-                        && h.status.is_leader.load(Ordering::Relaxed)
-                })
+            let (placed, led) = self.with_statuses(|it| {
+                let mut placed = true;
+                let mut led: Vec<bool> = vec![false; want.len()];
+                for (_, s) in it {
+                    let c = s.cluster.load(Ordering::Relaxed);
+                    match want.iter().position(|w| w.0 == c) {
+                        Some(i) => led[i] |= s.is_leader.load(Ordering::Relaxed),
+                        None => placed = false,
+                    }
+                }
+                (placed, led.into_iter().all(|l| l))
             });
             if placed && led {
                 return true;
@@ -237,14 +436,20 @@ impl Cluster {
         }
     }
 
-    /// Polls driver status until some node reports leadership.
+    /// Polls driver status until some live node reports leadership.
     pub fn wait_for_leader(&self, timeout: Duration) -> Option<NodeId> {
         let deadline = Instant::now() + timeout;
         loop {
-            for h in &self.handles {
-                if h.status.is_leader.load(Ordering::Relaxed) {
-                    return Some(h.id);
+            let leader = self.with_statuses(|it| {
+                for (id, s) in it {
+                    if s.is_leader.load(Ordering::Relaxed) {
+                        return Some(id);
+                    }
                 }
+                None
+            });
+            if leader.is_some() {
+                return leader;
             }
             if Instant::now() >= deadline {
                 return None;
@@ -253,27 +458,63 @@ impl Cluster {
         }
     }
 
-    /// Elections won across the cluster so far (from driver status). A
+    /// Elections won across the live fleet so far (from driver status). A
     /// value above the node count's natural single election means
     /// leadership churned — on oversubscribed hosts usually scheduler
     /// starvation tripping election timeouts.
     #[must_use]
     pub fn elections(&self) -> u64 {
-        self.handles
-            .iter()
-            .map(|h| h.status.elections.load(Ordering::Relaxed))
-            .sum()
+        self.with_statuses(|it| it.map(|(_, s)| s.elections.load(Ordering::Relaxed)).sum())
     }
 
-    /// Full snapshot installs accepted across the cluster so far. Nonzero
-    /// under steady load means a follower fell behind the leader's
+    /// Full snapshot installs accepted across the live fleet so far.
+    /// Nonzero under steady load means a follower fell behind the leader's
     /// compaction horizon and had to be re-imaged.
     #[must_use]
     pub fn snapshot_installs(&self) -> u64 {
-        self.handles
-            .iter()
-            .map(|h| h.status.snapshot_installs.load(Ordering::Relaxed))
-            .sum()
+        self.with_statuses(|it| {
+            it.map(|(_, s)| s.snapshot_installs.load(Ordering::Relaxed))
+                .sum()
+        })
+    }
+
+    /// One line per known node — id, liveness, address, cluster, role, and
+    /// progress counters — for failure logs.
+    #[must_use]
+    pub fn debug_dump(&self) -> String {
+        let slots = self.slots.lock().expect("slot registry lock");
+        let mut out = String::new();
+        for (id, slot) in slots.iter() {
+            match &slot.handle {
+                Some(h) => {
+                    let s = &h.status;
+                    let _ = writeln!(
+                        out,
+                        "node {:>3} up   {} cluster={} leader={} commit={} applied={} \
+                         elections={} snap_installs={}",
+                        id.0,
+                        self.net
+                            .addr_of(*id)
+                            .map_or_else(|| "(unregistered)".to_string(), |a| a.to_string()),
+                        s.cluster.load(Ordering::Relaxed),
+                        s.is_leader.load(Ordering::Relaxed),
+                        s.commit.load(Ordering::Relaxed),
+                        s.applied.load(Ordering::Relaxed),
+                        s.elections.load(Ordering::Relaxed),
+                        s.snapshot_installs.load(Ordering::Relaxed),
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "node {:>3} DOWN wal={}",
+                        id.0,
+                        slot.dir.as_ref().map_or("none", |_| "kept")
+                    );
+                }
+            }
+        }
+        out
     }
 
     /// Runs `clients` concurrent open-loop sessions to completion and
@@ -281,30 +522,41 @@ impl Cluster {
     #[must_use]
     pub fn run_clients(&self, clients: u64, opts: &ClientOptions) -> ClientsRun {
         let start = Instant::now();
-        let reports = run_open_loop(&self.addrs, clients, opts);
+        let reports = run_open_loop(&self.addrs(), clients, opts);
         ClientsRun {
             reports,
             elapsed: start.elapsed(),
         }
     }
 
-    /// Stops every driver (each flushes a final storage barrier) and
+    /// Stops every live driver (each flushes a final storage barrier) and
     /// returns the nodes for inspection. Scratch WAL directories are
     /// removed when the `Cluster` value drops at the end of this call —
     /// the returned nodes' in-memory state (session tables, counters)
-    /// survives that.
+    /// survives that. Killed nodes are simply absent from the result.
     #[must_use]
-    pub fn shutdown(mut self) -> Vec<HarnessNode> {
-        let handles = std::mem::take(&mut self.handles);
+    pub fn shutdown(self) -> Vec<HarnessNode> {
+        let mut slots = self.slots.lock().expect("slot registry lock");
+        let handles: Vec<NodeHandle> = slots.values_mut().filter_map(|s| s.handle.take()).collect();
+        drop(slots);
         handles.into_iter().map(NodeHandle::shutdown).collect()
     }
 }
 
+/// The deterministic per-node seed the harness boots nodes with.
+fn harness_seed(id: NodeId) -> u64 {
+    0xC1A5 ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 impl Drop for Cluster {
     fn drop(&mut self) {
-        for h in std::mem::take(&mut self.handles) {
-            let _ = h.shutdown();
+        let mut slots = self.slots.lock().expect("slot registry lock");
+        for slot in slots.values_mut() {
+            if let Some(h) = slot.handle.take() {
+                let _ = h.shutdown();
+            }
         }
+        drop(slots);
         if let Some(root) = self.data_root.take() {
             let _ = std::fs::remove_dir_all(root);
         }

@@ -37,12 +37,14 @@
 
 pub mod admin;
 pub mod clients;
+pub mod control;
 pub mod driver;
 pub mod harness;
 
 pub use admin::{AdminClient, ADMIN_BASE};
 pub use clients::{run_open_loop, ClientOptions, ClientReport};
-pub use driver::{HarnessNode, HarnessStore, NodeHandle, NodeStatus};
+pub use control::{ControlOptions, ControlPlane, ControlReport, FleetView};
+pub use driver::{FleetNet, HarnessNode, HarnessStore, NodeHandle, NodeStatus};
 pub use harness::{
     verify_sessions, verify_sessions_from, ClientsRun, Cluster, ClusterSpec, HarnessBackend,
 };

@@ -103,7 +103,7 @@ fn controller_split_and_merge_over_tcp() {
 
     let mut admin = AdminClient::new(0);
     admin
-        .run_on_leader(cluster.addrs(), &split, Duration::from_secs(10))
+        .run_on_leader(&cluster.addrs(), &split, Duration::from_secs(10))
         .expect("split accepted by the leader");
 
     // Both subclusters (controller-allocated ids 2 and 3) elect and serve.

@@ -368,6 +368,12 @@ pub struct Node<SM, LS = MemLog> {
     /// half-adopted straggler can still be rescued.
     pub(crate) cluster_epoch: u32,
 
+    /// Client operations answered with a reply since this node object was
+    /// created (volatile; resets on reboot). The sampling plane reports it
+    /// cumulatively and the fleet controller differences successive samples,
+    /// so a reset only costs one understated interval.
+    pub(crate) ops_served: u64,
+
     // Outbox.
     pub(crate) outbox: Vec<Envelope>,
     pub(crate) events: Vec<NodeEvent>,
@@ -474,6 +480,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             bootstrapped: true,
             join_target: None,
             cluster_epoch: 0,
+            ops_served: 0,
             outbox: Vec::new(),
             events: Vec::new(),
             meta_dirty: false,
@@ -649,6 +656,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             bootstrapped: meta.bootstrapped,
             join_target: meta.join_target,
             cluster_epoch: meta.cluster_epoch,
+            ops_served: 0,
             outbox: Vec::new(),
             events: Vec::new(),
             meta_dirty: false,
@@ -804,6 +812,45 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
     #[must_use]
     pub fn state_machine(&self) -> &SM {
         &self.sm
+    }
+
+    /// Client operations answered with a reply since this node object was
+    /// created.
+    #[must_use]
+    pub fn ops_served(&self) -> u64 {
+        self.ops_served
+    }
+
+    /// The node's answer to a [`Message::StatsReq`]: the live-load and
+    /// placement facts the fleet controller plans from. Also callable
+    /// directly by in-process harnesses.
+    ///
+    /// A retired node (left out by a merge's resumption resize) reports an
+    /// **empty member set**, the same shape as a joiner that has not adopted
+    /// a configuration yet — samplers skip both, so a phantom of the
+    /// pre-merge cluster never lingers in controller plans or the shard
+    /// directory.
+    #[must_use]
+    pub fn stats(&self) -> recraft_net::NodeStats {
+        let config = self.cfg.base();
+        let ranges = config.ranges().clone();
+        let members = if self.role == Role::Removed {
+            BTreeSet::new()
+        } else {
+            config.members().clone()
+        };
+        recraft_net::NodeStats {
+            cluster: self.cluster,
+            split_key: self.sm.split_hint(&ranges),
+            ranges,
+            members,
+            is_leader: self.role == Role::Leader,
+            leader_hint: self.leader_hint,
+            commit: self.commit_index.0,
+            applied: self.applied_index.0,
+            ops: self.ops_served,
+            bytes: self.sm.resident_bytes() as u64,
+        }
     }
 
     /// The exactly-once client session table (applied state).
@@ -1063,9 +1110,15 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
                 self.handle_client_req(now, from, req);
             }
             Message::AdminReq { req_id, cmd } => self.handle_admin_req(now, from, req_id, cmd),
+            // The sampling plane: any node answers for itself, leader or
+            // not — the controller picks its witness per cluster.
+            Message::StatsReq { req_id } => {
+                let stats = Box::new(self.stats());
+                self.send(from, Message::StatsResp { req_id, stats });
+            }
             // Responses addressed to clients/admins are not consumed by
             // nodes.
-            Message::ClientResp { .. } | Message::AdminResp { .. } => {}
+            Message::ClientResp { .. } | Message::AdminResp { .. } | Message::StatsResp { .. } => {}
         }
     }
 
@@ -1083,6 +1136,9 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         seq: u64,
         outcome: ClientOutcome,
     ) {
+        if matches!(outcome, ClientOutcome::Reply { .. }) {
+            self.ops_served += 1;
+        }
         self.send(
             to,
             Message::ClientResp {

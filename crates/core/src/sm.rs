@@ -55,6 +55,26 @@ pub trait StateMachine {
     /// Drops all state outside `ranges` (split completion).
     fn retain_ranges(&mut self, ranges: &RangeSet);
 
+    // ---- Sampling surface ----------------------------------------------
+    //
+    // What a fleet controller needs from a live node to decide when a range
+    // is worth splitting and where. Machines without a meaningful answer
+    // keep the defaults (no size, no hint) — the controller then falls back
+    // to byte-midpoint split keys and op-count thresholds alone.
+
+    /// Approximate bytes of resident state (keys + values).
+    fn resident_bytes(&self) -> usize {
+        0
+    }
+
+    /// The suggested split point within `ranges` — typically the median
+    /// resident key, so a split balances skewed populations. `None` when
+    /// the machine holds too little data to suggest one.
+    fn split_hint(&self, ranges: &RangeSet) -> Option<Vec<u8>> {
+        let _ = ranges;
+        None
+    }
+
     // ---- Streaming snapshot surface -------------------------------------
     //
     // The consensus layer moves snapshots through these methods so transfer

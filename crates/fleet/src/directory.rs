@@ -92,6 +92,26 @@ impl ShardDirectory {
         &self.clusters
     }
 
+    /// Rebuilds the directory from one round of controller observations,
+    /// bumping the version only when something actually changed — a steady
+    /// fleet polled every interval keeps a steady version, so routers can
+    /// use the counter as a cheap "did anything move" signal.
+    ///
+    /// Clusters absent from `records` are dropped: the observer samples the
+    /// whole fleet, so absence means merged away or decommissioned. Callers
+    /// with only a partial view should use [`ShardDirectory::upsert`].
+    pub fn sync(
+        &mut self,
+        records: impl IntoIterator<Item = (ClusterId, RangeSet, BTreeSet<NodeId>)>,
+    ) {
+        let next: BTreeMap<ClusterId, (RangeSet, BTreeSet<NodeId>)> =
+            records.into_iter().map(|(c, r, m)| (c, (r, m))).collect();
+        if next != self.clusters {
+            self.clusters = next;
+            self.version += 1;
+        }
+    }
+
     /// The cluster whose first range begins exactly where `cluster`'s last
     /// range ends — the unique right-hand merge partner, when the keyspace
     /// around the boundary is covered. Merging non-adjacent ranges would
@@ -155,6 +175,36 @@ mod tests {
         assert_eq!(dir.version(), 2);
         dir.clear(); // already empty: no change
         assert_eq!(dir.version(), 2);
+    }
+
+    #[test]
+    fn sync_only_bumps_version_on_change() {
+        let mut dir = ShardDirectory::default();
+        let (lo, hi) = KeyRange::full().split_at(b"m").unwrap();
+        let records = || {
+            vec![
+                (
+                    ClusterId(1),
+                    RangeSet::from(lo.clone()),
+                    [NodeId(1)]
+                        .into_iter()
+                        .collect::<std::collections::BTreeSet<_>>(),
+                ),
+                (
+                    ClusterId(2),
+                    RangeSet::from(hi.clone()),
+                    [NodeId(2)].into_iter().collect(),
+                ),
+            ]
+        };
+        dir.sync(records());
+        assert_eq!(dir.version(), 1);
+        assert_eq!(dir.len(), 2);
+        dir.sync(records()); // steady fleet: steady version
+        assert_eq!(dir.version(), 1);
+        dir.sync(records().into_iter().take(1)); // cluster 2 merged away
+        assert_eq!(dir.version(), 2);
+        assert!(dir.lookup(b"zebra").is_none());
     }
 
     #[test]

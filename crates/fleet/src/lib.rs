@@ -29,6 +29,8 @@
 
 mod controller;
 mod directory;
+mod sampling;
 
 pub use controller::{midpoint_key, Controller, FleetCmd, FleetConfig, PendingKind, RangeSample};
 pub use directory::ShardDirectory;
+pub use sampling::SampleBook;

@@ -742,6 +742,14 @@ impl StateMachine for DurableKv {
         }
         // The store object is dead after this; the caller reopens the dir.
     }
+
+    fn resident_bytes(&self) -> usize {
+        self.data_size()
+    }
+
+    fn split_hint(&self, ranges: &RangeSet) -> Option<Vec<u8>> {
+        self.split_key(ranges)
+    }
 }
 
 // ---- Chunk partitioning and codecs -----------------------------------------

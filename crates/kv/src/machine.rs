@@ -211,6 +211,14 @@ impl StateMachine for KvMachine {
             KvMachine::Durable(s) => StateMachine::power_cut(s, keep_unsynced),
         }
     }
+
+    fn resident_bytes(&self) -> usize {
+        self.data_size()
+    }
+
+    fn split_hint(&self, ranges: &RangeSet) -> Option<Vec<u8>> {
+        self.split_key(ranges)
+    }
 }
 
 #[cfg(test)]

@@ -386,6 +386,14 @@ impl StateMachine for KvStore {
     fn retain_ranges(&mut self, ranges: &RangeSet) {
         self.entries.retain(|k, _| ranges.contains(k));
     }
+
+    fn resident_bytes(&self) -> usize {
+        self.data_size()
+    }
+
+    fn split_hint(&self, ranges: &RangeSet) -> Option<Vec<u8>> {
+        self.split_key(ranges)
+    }
 }
 
 #[cfg(test)]

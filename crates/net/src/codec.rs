@@ -6,7 +6,7 @@
 //! real-deployment harness; the simulator keeps passing `Envelope` values
 //! in memory and never pays for a round-trip.
 
-use crate::message::{AdminCmd, Envelope, Message, PullHint};
+use crate::message::{AdminCmd, Envelope, Message, NodeStats, PullHint};
 use bytes::{Bytes, BytesMut};
 use recraft_storage::{LogEntry, Snapshot, SnapshotFrame};
 use recraft_types::codec::{Decode, Encode};
@@ -105,6 +105,38 @@ fn decode_admin_result(buf: &mut Bytes) -> Result<std::result::Result<(), Error>
         0 => Ok(Ok(())),
         1 => Ok(Err(Error::decode(buf)?)),
         t => Err(Error::Codec(format!("invalid admin result tag {t}"))),
+    }
+}
+
+impl Encode for NodeStats {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cluster.encode(buf);
+        self.ranges.encode(buf);
+        self.members.encode(buf);
+        self.is_leader.encode(buf);
+        self.leader_hint.encode(buf);
+        self.commit.encode(buf);
+        self.applied.encode(buf);
+        self.ops.encode(buf);
+        self.bytes.encode(buf);
+        self.split_key.encode(buf);
+    }
+}
+
+impl Decode for NodeStats {
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        Ok(NodeStats {
+            cluster: ClusterId::decode(buf)?,
+            ranges: RangeSet::decode(buf)?,
+            members: BTreeSet::<NodeId>::decode(buf)?,
+            is_leader: bool::decode(buf)?,
+            leader_hint: Option::<NodeId>::decode(buf)?,
+            commit: u64::decode(buf)?,
+            applied: u64::decode(buf)?,
+            ops: u64::decode(buf)?,
+            bytes: u64::decode(buf)?,
+            split_key: Option::<Vec<u8>>::decode(buf)?,
+        })
     }
 }
 
@@ -285,6 +317,15 @@ impl Encode for Message {
                 req_id.encode(buf);
                 encode_admin_result(result, buf);
             }
+            Message::StatsReq { req_id } => {
+                20u8.encode(buf);
+                req_id.encode(buf);
+            }
+            Message::StatsResp { req_id, stats } => {
+                21u8.encode(buf);
+                req_id.encode(buf);
+                stats.as_ref().encode(buf);
+            }
         }
     }
 }
@@ -396,6 +437,13 @@ impl Decode for Message {
                 req_id: u64::decode(buf)?,
                 result: decode_admin_result(buf)?,
             },
+            20 => Message::StatsReq {
+                req_id: u64::decode(buf)?,
+            },
+            21 => Message::StatsResp {
+                req_id: u64::decode(buf)?,
+                stats: Box::new(NodeStats::decode(buf)?),
+            },
             t => return Err(Error::Codec(format!("unknown Message tag {t}"))),
         })
     }
@@ -490,6 +538,41 @@ mod tests {
         roundtrip(Message::AdminResp {
             req_id: 10,
             result: Err(Error::NotLeader(Some(NodeId(3)))),
+        });
+    }
+
+    #[test]
+    fn stats_plane_roundtrip() {
+        roundtrip(Message::StatsReq { req_id: 4 });
+        roundtrip(Message::StatsResp {
+            req_id: 4,
+            stats: Box::new(NodeStats {
+                cluster: ClusterId(7),
+                ranges: RangeSet::full(),
+                members: [NodeId(1), NodeId(2), NodeId(3)].into_iter().collect(),
+                is_leader: true,
+                leader_hint: Some(NodeId(1)),
+                commit: 42,
+                applied: 41,
+                ops: 1000,
+                bytes: 65536,
+                split_key: Some(b"k00005000".to_vec()),
+            }),
+        });
+        roundtrip(Message::StatsResp {
+            req_id: 5,
+            stats: Box::new(NodeStats {
+                cluster: ClusterId(1),
+                ranges: RangeSet::full(),
+                members: BTreeSet::new(),
+                is_leader: false,
+                leader_hint: None,
+                commit: 0,
+                applied: 0,
+                ops: 0,
+                bytes: 0,
+                split_key: None,
+            }),
         });
     }
 }

@@ -17,4 +17,4 @@ mod codec;
 pub mod frame;
 mod message;
 
-pub use message::{AdminCmd, Envelope, Message, PullHint};
+pub use message::{AdminCmd, Envelope, Message, NodeStats, PullHint};

@@ -73,6 +73,37 @@ pub enum AdminCmd {
     SetRanges(recraft_types::RangeSet),
 }
 
+/// A node's answer to a [`Message::StatsReq`]: the live-load and placement
+/// facts a fleet controller needs to plan splits, merges, and staffing. Any
+/// node answers for itself — the sampling plane does not require a leader —
+/// and the controller picks the most-applied member per cluster as that
+/// cluster's witness, exactly as the sim harness samples node state
+/// directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStats {
+    /// The responder's cluster.
+    pub cluster: ClusterId,
+    /// Key ranges the responder's configuration serves.
+    pub ranges: RangeSet,
+    /// Member set of the responder's configuration.
+    pub members: BTreeSet<NodeId>,
+    /// Whether the responder currently leads its cluster.
+    pub is_leader: bool,
+    /// Who the responder believes leads, if anyone.
+    pub leader_hint: Option<NodeId>,
+    /// The responder's commit index.
+    pub commit: u64,
+    /// The responder's applied index.
+    pub applied: u64,
+    /// Client operations this node has answered with a reply since boot
+    /// (cumulative; the controller differences successive samples).
+    pub ops: u64,
+    /// Resident state-machine bytes.
+    pub bytes: u64,
+    /// The median resident key — the state machine's suggested split point.
+    pub split_key: Option<Vec<u8>>,
+}
+
 impl AdminCmd {
     /// A short tag for traces.
     #[must_use]
@@ -299,6 +330,19 @@ pub enum Message {
         /// Acceptance or the precondition/routing error.
         result: Result<(), Error>,
     },
+    /// Admin → node: report your load and placement facts (the sampling
+    /// plane). Answered by any node, leader or not.
+    StatsReq {
+        /// Request id for matching responses.
+        req_id: u64,
+    },
+    /// Node → admin: the requested sample.
+    StatsResp {
+        /// Echoed request id.
+        req_id: u64,
+        /// The sample.
+        stats: Box<NodeStats>,
+    },
 }
 
 impl Message {
@@ -326,6 +370,8 @@ impl Message {
             Message::ClientResp { .. } => "client-resp",
             Message::AdminReq { .. } => "admin-req",
             Message::AdminResp { .. } => "admin-resp",
+            Message::StatsReq { .. } => "stats-req",
+            Message::StatsResp { .. } => "stats-resp",
         }
     }
 
@@ -360,6 +406,9 @@ impl Message {
             }
             Message::ClientReq { req } => HDR + req.op.size_bytes(),
             Message::ClientResp { resp } => HDR + resp.outcome.size_bytes(),
+            Message::StatsResp { stats, .. } => {
+                HDR + stats.members.len() * 8 + stats.split_key.as_ref().map_or(0, Vec::len)
+            }
             _ => HDR,
         }
     }
@@ -374,6 +423,8 @@ impl Message {
                 | Message::ClientResp { .. }
                 | Message::AdminReq { .. }
                 | Message::AdminResp { .. }
+                | Message::StatsReq { .. }
+                | Message::StatsResp { .. }
         )
     }
 }

@@ -5,7 +5,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use proptest::prelude::*;
 use recraft_net::frame::{decode_frame, encode_frame, read_frame, write_frame, MAX_FRAME_BYTES};
-use recraft_net::{AdminCmd, Envelope, Message, PullHint};
+use recraft_net::{AdminCmd, Envelope, Message, NodeStats, PullHint};
 use recraft_storage::{LogEntry, Snapshot};
 use recraft_types::{
     ClientOp, ClientOutcome, ClientRequest, ClientResponse, ClusterConfig, ClusterId, EpochTerm,
@@ -15,7 +15,7 @@ use recraft_types::{
 use std::collections::BTreeSet;
 
 /// Number of `Message` variants `build_message` covers (one per tag).
-const VARIANTS: usize = 20;
+const VARIANTS: usize = 22;
 
 fn sample_config(r: u64) -> ClusterConfig {
     ClusterConfig::new(
@@ -246,6 +246,22 @@ fn build_message(tag: usize, r: u64) -> Message {
             } else {
                 Err(sample_error(r))
             },
+        },
+        20 => Message::StatsReq { req_id: r },
+        21 => Message::StatsResp {
+            req_id: r,
+            stats: Box::new(NodeStats {
+                cluster: ClusterId(1 + r % 5),
+                ranges: RangeSet::full(),
+                members: (1..=(r % 5)).map(NodeId).collect(),
+                is_leader: r.is_multiple_of(2),
+                leader_hint: r.is_multiple_of(3).then(|| NodeId(1 + r % 4)),
+                commit: r % 1000,
+                applied: r % 900,
+                ops: r,
+                bytes: r.wrapping_mul(17),
+                split_key: r.is_multiple_of(2).then(|| vec![b'k'; (r % 9) as usize]),
+            }),
         },
         _ => unreachable!("tag out of range"),
     }

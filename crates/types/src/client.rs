@@ -488,6 +488,10 @@ impl Encode for Error {
                 13u8.encode(buf);
                 m.encode(buf);
             }
+            Error::DeadlineExceeded(m) => {
+                14u8.encode(buf);
+                m.encode(buf);
+            }
         }
     }
 }
@@ -509,6 +513,7 @@ impl Decode for Error {
             11 => Error::InvalidState(String::decode(buf)?),
             12 => Error::SessionStale,
             13 => Error::Storage(String::decode(buf)?),
+            14 => Error::DeadlineExceeded(String::decode(buf)?),
             t => return Err(Error::Codec(format!("unknown Error tag {t}"))),
         })
     }
@@ -582,6 +587,8 @@ mod tests {
             Error::ProposalDropped,
             Error::InvalidState("s".into()),
             Error::SessionStale,
+            Error::Storage("io".into()),
+            Error::DeadlineExceeded("admin split after 12 attempts".into()),
         ] {
             roundtrip(e);
         }

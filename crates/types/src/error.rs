@@ -50,6 +50,10 @@ pub enum Error {
     /// The requested operation conflicts with protocol state (e.g. leaving a
     /// joint mode that was never entered).
     InvalidState(String),
+    /// A retried operation exhausted its wall-clock deadline; the message
+    /// carries the last underlying rejection so a wedged campaign fails
+    /// loudly instead of retrying forever.
+    DeadlineExceeded(String),
 }
 
 impl fmt::Display for Error {
@@ -87,6 +91,7 @@ impl fmt::Display for Error {
             Error::ProposalDropped => write!(f, "proposal dropped"),
             Error::SessionStale => write!(f, "request older than the session's last applied one"),
             Error::InvalidState(m) => write!(f, "invalid protocol state: {m}"),
+            Error::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }
@@ -116,6 +121,7 @@ mod tests {
             Error::ProposalDropped,
             Error::SessionStale,
             Error::InvalidState("x".into()),
+            Error::DeadlineExceeded("x".into()),
         ];
         for e in cases {
             let s = e.to_string();
