@@ -19,7 +19,9 @@
 //! CI smoke runs). A machine-readable summary lands in
 //! `target/bench-summaries/BENCH_cluster_harness.json`.
 
-use recraft_cluster::{verify_sessions, ClientOptions, Cluster, ClusterSpec, HarnessBackend};
+use recraft_cluster::{
+    os_thread_count, verify_sessions, ClientOptions, Cluster, ClusterSpec, HarnessBackend,
+};
 use std::io::Write;
 use std::time::Duration;
 
@@ -37,6 +39,8 @@ struct Point {
     stale_confirmed: u64,
     elections: u64,
     snapshot_installs: u64,
+    peak_threads: usize,
+    mean_wire_batch: f64,
 }
 
 fn run_point(nodes: usize, backend: HarnessBackend, ops_per_client: u64) -> Point {
@@ -70,7 +74,27 @@ fn run_point(nodes: usize, backend: HarnessBackend, ops_per_client: u64) -> Poin
         deadline: Duration::from_secs(600),
         ..ClientOptions::default()
     };
+    // A sidecar thread records the process-wide high-water mark while the
+    // client fleet is attached: workers + clients, never a per-node term.
+    let peak = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let (peak, stop) = (std::sync::Arc::clone(&peak), std::sync::Arc::clone(&stop));
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(n) = os_thread_count() {
+                    peak.fetch_max(n, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    };
     let fleet = cluster.run_clients(CLIENTS, &opts);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    sampler.join().expect("sampler thread");
+    let peak_threads = peak.load(std::sync::atomic::Ordering::Relaxed);
+    let mean_wire_batch = cluster.wire_stats().mean_batch();
     let unfinished = fleet.reports.iter().filter(|r| !r.completed).count();
     assert_eq!(
         unfinished,
@@ -108,6 +132,8 @@ fn run_point(nodes: usize, backend: HarnessBackend, ops_per_client: u64) -> Poin
         stale_confirmed: fleet.reports.iter().map(|r| r.stale_confirmed).sum(),
         elections,
         snapshot_installs,
+        peak_threads,
+        mean_wire_batch,
     }
 }
 
@@ -181,7 +207,8 @@ fn write_summary(points: &[Point], ops_per_client: u64) -> std::io::Result<()> {
             "    {{\"nodes\": {}, \"backend\": \"{}\", \"total_ops\": {}, \
              \"ns_per_op\": {:.0}, \"ops_per_ms\": {:.3}, \"sync_per_entry\": {:.4}, \
              \"redirects\": {}, \"stale_confirmed\": {}, \"elections\": {}, \
-             \"snapshot_installs\": {}}}{comma}",
+             \"snapshot_installs\": {}, \"peak_threads\": {}, \
+             \"mean_wire_batch\": {:.2}}}{comma}",
             p.nodes,
             p.backend,
             p.total_ops,
@@ -191,7 +218,9 @@ fn write_summary(points: &[Point], ops_per_client: u64) -> std::io::Result<()> {
             p.redirects,
             p.stale_confirmed,
             p.elections,
-            p.snapshot_installs
+            p.snapshot_installs,
+            p.peak_threads,
+            p.mean_wire_batch
         )?;
     }
     writeln!(f, "  ]\n}}")?;

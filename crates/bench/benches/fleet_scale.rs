@@ -18,6 +18,7 @@
 //! A machine-readable summary lands in
 //! `target/bench-summaries/BENCH_fleet_scale.json`.
 
+use recraft_cluster::os_thread_count;
 use recraft_sim::{FleetConfig, FleetHarness, SimConfig, Workload};
 use std::io::Write;
 
@@ -46,6 +47,7 @@ struct Point {
     redirects: u64,
     redirect_rate: f64,
     wall_ms: u128,
+    peak_threads: usize,
 }
 
 fn fleet_cfg() -> FleetConfig {
@@ -87,6 +89,9 @@ fn run_point(scale: &Scale, zipf_s: f64) -> Point {
     let started = std::time::Instant::now();
     h.run(scale.run_us);
     let wall_ms = started.elapsed().as_millis();
+    // The simulator hosts the whole fleet on the calling thread — recorded
+    // as the baseline the TCP benches' fixed worker pools compare against.
+    let peak_threads = os_thread_count().unwrap_or(0);
 
     // The numbers only count if the execution was correct.
     h.sim.check_invariants();
@@ -110,6 +115,7 @@ fn run_point(scale: &Scale, zipf_s: f64) -> Point {
             r.redirects as f64 / r.completed_ops as f64
         },
         wall_ms,
+        peak_threads,
     }
 }
 
@@ -215,7 +221,8 @@ fn write_summary(scale: &Scale, points: &[Point], smoke: bool) -> std::io::Resul
             f,
             "    {{\"zipf_s\": {:.2}, \"completed_ops\": {}, \"ops_per_vsec\": {:.1}, \
              \"splits\": {}, \"merges\": {}, \"max_overlap\": {}, \"ranges_end\": {}, \
-             \"redirects\": {}, \"redirect_rate\": {:.4}, \"wall_ms\": {}}}{comma}",
+             \"redirects\": {}, \"redirect_rate\": {:.4}, \"wall_ms\": {}, \
+             \"peak_threads\": {}}}{comma}",
             p.zipf_s,
             p.completed_ops,
             p.ops_per_vsec,
@@ -225,7 +232,8 @@ fn write_summary(scale: &Scale, points: &[Point], smoke: bool) -> std::io::Resul
             p.ranges_end,
             p.redirects,
             p.redirect_rate,
-            p.wall_ms
+            p.wall_ms,
+            p.peak_threads
         )?;
     }
     writeln!(f, "  ]\n}}")?;

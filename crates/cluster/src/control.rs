@@ -138,6 +138,9 @@ pub struct ControlReport {
     /// Command deliveries that failed their deadline (the controller's
     /// stall tracking reclaims the slot; the fleet stays consistent).
     pub failed: u64,
+    /// Retired nodes decommissioned into the spare pool
+    /// ([`Cluster::reap_retired`]).
+    pub reaped: u64,
     /// Human-readable event log, in order.
     pub events: Vec<String>,
 }
@@ -211,6 +214,18 @@ fn run_control(
     let mut report = ControlReport::default();
     while !stop.load(Ordering::Relaxed) {
         let round_began = Instant::now();
+
+        // 0. Decommission nodes whose removal committed: their ids return
+        // to the spare pool, so the next staffing recycles them instead of
+        // minting new ids (and their WAL directories are reclaimed).
+        let reaped = cluster.reap_retired();
+        if reaped > 0 {
+            report.reaped += reaped as u64;
+            report.events.push(format!(
+                "t={}ms reaped {reaped} retired node(s) into the spare pool",
+                round_began.duration_since(start).as_millis()
+            ));
+        }
 
         // 1. Sample every live node over the admin channel.
         let mut reports: Vec<(NodeId, NodeStats)> = Vec::new();

@@ -1,66 +1,46 @@
-//! The per-node driver: one OS thread that owns a [`Node`] and its I/O.
+//! Shared driver-plane types: node aliases, the fleet connectivity map, and
+//! the per-node status block the harness polls.
 //!
-//! The driver loop is the real-deployment counterpart of the simulator's
-//! event pump — event in, `step`, then `tick` on the wall clock, then the
-//! `take_outputs` write-ahead barrier, then route. Because the barrier runs
-//! on the node's own thread, a `wal`-backed node fsyncs exactly where the
-//! protocol requires it (before any message that advertises the appended
-//! entries leaves the node), and one barrier covers every message drained
-//! in the round — group commit falls out of the loop shape.
-//!
-//! Connection layout per node:
-//!
-//! * one nonblocking **acceptor** thread on the node's loopback listener;
-//! * one blocking **reader** thread per inbound connection, decoding frames
-//!   and forwarding them to the driver's channel (readers exit on EOF);
-//! * **outbound peer connections** owned by the driver thread itself, dialed
-//!   lazily and redialed after a short backoff — a send to an unreachable
-//!   peer is dropped, which is fine: Raft retransmits;
-//! * **client write-halves** in a shared registry, keyed by the client's
-//!   `NodeId` (`CLIENT_BASE + id`), registered by the reader that first sees
-//!   a frame from that client so responses can travel back on the same
-//!   connection.
+//! The driving itself lives in [`crate::runtime`]: a fixed pool of worker
+//! threads, each owning a *shard* of nodes and running the canonical
+//! embedding loop — event in, `step`, `tick` on the wall clock, then the
+//! `take_outputs` write-ahead barrier, then route — for every node it
+//! hosts. This module holds what the rest of the crate (harness, control
+//! plane, tests) shares with that runtime.
 
 use crate::CLIENT_BASE;
-use recraft_core::{Node, NodeEvent};
+use recraft_core::Node;
 use recraft_kv::KvMachine;
-use recraft_net::frame::{read_frame, write_frame};
-use recraft_net::Envelope;
 use recraft_storage::LogStore;
 use recraft_types::NodeId;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex, RwLock};
-use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, RwLock};
 
 /// The store a harness node runs on: any [`LogStore`] behind a box, so one
-/// cluster type covers `mem` and `wal` backends (and the drivers can move
+/// cluster type covers `mem` and `wal` backends (and the workers can move
 /// it across threads).
 pub type HarnessStore = Box<dyn LogStore + Send>;
 
 /// The node type the harness deploys.
 pub type HarnessNode = Node<KvMachine, HarnessStore>;
 
-/// How long a peer connection stays down after a failed dial or write
-/// before the driver tries again (µs on the driver clock).
-const RECONNECT_BACKOFF_US: u64 = 50_000;
-
 /// The fleet's shared connectivity state: the live node-id → listen-address
 /// map, plus the fault-injection block list.
 ///
-/// Drivers resolve every outbound peer address through this map at send
-/// time, so the topology can change under a running fleet: a joiner
-/// [`register`](FleetNet::register)s before its driver starts, a killed
-/// node [`deregister`](FleetNet::deregister)s (sends to it are dropped —
-/// Raft retransmits), and a restarted node re-registers on a *new* port,
-/// which peers pick up on their next send without any driver restart.
+/// Every node keeps its own *front-door* listener (a socket, not a thread)
+/// owned by the worker that hosts it; this map publishes those addresses.
+/// Clients and the admin plane resolve through it at dial time, so the
+/// topology can change under a running fleet: a joiner
+/// [`register`](FleetNet::register)s before its worker adopts it, a killed
+/// node [`deregister`](FleetNet::deregister)s (its listener closes, so
+/// dials are refused — which is what tells a blindly-rotating client to
+/// move on), and a restarted node re-registers on a *new* port, which
+/// peers pick up on their next send without any worker restart.
 ///
 /// The block list models severed links: a blocked pair's traffic is dropped
-/// in both directions — outbound before dialing, inbound before stepping —
+/// in both directions — outbound before batching, inbound before stepping —
 /// while client and admin connections (ids at or above [`CLIENT_BASE`])
 /// always pass. That is a network-level partition, not a process fault: the
 /// node keeps running and keeps answering its own admin plane.
@@ -147,12 +127,7 @@ impl FleetNet {
     }
 }
 
-/// How many backlogged events one driver round drains behind the first:
-/// everything drained in a round shares one `take_outputs` barrier, so this
-/// is also the group-commit ceiling.
-const DRAIN_PER_ROUND: usize = 4096;
-
-/// Driver-visible protocol state, updated once per loop round. The harness
+/// Worker-visible protocol state, updated once per loop round. The harness
 /// polls this to find a leader without locking the node.
 #[derive(Debug, Default)]
 pub struct NodeStatus {
@@ -166,315 +141,16 @@ pub struct NodeStatus {
     pub commit: AtomicU64,
     /// The node's applied index.
     pub applied: AtomicU64,
-    /// Elections this node has won ([`NodeEvent::BecameLeader`] count).
-    /// More than one per run means leadership churned mid-load.
+    /// Elections this node has won ([`recraft_core::NodeEvent::BecameLeader`]
+    /// count). More than one per run means leadership churned mid-load.
     pub elections: AtomicU64,
     /// Full snapshot installs this node accepted from a leader
-    /// ([`NodeEvent::SnapshotInstalled`] count). Nonzero under steady load
-    /// means a follower fell behind the leader's compaction horizon.
+    /// ([`recraft_core::NodeEvent::SnapshotInstalled`] count). Nonzero under
+    /// steady load means a follower fell behind the leader's compaction
+    /// horizon.
     pub snapshot_installs: AtomicU64,
-}
-
-/// What flows into a driver's channel.
-enum DriverMsg {
-    /// A decoded inbound envelope.
-    In(Envelope),
-    /// Stop the loop; the driver flushes one final barrier and returns the
-    /// node.
-    Shutdown,
-}
-
-/// A running node: the driver thread plus its listener-side threads.
-pub struct NodeHandle {
-    /// The node's id.
-    pub id: NodeId,
-    /// The node's loopback listen address.
-    pub addr: SocketAddr,
-    /// Live protocol state, updated by the driver each round.
-    pub status: Arc<NodeStatus>,
-    tx: Sender<DriverMsg>,
-    driver: Option<JoinHandle<HarnessNode>>,
-    acceptor: Option<JoinHandle<()>>,
-    stop: Arc<AtomicBool>,
-}
-
-impl NodeHandle {
-    /// Stops the driver and returns the node (with a final storage barrier
-    /// flushed), then winds down the acceptor.
-    ///
-    /// # Panics
-    /// Panics if the driver thread itself panicked.
-    pub fn shutdown(mut self) -> HarnessNode {
-        let _ = self.tx.send(DriverMsg::Shutdown);
-        let node = self
-            .driver
-            .take()
-            .expect("driver joined once")
-            .join()
-            .expect("node driver thread panicked");
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        node
-    }
-}
-
-/// Spawns the driver, acceptor, and reader threads for one node.
-///
-/// `net` is the fleet-wide address map the driver resolves peers through at
-/// send time; this node's own listener should already be registered there
-/// so that peers spawned earlier can dial it immediately.
-///
-/// # Panics
-/// Panics if thread spawning or listener configuration fails.
-#[must_use]
-pub fn spawn_node(node: HarnessNode, listener: TcpListener, net: Arc<FleetNet>) -> NodeHandle {
-    let id = node.id();
-    let addr = listener.local_addr().expect("listener local addr");
-    let (tx, rx) = channel();
-    let stop = Arc::new(AtomicBool::new(false));
-    let status = Arc::new(NodeStatus::default());
-    let clients: Arc<Mutex<HashMap<NodeId, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-
-    let acceptor = spawn_acceptor(
-        id,
-        listener,
-        tx.clone(),
-        Arc::clone(&stop),
-        Arc::clone(&clients),
-    );
-    let driver = {
-        let status = Arc::clone(&status);
-        thread::Builder::new()
-            .name(format!("recraft-node-{}", id.0))
-            .spawn(move || drive(node, &rx, &net, &clients, &status))
-            .expect("spawn node driver")
-    };
-    NodeHandle {
-        id,
-        addr,
-        status,
-        tx,
-        driver: Some(driver),
-        acceptor: Some(acceptor),
-        stop,
-    }
-}
-
-/// The driver loop. Runs until shutdown, then flushes one final barrier and
-/// returns the node for post-run inspection (session table, sync counts).
-fn drive(
-    mut node: HarnessNode,
-    rx: &Receiver<DriverMsg>,
-    net: &FleetNet,
-    clients: &Mutex<HashMap<NodeId, TcpStream>>,
-    status: &NodeStatus,
-) -> HarnessNode {
-    let start = Instant::now();
-    let me = node.id();
-    // Peer connections materialize on first send: the fleet can grow
-    // (joiners) and move (restarts on new ports) under a running driver.
-    let mut peers: HashMap<NodeId, PeerConn> = HashMap::new();
-    let mut shutdown = false;
-    while !shutdown {
-        match rx.recv_timeout(Duration::from_millis(1)) {
-            Ok(DriverMsg::In(env)) => {
-                if !net.is_blocked(me, env.from) {
-                    node.step(start.elapsed().as_micros() as u64, env.from, env.msg);
-                }
-                // Drain the backlog behind the first event so the whole
-                // burst shares the round's single storage barrier.
-                for _ in 0..DRAIN_PER_ROUND {
-                    match rx.try_recv() {
-                        Ok(DriverMsg::In(env)) => {
-                            if !net.is_blocked(me, env.from) {
-                                node.step(start.elapsed().as_micros() as u64, env.from, env.msg);
-                            }
-                        }
-                        Ok(DriverMsg::Shutdown) => {
-                            shutdown = true;
-                            break;
-                        }
-                        Err(_) => break,
-                    }
-                }
-            }
-            Ok(DriverMsg::Shutdown) => shutdown = true,
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => shutdown = true,
-        }
-        let now = start.elapsed().as_micros() as u64;
-        node.tick(now);
-        // The write-ahead barrier: nothing routed below leaves the node
-        // before its storage effects are flushed (and fsynced on `wal`).
-        let (outbox, events) = node.take_outputs();
-        for ev in &events {
-            match ev {
-                NodeEvent::BecameLeader { .. } => {
-                    status.elections.fetch_add(1, Ordering::Relaxed);
-                }
-                NodeEvent::SnapshotInstalled { .. } => {
-                    status.snapshot_installs.fetch_add(1, Ordering::Relaxed);
-                }
-                _ => {}
-            }
-        }
-        status.is_leader.store(node.is_leader(), Ordering::Relaxed);
-        status.cluster.store(node.cluster().0, Ordering::Relaxed);
-        status
-            .commit
-            .store(node.commit_index().0, Ordering::Relaxed);
-        status
-            .applied
-            .store(node.applied_index().0, Ordering::Relaxed);
-        for env in outbox {
-            if env.to.0 >= CLIENT_BASE {
-                send_to_client(clients, &env);
-            } else if !net.is_blocked(me, env.to) {
-                // A peer with no registered address is down (killed, or a
-                // joiner not yet listening): drop — the protocol resends.
-                if let Some(addr) = net.addr_of(env.to) {
-                    peers
-                        .entry(env.to)
-                        .or_insert_with(|| PeerConn::new(addr))
-                        .send(addr, &env, now);
-                }
-            }
-        }
-    }
-    node
-}
-
-/// One outbound peer connection: dialed lazily, dropped on write failure,
-/// redialed after a backoff. Messages sent while the peer is down are
-/// dropped — the protocol retransmits. A peer that re-registers on a new
-/// address (restart) is redialed there on the next send.
-struct PeerConn {
-    addr: SocketAddr,
-    stream: Option<TcpStream>,
-    down_until: u64,
-}
-
-impl PeerConn {
-    fn new(addr: SocketAddr) -> Self {
-        PeerConn {
-            addr,
-            stream: None,
-            down_until: 0,
-        }
-    }
-
-    fn send(&mut self, addr: SocketAddr, env: &Envelope, now: u64) {
-        if addr != self.addr {
-            // The peer moved (killed and restarted on a fresh port): the
-            // old stream, if any, leads nowhere useful.
-            self.addr = addr;
-            self.stream = None;
-            self.down_until = 0;
-        }
-        if self.stream.is_none() {
-            if now < self.down_until {
-                return;
-            }
-            match TcpStream::connect_timeout(&self.addr, Duration::from_millis(200)) {
-                Ok(s) => {
-                    let _ = s.set_nodelay(true);
-                    self.stream = Some(s);
-                }
-                Err(_) => {
-                    self.down_until = now + RECONNECT_BACKOFF_US;
-                    return;
-                }
-            }
-        }
-        if let Some(s) = self.stream.as_mut() {
-            if write_frame(s, env).is_err() {
-                self.stream = None;
-                self.down_until = now + RECONNECT_BACKOFF_US;
-            }
-        }
-    }
-}
-
-/// Writes a response back on the client's registered connection. A dead
-/// connection is dropped from the registry; the client's timeout-driven
-/// resend recovers the response (exactly-once via the session table).
-fn send_to_client(clients: &Mutex<HashMap<NodeId, TcpStream>>, env: &Envelope) {
-    let mut map = clients.lock().expect("client registry lock");
-    if let Some(s) = map.get_mut(&env.to) {
-        if write_frame(s, env).is_err() {
-            map.remove(&env.to);
-        }
-    }
-}
-
-/// Accepts inbound connections and spawns one blocking reader per
-/// connection. Readers exit on EOF when the far side hangs up, so none are
-/// joined here; the acceptor itself polls `stop` between accepts.
-fn spawn_acceptor(
-    id: NodeId,
-    listener: TcpListener,
-    tx: Sender<DriverMsg>,
-    stop: Arc<AtomicBool>,
-    clients: Arc<Mutex<HashMap<NodeId, TcpStream>>>,
-) -> JoinHandle<()> {
-    listener
-        .set_nonblocking(true)
-        .expect("nonblocking listener");
-    thread::Builder::new()
-        .name(format!("recraft-accept-{}", id.0))
-        .spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = stream.set_nodelay(true);
-                        stream.set_nonblocking(false).expect("blocking conn");
-                        let tx = tx.clone();
-                        let clients = Arc::clone(&clients);
-                        let _reader = thread::Builder::new()
-                            .name(format!("recraft-read-{}", id.0))
-                            .spawn(move || read_loop(stream, &tx, &clients))
-                            .expect("spawn reader");
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => break,
-                }
-            }
-        })
-        .expect("spawn acceptor")
-}
-
-/// Reads frames off one inbound connection until EOF or error. The first
-/// frame from a client address registers the connection's write-half so the
-/// driver can route responses back.
-fn read_loop(
-    mut stream: TcpStream,
-    tx: &Sender<DriverMsg>,
-    clients: &Mutex<HashMap<NodeId, TcpStream>>,
-) {
-    let mut registered = false;
-    loop {
-        match read_frame(&mut stream) {
-            Ok(Some(env)) => {
-                if !registered && env.from.0 >= CLIENT_BASE {
-                    // A reconnecting client re-registers here, replacing the
-                    // stale write-half from its previous connection.
-                    if let Ok(w) = stream.try_clone() {
-                        clients
-                            .lock()
-                            .expect("client registry lock")
-                            .insert(env.from, w);
-                    }
-                    registered = true;
-                }
-                if tx.send(DriverMsg::In(env)).is_err() {
-                    return;
-                }
-            }
-            Ok(None) | Err(_) => return,
-        }
-    }
+    /// Whether the node has retired ([`recraft_core::Role::Removed`]): a
+    /// merge or membership change removed it and the removal committed. The
+    /// harness reaps retired nodes into its spare pool.
+    pub retired: AtomicBool,
 }

@@ -1,23 +1,32 @@
 //! Launching, watching, faulting, and tearing down a loopback-TCP fleet.
 //!
-//! [`Cluster::launch`] binds every node's listener first and publishes the
-//! full address map (a [`FleetNet`]) before any driver starts — peers can
-//! dial each other from the first heartbeat. Elections then run on real
-//! randomized timeouts ([`recraft_core::Timing::default`]: 150–300 ms), so
-//! a fresh cluster elects within a few hundred milliseconds without any
-//! nudging.
+//! [`Cluster::launch`] binds every node's front-door listener first and
+//! publishes the full address map (a [`FleetNet`]) before any node is
+//! adopted by the sharded [`DriverRuntime`] — peers can dial each other
+//! from the first heartbeat. Elections then run on real randomized
+//! timeouts ([`recraft_core::Timing::default`]: 150–300 ms), so a fresh
+//! cluster elects within a few hundred milliseconds without any nudging.
+//! [`Cluster::launch_fleet`] boots many single-range clusters partitioning
+//! one keyspace — the multi-raft shape the runtime exists to host on a
+//! fixed thread budget.
 //!
 //! The fleet is mutable while it runs, under `&self`: a long-lived
 //! controller thread (and a test injecting faults) reshape it concurrently
 //! with client load —
 //!
-//! * [`Cluster::spawn_joiner`] boots a fresh node in joiner mode for
-//!   controller staffing (`AddAndResize`);
-//! * [`Cluster::kill`] is a process fault: the node's driver stops and its
-//!   address is withdrawn, but its WAL directory survives;
+//! * [`Cluster::spawn_joiner`] boots a node in joiner mode for controller
+//!   staffing (`AddAndResize`), recycling a retired node id from the spare
+//!   pool when one is available;
+//! * [`Cluster::reap_retired`] decommissions nodes whose removal committed
+//!   ([`recraft_core::Role::Removed`]): their seat leaves the runtime,
+//!   their WAL directory is reclaimed under a bumped directory generation,
+//!   and the id returns to the spare pool — long campaigns neither leak
+//!   disk nor mint ids forever;
+//! * [`Cluster::kill`] is a process fault: the node leaves its shard and
+//!   its address is withdrawn, but its WAL directory survives;
 //! * [`Cluster::restart`] reboots a killed `wal` node from that directory
-//!   via [`recraft_core::Node::reopen`] on a **new** port — peers re-resolve
-//!   it through the shared address map;
+//!   via [`recraft_core::Node::reopen`] on a **new** port and a fresh shard
+//!   seat — peers re-resolve it through the shared address map;
 //! * [`Cluster::sever`] / [`Cluster::heal`] / [`Cluster::isolate`] are
 //!   network faults: peer traffic on the named links is dropped in both
 //!   directions while clients and the admin plane still reach every node.
@@ -28,11 +37,12 @@
 //! `last_seq` must equal the number of operations that client issued.
 
 use crate::clients::{run_open_loop, ClientOptions, ClientReport};
-use crate::driver::{spawn_node, FleetNet, HarnessNode, HarnessStore, NodeHandle, NodeStatus};
+use crate::driver::{FleetNet, HarnessNode, HarnessStore, NodeStatus};
+use crate::runtime::{DriverRuntime, RuntimeOptions, WireStats};
 use recraft_core::{Node, Timing};
 use recraft_kv::{KvMachine, KvStore};
 use recraft_storage::{MemLog, WalLog, WalOptions};
-use recraft_types::{ClusterConfig, ClusterId, NodeId, RangeSet, SessionId};
+use recraft_types::{ClusterConfig, ClusterId, KeyRange, NodeId, RangeSet, SessionId};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener};
@@ -85,10 +95,14 @@ pub struct ClusterSpec {
     /// Whether `wal` nodes physically fsync at the barrier. On by default —
     /// that is the durability cost the harness exists to measure.
     pub fsync: bool,
+    /// Worker threads in the driver runtime; `None` uses
+    /// [`RuntimeOptions::default`] (≈ available cores, `RECRAFT_WORKERS`
+    /// env override).
+    pub workers: Option<usize>,
 }
 
 impl ClusterSpec {
-    /// A spec with default timing and real fsync.
+    /// A spec with default timing, real fsync, and the default worker pool.
     #[must_use]
     pub fn new(nodes: usize, backend: HarnessBackend) -> Self {
         ClusterSpec {
@@ -96,6 +110,44 @@ impl ClusterSpec {
             backend,
             timing: Timing::default(),
             fsync: true,
+            workers: None,
+        }
+    }
+}
+
+/// A multi-range deployment: `ranges` single-range clusters partitioning
+/// the `k{:08}`-formatted keyspace, `replication` nodes each.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Raft groups to boot (cluster ids `1..=ranges`).
+    pub ranges: usize,
+    /// Nodes per group.
+    pub replication: usize,
+    /// Storage backend for every node.
+    pub backend: HarnessBackend,
+    /// Protocol timers.
+    pub timing: Timing,
+    /// Whether `wal` nodes physically fsync at the barrier.
+    pub fsync: bool,
+    /// Worker threads in the driver runtime (`None` = default pool).
+    pub workers: Option<usize>,
+    /// Size of the keyspace the range boundaries partition; must match the
+    /// clients' [`ClientOptions::key_count`] universe for even spread.
+    pub key_space: u64,
+}
+
+impl FleetSpec {
+    /// A fleet spec with default timing and real fsync.
+    #[must_use]
+    pub fn new(ranges: usize, replication: usize, backend: HarnessBackend) -> Self {
+        FleetSpec {
+            ranges,
+            replication,
+            backend,
+            timing: Timing::default(),
+            fsync: true,
+            workers: None,
+            key_space: 10_000,
         }
     }
 }
@@ -104,15 +156,18 @@ impl ClusterSpec {
 /// scratch-directory namespace.
 static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-/// One node's slot in the fleet registry. The handle is `None` while the
-/// node is killed; the WAL directory (if any) outlives the process fault so
-/// a restart can recover from it.
+/// One node's slot in the fleet registry. `status` is `None` while the node
+/// is killed or reaped; the WAL directory (if any) outlives a process fault
+/// so a restart can recover from it. `generation` counts how many lives the
+/// id has had — it names the WAL directory, so a reclaimed directory can
+/// never be confused with (or resurrect into) a later life of the same id.
 struct Slot {
-    handle: Option<NodeHandle>,
+    status: Option<Arc<NodeStatus>>,
     dir: Option<PathBuf>,
+    generation: u64,
 }
 
-/// A running fleet: one driver thread per node, all on loopback TCP.
+/// A running fleet on the sharded driver runtime, all on loopback TCP.
 ///
 /// Every mutating operation takes `&self` — the fleet is designed to be
 /// shared (`Arc<Cluster>`) between client threads, a controller thread, and
@@ -120,15 +175,18 @@ struct Slot {
 pub struct Cluster {
     spec: ClusterSpec,
     net: Arc<FleetNet>,
+    runtime: DriverRuntime,
     slots: Mutex<BTreeMap<NodeId, Slot>>,
+    /// Retired node ids awaiting reuse by [`Cluster::spawn_joiner`].
+    spares: Mutex<Vec<NodeId>>,
     next_node: AtomicU64,
     data_root: Option<PathBuf>,
 }
 
 impl Cluster {
-    /// Boots `spec.nodes` nodes as one cluster over `RangeSet::full()` and
-    /// starts their drivers. Returns once every thread is spawned (not
-    /// once a leader exists — see [`Cluster::wait_for_leader`]).
+    /// Boots `spec.nodes` nodes as one cluster over `RangeSet::full()` on a
+    /// fresh runtime. Returns once every node is adopted (not once a leader
+    /// exists — see [`Cluster::wait_for_leader`]).
     ///
     /// # Panics
     /// Panics on listener/bind, scratch-directory, or WAL-open failure.
@@ -136,17 +194,51 @@ impl Cluster {
     pub fn launch(spec: &ClusterSpec) -> Cluster {
         assert!(spec.nodes >= 1, "cluster needs at least one node");
         let ids: Vec<NodeId> = (1..=spec.nodes as u64).map(NodeId).collect();
-        // Bind everything first: the address map must be complete before
-        // the first driver sends its first message.
+        let config = ClusterConfig::new(ClusterId(1), ids.iter().copied(), RangeSet::full())
+            .expect("bootstrap config");
+        let cluster = Cluster::empty(spec, spec.nodes as u64 + 1);
+        cluster.boot_group(&ids, &config);
+        cluster
+    }
+
+    /// Boots [`FleetSpec::ranges`] single-range clusters partitioning the
+    /// keyspace, `replication` nodes each, all on one fixed worker pool —
+    /// the deployment shape where thread-per-node stops being possible.
+    ///
+    /// # Panics
+    /// Panics on listener/bind, scratch-directory, or WAL-open failure.
+    #[must_use]
+    pub fn launch_fleet(fleet: &FleetSpec) -> Cluster {
+        assert!(fleet.ranges >= 1 && fleet.replication >= 1, "empty fleet");
+        let spec = ClusterSpec {
+            nodes: fleet.replication,
+            backend: fleet.backend,
+            timing: fleet.timing,
+            fsync: fleet.fsync,
+            workers: fleet.workers,
+        };
+        let total = (fleet.ranges * fleet.replication) as u64;
+        let cluster = Cluster::empty(&spec, total + 1);
+        for r in 1..=fleet.ranges {
+            let ids: Vec<NodeId> = (0..fleet.replication)
+                .map(|i| NodeId(((r - 1) * fleet.replication + i) as u64 + 1))
+                .collect();
+            let ranges = fleet_range(r, fleet.ranges, fleet.key_space);
+            let config = ClusterConfig::new(ClusterId(r as u64), ids.iter().copied(), ranges)
+                .expect("fleet range config");
+            cluster.boot_group(&ids, &config);
+        }
+        cluster
+    }
+
+    /// An empty fleet: runtime up, no nodes yet.
+    fn empty(spec: &ClusterSpec, next_node: u64) -> Cluster {
         let net = FleetNet::new();
-        let listeners: Vec<TcpListener> = ids
-            .iter()
-            .map(|id| {
-                let l = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
-                net.register(*id, l.local_addr().expect("listener addr"));
-                l
-            })
-            .collect();
+        let mut opts = RuntimeOptions::default();
+        if let Some(w) = spec.workers {
+            opts.workers = w.max(1);
+        }
+        let runtime = DriverRuntime::start(Arc::clone(&net), &opts);
         let data_root = match spec.backend {
             HarnessBackend::Mem => None,
             HarnessBackend::Wal => {
@@ -158,41 +250,61 @@ impl Cluster {
                 Some(root)
             }
         };
-        let config = ClusterConfig::new(ClusterId(1), ids.iter().copied(), RangeSet::full())
-            .expect("bootstrap config");
-        let cluster = Cluster {
+        Cluster {
             spec: spec.clone(),
-            net: Arc::clone(&net),
+            net,
+            runtime,
             slots: Mutex::new(BTreeMap::new()),
-            next_node: AtomicU64::new(spec.nodes as u64 + 1),
+            spares: Mutex::new(Vec::new()),
+            next_node: AtomicU64::new(next_node),
             data_root,
-        };
-        let mut slots = cluster.slots.lock().expect("slot registry lock");
+        }
+    }
+
+    /// Boots the members of one cluster config: bind and register every
+    /// front door first (the address map must be complete before the first
+    /// heartbeat), then create and adopt the nodes.
+    fn boot_group(&self, ids: &[NodeId], config: &ClusterConfig) {
+        let listeners: Vec<TcpListener> = ids
+            .iter()
+            .map(|id| {
+                let l = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+                self.net
+                    .register(*id, l.local_addr().expect("listener addr"));
+                l
+            })
+            .collect();
+        let mut slots = self.slots.lock().expect("slot registry lock");
         for (id, listener) in ids.iter().copied().zip(listeners) {
-            let dir = cluster
-                .data_root
-                .as_ref()
-                .map(|root| root.join(format!("node-{}", id.0)));
-            let store = cluster.open_store(dir.as_deref());
+            let dir = self.node_dir(id, 0);
+            let store = self.open_store(dir.as_deref());
             let node: HarnessNode = Node::with_store(
                 id,
                 config.clone(),
                 KvMachine::Mem(KvStore::new()),
                 store,
-                spec.timing,
+                self.spec.timing,
                 harness_seed(id),
             );
-            let handle = spawn_node(node, listener, Arc::clone(&net));
+            let status = Arc::new(NodeStatus::default());
+            self.runtime.adopt(node, Arc::clone(&status), listener);
             slots.insert(
                 id,
                 Slot {
-                    handle: Some(handle),
+                    status: Some(status),
                     dir,
+                    generation: 0,
                 },
             );
         }
-        drop(slots);
-        cluster
+    }
+
+    /// The WAL directory for life `generation` of node `id` (`None` on the
+    /// `mem` backend).
+    fn node_dir(&self, id: NodeId, generation: u64) -> Option<PathBuf> {
+        self.data_root
+            .as_ref()
+            .map(|root| root.join(format!("node-{}.g{generation}", id.0)))
     }
 
     fn open_store(&self, dir: Option<&std::path::Path>) -> HarnessStore {
@@ -226,6 +338,32 @@ impl Cluster {
         Arc::clone(&self.net)
     }
 
+    /// Worker threads in the driver runtime.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.runtime.worker_count()
+    }
+
+    /// Lifetime wire counters (mux batches and the envelopes they carried).
+    #[must_use]
+    pub fn wire_stats(&self) -> WireStats {
+        self.runtime.wire_stats()
+    }
+
+    /// Retired node ids currently awaiting reuse.
+    #[must_use]
+    pub fn spare_count(&self) -> usize {
+        self.spares.lock().expect("spare pool lock").len()
+    }
+
+    /// The scratch directory holding per-node WAL directories (`None` on
+    /// the `mem` backend). Tests watch it to see retired-node reclaim
+    /// actually delete from disk.
+    #[must_use]
+    pub fn data_root(&self) -> Option<&std::path::Path> {
+        self.data_root.as_deref()
+    }
+
     /// Runs `f` over the live nodes' `(id, status)` pairs.
     fn with_statuses<T>(
         &self,
@@ -234,24 +372,29 @@ impl Cluster {
         let slots = self.slots.lock().expect("slot registry lock");
         let mut iter = slots
             .iter()
-            .filter_map(|(id, s)| s.handle.as_ref().map(|h| (*id, &*h.status)));
+            .filter_map(|(id, s)| s.status.as_ref().map(|st| (*id, &**st)));
         f(&mut iter)
     }
 
-    /// Boots a fresh node in joiner mode aimed at `target` and starts its
-    /// driver. The node idles (persisting only its identity) until the
+    /// Boots a fresh node in joiner mode aimed at `target` and seats it on
+    /// the runtime. The node idles (persisting only its identity) until the
     /// target cluster's leader commits an `AddAndResize` naming it, then
-    /// pulls a snapshot and joins. Returns the allocated node id.
+    /// pulls a snapshot and joins. A retired id from the spare pool is
+    /// recycled when one is available (its WAL directory generation was
+    /// bumped at reap time, so the new life starts on a clean directory);
+    /// otherwise a fresh id is minted. Returns the node id.
     ///
     /// # Panics
     /// Panics on listener/bind or WAL-open failure.
     pub fn spawn_joiner(&self, target: ClusterId) -> NodeId {
-        let id = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
+        let recycled = self.spares.lock().expect("spare pool lock").pop();
+        let id = recycled.unwrap_or_else(|| NodeId(self.next_node.fetch_add(1, Ordering::Relaxed)));
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind joiner listener");
-        let dir = self
-            .data_root
-            .as_ref()
-            .map(|root| root.join(format!("node-{}", id.0)));
+        let generation = {
+            let slots = self.slots.lock().expect("slot registry lock");
+            slots.get(&id).map_or(0, |s| s.generation)
+        };
+        let dir = self.node_dir(id, generation);
         let store = self.open_store(dir.as_deref());
         let node: HarnessNode = Node::joiner_with_store(
             id,
@@ -259,35 +402,73 @@ impl Cluster {
             KvMachine::Mem(KvStore::new()),
             store,
             self.spec.timing,
-            harness_seed(id),
+            harness_seed(id) ^ generation.wrapping_mul(0x9E37_79B9),
         );
-        // Publish the address before the driver starts: the target leader
+        // Publish the address before the seat exists: the target leader
         // may heartbeat the joiner the moment the AddAndResize commits.
         self.net
             .register(id, listener.local_addr().expect("listener addr"));
-        let handle = spawn_node(node, listener, Arc::clone(&self.net));
+        let status = Arc::new(NodeStatus::default());
+        self.runtime.adopt(node, Arc::clone(&status), listener);
         self.slots.lock().expect("slot registry lock").insert(
             id,
             Slot {
-                handle: Some(handle),
+                status: Some(status),
                 dir,
+                generation,
             },
         );
         id
     }
 
-    /// A process fault: stops `id`'s driver and withdraws its address. The
+    /// Decommissions every node whose removal has committed
+    /// ([`NodeStatus::retired`]): the seat leaves the runtime (final
+    /// barrier flushed, front door closed), the address is withdrawn, the
+    /// WAL directory is deleted under a bumped generation, and the id joins
+    /// the spare pool for [`Cluster::spawn_joiner`] to recycle. Returns how
+    /// many nodes were reaped.
+    pub fn reap_retired(&self) -> usize {
+        let retired: Vec<NodeId> = self.with_statuses(|it| {
+            it.filter(|(_, s)| s.retired.load(Ordering::Relaxed))
+                .map(|(id, _)| id)
+                .collect()
+        });
+        let mut reaped = 0;
+        for id in retired {
+            self.net.deregister(id);
+            let Some(node) = self.runtime.remove(id) else {
+                continue; // raced with a kill; the killer owns the slot
+            };
+            drop(node);
+            let mut slots = self.slots.lock().expect("slot registry lock");
+            if let Some(slot) = slots.get_mut(&id) {
+                slot.status = None;
+                // The generation guard: reclaim this life's directory and
+                // advance, so a concurrent late write to the old path can
+                // never leak into the id's next life.
+                if let Some(dir) = slot.dir.take() {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                slot.generation += 1;
+            }
+            drop(slots);
+            self.spares.lock().expect("spare pool lock").push(id);
+            reaped += 1;
+        }
+        reaped
+    }
+
+    /// A process fault: stops `id`'s seat and withdraws its address. The
     /// node's WAL directory (if any) is kept for [`Cluster::restart`].
     /// Returns whether the node was alive.
     pub fn kill(&self, id: NodeId) -> bool {
-        let handle = {
-            let mut slots = self.slots.lock().expect("slot registry lock");
-            slots.get_mut(&id).and_then(|s| s.handle.take())
-        };
-        match handle {
-            Some(h) => {
-                self.net.deregister(id);
-                let _ = h.shutdown(); // drop the in-memory node: that is the fault
+        self.net.deregister(id);
+        match self.runtime.remove(id) {
+            Some(node) => {
+                drop(node); // drop the in-memory node: that is the fault
+                if let Some(slot) = self.slots.lock().expect("slot registry lock").get_mut(&id) {
+                    slot.status = None;
+                }
                 true
             }
             None => false,
@@ -297,7 +478,8 @@ impl Cluster {
     /// Reboots a killed node from its surviving WAL directory — the
     /// real-recovery path ([`recraft_core::Node::reopen`]): hard state,
     /// snapshot, and log prefix come back from disk. The node listens on a
-    /// **new** port; peers re-resolve it through the shared address map.
+    /// **new** port and is adopted onto a (possibly different) shard; peers
+    /// re-resolve it through the shared address map.
     ///
     /// # Panics
     /// Panics if the node is still running, was never launched, or runs the
@@ -306,7 +488,7 @@ impl Cluster {
         let dir = {
             let slots = self.slots.lock().expect("slot registry lock");
             let slot = slots.get(&id).expect("restart of an unknown node");
-            assert!(slot.handle.is_none(), "restart of a running node");
+            assert!(slot.status.is_none(), "restart of a running node");
             slot.dir.clone().expect("restart needs the wal backend")
         };
         let store = self.open_store(Some(&dir));
@@ -323,13 +505,14 @@ impl Cluster {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind restart listener");
         self.net
             .register(id, listener.local_addr().expect("listener addr"));
-        let handle = spawn_node(node, listener, Arc::clone(&self.net));
+        let status = Arc::new(NodeStatus::default());
+        self.runtime.adopt(node, Arc::clone(&status), listener);
         self.slots
             .lock()
             .expect("slot registry lock")
             .get_mut(&id)
             .expect("slot exists")
-            .handle = Some(handle);
+            .status = Some(status);
     }
 
     /// Severs the peer link between `a` and `b` in both directions. Client
@@ -358,8 +541,8 @@ impl Cluster {
         self.net.unblock_all();
     }
 
-    /// The cluster id each live node currently reports (from driver
-    /// status). After a split completes, this partitions the nodes into the
+    /// The cluster id each live node currently reports (from seat status).
+    /// After a split completes, this partitions the nodes into the
     /// subclusters; after a merge, it converges on the merged cluster's id.
     #[must_use]
     pub fn node_clusters(&self) -> BTreeMap<NodeId, ClusterId> {
@@ -436,7 +619,7 @@ impl Cluster {
         }
     }
 
-    /// Polls driver status until some live node reports leadership.
+    /// Polls seat status until some live node reports leadership.
     pub fn wait_for_leader(&self, timeout: Duration) -> Option<NodeId> {
         let deadline = Instant::now() + timeout;
         loop {
@@ -458,7 +641,7 @@ impl Cluster {
         }
     }
 
-    /// Elections won across the live fleet so far (from driver status). A
+    /// Elections won across the live fleet so far (from seat status). A
     /// value above the node count's natural single election means
     /// leadership churned — on oversubscribed hosts usually scheduler
     /// starvation tripping election timeouts.
@@ -485,13 +668,12 @@ impl Cluster {
         let slots = self.slots.lock().expect("slot registry lock");
         let mut out = String::new();
         for (id, slot) in slots.iter() {
-            match &slot.handle {
-                Some(h) => {
-                    let s = &h.status;
+            match &slot.status {
+                Some(s) => {
                     let _ = writeln!(
                         out,
                         "node {:>3} up   {} cluster={} leader={} commit={} applied={} \
-                         elections={} snap_installs={}",
+                         elections={} snap_installs={} retired={}",
                         id.0,
                         self.net
                             .addr_of(*id)
@@ -502,13 +684,15 @@ impl Cluster {
                         s.applied.load(Ordering::Relaxed),
                         s.elections.load(Ordering::Relaxed),
                         s.snapshot_installs.load(Ordering::Relaxed),
+                        s.retired.load(Ordering::Relaxed),
                     );
                 }
                 None => {
                     let _ = writeln!(
                         out,
-                        "node {:>3} DOWN wal={}",
+                        "node {:>3} DOWN gen={} wal={}",
                         id.0,
+                        slot.generation,
                         slot.dir.as_ref().map_or("none", |_| "kept")
                     );
                 }
@@ -529,34 +713,46 @@ impl Cluster {
         }
     }
 
-    /// Stops every live driver (each flushes a final storage barrier) and
-    /// returns the nodes for inspection. Scratch WAL directories are
+    /// Stops the runtime (every seat flushes a final storage barrier) and
+    /// returns the hosted nodes for inspection. Scratch WAL directories are
     /// removed when the `Cluster` value drops at the end of this call —
     /// the returned nodes' in-memory state (session tables, counters)
-    /// survives that. Killed nodes are simply absent from the result.
+    /// survives that. Killed and reaped nodes are simply absent.
     #[must_use]
     pub fn shutdown(self) -> Vec<HarnessNode> {
-        let mut slots = self.slots.lock().expect("slot registry lock");
-        let handles: Vec<NodeHandle> = slots.values_mut().filter_map(|s| s.handle.take()).collect();
-        drop(slots);
-        handles.into_iter().map(NodeHandle::shutdown).collect()
+        self.runtime.shutdown_collect()
     }
 }
 
+/// The range set cluster `r` of `ranges` serves: an equal slice of the
+/// `k{:08}` keyspace, unbounded at the fleet's outer edges.
+fn fleet_range(r: usize, ranges: usize, key_space: u64) -> RangeSet {
+    let bound = |i: usize| format!("k{:08}", (i as u64) * key_space / ranges as u64).into_bytes();
+    let range = match (r == 1, r == ranges) {
+        (true, true) => return RangeSet::full(),
+        (true, false) => KeyRange::new(Vec::new(), bound(1)).expect("first range"),
+        (false, true) => KeyRange::from_start(bound(ranges - 1)),
+        (false, false) => KeyRange::new(bound(r - 1), bound(r)).expect("middle range"),
+    };
+    RangeSet::from_ranges([range]).expect("fleet range")
+}
+
 /// The deterministic per-node seed the harness boots nodes with.
+///
+/// The constant must differ from the `0x9E37_79B9_7F4A_7C15` the node
+/// constructor itself mixes in: with the same multiplier the two XORs
+/// cancel and every node boots on one shared RNG stream — identical
+/// election deadlines, which a shared-clock runtime turns into a permanent
+/// lockstep split vote (per-thread clock skew used to hide this).
 fn harness_seed(id: NodeId) -> u64 {
-    0xC1A5 ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    0xC1A5 ^ id.0.wrapping_mul(0xD129_42F2_D3A3_2E25)
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        let mut slots = self.slots.lock().expect("slot registry lock");
-        for slot in slots.values_mut() {
-            if let Some(h) = slot.handle.take() {
-                let _ = h.shutdown();
-            }
-        }
-        drop(slots);
+        // The runtime's own Drop joins the workers (idempotent if
+        // `shutdown` already ran); then the scratch tree goes.
+        let _ = self.runtime.shutdown_collect();
         if let Some(root) = self.data_root.take() {
             let _ = std::fs::remove_dir_all(root);
         }

@@ -1,19 +1,26 @@
-//! Real-deployment harness: nodes on OS threads over loopback TCP.
+//! Real-deployment harness: a sharded driver runtime over loopback TCP.
 //!
 //! The simulator (`recraft-sim`) drives every node from one virtual clock,
 //! which is ideal for protocol exploration but measures nothing real. This
 //! crate deploys the *same* sans-io [`recraft_core::Node`] the way a
 //! production embedding would:
 //!
-//! * each node runs on its **own OS thread** inside a driver loop — event
-//!   in, [`step`](recraft_core::Node::step) /
+//! * a **fixed pool of worker threads** ([`runtime::DriverRuntime`],
+//!   default ≈ available cores) hosts the whole fleet, each worker owning a
+//!   *shard* of nodes and running the canonical embedding loop per node —
+//!   event in, [`step`](recraft_core::Node::step) /
 //!   [`tick`](recraft_core::Node::tick), then the
 //!   [`take_outputs`](recraft_core::Node::take_outputs) write-ahead barrier
-//!   (which group-commits the round's WAL appends on the node's thread),
-//!   then route;
+//!   (one barrier group-commits the node's whole drained burst), then
+//!   route. Thread count is a deployment knob, not a function of fleet
+//!   size: hundreds of ranges fit on a laptop's cores;
 //! * peers exchange the existing `recraft-net` wire messages over **loopback
-//!   TCP** via `std::net` — length-prefixed frames over the binary codecs
-//!   ([`recraft_net::frame`]), no async runtime, no serialization library;
+//!   TCP** via `std::net` — and per-node-pair sockets collapse to one
+//!   **multiplexed connection per worker pair** carrying
+//!   [`recraft_net::mux`] batches (one write flushes every envelope a
+//!   worker round produced for the same destination), while clients and the
+//!   admin plane keep dialing each node's own front-door listener with
+//!   plain frames. No async runtime, no serialization library;
 //! * a many-client **open-loop driver** ([`clients`]) submits sessions
 //!   concurrently so leader-side batching and pipelining engage, and
 //!   verifies exactly-once semantics against the server-side session table
@@ -40,14 +47,17 @@ pub mod clients;
 pub mod control;
 pub mod driver;
 pub mod harness;
+pub mod runtime;
 
 pub use admin::{AdminClient, ADMIN_BASE};
 pub use clients::{run_open_loop, ClientOptions, ClientReport};
 pub use control::{ControlOptions, ControlPlane, ControlReport, FleetView};
-pub use driver::{FleetNet, HarnessNode, HarnessStore, NodeHandle, NodeStatus};
+pub use driver::{FleetNet, HarnessNode, HarnessStore, NodeStatus};
 pub use harness::{
-    verify_sessions, verify_sessions_from, ClientsRun, Cluster, ClusterSpec, HarnessBackend,
+    verify_sessions, verify_sessions_from, ClientsRun, Cluster, ClusterSpec, FleetSpec,
+    HarnessBackend,
 };
+pub use runtime::{os_thread_count, DriverRuntime, RuntimeOptions, WireStats};
 
 /// Client endpoints address themselves as `NodeId(CLIENT_BASE + client_id)`,
 /// far outside the node-id space — the same convention the simulator uses.

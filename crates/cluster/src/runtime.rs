@@ -1,0 +1,776 @@
+//! The sharded driver runtime: a fixed pool of worker threads hosting the
+//! whole fleet.
+//!
+//! The previous harness spent ~3 OS threads per node (driver + acceptor +
+//! one blocking reader per inbound connection) and one socket per
+//! node-pair, which walls off "hundreds of ranges over real sockets" behind
+//! a thread explosion. This runtime keeps the loop shape — event in,
+//! [`step`](recraft_core::Node::step), [`tick`](recraft_core::Node::tick)
+//! on the wall clock, then the
+//! [`take_outputs`](recraft_core::Node::take_outputs) write-ahead barrier,
+//! then route — but runs it for a *shard* of nodes per worker:
+//!
+//! * **N workers, period.** Each worker owns a disjoint set of nodes and
+//!   all their I/O. Total thread count is workers + whatever the embedding
+//!   spawns (control plane, clients), independent of how many raft groups
+//!   the process hosts. One barrier still covers everything a node drained
+//!   in the round, so group commit per node is preserved; nodes that
+//!   externalized nothing skip the barrier entirely
+//!   ([`recraft_core::Node::has_outputs`]), so an idle range costs no
+//!   fsync.
+//! * **One multiplexed connection per worker pair.** A round's outbound
+//!   envelopes are grouped by destination worker endpoint and flushed as
+//!   [`recraft_net::mux`] batches — one write per destination per round —
+//!   while same-worker traffic short-circuits through memory. A shared
+//!   [`MuxReader`] per inbound connection demultiplexes by `Envelope::to`
+//!   and forwards the rare mis-delivery (a node re-adopted elsewhere
+//!   mid-flight) to the owning shard's queue.
+//! * **Per-node front doors.** Every node keeps its own listener *socket*
+//!   (accepted and read by its worker — no thread), published in
+//!   [`FleetNet`]. Clients and the admin plane keep their dial-an-address
+//!   model, and a kill closes the socket so blind clients still see
+//!   connection-refused and rotate away, exactly as with thread-per-node.
+//!
+//! Client response write-halves live in a registry keyed by
+//! `(client, node)` with **one lock per stream**, so a slow client stalls
+//! only writes to itself — never another connection, and never a whole
+//! registry (the old harness held the registry mutex across a blocking
+//! write).
+
+use crate::driver::{FleetNet, HarnessNode, NodeStatus};
+use crate::CLIENT_BASE;
+use recraft_core::{NodeEvent, Role};
+use recraft_net::frame::encode_frame;
+use recraft_net::mux::{write_batch, MuxReader};
+use recraft_net::Envelope;
+use recraft_types::NodeId;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long an outbound worker-pair connection stays down after a failed
+/// dial or write before the worker tries again (µs on the runtime clock).
+const RECONNECT_BACKOFF_US: u64 = 50_000;
+
+/// How long a worker keeps retrying a client write that reports
+/// `WouldBlock` before giving up and dropping the registration. Client
+/// resend recovers the response; the bound keeps one pathological client
+/// from wedging its worker.
+const CLIENT_WRITE_DEADLINE: Duration = Duration::from_millis(500);
+
+/// How long an idle worker parks on its channel before rechecking sockets.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// Knobs for one runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Worker threads in the pool. Defaults to the host's available
+    /// parallelism; override with the `RECRAFT_WORKERS` env var.
+    pub workers: usize,
+    /// Ceiling on envelopes per mux batch (one wire write). Defaults to
+    /// 512; override with `RECRAFT_MUX_BATCH`. A round producing more for
+    /// one destination flushes multiple batches.
+    pub mux_batch: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        let workers = std::env::var("RECRAFT_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| thread::available_parallelism().map_or(4, usize::from))
+            .max(1);
+        let mux_batch = std::env::var("RECRAFT_MUX_BATCH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(512)
+            .max(1);
+        RuntimeOptions { workers, mux_batch }
+    }
+}
+
+/// Wire-level counters the runtime accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireStats {
+    /// Mux batches written to worker-pair connections.
+    pub batches: u64,
+    /// Envelopes carried by those batches.
+    pub batched_envelopes: u64,
+}
+
+impl WireStats {
+    /// Mean envelopes per wire write (1.0 = no batching happened).
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_envelopes as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The OS thread count of this process, from `/proc/self/status` (Linux
+/// only — `None` elsewhere). Benches record it to prove the fixed thread
+/// budget holds independent of range count.
+#[must_use]
+pub fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// What flows into a worker's channel.
+enum WorkerMsg {
+    /// Take ownership of a node (its status block and front-door listener
+    /// ride along).
+    Adopt(Box<Seat>),
+    /// Release a node: flush a final barrier, close its front door and
+    /// connections, and send it back.
+    Remove(NodeId, Sender<Box<HarnessNode>>),
+    /// An envelope owned by this shard, forwarded from another worker.
+    Forward(Envelope),
+}
+
+/// One node as handed to its worker.
+struct Seat {
+    node: HarnessNode,
+    status: Arc<NodeStatus>,
+    listener: TcpListener,
+}
+
+/// Client/admin response write-halves, keyed `(client, node)`. Each stream
+/// has its own lock so a slow reply never blocks the registry.
+type ClientRegistry = RwLock<HashMap<(NodeId, NodeId), Arc<Mutex<TcpStream>>>>;
+
+/// State shared by the runtime handle and every worker.
+struct Shared {
+    net: Arc<FleetNet>,
+    /// node → owning worker index. Written by adopt/remove, read on every
+    /// routing decision.
+    assignment: RwLock<HashMap<NodeId, usize>>,
+    /// Worker index → mux endpoint address (fixed at start).
+    endpoints: Vec<SocketAddr>,
+    /// Two endpoints sharing an identity but talking to different nodes
+    /// never collide; the registry lock is held only to look up or replace
+    /// entries, never across a write.
+    clients: ClientRegistry,
+    batches: AtomicU64,
+    batched_envelopes: AtomicU64,
+    stop: AtomicBool,
+    mux_batch: usize,
+    start: Instant,
+}
+
+/// A running worker pool. All methods take `&self`; the runtime is made to
+/// be shared behind the `Cluster` the way the fleet itself is.
+pub struct DriverRuntime {
+    shared: Arc<Shared>,
+    txs: Mutex<Vec<Sender<WorkerMsg>>>,
+    joins: Mutex<Vec<JoinHandle<Vec<HarnessNode>>>>,
+    next_worker: AtomicUsize,
+}
+
+impl DriverRuntime {
+    /// Binds one mux endpoint per worker and spawns the pool.
+    ///
+    /// # Panics
+    /// Panics on endpoint bind or thread-spawn failure.
+    #[must_use]
+    pub fn start(net: Arc<FleetNet>, opts: &RuntimeOptions) -> DriverRuntime {
+        let workers = opts.workers.max(1);
+        let listeners: Vec<TcpListener> = (0..workers)
+            .map(|_| {
+                let l = TcpListener::bind("127.0.0.1:0").expect("bind worker endpoint");
+                l.set_nonblocking(true).expect("nonblocking endpoint");
+                l
+            })
+            .collect();
+        let endpoints = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("endpoint addr"))
+            .collect();
+        let shared = Arc::new(Shared {
+            net,
+            assignment: RwLock::new(HashMap::new()),
+            endpoints,
+            clients: RwLock::new(HashMap::new()),
+            batches: AtomicU64::new(0),
+            batched_envelopes: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            mux_batch: opts.mux_batch.max(1),
+            start: Instant::now(),
+        });
+        let mut txs = Vec::with_capacity(workers);
+        let mut rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let joins = listeners
+            .into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(idx, (endpoint, rx))| {
+                let ctx = Worker {
+                    idx,
+                    shared: Arc::clone(&shared),
+                    rx,
+                    txs: txs.clone(),
+                    endpoint,
+                };
+                thread::Builder::new()
+                    .name(format!("recraft-worker-{idx}"))
+                    .spawn(move || ctx.run())
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        DriverRuntime {
+            shared,
+            txs: Mutex::new(txs),
+            joins: Mutex::new(joins),
+            next_worker: AtomicUsize::new(0),
+        }
+    }
+
+    /// Worker threads in the pool.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.shared.endpoints.len()
+    }
+
+    /// Lifetime wire counters.
+    #[must_use]
+    pub fn wire_stats(&self) -> WireStats {
+        WireStats {
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            batched_envelopes: self.shared.batched_envelopes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hands `node` (with its front-door `listener`) to a worker,
+    /// round-robin. The caller registers the listener's address in the
+    /// [`FleetNet`] before calling, so peers can dial from the first
+    /// heartbeat.
+    pub fn adopt(&self, node: HarnessNode, status: Arc<NodeStatus>, listener: TcpListener) {
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking front door");
+        let id = node.id();
+        let workers = self.worker_count();
+        let w = self.next_worker.fetch_add(1, Ordering::Relaxed) % workers;
+        self.shared
+            .assignment
+            .write()
+            .expect("assignment lock")
+            .insert(id, w);
+        let seat = Box::new(Seat {
+            node,
+            status,
+            listener,
+        });
+        let txs = self.txs.lock().expect("worker sender lock");
+        txs[w].send(WorkerMsg::Adopt(seat)).expect("worker alive");
+    }
+
+    /// Withdraws `id` from its worker: the seat's final barrier is flushed,
+    /// its front door and connections close, and the node comes back for
+    /// inspection (or to be dropped — that is a kill). `None` if the node
+    /// is not hosted.
+    pub fn remove(&self, id: NodeId) -> Option<HarnessNode> {
+        let w = self
+            .shared
+            .assignment
+            .write()
+            .expect("assignment lock")
+            .remove(&id)?;
+        let (reply_tx, reply_rx) = channel();
+        {
+            let txs = self.txs.lock().expect("worker sender lock");
+            txs[w].send(WorkerMsg::Remove(id, reply_tx)).ok()?;
+        }
+        reply_rx
+            .recv_timeout(Duration::from_secs(10))
+            .ok()
+            .map(|boxed| *boxed)
+    }
+
+    /// Stops the pool and collects every hosted node (each with a final
+    /// storage barrier flushed). Idempotent: a second call returns empty.
+    pub fn shutdown_collect(&self) -> Vec<HarnessNode> {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        let joins: Vec<JoinHandle<Vec<HarnessNode>>> =
+            std::mem::take(&mut *self.joins.lock().expect("join lock"));
+        let mut nodes = Vec::new();
+        for j in joins {
+            nodes.extend(j.join().expect("runtime worker panicked"));
+        }
+        self.shared
+            .assignment
+            .write()
+            .expect("assignment lock")
+            .clear();
+        nodes
+    }
+}
+
+impl Drop for DriverRuntime {
+    fn drop(&mut self) {
+        let _ = self.shutdown_collect();
+    }
+}
+
+/// One inbound connection (front door or mux endpoint).
+struct Conn {
+    stream: TcpStream,
+    reader: MuxReader,
+    registered: bool,
+}
+
+/// One outbound worker-pair connection: dialed lazily, dropped on write
+/// failure, redialed after a backoff. Batches sent while the far side is
+/// down are dropped — the protocol retransmits.
+struct OutConn {
+    stream: Option<TcpStream>,
+    down_until: u64,
+}
+
+/// A seat as the worker holds it: the node plus its front-door I/O.
+struct Hosted {
+    node: HarnessNode,
+    status: Arc<NodeStatus>,
+    listener: TcpListener,
+    conns: Vec<Conn>,
+}
+
+/// Everything one worker thread owns.
+struct Worker {
+    idx: usize,
+    shared: Arc<Shared>,
+    rx: Receiver<WorkerMsg>,
+    txs: Vec<Sender<WorkerMsg>>,
+    endpoint: TcpListener,
+}
+
+impl Worker {
+    fn run(self) -> Vec<HarnessNode> {
+        let mut seats: BTreeMap<NodeId, Hosted> = BTreeMap::new();
+        let mut mux_conns: Vec<Conn> = Vec::new();
+        let mut outs: HashMap<SocketAddr, OutConn> = HashMap::new();
+        let mut inbox: VecDeque<Envelope> = VecDeque::new();
+        let mut scratch = vec![0u8; 64 * 1024];
+        while !self.shared.stop.load(Ordering::Relaxed) {
+            let mut busy = false;
+
+            // 1. Control-plane messages and forwarded envelopes.
+            while let Ok(msg) = self.rx.try_recv() {
+                busy = true;
+                self.handle(msg, &mut seats, &mut inbox);
+            }
+
+            // 2. Accept: the shared mux endpoint, then every front door.
+            busy |= accept_into(&self.endpoint, &mut mux_conns);
+            for seat in seats.values_mut() {
+                busy |= accept_into(&seat.listener, &mut seat.conns);
+            }
+
+            // 3. Read every connection until it would block; decoded
+            // envelopes queue for the step phase.
+            for conn in &mut mux_conns {
+                busy |= self.read_conn(conn, &mut scratch, &mut inbox);
+            }
+            for seat in seats.values_mut() {
+                for conn in &mut seat.conns {
+                    busy |= self.read_conn(conn, &mut scratch, &mut inbox);
+                }
+                seat.conns.retain(|c| !dead(&c.stream));
+            }
+            mux_conns.retain(|c| !dead(&c.stream));
+
+            // 4. Step. Envelopes for nodes this shard owns are stepped;
+            // anything owned elsewhere (re-adoption races, stale
+            // connections) is forwarded to its shard.
+            let now = self.now_us();
+            while let Some(env) = inbox.pop_front() {
+                busy = true;
+                self.deliver(env, &mut seats, now);
+            }
+
+            // 5. Tick + write-ahead barrier + route, per node. One barrier
+            // covers the whole burst the node drained this round; nodes
+            // with nothing to externalize skip it.
+            let now = self.now_us();
+            let mut local: Vec<Envelope> = Vec::new();
+            let mut wire: HashMap<SocketAddr, Vec<Envelope>> = HashMap::new();
+            for (id, seat) in &mut seats {
+                seat.node.tick(now);
+                if seat.node.has_outputs() {
+                    busy = true;
+                    let (outbox, events) = seat.node.take_outputs();
+                    count_events(&events, &seat.status);
+                    for env in outbox {
+                        self.route_out(*id, env, &mut local, &mut wire);
+                    }
+                }
+                publish_status(&seat.node, &seat.status);
+            }
+            inbox.extend(local);
+
+            // 6. Flush: one mux batch per destination endpoint (chunked at
+            // the batch ceiling).
+            for (addr, envs) in wire {
+                for chunk in envs.chunks(self.shared.mux_batch) {
+                    self.send_batch(&mut outs, addr, chunk, now);
+                }
+            }
+
+            // 7. Idle pacing: park briefly on the channel so a quiet shard
+            // costs ~no CPU but still ticks its nodes on time.
+            if !busy {
+                match self.rx.recv_timeout(IDLE_PARK) {
+                    Ok(msg) => self.handle(msg, &mut seats, &mut inbox),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        // Final barrier for every hosted node, then hand them back.
+        seats
+            .into_values()
+            .map(|mut seat| {
+                let _ = seat.node.take_outputs();
+                publish_status(&seat.node, &seat.status);
+                seat.node
+            })
+            .collect()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.shared.start.elapsed().as_micros() as u64
+    }
+
+    fn handle(
+        &self,
+        msg: WorkerMsg,
+        seats: &mut BTreeMap<NodeId, Hosted>,
+        inbox: &mut VecDeque<Envelope>,
+    ) {
+        match msg {
+            WorkerMsg::Adopt(seat) => {
+                let id = seat.node.id();
+                seats.insert(
+                    id,
+                    Hosted {
+                        node: seat.node,
+                        status: seat.status,
+                        listener: seat.listener,
+                        conns: Vec::new(),
+                    },
+                );
+            }
+            WorkerMsg::Remove(id, reply) => {
+                if let Some(mut seat) = seats.remove(&id) {
+                    // Flush the final barrier so a wal-backed node's state
+                    // is on disk for a later restart, then close the front
+                    // door (and every conn behind it) so dialing clients
+                    // see refused-connection and rotate.
+                    let _ = seat.node.take_outputs();
+                    publish_status(&seat.node, &seat.status);
+                    drop(seat.listener);
+                    drop(seat.conns);
+                    self.shared
+                        .clients
+                        .write()
+                        .expect("client registry lock")
+                        .retain(|(_, node), _| *node != id);
+                    let _ = reply.send(Box::new(seat.node));
+                }
+            }
+            WorkerMsg::Forward(env) => inbox.push_back(env),
+        }
+    }
+
+    /// Drains one connection's readable bytes and queues decoded envelopes.
+    /// The first envelope from a client/admin identity registers the
+    /// connection's write-half for responses.
+    fn read_conn(
+        &self,
+        conn: &mut Conn,
+        scratch: &mut [u8],
+        inbox: &mut VecDeque<Envelope>,
+    ) -> bool {
+        let mut busy = false;
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    mark_dead(&conn.stream);
+                    break;
+                }
+                Ok(n) => {
+                    busy = true;
+                    conn.reader.feed(&scratch[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    mark_dead(&conn.stream);
+                    break;
+                }
+            }
+        }
+        loop {
+            match conn.reader.next_envelope() {
+                Ok(Some(env)) => {
+                    if !conn.registered && env.from.0 >= CLIENT_BASE {
+                        // A reconnecting client re-registers here, replacing
+                        // the stale write-half of its previous connection.
+                        if let Ok(w) = conn.stream.try_clone() {
+                            self.shared
+                                .clients
+                                .write()
+                                .expect("client registry lock")
+                                .insert((env.from, env.to), Arc::new(Mutex::new(w)));
+                        }
+                        conn.registered = true;
+                    }
+                    inbox.push_back(env);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt stream: no trustworthy framing boundary left.
+                    mark_dead(&conn.stream);
+                    break;
+                }
+            }
+        }
+        busy
+    }
+
+    /// Steps an envelope into its owner, or forwards it to the owning
+    /// shard. Unowned destinations (killed nodes, stale conns) drop — the
+    /// protocol retransmits.
+    fn deliver(&self, env: Envelope, seats: &mut BTreeMap<NodeId, Hosted>, now: u64) {
+        if let Some(seat) = seats.get_mut(&env.to) {
+            if !self.shared.net.is_blocked(env.to, env.from) {
+                seat.node.step(now, env.from, env.msg);
+            }
+            return;
+        }
+        let owner = self
+            .shared
+            .assignment
+            .read()
+            .expect("assignment lock")
+            .get(&env.to)
+            .copied();
+        if let Some(w) = owner {
+            if w != self.idx {
+                let _ = self.txs[w].send(WorkerMsg::Forward(env));
+            }
+            // Owned by us but not yet adopted (the Adopt is in our own
+            // queue): drop rather than self-forward forever.
+        }
+    }
+
+    /// Routes one outbound envelope: client registry, same-worker memory
+    /// hop, or the wire batch for the owning worker's endpoint.
+    fn route_out(
+        &self,
+        from: NodeId,
+        env: Envelope,
+        local: &mut Vec<Envelope>,
+        wire: &mut HashMap<SocketAddr, Vec<Envelope>>,
+    ) {
+        if env.to.0 >= CLIENT_BASE {
+            self.send_to_client(&env);
+            return;
+        }
+        if self.shared.net.is_blocked(from, env.to) {
+            return;
+        }
+        // A peer with no registered address is down (killed, or a joiner
+        // not yet listening): drop — the protocol resends.
+        if self.shared.net.addr_of(env.to).is_none() {
+            return;
+        }
+        let owner = self
+            .shared
+            .assignment
+            .read()
+            .expect("assignment lock")
+            .get(&env.to)
+            .copied();
+        match owner {
+            Some(w) if w == self.idx => local.push(env),
+            Some(w) => wire.entry(self.shared.endpoints[w]).or_default().push(env),
+            None => {}
+        }
+    }
+
+    /// Writes one mux batch to `addr`, dialing lazily and backing off on
+    /// failure.
+    fn send_batch(
+        &self,
+        outs: &mut HashMap<SocketAddr, OutConn>,
+        addr: SocketAddr,
+        envs: &[Envelope],
+        now: u64,
+    ) {
+        let out = outs.entry(addr).or_insert(OutConn {
+            stream: None,
+            down_until: 0,
+        });
+        if out.stream.is_none() {
+            if now < out.down_until {
+                return;
+            }
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+                    out.stream = Some(s);
+                }
+                Err(_) => {
+                    out.down_until = now + RECONNECT_BACKOFF_US;
+                    return;
+                }
+            }
+        }
+        if let Some(s) = out.stream.as_mut() {
+            if write_batch(s, envs).is_err() {
+                out.stream = None;
+                out.down_until = now + RECONNECT_BACKOFF_US;
+                return;
+            }
+            self.shared.batches.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .batched_envelopes
+                .fetch_add(envs.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes a response on the client's registered connection. The
+    /// registry lock is released before the write; only the stream's own
+    /// lock is held across it. A dead or persistently-blocked connection is
+    /// deregistered; the client's timeout-driven resend recovers the
+    /// response (exactly-once via the session table).
+    fn send_to_client(&self, env: &Envelope) {
+        let key = (env.to, env.from);
+        let slot = self
+            .shared
+            .clients
+            .read()
+            .expect("client registry lock")
+            .get(&key)
+            .map(Arc::clone);
+        let Some(slot) = slot else { return };
+        let ok = {
+            let mut stream = slot.lock().expect("client stream lock");
+            write_frame_bounded(&mut stream, env)
+        };
+        if !ok {
+            let mut map = self.shared.clients.write().expect("client registry lock");
+            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
+                map.remove(&key);
+            }
+        }
+    }
+}
+
+/// Accepts every pending connection on a nonblocking listener.
+fn accept_into(listener: &TcpListener, conns: &mut Vec<Conn>) -> bool {
+    let mut busy = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                conns.push(Conn {
+                    stream,
+                    reader: MuxReader::new(),
+                    registered: false,
+                });
+                busy = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    busy
+}
+
+/// Whether a connection was marked dead (see [`mark_dead`]).
+fn dead(stream: &TcpStream) -> bool {
+    stream.peer_addr().is_err()
+}
+
+/// Poisons a connection so the retain pass drops it: shutting down both
+/// halves makes `peer_addr` fail, which doubles as the tombstone without an
+/// extra flag on every conn.
+fn mark_dead(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Writes one plain frame on a nonblocking stream, retrying `WouldBlock`
+/// with tiny sleeps up to [`CLIENT_WRITE_DEADLINE`].
+fn write_frame_bounded(stream: &mut TcpStream, env: &Envelope) -> bool {
+    let frame = encode_frame(env);
+    let mut at = 0;
+    let until = Instant::now() + CLIENT_WRITE_DEADLINE;
+    while at < frame.len() {
+        match stream.write(&frame[at..]) {
+            Ok(0) => return false,
+            Ok(n) => at += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= until {
+                    return false;
+                }
+                thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Folds one round's node events into the status counters.
+fn count_events(events: &[NodeEvent], status: &NodeStatus) {
+    for ev in events {
+        match ev {
+            NodeEvent::BecameLeader { .. } => {
+                status.elections.fetch_add(1, Ordering::Relaxed);
+            }
+            NodeEvent::SnapshotInstalled { .. } => {
+                status.snapshot_installs.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Publishes the node's observable protocol state.
+fn publish_status(node: &HarnessNode, status: &NodeStatus) {
+    status.is_leader.store(node.is_leader(), Ordering::Relaxed);
+    status.cluster.store(node.cluster().0, Ordering::Relaxed);
+    status
+        .commit
+        .store(node.commit_index().0, Ordering::Relaxed);
+    status
+        .applied
+        .store(node.applied_index().0, Ordering::Relaxed);
+    status
+        .retired
+        .store(node.role() == Role::Removed, Ordering::Relaxed);
+}

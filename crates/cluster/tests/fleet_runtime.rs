@@ -1,0 +1,254 @@
+//! The shared driver runtime under a multi-range autonomous campaign: many
+//! raft groups on a deliberately tiny worker pool, with kill/restart faults,
+//! spare-pool staffing, and retired-WAL reclaim — the deployment shape
+//! thread-per-node could not host.
+
+use recraft_cluster::{
+    os_thread_count, ClientOptions, Cluster, ControlOptions, ControlPlane, FleetSpec, FleetView,
+    HarnessBackend,
+};
+use recraft_fleet::FleetConfig;
+use recraft_types::{ClusterId, SessionId};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Same serialization discipline as the other harness suites: concurrent
+/// clusters starve each other's heartbeats on small machines.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn wait_until(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + timeout;
+    while Instant::now() < end {
+        if f() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    f()
+}
+
+/// WAL directories currently on disk under the fleet's scratch root.
+fn wal_dirs(cluster: &Cluster) -> usize {
+    let root = cluster.data_root().expect("wal-backed fleet");
+    std::fs::read_dir(root)
+        .map(|it| it.filter_map(Result::ok).count())
+        .unwrap_or(0)
+}
+
+/// Eight single-node ranges boot on a two-worker pool: every range elects
+/// its leader and the process grew by only the fixed worker count, not by
+/// anything proportional to the range count.
+#[test]
+fn eight_ranges_boot_on_two_workers() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let before = os_thread_count().expect("/proc thread count");
+    let mut fleet = FleetSpec::new(8, 1, HarnessBackend::Mem);
+    fleet.workers = Some(2);
+    let cluster = Cluster::launch_fleet(&fleet);
+    assert_eq!(cluster.worker_count(), 2);
+    for r in 1..=8 {
+        assert!(
+            cluster
+                .wait_for_leader_of(ClusterId(r), Duration::from_secs(10))
+                .is_some(),
+            "range {r} never led:\n{}",
+            cluster.debug_dump()
+        );
+    }
+    let after = os_thread_count().expect("/proc thread count");
+    assert!(
+        after.saturating_sub(before) <= fleet.workers.unwrap() + 2,
+        "8 ranges cost {} extra threads on a {}-worker pool",
+        after.saturating_sub(before),
+        fleet.workers.unwrap()
+    );
+    let nodes = cluster.shutdown();
+    assert_eq!(nodes.len(), 8);
+}
+
+/// The full autonomy loop on the shared runtime: a two-range WAL fleet on
+/// two workers takes hot-range load, the control plane splits the hot range
+/// (staffing three joiners), a follower is killed and restarted from its WAL
+/// mid-campaign, the idle fleet merges back down to one range, the retired
+/// nodes are reaped — their WAL directories reclaimed, their ids pooled —
+/// and a later staffing recycles a pooled id. Exactly-once holds across all
+/// of it, and cross-worker replication actually multiplexed (batch counters
+/// nonzero).
+#[test]
+fn autonomy_campaign_on_two_workers_with_spare_reuse() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let before = os_thread_count().expect("/proc thread count");
+    let mut fleet = FleetSpec::new(2, 3, HarnessBackend::Wal);
+    fleet.fsync = false;
+    fleet.workers = Some(2);
+    let cluster = Arc::new(Cluster::launch_fleet(&fleet));
+    let boot = [ClusterId(1), ClusterId(2)];
+    for c in boot {
+        assert!(
+            cluster
+                .wait_for_leader_of(c, Duration::from_secs(10))
+                .is_some(),
+            "boot range {c:?} never led:\n{}",
+            cluster.debug_dump()
+        );
+    }
+    // Six nodes, two extra threads: the budget is the worker pool.
+    let after_boot = os_thread_count().expect("/proc thread count");
+    assert!(
+        after_boot.saturating_sub(before) <= fleet.workers.unwrap() + 2,
+        "6 nodes cost {} extra threads",
+        after_boot.saturating_sub(before)
+    );
+
+    let view = FleetView::new(cluster.net());
+    let plane = ControlPlane::spawn(
+        Arc::clone(&cluster),
+        Arc::clone(&view),
+        ControlOptions {
+            fleet: FleetConfig {
+                split_ops: 60,
+                merge_ops: 8,
+                split_bytes: 64 << 20,
+                merge_bytes: 16 << 20,
+                cooldown_us: 1_500_000,
+                stall_us: 600_000_000,
+                max_inflight: 1,
+                replication: 3,
+                min_ranges: 1,
+                max_ranges: 3,
+            },
+            interval: Duration::from_millis(100),
+            cmd_deadline: Duration::from_secs(10),
+            next_cluster: 3,
+        },
+    );
+
+    // Hot-range load: every key lands below the k00005000 boundary, so
+    // range 1 carries all of it and is the one the controller splits.
+    let opts = ClientOptions {
+        ops: 3_000,
+        window: 4,
+        value_size: 64,
+        key_count: 4_000,
+        deadline: Duration::from_secs(180),
+        view: Some(Arc::clone(&view)),
+        ..ClientOptions::default()
+    };
+    let load = {
+        let c = Arc::clone(&cluster);
+        let opts = opts.clone();
+        thread::Builder::new()
+            .name("fleet-load".into())
+            .spawn(move || c.run_clients(8, &opts))
+            .expect("spawn load thread")
+    };
+
+    // The controller staffs three joiners and splits the hot range into
+    // children 3 and 4 on its own. Grab child A's leader the moment it
+    // appears — at debug speed the campaign keeps moving, and the kill
+    // below must land while the child still exists.
+    let (a, b) = (ClusterId(3), ClusterId(4));
+    let leader_a = cluster
+        .wait_for_leader_of(a, Duration::from_secs(90))
+        .unwrap_or_else(|| panic!("child {a:?} never led:\n{}", cluster.debug_dump()));
+    assert!(
+        cluster
+            .wait_for_leader_of(b, Duration::from_secs(90))
+            .is_some(),
+        "child {b:?} never led:\n{}",
+        cluster.debug_dump()
+    );
+
+    // Kill a follower of one child mid-load, then reboot it from its WAL
+    // onto a fresh shard seat and port.
+    let victim = cluster
+        .members_of(a)
+        .keys()
+        .copied()
+        .find(|n| *n != leader_a)
+        .expect("child follower");
+    assert!(cluster.kill(victim), "victim {victim:?} was not running");
+    thread::sleep(Duration::from_millis(700));
+    cluster.restart(victim);
+
+    let run = load.join().expect("client threads");
+    assert!(
+        run.all_completed(),
+        "routed fleet incomplete: {:?}\n{}",
+        run.reports,
+        cluster.debug_dump()
+    );
+    assert_eq!(run.confirmed_ops(), 8 * opts.ops);
+
+    // Idle fleet: the controller merges back down to one range, retiring a
+    // quorum's worth of nodes per merge; the plane reaps each retirement
+    // into the spare pool and reclaims its WAL directory.
+    assert!(
+        wait_until(Duration::from_secs(120), || view
+            .with_directory(|d| d.len() == 1)),
+        "fleet never merged back to one range (directory v{}):\n{}",
+        view.version(),
+        cluster.debug_dump()
+    );
+    assert!(
+        wait_until(Duration::from_secs(30), || cluster.spare_count() >= 3),
+        "retired nodes never reaped into the spare pool (spares={}):\n{}",
+        cluster.spare_count(),
+        cluster.debug_dump()
+    );
+    // Boot dirs (6) + staffed joiners (3), minus one reclaimed per spare.
+    let spares = cluster.spare_count();
+    assert!(
+        wal_dirs(&cluster) <= 9 - spares,
+        "reaped WAL directories not reclaimed: {} dirs on disk, {spares} spares",
+        wal_dirs(&cluster)
+    );
+
+    let report = plane.stop();
+    let (splits, merges, staffed) = report.planned;
+    assert!(
+        splits >= 1 && merges >= 1 && staffed >= 1,
+        "campaign underplanned: {report:?}"
+    );
+    assert!(report.reaped >= 3, "plane reaped too few: {report:?}");
+
+    // Staffing after retirement recycles a pooled id instead of minting.
+    let merged = view
+        .with_directory(|d| d.lookup(b"k00000000").map(|(c, _)| c))
+        .expect("merged route");
+    let spares_before = cluster.spare_count();
+    let recycled = cluster.spawn_joiner(merged);
+    assert_eq!(
+        cluster.spare_count(),
+        spares_before - 1,
+        "joiner did not draw from the spare pool"
+    );
+    assert!(
+        recycled.0 <= 9,
+        "recycled id {recycled:?} was freshly minted, not pooled"
+    );
+
+    // The whole campaign ran cross-worker replication through mux batches.
+    let wire = cluster.wire_stats();
+    assert!(wire.batches > 0, "no mux batches on a two-worker fleet");
+    assert!(wire.mean_batch() >= 1.0);
+
+    // Exactly-once on the merged cluster's most-applied member.
+    let nodes = Arc::try_unwrap(cluster)
+        .unwrap_or_else(|_| panic!("cluster handles still outstanding"))
+        .shutdown();
+    let survivor = nodes
+        .iter()
+        .filter(|n| n.cluster() == merged)
+        .max_by_key(|n| n.applied_index().0)
+        .expect("a merged-cluster node");
+    for c in 0..8 {
+        let last = survivor.sessions().last_seq(SessionId(c));
+        assert_eq!(last, Some(opts.ops), "session {c}: last_seq {last:?}");
+    }
+}

@@ -895,6 +895,18 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         self.exchange.is_some()
     }
 
+    /// Whether a [`Node::take_outputs`] drain would return anything.
+    ///
+    /// An embedding that hosts many nodes on one thread uses this to skip
+    /// the write-ahead barrier for nodes that externalized nothing this
+    /// round: with no message leaving, nothing is promised, so deferring
+    /// the flush (and its fsync) to the round that does produce output is
+    /// safe.
+    #[must_use]
+    pub fn has_outputs(&self) -> bool {
+        !self.outbox.is_empty() || !self.events.is_empty()
+    }
+
     /// Drains accumulated outbound messages and trace events.
     ///
     /// This is the *write-ahead barrier*: all storage writes (log entries,

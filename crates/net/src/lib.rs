@@ -11,10 +11,14 @@
 //!
 //! For real transports, every message implements the workspace
 //! `Encode`/`Decode` codec, and [`frame`] wraps encoded envelopes in
-//! length-prefixed frames suitable for a TCP byte stream.
+//! length-prefixed frames suitable for a TCP byte stream. [`mux`] adds a
+//! batch dialect on top — many envelopes per write for multiplexed
+//! worker-to-worker connections — with an incremental reader that decodes
+//! both dialects off one stream.
 
 mod codec;
 pub mod frame;
 mod message;
+pub mod mux;
 
 pub use message::{AdminCmd, Envelope, Message, NodeStats, PullHint};

@@ -1,0 +1,313 @@
+//! Multiplexed batch framing: many envelopes per stream, one write per
+//! destination per driver round.
+//!
+//! The plain frame format ([`crate::frame`]) carries one envelope per
+//! length prefix — right for a client or admin connection that speaks in
+//! single requests. Between *driver workers*, where one round can produce
+//! dozens of envelopes for the same destination endpoint (heartbeats,
+//! appends, and acks for every node the far worker hosts), per-envelope
+//! writes waste a syscall each. A **batch** packs a whole round's worth
+//! into one write:
+//!
+//! ```text
+//! MUX_MAGIC (u32 BE) | batch_len (u32 BE) | count (u32 BE)
+//!   | count × ( env_len (u32 BE) | encoded Envelope )
+//! ```
+//!
+//! `batch_len` covers everything after itself (count word included) and is
+//! bounded by [`MAX_FRAME_BYTES`], so a corrupt peer cannot force an
+//! unbounded allocation. [`MUX_MAGIC`] is deliberately larger than
+//! `MAX_FRAME_BYTES`, so the first four bytes of a connection always
+//! disambiguate: a value above the frame cap that is not the magic is
+//! garbage on either protocol. One listener therefore serves both wire
+//! dialects with no handshake — clients keep sending plain frames, worker
+//! peers send batches — and [`MuxReader`] decodes the interleaving
+//! incrementally from nonblocking reads.
+//!
+//! Truncated, oversized, and corrupted input surfaces as [`Error::Codec`],
+//! never a panic; the property tests drive random chunkings and
+//! corruptions through the reader.
+
+use crate::frame::MAX_FRAME_BYTES;
+use crate::message::Envelope;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use recraft_types::codec::{Decode, Encode};
+use recraft_types::{Error, Result};
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// Marker distinguishing a batch from a plain frame. Any valid plain frame
+/// starts with a length `<= MAX_FRAME_BYTES`; this sits far above the cap,
+/// so the two prefixes can never collide.
+pub const MUX_MAGIC: u32 = 0xF1EE_CAB1;
+
+const _: () = assert!(MUX_MAGIC as usize > MAX_FRAME_BYTES);
+
+/// Encodes `envs` as one batch.
+///
+/// # Errors
+/// Returns [`Error::Codec`] when the batch is empty or its encoded size
+/// exceeds [`MAX_FRAME_BYTES`] (split the batch and retry — the driver's
+/// batch ceiling keeps real rounds far below the cap).
+pub fn encode_batch(envs: &[Envelope]) -> Result<Bytes> {
+    if envs.is_empty() {
+        return Err(Error::Codec("empty mux batch".into()));
+    }
+    let mut body = BytesMut::new();
+    body.put_u32(u32::try_from(envs.len()).expect("batch count fits u32"));
+    for env in envs {
+        let payload = env.encode_to_bytes();
+        body.put_u32(u32::try_from(payload.len()).expect("envelope exceeds u32 length"));
+        body.put_slice(&payload);
+    }
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(Error::Codec(format!(
+            "mux batch of {} envelopes encodes to {} bytes, cap {MAX_FRAME_BYTES}",
+            envs.len(),
+            body.len()
+        )));
+    }
+    let mut framed = BytesMut::with_capacity(8 + body.len());
+    framed.put_u32(MUX_MAGIC);
+    framed.put_u32(body.len() as u32);
+    framed.put_slice(&body);
+    Ok(framed.freeze())
+}
+
+/// Writes `envs` as one batch in a single `write_all`.
+///
+/// # Errors
+/// Returns [`Error::Codec`] for an unencodable batch and [`Error::Storage`]
+/// on stream I/O failure.
+pub fn write_batch<W: Write>(w: &mut W, envs: &[Envelope]) -> Result<()> {
+    let framed = encode_batch(envs)?;
+    w.write_all(&framed)
+        .map_err(|e| Error::Storage(format!("mux batch write: {e}")))?;
+    Ok(())
+}
+
+/// Incremental decoder for a stream interleaving plain frames and batches.
+///
+/// Feed whatever a (possibly nonblocking) read produced with
+/// [`MuxReader::feed`], then drain complete envelopes with
+/// [`MuxReader::next_envelope`] — `Ok(None)` means "need more bytes", an
+/// error means the stream is corrupt and the connection should be dropped.
+#[derive(Debug, Default)]
+pub struct MuxReader {
+    buf: Vec<u8>,
+    /// Envelopes decoded from a completed batch, drained before the buffer
+    /// is parsed further.
+    ready: VecDeque<Envelope>,
+}
+
+impl MuxReader {
+    /// An empty reader.
+    #[must_use]
+    pub fn new() -> MuxReader {
+        MuxReader::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decodable into a complete unit.
+    #[must_use]
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The next complete envelope, if the buffer holds one.
+    ///
+    /// # Errors
+    /// Returns [`Error::Codec`] on an oversized prefix, a malformed batch,
+    /// or an envelope that fails to decode. The reader is then poisoned in
+    /// the sense that its buffer no longer has a trustworthy framing
+    /// boundary — drop the connection.
+    pub fn next_envelope(&mut self) -> Result<Option<Envelope>> {
+        if let Some(env) = self.ready.pop_front() {
+            return Ok(Some(env));
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let prefix = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if prefix == MUX_MAGIC {
+            self.try_batch()
+        } else {
+            self.try_plain(prefix as usize)
+        }
+    }
+
+    /// Decodes one plain frame (`prefix` already read as its length word).
+    fn try_plain(&mut self, len: usize) -> Result<Option<Envelope>> {
+        if len > MAX_FRAME_BYTES {
+            return Err(Error::Codec(format!(
+                "oversized frame: {len} bytes exceeds cap {MAX_FRAME_BYTES}"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let mut payload = Bytes::copy_from_slice(&self.buf[4..4 + len]);
+        self.buf.drain(..4 + len);
+        let env = Envelope::decode(&mut payload)?;
+        if payload.remaining() != 0 {
+            return Err(Error::Codec(format!(
+                "frame has {} trailing bytes after envelope",
+                payload.remaining()
+            )));
+        }
+        Ok(Some(env))
+    }
+
+    /// Decodes one whole batch into `ready` and pops the first envelope.
+    fn try_batch(&mut self) -> Result<Option<Envelope>> {
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let body_len =
+            u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
+        if body_len > MAX_FRAME_BYTES {
+            return Err(Error::Codec(format!(
+                "oversized mux batch: {body_len} bytes exceeds cap {MAX_FRAME_BYTES}"
+            )));
+        }
+        if self.buf.len() < 8 + body_len {
+            return Ok(None);
+        }
+        let mut body = Bytes::copy_from_slice(&self.buf[8..8 + body_len]);
+        self.buf.drain(..8 + body_len);
+        if body.remaining() < 4 {
+            return Err(Error::Codec("mux batch too short for its count".into()));
+        }
+        let count = body.get_u32() as usize;
+        if count == 0 {
+            return Err(Error::Codec("mux batch with zero envelopes".into()));
+        }
+        for i in 0..count {
+            if body.remaining() < 4 {
+                return Err(Error::Codec(format!(
+                    "mux batch truncated at envelope {i} of {count}"
+                )));
+            }
+            let len = body.get_u32() as usize;
+            if body.remaining() < len {
+                return Err(Error::Codec(format!(
+                    "mux batch envelope {i} claims {len} bytes, {} remain",
+                    body.remaining()
+                )));
+            }
+            let mut payload = body.copy_to_bytes(len);
+            let env = Envelope::decode(&mut payload)?;
+            if payload.remaining() != 0 {
+                return Err(Error::Codec(format!(
+                    "mux batch envelope {i} has {} trailing bytes",
+                    payload.remaining()
+                )));
+            }
+            self.ready.push_back(env);
+        }
+        if body.remaining() != 0 {
+            return Err(Error::Codec(format!(
+                "mux batch has {} trailing bytes after {count} envelopes",
+                body.remaining()
+            )));
+        }
+        Ok(self.ready.pop_front())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_frame;
+    use crate::message::Message;
+    use recraft_types::{LogIndex, NodeId};
+
+    fn env(from: u64, to: u64, n: u64) -> Envelope {
+        Envelope::new(
+            NodeId(from),
+            NodeId(to),
+            Message::PullReq {
+                commit_index: LogIndex(n),
+            },
+        )
+    }
+
+    #[test]
+    fn batch_roundtrip_interleaved_with_plain_frames() {
+        let batch: Vec<Envelope> = (0..5).map(|i| env(1, 2 + i, 10 + i)).collect();
+        let single = env(7, 8, 99);
+        let mut wire = BytesMut::new();
+        wire.put_slice(&encode_batch(&batch).unwrap());
+        wire.put_slice(&encode_frame(&single));
+        wire.put_slice(&encode_batch(&batch[..2]).unwrap());
+
+        let mut reader = MuxReader::new();
+        reader.feed(&wire);
+        let mut got = Vec::new();
+        while let Some(e) = reader.next_envelope().unwrap() {
+            got.push(e);
+        }
+        let mut want = batch.clone();
+        want.push(single);
+        want.extend_from_slice(&batch[..2]);
+        assert_eq!(got, want);
+        assert_eq!(reader.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_feed_decodes_everything() {
+        let batch: Vec<Envelope> = (0..3).map(|i| env(1, 2, i)).collect();
+        let wire = encode_batch(&batch).unwrap();
+        let mut reader = MuxReader::new();
+        let mut got = Vec::new();
+        for b in wire.iter() {
+            reader.feed(&[*b]);
+            while let Some(e) = reader.next_envelope().unwrap() {
+                got.push(e);
+            }
+        }
+        assert_eq!(got, batch);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert!(encode_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn oversized_and_corrupt_prefixes_error() {
+        let mut reader = MuxReader::new();
+        // Above the frame cap but not the magic: garbage on both dialects.
+        reader.feed(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        assert!(reader.next_envelope().is_err());
+
+        let mut reader = MuxReader::new();
+        reader.feed(&MUX_MAGIC.to_be_bytes());
+        reader.feed(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        assert!(reader.next_envelope().is_err());
+    }
+
+    #[test]
+    fn truncated_batch_waits_then_corrupt_count_errors() {
+        let batch = vec![env(1, 2, 3)];
+        let wire = encode_batch(&batch).unwrap();
+        let mut reader = MuxReader::new();
+        reader.feed(&wire[..wire.len() - 1]);
+        assert!(reader.next_envelope().unwrap().is_none(), "incomplete");
+        reader.feed(&wire[wire.len() - 1..]);
+        assert_eq!(reader.next_envelope().unwrap(), Some(batch[0].clone()));
+
+        // A batch whose declared count exceeds its contents is corrupt.
+        let mut bad = BytesMut::new();
+        bad.put_u32(MUX_MAGIC);
+        bad.put_u32(4);
+        bad.put_u32(3); // claims 3 envelopes, carries none
+        let mut reader = MuxReader::new();
+        reader.feed(&bad);
+        assert!(reader.next_envelope().is_err());
+    }
+}
