@@ -41,6 +41,7 @@ struct Point {
     snapshot_installs: u64,
     peak_threads: usize,
     mean_wire_batch: f64,
+    idle_wakeups_per_sec: f64,
 }
 
 fn run_point(nodes: usize, backend: HarnessBackend, ops_per_client: u64) -> Point {
@@ -62,6 +63,16 @@ fn run_point(nodes: usize, backend: HarnessBackend, ops_per_client: u64) -> Poin
     cluster
         .wait_for_leader(Duration::from_secs(60))
         .expect("leader election");
+    // Idle window before the fleet attaches: with heartbeats at 1 s and
+    // elections settled, the readiness loop should wake on deadlines only —
+    // the column that shows the sweep loop's 2 000/s-per-worker busy-idle
+    // is gone.
+    let idle_window = Duration::from_millis(1_500);
+    let w0 = cluster.wire_stats();
+    std::thread::sleep(idle_window);
+    let w1 = cluster.wire_stats();
+    let idle_wakeups_per_sec =
+        (w1.idle_wakeups - w0.idle_wakeups) as f64 / idle_window.as_secs_f64();
     let opts = ClientOptions {
         ops: ops_per_client,
         window: 8,
@@ -134,6 +145,7 @@ fn run_point(nodes: usize, backend: HarnessBackend, ops_per_client: u64) -> Poin
         snapshot_installs,
         peak_threads,
         mean_wire_batch,
+        idle_wakeups_per_sec,
     }
 }
 
@@ -208,7 +220,7 @@ fn write_summary(points: &[Point], ops_per_client: u64) -> std::io::Result<()> {
              \"ns_per_op\": {:.0}, \"ops_per_ms\": {:.3}, \"sync_per_entry\": {:.4}, \
              \"redirects\": {}, \"stale_confirmed\": {}, \"elections\": {}, \
              \"snapshot_installs\": {}, \"peak_threads\": {}, \
-             \"mean_wire_batch\": {:.2}}}{comma}",
+             \"mean_wire_batch\": {:.2}, \"idle_wakeups_per_sec\": {:.2}}}{comma}",
             p.nodes,
             p.backend,
             p.total_ops,
@@ -220,7 +232,8 @@ fn write_summary(points: &[Point], ops_per_client: u64) -> std::io::Result<()> {
             p.elections,
             p.snapshot_installs,
             p.peak_threads,
-            p.mean_wire_batch
+            p.mean_wire_batch,
+            p.idle_wakeups_per_sec
         )?;
     }
     writeln!(f, "  ]\n}}")?;

@@ -7,12 +7,18 @@
 //! first range until the controller splits it (staffing joiners from the
 //! runtime), a follower of the new child is killed and restarted from its
 //! WAL mid-campaign, and the idle fleet merges the children back down to
-//! the boot range count. The run asserts its own acceptance bars: every
-//! client finishes and confirms exactly-once, at least one split and one
-//! merge complete, cross-worker replication actually multiplexes (mux
-//! batch counters nonzero), and the whole process stays within
-//! `2 x cores + small constant` OS threads at peak — the number
-//! thread-per-node could never meet at this range count.
+//! the boot range count. A second, zipfian wave then spreads power-law
+//! load across the whole keyspace while the control plane's seat
+//! rebalancer migrates hot shards between workers. The run asserts its own
+//! acceptance bars: every client finishes and confirms exactly-once
+//! (including any merge-burned writes recovered by reissue), at least one
+//! split and one merge complete, cross-worker replication actually
+//! multiplexes (mux batch counters nonzero), the idle fleet wakes at
+//! least 10x less often than the retired 500 µs sweep loop did, the
+//! post-rebalance max/mean worker load ratio sits at or below 2.0, and
+//! the whole process stays within `2 x cores + small constant` OS threads
+//! at peak — the number thread-per-node could never meet at this range
+//! count.
 //!
 //! Run with: `cargo bench -p recraft-bench --bench mux_fleet`
 //! (`BENCH_SMOKE=1` halves the range count and shortens the load for CI
@@ -56,7 +62,16 @@ struct Outcome {
     wire_batches: u64,
     wire_envelopes: u64,
     mean_wire_batch: f64,
+    idle_wakeups_per_sec: f64,
+    shard_imbalance: f64,
+    seat_migrations: u64,
+    reissued: u64,
 }
+
+/// What the retired sweep loop cost at idle: every worker re-polled its
+/// whole shard each `IDLE_PARK` (500 µs) park, wakeups with zero work to
+/// do. The readiness loop must beat this by at least 10x.
+const SWEEP_BASELINE_WAKEUPS_PER_SEC: f64 = 2_000.0;
 
 fn wait_until(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
     let end = Instant::now() + timeout;
@@ -105,6 +120,24 @@ fn run(scale: &Scale) -> Outcome {
         threads_boot.saturating_sub(threads_baseline)
     );
 
+    // Idle-wakeup bar, measured before any load or control plane exists:
+    // every seat is quiescent (leaders heartbeat at 300 ms; elections are
+    // settled), so the readiness loop should wake only on deadlines. A
+    // 10x drop from the sweep loop's park cadence is the acceptance floor;
+    // in practice deadline-driven waits land orders of magnitude lower.
+    let idle_window = Duration::from_secs(2);
+    let w0 = cluster.wire_stats();
+    thread::sleep(idle_window);
+    let w1 = cluster.wire_stats();
+    let idle_wakeups_per_sec =
+        (w1.idle_wakeups - w0.idle_wakeups) as f64 / idle_window.as_secs_f64();
+    let idle_ceiling = workers as f64 * SWEEP_BASELINE_WAKEUPS_PER_SEC / 10.0;
+    assert!(
+        idle_wakeups_per_sec <= idle_ceiling,
+        "idle fleet woke {idle_wakeups_per_sec:.0}/s — less than a 10x drop from the \
+         {SWEEP_BASELINE_WAKEUPS_PER_SEC:.0}/s-per-worker sweep baseline ({workers} workers)"
+    );
+
     // Peak sampler: one extra thread recording the process-wide high-water
     // mark while the campaign runs.
     let peak = Arc::new(AtomicUsize::new(threads_boot));
@@ -147,6 +180,7 @@ fn run(scale: &Scale) -> Outcome {
             interval: Duration::from_millis(200),
             cmd_deadline: Duration::from_secs(20),
             next_cluster: scale.ranges as u64 + 1,
+            ..ControlOptions::default()
         },
     );
 
@@ -216,11 +250,48 @@ fn run(scale: &Scale) -> Outcome {
         cluster.debug_dump()
     );
 
+    // Phase 2 — the zipfian campaign: a second wave (fresh sessions)
+    // spreads power-law-skewed load across the whole keyspace, so every
+    // range sees traffic but the low ranges run hot. The control plane is
+    // still up: its rebalancer differences the per-seat step/byte counters
+    // every round and migrates hot seats off overloaded workers while the
+    // wave runs.
+    let zipf_opts = ClientOptions {
+        ops: scale.ops_per_client / 2,
+        window: 4,
+        value_size: 64,
+        key_count: 10_000,
+        key_skew: 2.0,
+        read_timeout: Duration::from_secs(10),
+        deadline: Duration::from_secs(600),
+        session_base: 100,
+        view: Some(Arc::clone(&view)),
+    };
+    let zipf_run = cluster.run_clients(CLIENTS, &zipf_opts);
+    assert!(
+        zipf_run.all_completed(),
+        "zipfian wave incomplete: {:?}\n{}",
+        zipf_run.reports,
+        cluster.debug_dump()
+    );
+
     let report = plane.stop();
     let (splits, merges, staffed) = report.planned;
     assert!(
         splits >= 1 && merges >= 1,
         "campaign must complete a split and a merge: {report:?}"
+    );
+    // Post-rebalance balance bar: the last loaded round the rebalancer
+    // measured (its moves from earlier rounds already applied) must sit at
+    // or below a 2.0 max/mean worker-load ratio.
+    assert!(
+        report.imbalance > 0.0,
+        "rebalancer never measured a loaded round: {report:?}"
+    );
+    assert!(
+        report.imbalance <= 2.0,
+        "post-rebalance shard load ratio {:.2} above the 2.0 bar: {report:?}",
+        report.imbalance
     );
 
     stop.store(true, Ordering::Relaxed);
@@ -241,8 +312,9 @@ fn run(scale: &Scale) -> Outcome {
     // the split children, and the merge that restores the range floor is
     // free to fold a child into a neighbor rather than its sibling — so a
     // session's tail may live in any surviving cluster. No table can ever
-    // exceed `ops` (dedup forbids it), so the fleet-wide max reaching `ops`
-    // for every session is the exactly-once witness.
+    // exceed the client's final wire sequence (dedup forbids it), so the
+    // fleet-wide max reaching each client's reported `last_seq` — ops plus
+    // any merge-burned reissues — is the exactly-once witness.
     let nodes = Arc::try_unwrap(cluster)
         .unwrap_or_else(|_| panic!("cluster handles still outstanding"))
         .shutdown();
@@ -251,7 +323,15 @@ fn run(scale: &Scale) -> Outcome {
             .iter()
             .filter_map(|n| n.sessions().last_seq(SessionId(c)))
             .max();
-        assert_eq!(last, Some(opts.ops), "session {c}: last_seq {last:?}");
+        let expected = fleet_run.last_seq_of(c);
+        assert_eq!(last, expected, "session {c}: last_seq {last:?}");
+        // The zipfian wave's sessions (offset by its session_base).
+        let last2 = nodes
+            .iter()
+            .filter_map(|n| n.sessions().last_seq(SessionId(100 + c)))
+            .max();
+        let expected2 = zipf_run.last_seq_of(c);
+        assert_eq!(last2, expected2, "zipf session {c}: last_seq {last2:?}");
     }
 
     Outcome {
@@ -271,6 +351,15 @@ fn run(scale: &Scale) -> Outcome {
         wire_batches: wire.batches,
         wire_envelopes: wire.batched_envelopes,
         mean_wire_batch: wire.mean_batch(),
+        idle_wakeups_per_sec,
+        shard_imbalance: report.imbalance,
+        seat_migrations: report.migrations,
+        reissued: fleet_run
+            .reports
+            .iter()
+            .chain(zipf_run.reports.iter())
+            .map(|r| r.reissued)
+            .sum(),
     }
 }
 
@@ -311,6 +400,14 @@ fn main() {
         "wire: {} mux batches carrying {} envelopes ({:.2} envelopes/batch)",
         o.wire_batches, o.wire_envelopes, o.mean_wire_batch
     );
+    println!(
+        "idle: {:.1} wakeups/s across {} workers (sweep baseline {:.0}/s/worker)",
+        o.idle_wakeups_per_sec, o.workers, SWEEP_BASELINE_WAKEUPS_PER_SEC
+    );
+    println!(
+        "rebalance: shard load ratio {:.2} after {} seat migration(s); {} write(s) reissued past burned sequences",
+        o.shard_imbalance, o.seat_migrations, o.reissued
+    );
     let _ = std::io::stdout().flush();
     write_summary(&scale, &o, smoke).expect("write bench summary");
 }
@@ -332,7 +429,9 @@ fn write_summary(scale: &Scale, o: &Outcome, smoke: bool) -> std::io::Result<()>
          \"total_ops\": {},\n  \"ops_per_ms\": {:.3},\n  \"wall_ms\": {},\n  \
          \"splits\": {},\n  \"merges\": {},\n  \"staffed\": {},\n  \
          \"reaped\": {},\n  \"wire_batches\": {},\n  \"wire_envelopes\": {},\n  \
-         \"mean_wire_batch\": {:.2}\n}}",
+         \"mean_wire_batch\": {:.2},\n  \"idle_wakeups_per_sec\": {:.2},\n  \
+         \"shard_imbalance\": {:.3},\n  \"seat_migrations\": {},\n  \
+         \"reissued\": {}\n}}",
         scale.ranges,
         scale.replication,
         o.nodes,
@@ -351,7 +450,11 @@ fn write_summary(scale: &Scale, o: &Outcome, smoke: bool) -> std::io::Result<()>
         o.reaped,
         o.wire_batches,
         o.wire_envelopes,
-        o.mean_wire_batch
+        o.mean_wire_batch,
+        o.idle_wakeups_per_sec,
+        o.shard_imbalance,
+        o.seat_migrations,
+        o.reissued
     )?;
     Ok(())
 }

@@ -33,17 +33,37 @@
 //! parked write is only re-sent once the directory maps its key to a
 //! *different* cluster than the one that refused it. Together these keep
 //! each cluster's view of a session gap-free below any sequence number the
-//! client might still re-send to it. (One residual race remains: if a
-//! split's two children merge back *before* a parked write ever reaches
-//! the sibling, the merged session table — a per-session max across both
-//! lineages — could stale-confirm it. The controller's cooldown between
-//! reconfigurations is seconds; a parked client re-routes within
-//! milliseconds, so the window is not reachable in practice.)
+//! client might still re-send to it — *within one lineage generation*.
+//!
+//! One reconfiguration sequence can cross generations: a split's children
+//! merging back before a parked write ever reached the sibling. The merged
+//! session table is a per-session **max across both lineages**, so it can
+//! hold a higher sequence number (applied by the refusing side after the
+//! park) while the parked write itself never applied anywhere — a
+//! `SessionStale` answer for it would be a false confirmation. The client
+//! fences exactly this case on the directory's **reconfiguration epoch**
+//! (every split and merge bumps it; children and siblings share a
+//! generation, merge successors exceed it): a `WrongRange` park records
+//! the refusing cluster's epoch, and if the key's route moves past that
+//! epoch before the re-send, every write parked at that moment is marked
+//! *fenced*. A fenced write is still re-sent normally — a `Reply` settles
+//! it — but a `SessionStale` answer is no longer taken on faith: the
+//! client re-probes with a linearizable `Get` of the write's key (values
+//! are unique per `(client, seq)`, so the read is definitive). A resident
+//! value confirms the write; an absent one proves it never applied and
+//! that the merged table *burned* its sequence number, so the client
+//! reissues the same operation under a fresh one. The reissue is
+//! exactly-once-safe: servers answer `SessionStale` only for keys they own
+//! (range before session table), so the preceding rejection pins the
+//! owner's per-session max at or above the burned number — any stale
+//! retransmission of the original write is rejected forever. That makes
+//! the `SessionStale ⇒ applied` inference unconditional wherever it is
+//! actually applied, and recovers the write where it is not.
 
 use crate::control::FleetView;
 use crate::CLIENT_BASE;
 use bytes::Bytes;
-use recraft_kv::KvCmd;
+use recraft_kv::{KvCmd, KvResp};
 use recraft_net::frame::{read_frame, write_frame};
 use recraft_net::{Envelope, Message};
 use recraft_types::{
@@ -66,6 +86,13 @@ pub struct ClientOptions {
     pub value_size: usize,
     /// Distinct keys across the run.
     pub key_count: u64,
+    /// Key-popularity skew exponent: `0.0` spreads ops uniformly over the
+    /// keyspace; larger values concentrate them zipf-style on the low end
+    /// (inverse-transform power law: a uniform draw `u` picks rank
+    /// `key_count * u^key_skew`). Skewed-but-broad load is what gives the
+    /// seat rebalancer hot shards worth migrating while still touching
+    /// every range.
+    pub key_skew: f64,
     /// Socket read timeout; expiry triggers reconnect-and-resend, which is
     /// the retry path for lost responses.
     pub read_timeout: Duration,
@@ -88,6 +115,7 @@ impl Default for ClientOptions {
             window: 8,
             value_size: 512,
             key_count: 10_000,
+            key_skew: 0.0,
             read_timeout: Duration::from_millis(1000),
             deadline: Duration::from_secs(120),
             session_base: 0,
@@ -104,8 +132,21 @@ pub struct ClientReport {
     /// Writes acknowledged with a reply.
     pub replies: u64,
     /// Writes confirmed applied via the `SessionStale` inference (the reply
-    /// itself was lost to a reconnect).
+    /// itself was lost to a reconnect), including fenced writes a probe
+    /// read confirmed.
     pub stale_confirmed: u64,
+    /// Fenced writes whose probe read found **no** resident value: the
+    /// write never applied and the merged session table blocks its
+    /// sequence number forever — the exact outcome the pre-fence client
+    /// silently misreported as confirmed. Each one was retried under a
+    /// fresh sequence number until it actually applied.
+    pub reissued: u64,
+    /// Probe reads issued for fenced `SessionStale` answers.
+    pub probes: u64,
+    /// The highest sequence number this session put on the wire
+    /// (`ops` plus one per reissue) — what the server-side session table's
+    /// max should equal after a completed run.
+    pub last_seq: u64,
     /// Replies for operations already confirmed (duplicate deliveries).
     pub duplicates: u64,
     /// Redirect outcomes followed.
@@ -115,7 +156,9 @@ pub struct ClientReport {
     pub wrong_range: u64,
     /// Connections dialed (including the first).
     pub connects: u64,
-    /// Whether every operation was confirmed before the deadline.
+    /// Whether every operation was confirmed before the deadline —
+    /// including any merge-burned writes, which count only once their
+    /// reissue lands.
     pub completed: bool,
 }
 
@@ -160,15 +203,35 @@ struct OpenLoopClient {
     /// The directory cluster the current window is addressed to (routed
     /// mode; `None` while falling back to blind rotation).
     window_cluster: Option<ClusterId>,
+    /// The reconfiguration epoch the directory recorded for
+    /// `window_cluster` when the window was routed there.
+    window_epoch: Option<u32>,
     /// A cluster that answered `WrongRange` for the oldest pending write:
     /// do not re-send there until the directory moves the key elsewhere.
     avoid: Option<ClusterId>,
+    /// The epoch `avoid` was observed at when the window parked. The
+    /// re-route compares against it: a target whose epoch exceeds it means
+    /// the lineage reconfigured past the sibling (merged back), so the
+    /// parked writes' `SessionStale` answers become untrustworthy.
+    parked_epoch: Option<u32>,
+    /// Sequence numbers whose window crossed a lineage generation while
+    /// parked: their `SessionStale` answers are resolved by probe read, not
+    /// inference.
+    fenced: std::collections::BTreeSet<u64>,
+    /// In-flight probe reads: seq → the unique value the write would have
+    /// stored if it applied.
+    probing: BTreeMap<u64, Bytes>,
     /// Leader hint from the last `Redirect`/`NotLeader` answer.
     prefer: Option<NodeId>,
     stream: Option<TcpStream>,
     /// The retry window: every unconfirmed request, keyed by seq.
     pending: BTreeMap<u64, ClientRequest>,
+    /// The wire sequence allocator: fresh ops and reissues both draw from
+    /// it, so it can run past `ops` when merged tables burn numbers.
     next_seq: u64,
+    /// Distinct application operations started (each confirmed exactly
+    /// once, whatever sequence number finally carried it).
+    ops_issued: u64,
     opts: ClientOptions,
     report: ClientReport,
 }
@@ -184,11 +247,16 @@ impl OpenLoopClient {
             target,
             dest: None,
             window_cluster: None,
+            window_epoch: None,
             avoid: None,
+            parked_epoch: None,
+            fenced: std::collections::BTreeSet::new(),
+            probing: BTreeMap::new(),
             prefer: None,
             stream: None,
             pending: BTreeMap::new(),
             next_seq: 1,
+            ops_issued: 0,
             opts,
             report: ClientReport {
                 client: idx,
@@ -199,7 +267,7 @@ impl OpenLoopClient {
 
     fn run(mut self) -> ClientReport {
         let deadline = Instant::now() + self.opts.deadline;
-        while self.next_seq <= self.opts.ops || !self.pending.is_empty() {
+        while self.ops_issued < self.opts.ops || !self.pending.is_empty() {
             if Instant::now() >= deadline {
                 break;
             }
@@ -209,7 +277,8 @@ impl OpenLoopClient {
             self.fill_window();
             self.read_one();
         }
-        self.report.completed = self.pending.is_empty() && self.next_seq > self.opts.ops;
+        self.report.last_seq = self.next_seq - 1;
+        self.report.completed = self.pending.is_empty() && self.ops_issued == self.opts.ops;
         self.report
     }
 
@@ -233,14 +302,26 @@ impl OpenLoopClient {
             return self.blind_pick();
         };
         match view.route(&self.frontier_key()) {
-            Some((cluster, _)) if Some(cluster) == self.avoid => {
+            Some((cluster, _, _)) if Some(cluster) == self.avoid => {
                 // Stale route: the rejecting cluster still claims the key.
                 thread::sleep(Duration::from_millis(5));
                 None
             }
-            Some((cluster, members)) => {
+            Some((cluster, epoch, members)) => {
+                if self.avoid.take().is_some() {
+                    // Re-routing a parked window. A target epoch beyond the
+                    // one we parked under means the refusing lineage
+                    // reconfigured again (merged back) before the re-send:
+                    // every write parked at that moment loses the
+                    // `SessionStale ⇒ applied` inference and resolves by
+                    // probe instead.
+                    if self.parked_epoch.take().is_some_and(|pe| epoch > pe) {
+                        self.fenced.extend(self.pending.keys().copied());
+                    }
+                }
+                self.parked_epoch = None;
                 self.window_cluster = Some(cluster);
-                self.avoid = None;
+                self.window_epoch = Some(epoch);
                 let chosen = self
                     .prefer
                     .and_then(|p| members.iter().find(|(n, _)| *n == p).copied())
@@ -251,6 +332,7 @@ impl OpenLoopClient {
                 // Directory not populated yet (or the members' addresses
                 // are all withdrawn): fall back to blind rotation.
                 self.window_cluster = None;
+                self.window_epoch = None;
                 self.blind_pick()
             }
         }
@@ -338,11 +420,11 @@ impl OpenLoopClient {
     fn fill_window(&mut self) {
         while self.stream.is_some()
             && self.pending.len() < self.opts.window.max(1)
-            && self.next_seq <= self.opts.ops
+            && self.ops_issued < self.opts.ops
         {
             let seq = self.next_seq;
             if let (Some(view), Some(cluster)) = (self.opts.view.as_ref(), self.window_cluster) {
-                if view.route(&self.key_for(seq)).map(|(c, _)| c) != Some(cluster) {
+                if view.route(&self.key_for(seq)).map(|(c, _, _)| c) != Some(cluster) {
                     if self.pending.is_empty() {
                         // Nothing in flight here and the next key lives
                         // elsewhere: move the connection, not the key.
@@ -352,6 +434,7 @@ impl OpenLoopClient {
                 }
             }
             self.next_seq += 1;
+            self.ops_issued += 1;
             let req = self.make_req(seq);
             self.pending.insert(seq, req.clone());
             let to = self
@@ -368,14 +451,27 @@ impl OpenLoopClient {
             .idx
             .wrapping_mul(0x9E37_79B9)
             .wrapping_add(seq.wrapping_mul(0x85EB_CA6B));
-        format!("k{:08}", mix % self.opts.key_count).into_bytes()
+        let rank = if self.opts.key_skew > 0.0 {
+            // Deterministic power-law skew: low ranks absorb most draws,
+            // the tail still covers the whole keyspace.
+            let u = (mix as f64 / u64::MAX as f64).powf(self.opts.key_skew);
+            ((self.opts.key_count as f64 * u) as u64).min(self.opts.key_count - 1)
+        } else {
+            mix % self.opts.key_count
+        };
+        format!("k{rank:08}").into_bytes()
+    }
+
+    /// The unique value write `seq` stores — per `(client, seq)`, which is
+    /// what lets a probe read decide "applied or not" exactly.
+    fn value_for(&self, seq: u64) -> Bytes {
+        let mut value = format!("c{}-s{}-", self.idx, seq).into_bytes();
+        value.resize(self.opts.value_size.max(value.len()), b'x');
+        Bytes::from(value)
     }
 
     fn make_req(&self, seq: u64) -> ClientRequest {
         let key = self.key_for(seq);
-        // Unique values make post-run spot checks exact.
-        let mut value = format!("c{}-s{}-", self.idx, seq).into_bytes();
-        value.resize(self.opts.value_size.max(value.len()), b'x');
         ClientRequest {
             session: self.session,
             seq,
@@ -383,10 +479,71 @@ impl OpenLoopClient {
                 key: key.clone(),
                 cmd: KvCmd::Put {
                     key,
-                    value: Bytes::from(value),
+                    value: self.value_for(seq),
                 }
                 .encode(),
             },
+        }
+    }
+
+    /// Replaces a fenced write's pending entry with a linearizable `Get` of
+    /// its key and sends it. The read bypasses the session table
+    /// (ReadIndex, no dedup), so the answer is authoritative: the write's
+    /// unique value is resident iff the write applied. The pending map now
+    /// carries the probe, so reconnect resends replay it like any window
+    /// entry until the `Reply` settles the seq.
+    fn start_probe(&mut self, seq: u64) {
+        if self.probing.contains_key(&seq) {
+            return; // already in flight (a resent probe's duplicate answer)
+        }
+        // The key comes from the pending request, not `key_for`: a
+        // reissued write carries its original operation's key under a new
+        // sequence number.
+        let key = self
+            .pending
+            .get(&seq)
+            .map(|req| match &req.op {
+                ClientOp::Command { key, .. } | ClientOp::Get { key } => key.clone(),
+            })
+            .unwrap_or_else(|| self.key_for(seq));
+        let probe = ClientRequest {
+            session: self.session,
+            seq,
+            op: ClientOp::Get { key },
+        };
+        self.pending.insert(seq, probe.clone());
+        self.probing.insert(seq, self.value_for(seq));
+        self.report.probes += 1;
+        if let Some(to) = self.dest {
+            let _ = self.send(to, probe);
+        }
+    }
+
+    /// Retries a burned write under a fresh sequence number. Reached only
+    /// when a probe (issued after a `SessionStale` from the key's owner)
+    /// found no resident value: the owner's per-session max already exceeds
+    /// the burned number, so the original write — including any stale
+    /// retransmission still in flight — can never apply, and re-running the
+    /// operation once under a new number preserves exactly-once.
+    fn reissue(&mut self, key: Vec<u8>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.report.reissued += 1;
+        let req = ClientRequest {
+            session: self.session,
+            seq,
+            op: ClientOp::Command {
+                key: key.clone(),
+                cmd: KvCmd::Put {
+                    key,
+                    value: self.value_for(seq),
+                }
+                .encode(),
+            },
+        };
+        self.pending.insert(seq, req.clone());
+        if let Some(to) = self.dest {
+            let _ = self.send(to, req);
         }
     }
 
@@ -413,8 +570,30 @@ impl OpenLoopClient {
         }
         let seq = resp.seq;
         match resp.outcome {
-            ClientOutcome::Reply { .. } => {
-                if self.pending.remove(&seq).is_some() {
+            ClientOutcome::Reply { payload } => {
+                if let Some(expected) = self.probing.remove(&seq) {
+                    // The probe read's answer: resident value decides the
+                    // fenced write's fate for good.
+                    let probe = self.pending.remove(&seq);
+                    self.fenced.remove(&seq);
+                    let applied = matches!(
+                        KvResp::decode(&payload),
+                        Ok(KvResp::Value { value: Some(v), .. }) if v == expected
+                    );
+                    if applied {
+                        self.report.stale_confirmed += 1;
+                    } else {
+                        // Never applied, and the merged table burned the
+                        // sequence number: run the operation again under a
+                        // fresh one.
+                        let key = match probe.map(|req| req.op) {
+                            Some(ClientOp::Get { key } | ClientOp::Command { key, .. }) => key,
+                            None => self.key_for(seq),
+                        };
+                        self.reissue(key);
+                    }
+                } else if self.pending.remove(&seq).is_some() {
+                    self.fenced.remove(&seq);
                     self.report.replies += 1;
                 } else {
                     self.report.duplicates += 1;
@@ -432,10 +611,19 @@ impl OpenLoopClient {
                 }
                 match error {
                     Error::SessionStale => {
-                        // A higher seq applied, so this one did too; only
-                        // the reply was lost. Confirmed.
-                        self.pending.remove(&seq);
-                        self.report.stale_confirmed += 1;
+                        if self.fenced.contains(&seq) {
+                            // The window crossed a lineage generation while
+                            // this write was parked: the "higher seq" the
+                            // table saw may belong to the *other* lineage.
+                            // Resolve by reading, not inferring.
+                            self.start_probe(seq);
+                        } else {
+                            // Same lineage generation: a higher seq applied,
+                            // so this one did too; only the reply was lost.
+                            // Confirmed.
+                            self.pending.remove(&seq);
+                            self.report.stale_confirmed += 1;
+                        }
                     }
                     Error::NotLeader(hint) => {
                         self.report.redirects += 1;
@@ -445,9 +633,11 @@ impl OpenLoopClient {
                         // The route was stale: park the window (the write
                         // stays pending, nothing new is issued) and refuse
                         // to re-send to this cluster until the directory
-                        // moves the key somewhere else.
+                        // moves the key somewhere else. Remember the epoch
+                        // we parked under — the re-route fences on it.
                         self.report.wrong_range += 1;
                         self.avoid = self.window_cluster.take();
+                        self.parked_epoch = self.window_epoch.take();
                         self.prefer = None;
                         self.stream = None;
                     }

@@ -37,6 +37,11 @@ use std::sync::{Arc, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+/// One route answer from [`FleetView::route`]: the serving cluster, its
+/// reconfiguration epoch as last observed (the retry fence), and its
+/// members' current addresses.
+pub type Route = (ClusterId, u32, Vec<(NodeId, SocketAddr)>);
+
 /// The shared, loosely-consistent fleet view: the [`ShardDirectory`] the
 /// control plane publishes each sampling round, plus the live address map
 /// to resolve its member sets against. Routed clients read it lock-free of
@@ -74,23 +79,25 @@ impl FleetView {
         self.dir.read().expect("directory lock").version()
     }
 
-    /// The cluster serving `key` and its members' current addresses, or
-    /// `None` while the directory has no record covering the key.
+    /// The cluster serving `key` — its id, its reconfiguration epoch as
+    /// last observed (the retry fence), and its members' current addresses —
+    /// or `None` while the directory has no record covering the key.
     #[must_use]
-    pub fn route(&self, key: &[u8]) -> Option<(ClusterId, Vec<(NodeId, SocketAddr)>)> {
+    pub fn route(&self, key: &[u8]) -> Option<Route> {
         let dir = self.dir.read().expect("directory lock");
-        let (cluster, members) = dir.lookup(key)?;
-        let addrs: Vec<(NodeId, SocketAddr)> = members
+        let (cluster, record) = dir.lookup_record(key)?;
+        let addrs: Vec<(NodeId, SocketAddr)> = record
+            .members
             .iter()
             .filter_map(|m| self.net.addr_of(*m).map(|a| (*m, a)))
             .collect();
-        (!addrs.is_empty()).then_some((cluster, addrs))
+        (!addrs.is_empty()).then_some((cluster, record.epoch, addrs))
     }
 
     /// Replaces the directory contents with one observation round.
     pub fn publish(
         &self,
-        records: impl IntoIterator<Item = (ClusterId, recraft_types::RangeSet, BTreeSet<NodeId>)>,
+        records: impl IntoIterator<Item = (ClusterId, recraft_types::RangeSet, BTreeSet<NodeId>, u32)>,
     ) {
         self.dir.write().expect("directory lock").sync(records);
     }
@@ -98,6 +105,49 @@ impl FleetView {
     /// Runs `f` under the directory read lock (snapshot inspection).
     pub fn with_directory<T>(&self, f: impl FnOnce(&ShardDirectory) -> T) -> T {
         f(&self.dir.read().expect("directory lock"))
+    }
+}
+
+/// Knobs for the seat-rebalancing pass the control plane runs on its
+/// sampling cadence. Every field has an env override so deployments (and
+/// the benches) can tune without recompiling:
+///
+/// * `RECRAFT_REBALANCE` — `0` disables the pass entirely;
+/// * `RECRAFT_REBALANCE_RATIO` — max/mean worker-load ratio that triggers
+///   migrations (float, must be > 1);
+/// * `RECRAFT_REBALANCE_MOVES` — seat migrations per round;
+/// * `RECRAFT_REBALANCE_FLOOR` — minimum fleet-wide load units per round
+///   below which the pass stays quiet (an idle fleet is trivially
+///   "imbalanced" and must not churn seats).
+#[derive(Debug, Clone)]
+pub struct RebalanceOptions {
+    /// Whether the pass runs at all.
+    pub enabled: bool,
+    /// Max/mean worker-load ratio above which seats move.
+    pub max_ratio: f64,
+    /// Upper bound on seat migrations per sampling round.
+    pub moves_per_round: usize,
+    /// Minimum fleet-wide load units (step + byte weight) per round before
+    /// imbalance is even evaluated.
+    pub min_load: u64,
+}
+
+impl Default for RebalanceOptions {
+    fn default() -> Self {
+        let flag = |name: &str| std::env::var(name).ok();
+        RebalanceOptions {
+            enabled: flag("RECRAFT_REBALANCE").is_none_or(|v| v != "0"),
+            max_ratio: flag("RECRAFT_REBALANCE_RATIO")
+                .and_then(|v| v.parse().ok())
+                .filter(|r: &f64| *r > 1.0)
+                .unwrap_or(1.5),
+            moves_per_round: flag("RECRAFT_REBALANCE_MOVES")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2),
+            min_load: flag("RECRAFT_REBALANCE_FLOOR")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(512),
+        }
     }
 }
 
@@ -113,6 +163,9 @@ pub struct ControlOptions {
     /// Seed for the controller's cluster-id allocator; must be above every
     /// id the fleet already uses.
     pub next_cluster: u64,
+    /// Seat-rebalancing thresholds (defaults read the `RECRAFT_REBALANCE*`
+    /// env knobs).
+    pub rebalance: RebalanceOptions,
 }
 
 impl Default for ControlOptions {
@@ -122,6 +175,7 @@ impl Default for ControlOptions {
             interval: Duration::from_millis(200),
             cmd_deadline: Duration::from_secs(10),
             next_cluster: 2,
+            rebalance: RebalanceOptions::default(),
         }
     }
 }
@@ -141,6 +195,12 @@ pub struct ControlReport {
     /// Retired nodes decommissioned into the spare pool
     /// ([`Cluster::reap_retired`]).
     pub reaped: u64,
+    /// Seat migrations the rebalancer executed.
+    pub migrations: u64,
+    /// The last max/mean worker-load ratio measured on a round whose load
+    /// cleared the rebalancer's floor — post-rebalance by construction,
+    /// since moves from round *n* are reflected in round *n+1*'s reading.
+    pub imbalance: f64,
     /// Human-readable event log, in order.
     pub events: Vec<String>,
 }
@@ -212,6 +272,7 @@ fn run_control(
     let mut book = SampleBook::new();
     let mut ctl = Controller::new(opts.fleet.clone(), opts.next_cluster);
     let mut report = ControlReport::default();
+    let mut seat_book: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new();
     while !stop.load(Ordering::Relaxed) {
         let round_began = Instant::now();
 
@@ -236,12 +297,23 @@ fn run_control(
         }
         let samples = book.build(&reports);
 
-        // 2. Publish what this round observed to the routed clients.
-        view.publish(
-            samples
-                .iter()
-                .map(|s| (s.cluster, s.ranges.clone(), s.members.clone())),
-        );
+        // 2. Publish what this round observed to the routed clients. Each
+        // record carries the cluster's highest reported reconfiguration
+        // epoch — the fence routed clients check before trusting a
+        // cross-reconfiguration retry inference.
+        let mut epochs: BTreeMap<ClusterId, u32> = BTreeMap::new();
+        for (_, stats) in &reports {
+            let e = epochs.entry(stats.cluster).or_insert(stats.epoch);
+            *e = (*e).max(stats.epoch);
+        }
+        view.publish(samples.iter().map(|s| {
+            (
+                s.cluster,
+                s.ranges.clone(),
+                s.members.clone(),
+                epochs.get(&s.cluster).copied().unwrap_or(0),
+            )
+        }));
 
         // 3. Plan on the wall clock.
         let now_us = start.elapsed().as_micros() as u64;
@@ -300,6 +372,20 @@ fn run_control(
                 }
             }
         }
+        // 5. Rebalance seats across workers: difference the per-seat load
+        // counters against last round's reading, and when one worker's
+        // share of the fleet's load runs too far above the mean, hand its
+        // hottest movable seat to the coldest worker.
+        if opts.rebalance.enabled {
+            rebalance(
+                cluster,
+                &opts.rebalance,
+                &mut seat_book,
+                &mut report,
+                round_began.duration_since(start).as_millis(),
+            );
+        }
+
         report.rounds += 1;
         report.planned = ctl.planned();
 
@@ -309,6 +395,96 @@ fn run_control(
         }
     }
     report
+}
+
+/// One rebalancing round: delta the cumulative seat counters in `book`,
+/// aggregate per worker, and migrate greedily while the max/mean ratio
+/// exceeds the configured threshold.
+///
+/// Load units are step deltas plus byte deltas weighted down 1024:1 — a
+/// KiB of front-door traffic costs a worker about what one protocol step
+/// does. A seat only moves when the receiving worker stays below the
+/// donor even after taking it, so a single seat hotter than everything
+/// else combined never ping-pongs.
+fn rebalance(
+    cluster: &Cluster,
+    opts: &RebalanceOptions,
+    book: &mut BTreeMap<NodeId, (u64, u64)>,
+    report: &mut ControlReport,
+    t_ms: u128,
+) {
+    let seats = cluster.seat_loads();
+    let workers = cluster.worker_count();
+    if workers < 2 {
+        return;
+    }
+
+    // Per-seat load this round. A seat's first sighting contributes zero
+    // (its counters may hold history from before this plane started), and
+    // a counter running backwards (kill/restart re-adopted the seat with a
+    // fresh status block) re-bases the same way.
+    let mut loads: Vec<(NodeId, usize, u64)> = Vec::with_capacity(seats.len());
+    let mut fresh: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new();
+    for s in &seats {
+        let (ps, pb) = book.get(&s.id).copied().unwrap_or((s.steps, s.bytes));
+        let load = if s.steps < ps || s.bytes < pb {
+            0
+        } else {
+            (s.steps - ps) + (s.bytes - pb) / 1024
+        };
+        fresh.insert(s.id, (s.steps, s.bytes));
+        if s.worker < workers {
+            loads.push((s.id, s.worker, load));
+        }
+    }
+    *book = fresh;
+
+    let total: u64 = loads.iter().map(|(_, _, l)| l).sum();
+    if total < opts.min_load {
+        // Idle (or nearly): the ratio would be noise, and migrating cold
+        // seats buys nothing.
+        return;
+    }
+
+    let mut per_worker: Vec<u64> = vec![0; workers];
+    for (_, w, l) in &loads {
+        per_worker[*w] += l;
+    }
+    let mean = total as f64 / workers as f64;
+    let ratio = |pw: &[u64]| pw.iter().max().copied().unwrap_or(0) as f64 / mean;
+    report.imbalance = ratio(&per_worker);
+
+    let mut moved = 0;
+    while moved < opts.moves_per_round && ratio(&per_worker) > opts.max_ratio {
+        let hot = (0..workers).max_by_key(|w| per_worker[*w]).unwrap_or(0);
+        let cold = (0..workers).min_by_key(|w| per_worker[*w]).unwrap_or(0);
+        let gap = per_worker[hot] - per_worker[cold];
+        // Hottest seat on the hot worker that still leaves the receiver
+        // below the donor — strictly closing the gap.
+        let Some((id, _, load)) = loads
+            .iter()
+            .filter(|(_, w, l)| *w == hot && *l < gap)
+            .max_by_key(|(_, _, l)| *l)
+            .copied()
+        else {
+            break;
+        };
+        if !cluster.migrate_seat(id, cold) {
+            break;
+        }
+        per_worker[hot] -= load;
+        per_worker[cold] += load;
+        if let Some(entry) = loads.iter_mut().find(|(i, _, _)| *i == id) {
+            entry.1 = cold;
+        }
+        moved += 1;
+        report.migrations += 1;
+        report.events.push(format!(
+            "t={t_ms}ms rebalance: seat {} worker {hot} -> {cold} ({load} load units, ratio {:.2})",
+            id.0,
+            ratio(&per_worker),
+        ));
+    }
 }
 
 fn deliver(

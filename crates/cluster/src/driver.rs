@@ -153,4 +153,14 @@ pub struct NodeStatus {
     /// merge or membership change removed it and the removal committed. The
     /// harness reaps retired nodes into its spare pool.
     pub retired: AtomicBool,
+    /// Cumulative envelopes stepped into the node plus messages it
+    /// externalized — the seat's load signal. The control plane differences
+    /// successive readings to find hot seats worth migrating.
+    pub steps: AtomicU64,
+    /// Cumulative bytes read off the seat's own front-door connections
+    /// (client/admin traffic; mux peer traffic is accounted via `steps`).
+    pub net_bytes: AtomicU64,
+    /// Index of the worker currently hosting the seat; updated when the
+    /// seat is adopted and on every migration.
+    pub worker: AtomicU64,
 }

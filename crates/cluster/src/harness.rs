@@ -350,6 +350,38 @@ impl Cluster {
         self.runtime.wire_stats()
     }
 
+    /// A snapshot of every live seat's cumulative load counters, as
+    /// published by its hosting worker: `(id, worker, steps, bytes)`. The
+    /// control plane differences successive snapshots to find hot seats
+    /// worth migrating; the counters are cumulative so a missed round never
+    /// loses load.
+    #[must_use]
+    pub fn seat_loads(&self) -> Vec<SeatLoad> {
+        self.with_statuses(|it| {
+            it.map(|(id, st)| SeatLoad {
+                id,
+                worker: st.worker.load(Ordering::Acquire) as usize,
+                steps: st.steps.load(Ordering::Acquire),
+                bytes: st.net_bytes.load(Ordering::Acquire),
+            })
+            .collect()
+        })
+    }
+
+    /// Hands the seat for `id` to worker `target`: its node, listener, and
+    /// live connections quiesce at the source worker's next barrier and
+    /// re-register on the target's poller. Returns `false` if the seat is
+    /// unknown or already hosted there.
+    pub fn migrate_seat(&self, id: NodeId, target: usize) -> bool {
+        self.runtime.migrate(id, target)
+    }
+
+    /// The worker currently assigned the seat for `id`.
+    #[must_use]
+    pub fn seat_owner(&self, id: NodeId) -> Option<usize> {
+        self.runtime.owner_of(id)
+    }
+
     /// Retired node ids currently awaiting reuse.
     #[must_use]
     pub fn spare_count(&self) -> usize {
@@ -759,6 +791,20 @@ impl Drop for Cluster {
     }
 }
 
+/// One seat's cumulative load counters, read from its
+/// [`crate::driver::NodeStatus`] block ([`Cluster::seat_loads`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SeatLoad {
+    /// The seat's node.
+    pub id: NodeId,
+    /// Index of the worker currently hosting it.
+    pub worker: usize,
+    /// Envelopes stepped plus messages externalized, since adoption.
+    pub steps: u64,
+    /// Bytes read off the seat's front-door connections, since adoption.
+    pub bytes: u64,
+}
+
 /// The result of one [`Cluster::run_clients`] fleet run.
 #[derive(Debug)]
 pub struct ClientsRun {
@@ -783,12 +829,33 @@ impl ClientsRun {
             .map(|r| r.replies + r.stale_confirmed)
             .sum()
     }
+
+    /// The highest wire sequence client `c` put on the wire — `ops` plus
+    /// one per reissued (merge-burned) write. After a completed run this is
+    /// what the server-side session table's max must equal; asserting
+    /// against raw `ops` would be wrong the moment a fenced write is
+    /// retried under a fresh sequence number.
+    #[must_use]
+    pub fn last_seq_of(&self, client: u64) -> Option<u64> {
+        self.reports
+            .iter()
+            .find(|r| r.client == client)
+            .map(|r| r.last_seq)
+    }
 }
 
 /// Exactly-once check against the server-side session table: on the
 /// most-applied node, every client session's `last_seq` must equal the
 /// number of operations that client issued — no session ahead (duplicate
 /// application) or behind (lost write).
+///
+/// This raw-`ops` form is only valid for runs against a *stable* topology
+/// (no split/merge concurrent with the load): such clients never park a
+/// write across a generation change, so they never reissue and their wire
+/// sequences stop exactly at `ops`. Directory-routed campaign runs must
+/// compare against each client's [`ClientReport::last_seq`] instead (see
+/// [`ClientsRun::last_seq_of`]), which accounts for merge-burned sequence
+/// numbers retried under fresh ones.
 ///
 /// # Panics
 /// Panics if any session's recorded `last_seq` differs from `ops`.

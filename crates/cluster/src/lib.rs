@@ -51,11 +51,11 @@ pub mod runtime;
 
 pub use admin::{AdminClient, ADMIN_BASE};
 pub use clients::{run_open_loop, ClientOptions, ClientReport};
-pub use control::{ControlOptions, ControlPlane, ControlReport, FleetView};
+pub use control::{ControlOptions, ControlPlane, ControlReport, FleetView, RebalanceOptions};
 pub use driver::{FleetNet, HarnessNode, HarnessStore, NodeStatus};
 pub use harness::{
     verify_sessions, verify_sessions_from, ClientsRun, Cluster, ClusterSpec, FleetSpec,
-    HarnessBackend,
+    HarnessBackend, SeatLoad,
 };
 pub use runtime::{os_thread_count, DriverRuntime, RuntimeOptions, WireStats};
 

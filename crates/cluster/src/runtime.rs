@@ -18,37 +18,64 @@
 //!   externalized nothing skip the barrier entirely
 //!   ([`recraft_core::Node::has_outputs`]), so an idle range costs no
 //!   fsync.
+//! * **Readiness-driven rounds.** A worker blocks in a
+//!   [`recraft_net::poll::Poller`] over every fd it owns — its waker, the
+//!   shared mux endpoint, every front door, every inbound connection,
+//!   in-flight outbound dials, and stalled client replies — with the
+//!   timeout set to the earliest protocol deadline among its seats
+//!   ([`recraft_core::Node::next_deadline`]). An idle shard makes no
+//!   syscalls between deadlines instead of sweeping every socket on a
+//!   500µs cadence; [`WireStats::idle_wakeups`] counts the rounds that
+//!   found nothing to do.
 //! * **One multiplexed connection per worker pair.** A round's outbound
 //!   envelopes are grouped by destination worker endpoint and flushed as
 //!   [`recraft_net::mux`] batches — one write per destination per round —
 //!   while same-worker traffic short-circuits through memory. A shared
 //!   [`MuxReader`] per inbound connection demultiplexes by `Envelope::to`
 //!   and forwards the rare mis-delivery (a node re-adopted elsewhere
-//!   mid-flight) to the owning shard's queue.
+//!   mid-flight) to the owning shard's queue. Pair connections dial
+//!   *nonblocking*: the socket sits in the poll set until writability
+//!   reports the connect done, and batches produced meanwhile queue
+//!   (bounded) instead of stalling every co-hosted seat behind a blocking
+//!   dial.
 //! * **Per-node front doors.** Every node keeps its own listener *socket*
 //!   (accepted and read by its worker — no thread), published in
 //!   [`FleetNet`]. Clients and the admin plane keep their dial-an-address
 //!   model, and a kill closes the socket so blind clients still see
 //!   connection-refused and rotate away, exactly as with thread-per-node.
+//! * **Seat migration.** [`DriverRuntime::migrate`] moves a hosted node
+//!   between workers at a round boundary: ownership flips in the
+//!   assignment map first (new traffic queues to the target; the source
+//!   forwards), then the source hands the whole seat — node, status block,
+//!   front door, live connections, load counters — to the target through
+//!   its channel. `poll(2)` keeps no kernel registry, so the moved fds are
+//!   simply part of the target's next poll set. Outputs still queued
+//!   inside the node flush through the *target's* next write-ahead
+//!   barrier, so group commit is preserved across the move.
 //!
 //! Client response write-halves live in a registry keyed by
 //! `(client, node)` with **one lock per stream**, so a slow client stalls
 //! only writes to itself — never another connection, and never a whole
-//! registry (the old harness held the registry mutex across a blocking
-//! write).
+//! registry. A reply that would block parks in a per-worker buffer
+//! registered for writability instead of busy-waiting the worker; the
+//! buffered bytes flush when the client's socket drains, bounded by
+//! `CLIENT_WRITE_DEADLINE`.
 
 use crate::driver::{FleetNet, HarnessNode, NodeStatus};
 use crate::CLIENT_BASE;
 use recraft_core::{NodeEvent, Role};
 use recraft_net::frame::encode_frame;
 use recraft_net::mux::{write_batch, MuxReader};
+use recraft_net::poll::{
+    self, Poller, Readiness, WakeReceiver, Waker, INTEREST_READ, INTEREST_WRITE,
+};
 use recraft_net::Envelope;
 use recraft_types::NodeId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -57,14 +84,28 @@ use std::time::{Duration, Instant};
 /// dial or write before the worker tries again (µs on the runtime clock).
 const RECONNECT_BACKOFF_US: u64 = 50_000;
 
-/// How long a worker keeps retrying a client write that reports
-/// `WouldBlock` before giving up and dropping the registration. Client
-/// resend recovers the response; the bound keeps one pathological client
-/// from wedging its worker.
+/// How long a stalled client reply may sit in the worker's write buffer
+/// before the registration is dropped. Client resend recovers the
+/// response; the bound keeps one pathological client from accumulating
+/// buffers forever.
 const CLIENT_WRITE_DEADLINE: Duration = Duration::from_millis(500);
 
-/// How long an idle worker parks on its channel before rechecking sockets.
-const IDLE_PARK: Duration = Duration::from_micros(500);
+/// Ceiling on bytes buffered for one stalled client connection; beyond it
+/// the registration is dropped (the client is not reading its replies).
+const CLIENT_WRITE_BUFFER_MAX: usize = 1 << 20;
+
+/// Ceiling on envelopes queued behind one in-flight outbound dial.
+/// Overflow drops the newest — the protocol retransmits.
+const OUT_QUEUE_MAX: usize = 4096;
+
+/// Defensive cap on how long a worker blocks in `poll` even with no
+/// protocol deadline armed (an empty shard). Wakers cover every planned
+/// wakeup; this bounds the damage of a lost one.
+const IDLE_CAP_US: u64 = 1_000_000;
+
+/// Poll cap while client replies sit buffered, so their write deadline is
+/// enforced even if the client's socket never signals writability.
+const WRITE_SWEEP_US: u64 = 100_000;
 
 /// Knobs for one runtime.
 #[derive(Debug, Clone)]
@@ -94,13 +135,20 @@ impl Default for RuntimeOptions {
     }
 }
 
-/// Wire-level counters the runtime accumulates across its lifetime.
+/// Wire-level and scheduling counters the runtime accumulates across its
+/// lifetime, summed over all workers.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WireStats {
     /// Mux batches written to worker-pair connections.
     pub batches: u64,
     /// Envelopes carried by those batches.
     pub batched_envelopes: u64,
+    /// Worker loop rounds (each is one return from the poller).
+    pub wakeups: u64,
+    /// Rounds that found nothing to do — no message, no readable byte, no
+    /// output. A readiness-driven idle fleet keeps this near zero; the old
+    /// fixed-cadence park burned ~2000 of these per second per worker.
+    pub idle_wakeups: u64,
 }
 
 impl WireStats {
@@ -137,6 +185,11 @@ enum WorkerMsg {
     Remove(NodeId, Sender<Box<HarnessNode>>),
     /// An envelope owned by this shard, forwarded from another worker.
     Forward(Envelope),
+    /// Hand the named seat to worker `target` (sent to the current owner).
+    Migrate(NodeId, usize),
+    /// A migrated seat arriving at its new owner, live connections and
+    /// load counters included.
+    Arrive(NodeId, Box<Hosted>),
 }
 
 /// One node as handed to its worker.
@@ -153,17 +206,24 @@ type ClientRegistry = RwLock<HashMap<(NodeId, NodeId), Arc<Mutex<TcpStream>>>>;
 /// State shared by the runtime handle and every worker.
 struct Shared {
     net: Arc<FleetNet>,
-    /// node → owning worker index. Written by adopt/remove, read on every
-    /// routing decision.
+    /// node → owning worker index. Written by adopt/remove/migrate, read
+    /// on every routing decision.
     assignment: RwLock<HashMap<NodeId, usize>>,
     /// Worker index → mux endpoint address (fixed at start).
     endpoints: Vec<SocketAddr>,
+    /// Worker index → poll waker. Every channel send is followed by a wake
+    /// so the receiver's blocked `poll` returns. Held here for the
+    /// runtime's lifetime — if every sender dropped, the receiver's pipe
+    /// would read EOF and spin the poller.
+    wakers: Vec<Waker>,
     /// Two endpoints sharing an identity but talking to different nodes
     /// never collide; the registry lock is held only to look up or replace
     /// entries, never across a write.
     clients: ClientRegistry,
     batches: AtomicU64,
     batched_envelopes: AtomicU64,
+    wakeups: AtomicU64,
+    idle_wakeups: AtomicU64,
     stop: AtomicBool,
     mux_batch: usize,
     start: Instant,
@@ -182,7 +242,7 @@ impl DriverRuntime {
     /// Binds one mux endpoint per worker and spawns the pool.
     ///
     /// # Panics
-    /// Panics on endpoint bind or thread-spawn failure.
+    /// Panics on endpoint bind, waker creation, or thread-spawn failure.
     #[must_use]
     pub fn start(net: Arc<FleetNet>, opts: &RuntimeOptions) -> DriverRuntime {
         let workers = opts.workers.max(1);
@@ -197,13 +257,23 @@ impl DriverRuntime {
             .iter()
             .map(|l| l.local_addr().expect("endpoint addr"))
             .collect();
+        let mut wakers = Vec::with_capacity(workers);
+        let mut wake_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (w, rx) = poll::waker().expect("worker waker");
+            wakers.push(w);
+            wake_rxs.push(rx);
+        }
         let shared = Arc::new(Shared {
             net,
             assignment: RwLock::new(HashMap::new()),
             endpoints,
+            wakers,
             clients: RwLock::new(HashMap::new()),
             batches: AtomicU64::new(0),
             batched_envelopes: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            idle_wakeups: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             mux_batch: opts.mux_batch.max(1),
             start: Instant::now(),
@@ -218,14 +288,16 @@ impl DriverRuntime {
         let joins = listeners
             .into_iter()
             .zip(rxs)
+            .zip(wake_rxs)
             .enumerate()
-            .map(|(idx, (endpoint, rx))| {
+            .map(|(idx, ((endpoint, rx), wake_rx))| {
                 let ctx = Worker {
                     idx,
                     shared: Arc::clone(&shared),
                     rx,
                     txs: txs.clone(),
                     endpoint,
+                    wake_rx,
                 };
                 thread::Builder::new()
                     .name(format!("recraft-worker-{idx}"))
@@ -247,13 +319,26 @@ impl DriverRuntime {
         self.shared.endpoints.len()
     }
 
-    /// Lifetime wire counters.
+    /// Lifetime wire and scheduling counters.
     #[must_use]
     pub fn wire_stats(&self) -> WireStats {
         WireStats {
             batches: self.shared.batches.load(Ordering::Relaxed),
             batched_envelopes: self.shared.batched_envelopes.load(Ordering::Relaxed),
+            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
+            idle_wakeups: self.shared.idle_wakeups.load(Ordering::Relaxed),
         }
+    }
+
+    /// The worker currently assigned to host `id`, if any.
+    #[must_use]
+    pub fn owner_of(&self, id: NodeId) -> Option<usize> {
+        self.shared
+            .assignment
+            .read()
+            .expect("assignment lock")
+            .get(&id)
+            .copied()
     }
 
     /// Hands `node` (with its front-door `listener`) to a worker,
@@ -279,12 +364,14 @@ impl DriverRuntime {
         });
         let txs = self.txs.lock().expect("worker sender lock");
         txs[w].send(WorkerMsg::Adopt(seat)).expect("worker alive");
+        self.shared.wakers[w].wake();
     }
 
     /// Withdraws `id` from its worker: the seat's final barrier is flushed,
     /// its front door and connections close, and the node comes back for
     /// inspection (or to be dropped — that is a kill). `None` if the node
-    /// is not hosted.
+    /// is not hosted (or a concurrent migration raced the removal — rare,
+    /// and the caller's retry sees the node wherever it landed).
     pub fn remove(&self, id: NodeId) -> Option<HarnessNode> {
         let w = self
             .shared
@@ -297,16 +384,51 @@ impl DriverRuntime {
             let txs = self.txs.lock().expect("worker sender lock");
             txs[w].send(WorkerMsg::Remove(id, reply_tx)).ok()?;
         }
+        self.shared.wakers[w].wake();
         reply_rx
             .recv_timeout(Duration::from_secs(10))
             .ok()
             .map(|boxed| *boxed)
     }
 
+    /// Moves the seat for `id` to worker `target` at its current owner's
+    /// next round boundary. Ownership flips immediately — new traffic for
+    /// the node queues at the target while the seat is in flight — and the
+    /// node, its front door, its live connections, and its load counters
+    /// arrive intact. Returns whether a move was initiated (`true` also
+    /// when `id` is already hosted by `target`).
+    pub fn migrate(&self, id: NodeId, target: usize) -> bool {
+        if target >= self.worker_count() {
+            return false;
+        }
+        let source = {
+            let mut map = self.shared.assignment.write().expect("assignment lock");
+            let Some(cur) = map.get(&id).copied() else {
+                return false;
+            };
+            if cur == target {
+                return true;
+            }
+            map.insert(id, target);
+            cur
+        };
+        let sent = {
+            let txs = self.txs.lock().expect("worker sender lock");
+            txs[source].send(WorkerMsg::Migrate(id, target)).is_ok()
+        };
+        if sent {
+            self.shared.wakers[source].wake();
+        }
+        sent
+    }
+
     /// Stops the pool and collects every hosted node (each with a final
     /// storage barrier flushed). Idempotent: a second call returns empty.
     pub fn shutdown_collect(&self) -> Vec<HarnessNode> {
         self.shared.stop.store(true, Ordering::Relaxed);
+        for w in &self.shared.wakers {
+            w.wake();
+        }
         let joins: Vec<JoinHandle<Vec<HarnessNode>>> =
             std::mem::take(&mut *self.joins.lock().expect("join lock"));
         let mut nodes = Vec::new();
@@ -335,20 +457,68 @@ struct Conn {
     registered: bool,
 }
 
-/// One outbound worker-pair connection: dialed lazily, dropped on write
-/// failure, redialed after a backoff. Batches sent while the far side is
-/// down are dropped — the protocol retransmits.
-struct OutConn {
-    stream: Option<TcpStream>,
-    down_until: u64,
+/// An outbound worker-pair connection's lifecycle.
+enum OutState {
+    /// No socket; redial after `down_until`.
+    Down,
+    /// A nonblocking dial in flight: registered for writability, resolved
+    /// by [`poll::connect_ready`]. Batches queue behind it (bounded).
+    Connecting(TcpStream),
+    /// Established; writes are blocking with a bounded write timeout.
+    Ready(TcpStream),
 }
 
-/// A seat as the worker holds it: the node plus its front-door I/O.
+/// One outbound worker-pair connection: dialed lazily and *nonblocking*,
+/// dropped on write failure, redialed after a backoff. Batches produced
+/// while a dial is in flight queue up to [`OUT_QUEUE_MAX`]; batches sent
+/// while the far side is down are dropped — the protocol retransmits.
+struct OutConn {
+    state: OutState,
+    down_until: u64,
+    queued: Vec<Envelope>,
+}
+
+/// A seat as the worker holds it: the node plus its front-door I/O and
+/// cumulative load counters (these travel with the seat on migration).
 struct Hosted {
     node: HarnessNode,
     status: Arc<NodeStatus>,
     listener: TcpListener,
     conns: Vec<Conn>,
+    /// Envelopes stepped into the node + messages it externalized.
+    steps: u64,
+    /// Bytes read off this seat's front-door connections.
+    bytes: u64,
+}
+
+/// A client reply that reported `WouldBlock` mid-frame: the remaining
+/// bytes wait here, registered for writability, instead of busy-waiting
+/// the worker. Later replies to the same connection append behind it so
+/// frame order is preserved.
+struct PendingReply {
+    slot: Arc<Mutex<TcpStream>>,
+    fd: poll::RawFd,
+    buf: Vec<u8>,
+    at: usize,
+    expires: Instant,
+}
+
+/// One blocking-free write attempt's outcome.
+enum WriteStep {
+    Done,
+    Blocked,
+    Failed,
+}
+
+/// What each poll-set token maps back to when readiness comes in.
+enum PollSlot {
+    Wake,
+    Endpoint,
+    Mux(usize),
+    Door(NodeId),
+    SeatConn(NodeId, usize),
+    Dial(SocketAddr),
+    Reply((NodeId, NodeId)),
 }
 
 /// Everything one worker thread owns.
@@ -358,6 +528,7 @@ struct Worker {
     rx: Receiver<WorkerMsg>,
     txs: Vec<Sender<WorkerMsg>>,
     endpoint: TcpListener,
+    wake_rx: WakeReceiver,
 }
 
 impl Worker {
@@ -366,45 +537,130 @@ impl Worker {
         let mut mux_conns: Vec<Conn> = Vec::new();
         let mut outs: HashMap<SocketAddr, OutConn> = HashMap::new();
         let mut inbox: VecDeque<Envelope> = VecDeque::new();
+        let mut writes: HashMap<(NodeId, NodeId), PendingReply> = HashMap::new();
         let mut scratch = vec![0u8; 64 * 1024];
+        let mut poller = Poller::new();
+        let mut slots: Vec<PollSlot> = Vec::new();
+        // Set when the previous round left envelopes queued locally: the
+        // next poll is a nonblocking readiness check, not a sleep.
+        let mut work_pending = false;
         while !self.shared.stop.load(Ordering::Relaxed) {
+            // 1. Register everything this round can wait on. poll(2) is
+            // stateless per call, so adopted/migrated/accepted fds are
+            // simply part of the next set — nothing to transfer.
+            poller.clear();
+            slots.clear();
+            slots.push(PollSlot::Wake);
+            poller.register(self.wake_rx.raw_fd(), INTEREST_READ);
+            slots.push(PollSlot::Endpoint);
+            poller.register(poll::fd_of(&self.endpoint), INTEREST_READ);
+            for (i, conn) in mux_conns.iter().enumerate() {
+                slots.push(PollSlot::Mux(i));
+                poller.register(poll::fd_of(&conn.stream), INTEREST_READ);
+            }
+            for (id, seat) in &seats {
+                slots.push(PollSlot::Door(*id));
+                poller.register(poll::fd_of(&seat.listener), INTEREST_READ);
+                for (i, conn) in seat.conns.iter().enumerate() {
+                    slots.push(PollSlot::SeatConn(*id, i));
+                    poller.register(poll::fd_of(&conn.stream), INTEREST_READ);
+                }
+            }
+            for (addr, out) in &outs {
+                if let OutState::Connecting(s) = &out.state {
+                    slots.push(PollSlot::Dial(*addr));
+                    poller.register(poll::fd_of(s), INTEREST_WRITE);
+                }
+            }
+            for (key, w) in &writes {
+                slots.push(PollSlot::Reply(*key));
+                poller.register(w.fd, INTEREST_WRITE);
+            }
+
+            // 2. Sleep until the earliest protocol deadline among this
+            // shard's seats, or until readiness / a waker interrupts.
+            let timeout = if work_pending {
+                Duration::ZERO
+            } else {
+                let now = self.now_us();
+                let due = seats
+                    .values()
+                    .map(|s| s.node.next_deadline())
+                    .min()
+                    .unwrap_or(u64::MAX);
+                let mut park = if due == u64::MAX {
+                    IDLE_CAP_US
+                } else {
+                    due.saturating_sub(now).min(IDLE_CAP_US)
+                };
+                if !writes.is_empty() {
+                    park = park.min(WRITE_SWEEP_US);
+                }
+                Duration::from_micros(park)
+            };
+            let n_ready = poller.wait(Some(timeout)).unwrap_or(0);
+            self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
             let mut busy = false;
 
-            // 1. Control-plane messages and forwarded envelopes.
+            // 3. Service exactly what reported readiness.
+            if n_ready > 0 {
+                let now = self.now_us();
+                for (token, slot) in slots.iter().enumerate() {
+                    let ready = poller.readiness(token);
+                    if !ready.any() {
+                        continue;
+                    }
+                    match *slot {
+                        PollSlot::Wake => self.wake_rx.drain(),
+                        PollSlot::Endpoint => {
+                            busy |= accept_into(&self.endpoint, &mut mux_conns);
+                        }
+                        PollSlot::Mux(i) => {
+                            if let Some(conn) = mux_conns.get_mut(i) {
+                                busy |= self.read_conn(conn, &mut scratch, &mut inbox) > 0;
+                            }
+                        }
+                        PollSlot::Door(id) => {
+                            if let Some(seat) = seats.get_mut(&id) {
+                                busy |= accept_into(&seat.listener, &mut seat.conns);
+                            }
+                        }
+                        PollSlot::SeatConn(id, i) => {
+                            if let Some(seat) = seats.get_mut(&id) {
+                                if let Some(conn) = seat.conns.get_mut(i) {
+                                    let n = self.read_conn(conn, &mut scratch, &mut inbox);
+                                    seat.bytes += n as u64;
+                                    busy |= n > 0;
+                                }
+                            }
+                        }
+                        PollSlot::Dial(addr) => {
+                            busy |= self.resolve_dial(&mut outs, addr, ready, now);
+                        }
+                        PollSlot::Reply(key) => {
+                            busy |= self.flush_reply(key, &mut writes);
+                        }
+                    }
+                }
+            }
+
+            // 4. Control-plane messages and forwarded envelopes (the waker
+            // fires for these, but a cheap drain costs nothing either way).
             while let Ok(msg) = self.rx.try_recv() {
                 busy = true;
-                self.handle(msg, &mut seats, &mut inbox);
+                self.handle(msg, &mut seats, &mut inbox, &mut writes);
             }
 
-            // 2. Accept: the shared mux endpoint, then every front door.
-            busy |= accept_into(&self.endpoint, &mut mux_conns);
-            for seat in seats.values_mut() {
-                busy |= accept_into(&seat.listener, &mut seat.conns);
-            }
-
-            // 3. Read every connection until it would block; decoded
-            // envelopes queue for the step phase.
-            for conn in &mut mux_conns {
-                busy |= self.read_conn(conn, &mut scratch, &mut inbox);
-            }
-            for seat in seats.values_mut() {
-                for conn in &mut seat.conns {
-                    busy |= self.read_conn(conn, &mut scratch, &mut inbox);
-                }
-                seat.conns.retain(|c| !dead(&c.stream));
-            }
-            mux_conns.retain(|c| !dead(&c.stream));
-
-            // 4. Step. Envelopes for nodes this shard owns are stepped;
-            // anything owned elsewhere (re-adoption races, stale
-            // connections) is forwarded to its shard.
+            // 5. Step. Envelopes for nodes this shard owns are stepped;
+            // anything owned elsewhere (re-adoption races, migrations in
+            // flight, stale connections) is forwarded to its shard.
             let now = self.now_us();
             while let Some(env) = inbox.pop_front() {
                 busy = true;
                 self.deliver(env, &mut seats, now);
             }
 
-            // 5. Tick + write-ahead barrier + route, per node. One barrier
+            // 6. Tick + write-ahead barrier + route, per node. One barrier
             // covers the whole burst the node drained this round; nodes
             // with nothing to externalize skip it.
             let now = self.now_us();
@@ -416,30 +672,44 @@ impl Worker {
                     busy = true;
                     let (outbox, events) = seat.node.take_outputs();
                     count_events(&events, &seat.status);
+                    seat.steps += outbox.len() as u64;
                     for env in outbox {
-                        self.route_out(*id, env, &mut local, &mut wire);
+                        self.route_out(*id, env, &mut local, &mut wire, &mut writes);
                     }
                 }
-                publish_status(&seat.node, &seat.status);
+                publish_seat(seat);
             }
             inbox.extend(local);
 
-            // 6. Flush: one mux batch per destination endpoint (chunked at
-            // the batch ceiling).
+            // 7. Flush: one mux batch per destination endpoint (chunked at
+            // the batch ceiling inside the writer).
             for (addr, envs) in wire {
-                for chunk in envs.chunks(self.shared.mux_batch) {
-                    self.send_batch(&mut outs, addr, chunk, now);
+                self.send_batch(&mut outs, addr, envs, now);
+            }
+
+            // 8. Reap: connections marked dead this round, and buffered
+            // replies past their deadline.
+            for seat in seats.values_mut() {
+                seat.conns.retain(|c| !dead(&c.stream));
+            }
+            mux_conns.retain(|c| !dead(&c.stream));
+            if !writes.is_empty() {
+                let cutoff = Instant::now();
+                let expired: Vec<(NodeId, NodeId)> = writes
+                    .iter()
+                    .filter(|(_, w)| w.expires <= cutoff)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for key in expired {
+                    if let Some(w) = writes.remove(&key) {
+                        self.deregister_client(key, &w.slot);
+                    }
                 }
             }
 
-            // 7. Idle pacing: park briefly on the channel so a quiet shard
-            // costs ~no CPU but still ticks its nodes on time.
+            work_pending = !inbox.is_empty();
             if !busy {
-                match self.rx.recv_timeout(IDLE_PARK) {
-                    Ok(msg) => self.handle(msg, &mut seats, &mut inbox),
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
+                self.shared.idle_wakeups.fetch_add(1, Ordering::Relaxed);
             }
         }
         // Final barrier for every hosted node, then hand them back.
@@ -447,7 +717,7 @@ impl Worker {
             .into_values()
             .map(|mut seat| {
                 let _ = seat.node.take_outputs();
-                publish_status(&seat.node, &seat.status);
+                publish_seat(&seat);
                 seat.node
             })
             .collect()
@@ -462,10 +732,12 @@ impl Worker {
         msg: WorkerMsg,
         seats: &mut BTreeMap<NodeId, Hosted>,
         inbox: &mut VecDeque<Envelope>,
+        writes: &mut HashMap<(NodeId, NodeId), PendingReply>,
     ) {
         match msg {
             WorkerMsg::Adopt(seat) => {
                 let id = seat.node.id();
+                seat.status.worker.store(self.idx as u64, Ordering::Relaxed);
                 seats.insert(
                     id,
                     Hosted {
@@ -473,6 +745,8 @@ impl Worker {
                         status: seat.status,
                         listener: seat.listener,
                         conns: Vec::new(),
+                        steps: 0,
+                        bytes: 0,
                     },
                 );
             }
@@ -483,7 +757,7 @@ impl Worker {
                     // door (and every conn behind it) so dialing clients
                     // see refused-connection and rotate.
                     let _ = seat.node.take_outputs();
-                    publish_status(&seat.node, &seat.status);
+                    publish_seat(&seat);
                     drop(seat.listener);
                     drop(seat.conns);
                     self.shared
@@ -491,23 +765,58 @@ impl Worker {
                         .write()
                         .expect("client registry lock")
                         .retain(|(_, node), _| *node != id);
+                    writes.retain(|(_, node), _| *node != id);
                     let _ = reply.send(Box::new(seat.node));
                 }
             }
             WorkerMsg::Forward(env) => inbox.push_back(env),
+            WorkerMsg::Migrate(id, target) => {
+                // Hand the whole seat over. Outputs still queued inside the
+                // node travel with it and flush through the target's next
+                // barrier; envelopes still in our inbox re-route through
+                // the flipped assignment on delivery. Buffered client
+                // replies stay here — their streams are shared Arc slots,
+                // so they finish draining independently of seat ownership.
+                if target == self.idx || target >= self.txs.len() {
+                    return;
+                }
+                if let Some(seat) = seats.remove(&id) {
+                    seat.status.worker.store(target as u64, Ordering::Relaxed);
+                    match self.txs[target].send(WorkerMsg::Arrive(id, Box::new(seat))) {
+                        Ok(()) => self.shared.wakers[target].wake(),
+                        Err(send_err) => {
+                            // Target gone (shutdown race): keep hosting.
+                            let WorkerMsg::Arrive(_, seat) = send_err.0 else {
+                                return;
+                            };
+                            seat.status.worker.store(self.idx as u64, Ordering::Relaxed);
+                            self.shared
+                                .assignment
+                                .write()
+                                .expect("assignment lock")
+                                .insert(id, self.idx);
+                            seats.insert(id, *seat);
+                        }
+                    }
+                }
+            }
+            WorkerMsg::Arrive(id, seat) => {
+                seats.insert(id, *seat);
+            }
         }
     }
 
-    /// Drains one connection's readable bytes and queues decoded envelopes.
-    /// The first envelope from a client/admin identity registers the
-    /// connection's write-half for responses.
+    /// Drains one connection's readable bytes and queues decoded envelopes;
+    /// returns how many bytes came off the socket. The first envelope from
+    /// a client/admin identity registers the connection's write-half for
+    /// responses.
     fn read_conn(
         &self,
         conn: &mut Conn,
         scratch: &mut [u8],
         inbox: &mut VecDeque<Envelope>,
-    ) -> bool {
-        let mut busy = false;
+    ) -> usize {
+        let mut total = 0;
         loop {
             match conn.stream.read(scratch) {
                 Ok(0) => {
@@ -515,7 +824,7 @@ impl Worker {
                     break;
                 }
                 Ok(n) => {
-                    busy = true;
+                    total += n;
                     conn.reader.feed(&scratch[..n]);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -551,7 +860,7 @@ impl Worker {
                 }
             }
         }
-        busy
+        total
     }
 
     /// Steps an envelope into its owner, or forwards it to the owning
@@ -560,6 +869,7 @@ impl Worker {
     fn deliver(&self, env: Envelope, seats: &mut BTreeMap<NodeId, Hosted>, now: u64) {
         if let Some(seat) = seats.get_mut(&env.to) {
             if !self.shared.net.is_blocked(env.to, env.from) {
+                seat.steps += 1;
                 seat.node.step(now, env.from, env.msg);
             }
             return;
@@ -572,8 +882,8 @@ impl Worker {
             .get(&env.to)
             .copied();
         if let Some(w) = owner {
-            if w != self.idx {
-                let _ = self.txs[w].send(WorkerMsg::Forward(env));
+            if w != self.idx && self.txs[w].send(WorkerMsg::Forward(env)).is_ok() {
+                self.shared.wakers[w].wake();
             }
             // Owned by us but not yet adopted (the Adopt is in our own
             // queue): drop rather than self-forward forever.
@@ -588,9 +898,10 @@ impl Worker {
         env: Envelope,
         local: &mut Vec<Envelope>,
         wire: &mut HashMap<SocketAddr, Vec<Envelope>>,
+        writes: &mut HashMap<(NodeId, NodeId), PendingReply>,
     ) {
         if env.to.0 >= CLIENT_BASE {
-            self.send_to_client(&env);
+            self.send_to_client(&env, writes);
             return;
         }
         if self.shared.net.is_blocked(from, env.to) {
@@ -615,55 +926,131 @@ impl Worker {
         }
     }
 
-    /// Writes one mux batch to `addr`, dialing lazily and backing off on
-    /// failure.
+    /// Writes one round's envelopes for `addr`: dials lazily (nonblocking),
+    /// queues behind an in-flight dial, drops during backoff.
     fn send_batch(
         &self,
         outs: &mut HashMap<SocketAddr, OutConn>,
         addr: SocketAddr,
-        envs: &[Envelope],
+        envs: Vec<Envelope>,
         now: u64,
     ) {
         let out = outs.entry(addr).or_insert(OutConn {
-            stream: None,
+            state: OutState::Down,
             down_until: 0,
+            queued: Vec::new(),
         });
-        if out.stream.is_none() {
-            if now < out.down_until {
-                return;
-            }
-            match TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
-                Ok(s) => {
-                    let _ = s.set_nodelay(true);
-                    let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
-                    out.stream = Some(s);
+        match &out.state {
+            OutState::Ready(_) => self.write_out(out, envs, now),
+            OutState::Connecting(_) => queue_out(out, envs),
+            OutState::Down => {
+                if now < out.down_until {
+                    return; // dropped; the protocol retransmits
                 }
-                Err(_) => {
-                    out.down_until = now + RECONNECT_BACKOFF_US;
-                    return;
+                match poll::connect_start(&addr) {
+                    Ok(s) => {
+                        if s.peer_addr().is_ok() {
+                            // Loopback dials often complete synchronously.
+                            finalize_out(&s);
+                            out.state = OutState::Ready(s);
+                            self.write_out(out, envs, now);
+                        } else {
+                            out.state = OutState::Connecting(s);
+                            queue_out(out, envs);
+                        }
+                    }
+                    Err(_) => {
+                        out.down_until = now + RECONNECT_BACKOFF_US;
+                    }
                 }
             }
         }
-        if let Some(s) = out.stream.as_mut() {
-            if write_batch(s, envs).is_err() {
-                out.stream = None;
-                out.down_until = now + RECONNECT_BACKOFF_US;
-                return;
+    }
+
+    /// Resolves an in-flight dial after its writability/error event; on
+    /// success the queued backlog flushes immediately.
+    fn resolve_dial(
+        &self,
+        outs: &mut HashMap<SocketAddr, OutConn>,
+        addr: SocketAddr,
+        ready: Readiness,
+        now: u64,
+    ) -> bool {
+        let Some(out) = outs.get_mut(&addr) else {
+            return false;
+        };
+        let OutState::Connecting(s) = &out.state else {
+            return false;
+        };
+        match poll::connect_ready(s, ready) {
+            Ok(true) => {
+                let OutState::Connecting(s) = std::mem::replace(&mut out.state, OutState::Down)
+                else {
+                    unreachable!("state checked above");
+                };
+                finalize_out(&s);
+                out.state = OutState::Ready(s);
+                let backlog = std::mem::take(&mut out.queued);
+                if !backlog.is_empty() {
+                    self.write_out(out, backlog, now);
+                }
+                true
             }
-            self.shared.batches.fetch_add(1, Ordering::Relaxed);
-            self.shared
-                .batched_envelopes
-                .fetch_add(envs.len() as u64, Ordering::Relaxed);
+            Ok(false) => false,
+            Err(_) => {
+                out.state = OutState::Down;
+                out.down_until = now + RECONNECT_BACKOFF_US;
+                out.queued.clear();
+                true
+            }
+        }
+    }
+
+    /// Writes `envs` on an established connection in mux-batch chunks,
+    /// downing the connection on failure.
+    fn write_out(&self, out: &mut OutConn, envs: Vec<Envelope>, now: u64) {
+        let mut failed = false;
+        if let OutState::Ready(s) = &mut out.state {
+            for chunk in envs.chunks(self.shared.mux_batch) {
+                if write_batch(s, chunk).is_err() {
+                    failed = true;
+                    break;
+                }
+                self.shared.batches.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .batched_envelopes
+                    .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            }
+        }
+        if failed {
+            out.state = OutState::Down;
+            out.down_until = now + RECONNECT_BACKOFF_US;
+            out.queued.clear();
         }
     }
 
     /// Writes a response on the client's registered connection. The
     /// registry lock is released before the write; only the stream's own
-    /// lock is held across it. A dead or persistently-blocked connection is
+    /// lock is held across it. A write that would block parks the frame's
+    /// remainder in `writes`, registered for writability — the worker never
+    /// waits on a client. A dead or persistently-blocked connection is
     /// deregistered; the client's timeout-driven resend recovers the
     /// response (exactly-once via the session table).
-    fn send_to_client(&self, env: &Envelope) {
+    fn send_to_client(&self, env: &Envelope, writes: &mut HashMap<(NodeId, NodeId), PendingReply>) {
         let key = (env.to, env.from);
+        let frame = encode_frame(env);
+        if let Some(w) = writes.get_mut(&key) {
+            // A reply is already parked for this connection: append behind
+            // it so frames stay ordered, unless the client has stopped
+            // reading entirely.
+            if w.buf.len() - w.at + frame.len() > CLIENT_WRITE_BUFFER_MAX {
+                let w = writes.remove(&key).expect("entry just seen");
+                self.deregister_client(key, &w.slot);
+            } else {
+                w.buf.extend_from_slice(&frame);
+            }
+            return;
+        }
         let slot = self
             .shared
             .clients
@@ -672,15 +1059,65 @@ impl Worker {
             .get(&key)
             .map(Arc::clone);
         let Some(slot) = slot else { return };
-        let ok = {
+        let mut at = 0;
+        let (step, fd) = {
             let mut stream = slot.lock().expect("client stream lock");
-            write_frame_bounded(&mut stream, env)
+            (
+                write_some(&mut stream, &frame, &mut at),
+                poll::fd_of(&*stream),
+            )
         };
-        if !ok {
-            let mut map = self.shared.clients.write().expect("client registry lock");
-            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
-                map.remove(&key);
+        match step {
+            WriteStep::Done => {}
+            WriteStep::Blocked => {
+                writes.insert(
+                    key,
+                    PendingReply {
+                        slot,
+                        fd,
+                        buf: frame.to_vec(),
+                        at,
+                        expires: Instant::now() + CLIENT_WRITE_DEADLINE,
+                    },
+                );
             }
+            WriteStep::Failed => self.deregister_client(key, &slot),
+        }
+    }
+
+    /// Continues a parked reply after its socket signalled writability.
+    fn flush_reply(
+        &self,
+        key: (NodeId, NodeId),
+        writes: &mut HashMap<(NodeId, NodeId), PendingReply>,
+    ) -> bool {
+        let Some(w) = writes.get_mut(&key) else {
+            return false;
+        };
+        let step = {
+            let mut stream = w.slot.lock().expect("client stream lock");
+            write_some(&mut stream, &w.buf, &mut w.at)
+        };
+        match step {
+            WriteStep::Done => {
+                writes.remove(&key);
+                true
+            }
+            WriteStep::Blocked => true,
+            WriteStep::Failed => {
+                let w = writes.remove(&key).expect("entry just seen");
+                self.deregister_client(key, &w.slot);
+                true
+            }
+        }
+    }
+
+    /// Drops a client registration, but only if the registry still holds
+    /// the same stream (a reconnect may have replaced it already).
+    fn deregister_client(&self, key: (NodeId, NodeId), slot: &Arc<Mutex<TcpStream>>) {
+        let mut map = self.shared.clients.write().expect("client registry lock");
+        if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, slot)) {
+            map.remove(&key);
         }
     }
 }
@@ -722,27 +1159,34 @@ fn mark_dead(stream: &TcpStream) {
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-/// Writes one plain frame on a nonblocking stream, retrying `WouldBlock`
-/// with tiny sleeps up to [`CLIENT_WRITE_DEADLINE`].
-fn write_frame_bounded(stream: &mut TcpStream, env: &Envelope) -> bool {
-    let frame = encode_frame(env);
-    let mut at = 0;
-    let until = Instant::now() + CLIENT_WRITE_DEADLINE;
-    while at < frame.len() {
-        match stream.write(&frame[at..]) {
-            Ok(0) => return false,
-            Ok(n) => at += n,
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                if Instant::now() >= until {
-                    return false;
-                }
-                thread::sleep(Duration::from_micros(100));
-            }
+/// Settles an established outbound pair connection: blocking writes with a
+/// bounded timeout (whole mux frames only — a partial nonblocking write
+/// would corrupt the stream's framing).
+fn finalize_out(stream: &TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+}
+
+/// Queues envelopes behind an in-flight dial, bounded; overflow drops the
+/// newest (the protocol retransmits).
+fn queue_out(out: &mut OutConn, envs: Vec<Envelope>) {
+    let room = OUT_QUEUE_MAX.saturating_sub(out.queued.len());
+    out.queued.extend(envs.into_iter().take(room));
+}
+
+/// Writes as much of `buf[at..]` as the nonblocking stream takes.
+fn write_some(stream: &mut TcpStream, buf: &[u8], at: &mut usize) -> WriteStep {
+    while *at < buf.len() {
+        match stream.write(&buf[*at..]) {
+            Ok(0) => return WriteStep::Failed,
+            Ok(n) => *at += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return WriteStep::Blocked,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return false,
+            Err(_) => return WriteStep::Failed,
         }
     }
-    true
+    WriteStep::Done
 }
 
 /// Folds one round's node events into the status counters.
@@ -760,8 +1204,9 @@ fn count_events(events: &[NodeEvent], status: &NodeStatus) {
     }
 }
 
-/// Publishes the node's observable protocol state.
-fn publish_status(node: &HarnessNode, status: &NodeStatus) {
+/// Publishes the seat's observable protocol state and load counters.
+fn publish_seat(seat: &Hosted) {
+    let (node, status) = (&seat.node, &seat.status);
     status.is_leader.store(node.is_leader(), Ordering::Relaxed);
     status.cluster.store(node.cluster().0, Ordering::Relaxed);
     status
@@ -773,4 +1218,6 @@ fn publish_status(node: &HarnessNode, status: &NodeStatus) {
     status
         .retired
         .store(node.role() == Role::Removed, Ordering::Relaxed);
+    status.steps.store(seat.steps, Ordering::Relaxed);
+    status.net_bytes.store(seat.bytes, Ordering::Relaxed);
 }

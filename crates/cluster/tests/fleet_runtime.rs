@@ -125,6 +125,7 @@ fn autonomy_campaign_on_two_workers_with_spare_reuse() {
             interval: Duration::from_millis(100),
             cmd_deadline: Duration::from_secs(10),
             next_cluster: 3,
+            ..ControlOptions::default()
         },
     );
 
@@ -249,6 +250,94 @@ fn autonomy_campaign_on_two_workers_with_spare_reuse() {
         .expect("a merged-cluster node");
     for c in 0..8 {
         let last = survivor.sessions().last_seq(SessionId(c));
-        assert_eq!(last, Some(opts.ops), "session {c}: last_seq {last:?}");
+        // Merge-burned writes are reissued under fresh sequences, so the
+        // table lands on each client's final wire sequence.
+        let expected = run.last_seq_of(c);
+        assert_eq!(last, expected, "session {c}: last_seq {last:?}");
     }
+}
+
+/// Live seat migration: while an open-loop fleet hammers a three-node range
+/// hosted on two workers, every seat is repeatedly handed between the
+/// workers. The seat's node, listener, and live connections quiesce at the
+/// source's barrier and re-register on the target's poller — mid-window,
+/// mid-replication — and exactly-once must hold as if nothing happened.
+#[test]
+fn seat_migration_under_load_preserves_exactly_once() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut fleet = FleetSpec::new(1, 3, HarnessBackend::Mem);
+    fleet.workers = Some(2);
+    let cluster = Arc::new(Cluster::launch_fleet(&fleet));
+    assert!(
+        cluster.wait_for_leader(Duration::from_secs(10)).is_some(),
+        "no leader within 10s"
+    );
+
+    let clients = 4;
+    let opts = ClientOptions {
+        ops: 400,
+        window: 4,
+        value_size: 64,
+        key_count: 4_000,
+        deadline: Duration::from_secs(120),
+        ..ClientOptions::default()
+    };
+    let load = {
+        let c = Arc::clone(&cluster);
+        let opts = opts.clone();
+        thread::Builder::new()
+            .name("migration-load".into())
+            .spawn(move || c.run_clients(clients, &opts))
+            .expect("spawn load thread")
+    };
+
+    // Shuffle every seat between the two workers while the load runs. Each
+    // move must flip the runtime's assignment, and the worker index the
+    // hosting thread publishes must catch up to it.
+    let ids: Vec<_> = cluster.seat_loads().iter().map(|s| s.id).collect();
+    assert_eq!(ids.len(), 3);
+    for round in 0..6 {
+        for (i, id) in ids.iter().enumerate() {
+            let target = (round + i) % cluster.worker_count();
+            if cluster.seat_owner(*id) == Some(target) {
+                continue;
+            }
+            assert!(
+                cluster.migrate_seat(*id, target),
+                "migrate {id:?} -> worker {target} refused"
+            );
+            assert_eq!(cluster.seat_owner(*id), Some(target));
+        }
+        assert!(
+            wait_until(Duration::from_secs(5), || cluster
+                .seat_loads()
+                .iter()
+                .all(|s| cluster.seat_owner(s.id) == Some(s.worker))),
+            "published worker indices never converged on the assignment"
+        );
+        thread::sleep(Duration::from_millis(100));
+    }
+
+    let run = load.join().expect("client threads");
+    assert!(
+        run.all_completed(),
+        "fleet incomplete across migrations: {:?}\n{}",
+        run.reports,
+        cluster.debug_dump()
+    );
+    assert_eq!(run.confirmed_ops(), clients * opts.ops);
+
+    // The load counters the rebalancer would difference actually moved.
+    let loads = cluster.seat_loads();
+    assert!(
+        loads.iter().all(|s| s.steps > 0),
+        "a seat stepped nothing under load: {loads:?}"
+    );
+
+    let nodes = Arc::try_unwrap(cluster)
+        .unwrap_or_else(|_| panic!("cluster handles still outstanding"))
+        .shutdown();
+    recraft_cluster::verify_sessions(&nodes, clients, opts.ops);
 }

@@ -62,8 +62,19 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         key: &[u8],
         cmd: Bytes,
     ) {
-        // Dedup against the applied state first: a retry of an applied
-        // request gets its recorded response without touching the log.
+        // Range ownership comes first: a leader must never answer for a key
+        // it does not own, not even out of its session table. After a merge
+        // the table is the union (per-session max) of both parents', so a
+        // session answer from a non-owner could reflect a *sibling's*
+        // history — the exact ambiguity the client's generation fence
+        // exists to catch. Owner-only answers keep `SessionStale` meaning
+        // "this key's lineage has passed your seq".
+        if !self.cfg.ranges().contains(key) {
+            self.reject(from, session, seq, Error::WrongRange(None));
+            return;
+        }
+        // Dedup against the applied state: a retry of an applied request
+        // gets its recorded response without touching the log.
         match self.sessions.check(session, seq) {
             SessionCheck::Duplicate(recorded) => {
                 self.reply(
@@ -104,10 +115,6 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             // Split leave phase or merge outcome pending: a one-round-trip
             // window where the log tail belongs to the reconfiguration.
             self.reject(from, session, seq, Error::MergeBlocked);
-            return;
-        }
-        if !self.cfg.ranges().contains(key) {
-            self.reject(from, session, seq, Error::WrongRange(None));
             return;
         }
         self.propose_entry_replying(

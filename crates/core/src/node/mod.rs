@@ -746,6 +746,15 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         self.cluster
     }
 
+    /// The cluster's reconfiguration epoch: bumped by every completed split
+    /// (children = parent + 1) and merge (max participant + 1). Directory
+    /// records carry it so routed clients can fence cross-lineage retry
+    /// inferences.
+    #[must_use]
+    pub fn cluster_epoch(&self) -> u32 {
+        self.cluster_epoch
+    }
+
     /// The node's role.
     #[must_use]
     pub fn role(&self) -> Role {
@@ -841,6 +850,7 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
         };
         recraft_net::NodeStats {
             cluster: self.cluster,
+            epoch: self.cluster_epoch,
             split_key: self.sm.split_hint(&ranges),
             ranges,
             members,
@@ -1005,6 +1015,36 @@ impl<SM: StateMachine, LS: LogStore> Node<SM, LS> {
             }
         }
         self.exchange_tick(now);
+    }
+
+    /// The earliest future instant at which [`tick`](Node::tick) would do
+    /// anything: the leader's next heartbeat, a follower's election
+    /// deadline, or a sub-protocol retry timer (merge 2PC driver, pull
+    /// recovery, snapshot exchange). A readiness-driven host sleeps until
+    /// this instant instead of polling on a fixed cadence; `u64::MAX`
+    /// means no timer is armed (a retired node).
+    #[must_use]
+    pub fn next_deadline(&self) -> u64 {
+        let mut due = u64::MAX;
+        match self.role {
+            Role::Removed => {}
+            Role::Leader => {
+                due = due.min(self.heartbeat_due);
+                if let Some(d) = &self.driver {
+                    due = due.min(d.next_retry);
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                due = due.min(self.election_deadline);
+                if let Some(p) = &self.pull {
+                    due = due.min(p.next_retry);
+                }
+            }
+        }
+        if let Some(ex) = &self.exchange {
+            due = due.min(ex.next_retry);
+        }
+        due
     }
 
     /// Feeds one inbound message to the node.

@@ -32,5 +32,5 @@ mod directory;
 mod sampling;
 
 pub use controller::{midpoint_key, Controller, FleetCmd, FleetConfig, PendingKind, RangeSample};
-pub use directory::ShardDirectory;
+pub use directory::{DirRecord, ShardDirectory};
 pub use sampling::SampleBook;

@@ -91,6 +91,7 @@ mod tests {
             NodeId(node),
             NodeStats {
                 cluster: ClusterId(cluster),
+                epoch: 0,
                 ranges: RangeSet::full(),
                 members: (1..=3).map(NodeId).collect(),
                 is_leader: node == 1,

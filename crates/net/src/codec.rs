@@ -111,6 +111,7 @@ fn decode_admin_result(buf: &mut Bytes) -> Result<std::result::Result<(), Error>
 impl Encode for NodeStats {
     fn encode(&self, buf: &mut BytesMut) {
         self.cluster.encode(buf);
+        self.epoch.encode(buf);
         self.ranges.encode(buf);
         self.members.encode(buf);
         self.is_leader.encode(buf);
@@ -127,6 +128,7 @@ impl Decode for NodeStats {
     fn decode(buf: &mut Bytes) -> Result<Self> {
         Ok(NodeStats {
             cluster: ClusterId::decode(buf)?,
+            epoch: u32::decode(buf)?,
             ranges: RangeSet::decode(buf)?,
             members: BTreeSet::<NodeId>::decode(buf)?,
             is_leader: bool::decode(buf)?,
@@ -548,6 +550,7 @@ mod tests {
             req_id: 4,
             stats: Box::new(NodeStats {
                 cluster: ClusterId(7),
+                epoch: 3,
                 ranges: RangeSet::full(),
                 members: [NodeId(1), NodeId(2), NodeId(3)].into_iter().collect(),
                 is_leader: true,
@@ -563,6 +566,7 @@ mod tests {
             req_id: 5,
             stats: Box::new(NodeStats {
                 cluster: ClusterId(1),
+                epoch: 0,
                 ranges: RangeSet::full(),
                 members: BTreeSet::new(),
                 is_leader: false,

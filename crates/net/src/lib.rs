@@ -20,5 +20,6 @@ mod codec;
 pub mod frame;
 mod message;
 pub mod mux;
+pub mod poll;
 
 pub use message::{AdminCmd, Envelope, Message, NodeStats, PullHint};

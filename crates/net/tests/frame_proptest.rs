@@ -252,6 +252,7 @@ fn build_message(tag: usize, r: u64) -> Message {
             req_id: r,
             stats: Box::new(NodeStats {
                 cluster: ClusterId(1 + r % 5),
+                epoch: (r % 7) as u32,
                 ranges: RangeSet::full(),
                 members: (1..=(r % 5)).map(NodeId).collect(),
                 is_leader: r.is_multiple_of(2),

@@ -850,29 +850,30 @@ impl Sim {
     /// Rebuilds the naming service from the live nodes' views (taking the
     /// most-applied node's word per cluster).
     fn refresh_directory(&mut self) {
-        let mut best: BTreeMap<ClusterId, (u64, RangeSet, BTreeSet<NodeId>)> = BTreeMap::new();
+        let mut best: BTreeMap<ClusterId, (u64, RangeSet, BTreeSet<NodeId>, u32)> = BTreeMap::new();
         for sn in self.nodes.values() {
             if !sn.up || sn.node.role() == Role::Removed {
                 continue;
             }
             let cluster = sn.node.cluster();
             let applied = sn.node.applied_index().0;
+            let epoch = sn.node.cluster_epoch();
             let entry = best.entry(cluster);
             let cfg = sn.node.config();
             match entry {
                 std::collections::btree_map::Entry::Vacant(v) => {
-                    v.insert((applied, cfg.ranges().clone(), cfg.members().clone()));
+                    v.insert((applied, cfg.ranges().clone(), cfg.members().clone(), epoch));
                 }
                 std::collections::btree_map::Entry::Occupied(mut o) => {
                     if applied > o.get().0 {
-                        o.insert((applied, cfg.ranges().clone(), cfg.members().clone()));
+                        o.insert((applied, cfg.ranges().clone(), cfg.members().clone(), epoch));
                     }
                 }
             }
         }
         self.directory.clear();
-        for (cluster, (_, ranges, members)) in best {
-            self.directory.upsert(cluster, ranges, members);
+        for (cluster, (_, ranges, members, epoch)) in best {
+            self.directory.upsert(cluster, ranges, members, epoch);
         }
     }
 
